@@ -1,0 +1,275 @@
+//! Synthetic standard-cell library.
+//!
+//! The paper's aging estimator "build[s] a library of aging estimates for
+//! different logic elements (like NOR, NOT, memory elements, etc.)" from
+//! proprietary cell data sheets. This module replaces those data sheets
+//! with a deterministic synthetic library: per-cell un-aged delays (typical
+//! of a deeply scaled node) and per-cell PMOS stress weights (how strongly
+//! the cell's delay depends on PMOS ΔVth — NBTI stresses PMOS devices).
+
+use hayat_units::Volts;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The logic-element kinds of the synthetic library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CellKind {
+    /// Inverter (the "NOT" of the paper's list).
+    Inverter,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR — worst NBTI exposure (stacked PMOS).
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// Transmission-gate multiplexer.
+    Mux2,
+    /// D flip-flop (the "memory element").
+    Dff,
+    /// Buffer/repeater for long wires.
+    Buffer,
+}
+
+impl CellKind {
+    /// All kinds, in a fixed order.
+    pub const ALL: [CellKind; 7] = [
+        CellKind::Inverter,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::Xor2,
+        CellKind::Mux2,
+        CellKind::Dff,
+        CellKind::Buffer,
+    ];
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CellKind::Inverter => "INV",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nor2 => "NOR2",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Mux2 => "MUX2",
+            CellKind::Dff => "DFF",
+            CellKind::Buffer => "BUF",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One characterized logic element.
+///
+/// # Example
+///
+/// ```
+/// use hayat_aging::{CellKind, CellLibrary};
+/// use hayat_units::Volts;
+///
+/// let lib = CellLibrary::standard();
+/// let nor = lib.cell(CellKind::Nor2);
+/// // NOR gates age fastest (stacked PMOS): zero shift leaves delay unchanged.
+/// assert_eq!(nor.aged_delay_ps(Volts::new(0.0)), nor.delay_ps());
+/// assert!(nor.aged_delay_ps(Volts::new(0.05)) > nor.delay_ps());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    kind: CellKind,
+    /// Un-aged propagation delay, picoseconds.
+    delay_ps: f64,
+    /// How much of the cell's switching path goes through PMOS devices
+    /// subject to NBTI stress (0..=1).
+    pmos_stress_weight: f64,
+    /// Nominal PMOS threshold voltage, volts.
+    vth0: Volts,
+    /// Alpha-power-law exponent of the delay–overdrive relation.
+    alpha_power: f64,
+    /// Supply voltage the delays were characterized at.
+    vdd: Volts,
+}
+
+impl Cell {
+    /// The cell's kind.
+    #[must_use]
+    pub const fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Un-aged propagation delay, picoseconds (`D(le)` of Eq. 8).
+    #[must_use]
+    pub const fn delay_ps(&self) -> f64 {
+        self.delay_ps
+    }
+
+    /// The PMOS stress weight (0..=1).
+    #[must_use]
+    pub const fn pmos_stress_weight(&self) -> f64 {
+        self.pmos_stress_weight
+    }
+
+    /// Delay after a PMOS threshold-voltage shift `delta_vth`
+    /// (`D(le) + ΔD(le)` of Eq. 8), picoseconds.
+    ///
+    /// Follows the alpha-power law: delay scales with
+    /// `((Vdd − Vth0) / (Vdd − Vth0 − w·ΔVth))^α`, where `w` is the PMOS
+    /// stress weight. The shift is clamped so the overdrive never collapses
+    /// below 10% of its un-aged value.
+    #[must_use]
+    pub fn aged_delay_ps(&self, delta_vth: Volts) -> f64 {
+        let overdrive0 = self.vdd.value() - self.vth0.value();
+        let effective_shift = self.pmos_stress_weight * delta_vth.value();
+        let overdrive = (overdrive0 - effective_shift).max(0.1 * overdrive0);
+        self.delay_ps * (overdrive0 / overdrive).powf(self.alpha_power)
+    }
+}
+
+/// The characterized cell library of one technology node.
+///
+/// # Example
+///
+/// ```
+/// use hayat_aging::{CellKind, CellLibrary};
+///
+/// let lib = CellLibrary::standard();
+/// assert_eq!(lib.cells().len(), CellKind::ALL.len());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    cells: Vec<Cell>,
+}
+
+impl CellLibrary {
+    /// The standard synthetic library, characterized at `Vdd = 1.13 V` with
+    /// `Vth0 = 0.30 V` and `α = 1.3` (typical alpha-power exponent for a
+    /// deeply scaled node).
+    #[must_use]
+    pub fn standard() -> Self {
+        let vdd = Volts::new(1.13);
+        let vth0 = Volts::new(0.30);
+        let alpha_power = 1.3;
+        let spec: &[(CellKind, f64, f64)] = &[
+            // (kind, delay ps, PMOS stress weight)
+            (CellKind::Inverter, 4.0, 0.80),
+            (CellKind::Nand2, 6.0, 0.55),
+            (CellKind::Nor2, 7.5, 1.00), // stacked PMOS: worst NBTI exposure
+            (CellKind::Xor2, 10.0, 0.70),
+            (CellKind::Mux2, 8.5, 0.65),
+            (CellKind::Dff, 22.0, 0.60),
+            (CellKind::Buffer, 5.0, 0.75),
+        ];
+        let cells = spec
+            .iter()
+            .map(|&(kind, delay_ps, pmos_stress_weight)| Cell {
+                kind,
+                delay_ps,
+                pmos_stress_weight,
+                vth0,
+                alpha_power,
+                vdd,
+            })
+            .collect();
+        CellLibrary { cells }
+    }
+
+    /// All cells of the library.
+    #[must_use]
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The cell of a given kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is missing from the library (impossible for
+    /// [`CellLibrary::standard`]).
+    #[must_use]
+    pub fn cell(&self, kind: CellKind) -> &Cell {
+        self.cells
+            .iter()
+            .find(|c| c.kind == kind)
+            .unwrap_or_else(|| panic!("cell kind {kind} missing from library"))
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_covers_all_kinds() {
+        let lib = CellLibrary::standard();
+        for kind in CellKind::ALL {
+            assert_eq!(lib.cell(kind).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn zero_shift_means_nominal_delay() {
+        let lib = CellLibrary::standard();
+        for cell in lib.cells() {
+            assert_eq!(cell.aged_delay_ps(Volts::new(0.0)), cell.delay_ps());
+        }
+    }
+
+    #[test]
+    fn delay_increases_monotonically_with_shift() {
+        let lib = CellLibrary::standard();
+        for cell in lib.cells() {
+            let d1 = cell.aged_delay_ps(Volts::new(0.02));
+            let d2 = cell.aged_delay_ps(Volts::new(0.06));
+            let d3 = cell.aged_delay_ps(Volts::new(0.12));
+            assert!(
+                cell.delay_ps() < d1 && d1 < d2 && d2 < d3,
+                "{}",
+                cell.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn nor_ages_fastest_per_unit_shift() {
+        let lib = CellLibrary::standard();
+        let shift = Volts::new(0.08);
+        let rel = |k: CellKind| {
+            let c = lib.cell(k);
+            c.aged_delay_ps(shift) / c.delay_ps()
+        };
+        for kind in CellKind::ALL {
+            if kind != CellKind::Nor2 {
+                assert!(rel(CellKind::Nor2) >= rel(kind), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_anchor_delay_increase() {
+        // A 0.12 V shift (the 10-year/100 degC anchor of the NBTI model)
+        // on a full-weight cell costs ~20% delay: (0.83/0.71)^1.3 ≈ 1.22.
+        let lib = CellLibrary::standard();
+        let nor = lib.cell(CellKind::Nor2);
+        let ratio = nor.aged_delay_ps(Volts::new(0.12)) / nor.delay_ps();
+        assert!((ratio - 1.225).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn extreme_shift_is_clamped() {
+        let lib = CellLibrary::standard();
+        let inv = lib.cell(CellKind::Inverter);
+        let d = inv.aged_delay_ps(Volts::new(5.0));
+        assert!(d.is_finite() && d > inv.delay_ps());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CellKind::Nor2.to_string(), "NOR2");
+        assert_eq!(CellKind::Dff.to_string(), "DFF");
+    }
+}

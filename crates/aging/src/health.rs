@@ -1,0 +1,360 @@
+//! Health bookkeeping: per-core and chip-wide.
+
+use hayat_floorplan::CoreId;
+use hayat_units::Gigahertz;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The health of one core: its current maximum safe frequency normalized to
+/// its variation-dependent initial maximum frequency
+/// (`f_max,i,t / f_max,i,init`, Section I-A). A fresh core has health 1.0;
+/// aging only decreases it.
+///
+/// # Example
+///
+/// ```
+/// use hayat_aging::Health;
+///
+/// let h = Health::new(0.92);
+/// assert!((h.value() - 0.92).abs() < 1e-12);
+/// assert!(h < Health::FULL);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Health(f64);
+
+impl Health {
+    /// The health of a fresh, un-aged core.
+    pub const FULL: Health = Health(1.0);
+
+    /// Creates a health value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not in `(0, 1]`.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value > 0.0 && value <= 1.0,
+            "health must lie in (0, 1], got {value}"
+        );
+        Health(value)
+    }
+
+    /// Returns the health as a fraction of the initial frequency.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The aged maximum frequency given the core's initial frequency.
+    #[must_use]
+    pub fn aged_fmax(self, initial: Gigahertz) -> Gigahertz {
+        initial.scaled(self.0)
+    }
+
+    /// Degrades to a new (not larger) health value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next` is larger than the current health (health cannot
+    /// recover across epochs) or out of range.
+    #[must_use]
+    pub fn degraded_to(self, next: f64) -> Health {
+        let next = Health::new(next);
+        assert!(
+            next.0 <= self.0 + 1e-12,
+            "health cannot increase: {} -> {}",
+            self.0,
+            next.0
+        );
+        Health(next.0.min(self.0))
+    }
+}
+
+impl Default for Health {
+    fn default() -> Self {
+        Health::FULL
+    }
+}
+
+impl fmt::Display for Health {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.0 * 100.0)
+    }
+}
+
+/// The chip-wide health map: one [`Health`] per core (Section I-A).
+///
+/// # Example
+///
+/// ```
+/// use hayat_aging::{Health, HealthMap};
+/// use hayat_floorplan::CoreId;
+///
+/// let mut map = HealthMap::fresh(4);
+/// map.set(CoreId::new(2), Health::new(0.9));
+/// assert_eq!(map.min(), Health::new(0.9));
+/// assert_eq!(map.weakest_core(), CoreId::new(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthMap {
+    healths: Vec<Health>,
+}
+
+impl HealthMap {
+    /// A map of `cores` fresh cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    #[must_use]
+    pub fn fresh(cores: usize) -> Self {
+        assert!(cores > 0, "health map must cover at least one core");
+        HealthMap {
+            healths: vec![Health::FULL; cores],
+        }
+    }
+
+    /// Wraps explicit per-core healths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `healths` is empty.
+    #[must_use]
+    pub fn new(healths: Vec<Health>) -> Self {
+        assert!(
+            !healths.is_empty(),
+            "health map must cover at least one core"
+        );
+        HealthMap { healths }
+    }
+
+    /// Number of cores covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.healths.len()
+    }
+
+    /// Always `false`: construction requires at least one core.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Health of `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn core(&self, core: CoreId) -> Health {
+        self.healths[core.index()]
+    }
+
+    /// Sets the health of `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn set(&mut self, core: CoreId, health: Health) {
+        self.healths[core.index()] = health;
+    }
+
+    /// Mean health over all cores.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.healths.iter().map(|h| h.value()).sum::<f64>() / self.healths.len() as f64
+    }
+
+    /// The lowest per-core health.
+    #[must_use]
+    pub fn min(&self) -> Health {
+        self.healths
+            .iter()
+            .copied()
+            .min_by(|a, b| a.partial_cmp(b).expect("healths are finite"))
+            .expect("map is non-empty")
+    }
+
+    /// The highest per-core health.
+    #[must_use]
+    pub fn max(&self) -> Health {
+        self.healths
+            .iter()
+            .copied()
+            .max_by(|a, b| a.partial_cmp(b).expect("healths are finite"))
+            .expect("map is non-empty")
+    }
+
+    /// The core with the lowest health (lowest id wins ties).
+    #[must_use]
+    pub fn weakest_core(&self) -> CoreId {
+        let (idx, _) = self
+            .healths
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("healths are finite"))
+            .expect("map is non-empty");
+        CoreId::new(idx)
+    }
+
+    /// The `q`-quantile (0 = weakest, 1 = healthiest) of the per-core
+    /// healths — the distribution view behind "aging balancing" claims.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Health {
+        assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+        let mut sorted = self.healths.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("healths are finite"));
+        let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+        sorted[idx]
+    }
+
+    /// Sample standard deviation of the per-core healths (0 for a single
+    /// core) — low values mean aging is *balanced* across the chip.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        let n = self.healths.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .healths
+            .iter()
+            .map(|h| (h.value() - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Iterator over `(core, health)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CoreId, Health)> + '_ {
+        self.healths
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (CoreId::new(i), h))
+    }
+
+    /// The aged per-core maximum frequencies given the initial frequencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len()` differs from the map's core count.
+    #[must_use]
+    pub fn aged_fmax(&self, initial: &[Gigahertz]) -> Vec<Gigahertz> {
+        assert_eq!(
+            initial.len(),
+            self.healths.len(),
+            "initial frequencies must cover every core"
+        );
+        self.healths
+            .iter()
+            .zip(initial)
+            .map(|(h, &f)| h.aged_fmax(f))
+            .collect()
+    }
+}
+
+impl fmt::Display for HealthMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HealthMap[{} cores, min {}, mean {:.1}%, max {}]",
+            self.len(),
+            self.min(),
+            self.mean() * 100.0,
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_map_is_all_full() {
+        let m = HealthMap::fresh(8);
+        assert_eq!(m.len(), 8);
+        assert_eq!(m.min(), Health::FULL);
+        assert_eq!(m.max(), Health::FULL);
+        assert!((m.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aged_fmax_scales_initial() {
+        let h = Health::new(0.9);
+        let f = h.aged_fmax(Gigahertz::new(3.0));
+        assert!((f.value() - 2.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_to_enforces_monotonicity() {
+        let h = Health::new(0.95);
+        let next = h.degraded_to(0.9);
+        assert_eq!(next, Health::new(0.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot increase")]
+    fn degraded_to_rejects_recovery() {
+        let _ = Health::new(0.9).degraded_to(0.95);
+    }
+
+    #[test]
+    fn map_statistics() {
+        let m = HealthMap::new(vec![Health::new(0.8), Health::new(1.0), Health::new(0.9)]);
+        assert_eq!(m.min(), Health::new(0.8));
+        assert_eq!(m.max(), Health::FULL);
+        assert!((m.mean() - 0.9).abs() < 1e-12);
+        assert_eq!(m.weakest_core(), CoreId::new(0));
+    }
+
+    #[test]
+    fn quantiles_and_spread() {
+        let m = HealthMap::new(vec![Health::new(0.8), Health::new(1.0), Health::new(0.9)]);
+        assert_eq!(m.quantile(0.0), Health::new(0.8));
+        assert_eq!(m.quantile(0.5), Health::new(0.9));
+        assert_eq!(m.quantile(1.0), Health::FULL);
+        assert!(m.std_dev() > 0.0);
+        assert_eq!(HealthMap::fresh(4).std_dev(), 0.0);
+    }
+
+    #[test]
+    fn map_aged_fmax() {
+        let m = HealthMap::new(vec![Health::new(0.5), Health::new(1.0)]);
+        let aged = m.aged_fmax(&[Gigahertz::new(4.0), Gigahertz::new(3.0)]);
+        assert!((aged[0].value() - 2.0).abs() < 1e-12);
+        assert!((aged[1].value() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn health_rejects_zero() {
+        let _ = Health::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn health_rejects_above_one() {
+        let _ = Health::new(1.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn empty_map_panics() {
+        let _ = HealthMap::new(vec![]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Health::new(0.925).to_string(), "92.5%");
+        let m = HealthMap::fresh(2);
+        assert!(m.to_string().contains("2 cores"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Facade combining the NBTI physics with a representative critical path.
+
+use crate::nbti::NbtiModel;
+use crate::path::CriticalPath;
+use serde::{Deserialize, Serialize};
+
+/// Length of the representative critical path, in logic elements. Roughly
+/// a 30–40 FO4 pipeline stage, typical of a high-frequency core.
+const DEFAULT_PATH_LENGTH: usize = 40;
+
+/// The complete offline aging model of one processor design: Eq. 7 physics
+/// plus the synthesized top critical path that Eq. 8 degrades.
+///
+/// # Example
+///
+/// ```
+/// use hayat_aging::AgingModel;
+/// use hayat_units::{Celsius, DutyCycle, Years};
+///
+/// let model = AgingModel::paper(42);
+/// let health = model.path().relative_frequency(
+///     model.nbti(),
+///     Celsius::new(100.0).to_kelvin(),
+///     DutyCycle::generic(),
+///     Years::new(10.0),
+/// );
+/// assert!(health < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgingModel {
+    nbti: NbtiModel,
+    path: CriticalPath,
+}
+
+impl AgingModel {
+    /// The calibrated paper model with a design-seeded representative path.
+    #[must_use]
+    pub fn paper(design_seed: u64) -> Self {
+        AgingModel {
+            nbti: NbtiModel::paper(),
+            path: CriticalPath::synthesize(DEFAULT_PATH_LENGTH, design_seed),
+        }
+    }
+
+    /// Combines explicit parts.
+    #[must_use]
+    pub fn new(nbti: NbtiModel, path: CriticalPath) -> Self {
+        AgingModel { nbti, path }
+    }
+
+    /// The NBTI physics model.
+    #[must_use]
+    pub const fn nbti(&self) -> &NbtiModel {
+        &self.nbti
+    }
+
+    /// The representative critical path.
+    #[must_use]
+    pub const fn path(&self) -> &CriticalPath {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_model_is_deterministic_per_seed() {
+        assert_eq!(AgingModel::paper(9), AgingModel::paper(9));
+        assert_ne!(AgingModel::paper(9), AgingModel::paper(10));
+    }
+
+    #[test]
+    fn accessors_return_parts() {
+        let m = AgingModel::paper(1);
+        assert_eq!(m.nbti(), &NbtiModel::paper());
+        assert_eq!(m.path().elements().len(), DEFAULT_PATH_LENGTH);
+    }
+
+    #[test]
+    fn new_combines_parts() {
+        let nbti = NbtiModel::paper();
+        let path = CriticalPath::synthesize(10, 5);
+        let m = AgingModel::new(nbti.clone(), path.clone());
+        assert_eq!(m.nbti(), &nbti);
+        assert_eq!(m.path(), &path);
+    }
+}

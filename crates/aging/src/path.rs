@@ -1,0 +1,360 @@
+//! Critical paths and Eq. 8 delay degradation.
+
+use crate::cell::{Cell, CellKind, CellLibrary};
+use crate::nbti::NbtiModel;
+use hayat_units::{DutyCycle, Gigahertz, Kelvin, Years};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One element of a critical path: a cell plus its signal-probability
+/// derived duty factor (the paper obtains these from gate-level simulation
+/// with ModelSim; here they are synthesized deterministically).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathElement {
+    /// The logic element.
+    pub cell: Cell,
+    /// The element's local stress probability relative to the core-level
+    /// duty cycle (0..=1).
+    pub signal_duty: f64,
+}
+
+/// A critical path: an ordered chain of logic elements whose summed delay
+/// limits the core's clock (Eq. 8).
+///
+/// # Example
+///
+/// ```
+/// use hayat_aging::{CriticalPath, NbtiModel};
+/// use hayat_units::{Celsius, DutyCycle, Years};
+///
+/// let path = CriticalPath::synthesize(40, 0xC0FFEE);
+/// let nbti = NbtiModel::paper();
+/// let fresh = path.delay_at(&nbti, Celsius::new(80.0).to_kelvin(), DutyCycle::generic(), Years::new(0.0));
+/// let aged = path.delay_at(&nbti, Celsius::new(80.0).to_kelvin(), DutyCycle::generic(), Years::new(10.0));
+/// assert!(aged > fresh);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    elements: Vec<PathElement>,
+}
+
+impl CriticalPath {
+    /// Builds a path from explicit elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements` is empty or a signal duty is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(elements: Vec<PathElement>) -> Self {
+        assert!(
+            !elements.is_empty(),
+            "a critical path needs at least one element"
+        );
+        for e in &elements {
+            assert!(
+                (0.0..=1.0).contains(&e.signal_duty),
+                "signal duty {} outside [0, 1]",
+                e.signal_duty
+            );
+        }
+        CriticalPath { elements }
+    }
+
+    /// Synthesizes a representative critical path of `length` cells with
+    /// seeded cell-kind and signal-probability draws — the stand-in for the
+    /// paper's Synopsys-DC top-x% path extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero.
+    #[must_use]
+    pub fn synthesize(length: usize, seed: u64) -> Self {
+        assert!(length > 0, "a critical path needs at least one element");
+        let lib = CellLibrary::standard();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Weighted kind mix typical of a datapath: mostly simple gates, a
+        // flop at the end.
+        let kinds = [
+            CellKind::Inverter,
+            CellKind::Nand2,
+            CellKind::Nor2,
+            CellKind::Xor2,
+            CellKind::Mux2,
+            CellKind::Buffer,
+        ];
+        let mut elements: Vec<PathElement> = (0..length.saturating_sub(1))
+            .map(|_| {
+                let kind = kinds[rng.gen_range(0..kinds.len())];
+                PathElement {
+                    cell: *lib.cell(kind),
+                    signal_duty: rng.gen_range(0.3..=1.0),
+                }
+            })
+            .collect();
+        elements.push(PathElement {
+            cell: *lib.cell(CellKind::Dff),
+            signal_duty: rng.gen_range(0.3..=1.0),
+        });
+        CriticalPath::new(elements)
+    }
+
+    /// The path's elements in order.
+    #[must_use]
+    pub fn elements(&self) -> &[PathElement] {
+        &self.elements
+    }
+
+    /// Un-aged path delay, picoseconds (`Σ D(le)`).
+    #[must_use]
+    pub fn nominal_delay_ps(&self) -> f64 {
+        self.elements.iter().map(|e| e.cell.delay_ps()).sum()
+    }
+
+    /// Aged path delay after `age` years at temperature `t` with core-level
+    /// duty cycle `core_duty` — the paper's Eq. 8:
+    /// `ΔD(cp) = Σ (D(le) + ΔD(le, d, T, y))` where each element's effective
+    /// stress duty is the core duty combined with its signal probability.
+    #[must_use]
+    pub fn delay_at(&self, nbti: &NbtiModel, t: Kelvin, core_duty: DutyCycle, age: Years) -> f64 {
+        self.elements
+            .iter()
+            .map(|e| {
+                let duty = DutyCycle::clamped(core_duty.value() * e.signal_duty);
+                let shift = nbti.delta_vth(t, age, duty);
+                e.cell.aged_delay_ps(shift)
+            })
+            .sum()
+    }
+
+    /// The relative frequency the path permits at a given age: un-aged delay
+    /// over aged delay, in `(0, 1]`. Multiplying a core's initial `fmax` by
+    /// this factor yields its aged `fmax`.
+    #[must_use]
+    pub fn relative_frequency(
+        &self,
+        nbti: &NbtiModel,
+        t: Kelvin,
+        core_duty: DutyCycle,
+        age: Years,
+    ) -> f64 {
+        self.nominal_delay_ps() / self.delay_at(nbti, t, core_duty, age)
+    }
+
+    /// Per-element delay-degradation breakdown at the given conditions:
+    /// `(element index, aged delay − nominal delay)` in picoseconds, the
+    /// diagnostic view a designer uses to see *which* cells limit an aged
+    /// path (stacked-PMOS NOR gates typically dominate).
+    #[must_use]
+    pub fn degradation_breakdown(
+        &self,
+        nbti: &NbtiModel,
+        t: Kelvin,
+        core_duty: DutyCycle,
+        age: Years,
+    ) -> Vec<(usize, f64)> {
+        self.elements
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let duty = DutyCycle::clamped(core_duty.value() * e.signal_duty);
+                let shift = nbti.delta_vth(t, age, duty);
+                (i, e.cell.aged_delay_ps(shift) - e.cell.delay_ps())
+            })
+            .collect()
+    }
+
+    /// The element contributing the largest delay degradation at the given
+    /// conditions (ties broken toward the earlier element). Returns the
+    /// element index.
+    #[must_use]
+    pub fn dominant_element(
+        &self,
+        nbti: &NbtiModel,
+        t: Kelvin,
+        core_duty: DutyCycle,
+        age: Years,
+    ) -> usize {
+        let breakdown = self.degradation_breakdown(nbti, t, core_duty, age);
+        let mut best = 0;
+        for &(i, v) in &breakdown {
+            if v > breakdown[best].1 {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The maximum clock frequency a path of this delay supports, assuming
+    /// the whole cycle budget goes to the path.
+    #[must_use]
+    pub fn max_frequency(
+        &self,
+        nbti: &NbtiModel,
+        t: Kelvin,
+        core_duty: DutyCycle,
+        age: Years,
+    ) -> Gigahertz {
+        let delay_ps = self.delay_at(nbti, t, core_duty, age);
+        Gigahertz::new(1000.0 / delay_ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hayat_units::Celsius;
+
+    fn path() -> CriticalPath {
+        CriticalPath::synthesize(40, 42)
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        assert_eq!(
+            CriticalPath::synthesize(40, 1),
+            CriticalPath::synthesize(40, 1)
+        );
+        assert_ne!(
+            CriticalPath::synthesize(40, 1),
+            CriticalPath::synthesize(40, 2)
+        );
+    }
+
+    #[test]
+    fn nominal_delay_is_sum_of_cells() {
+        let p = path();
+        let sum: f64 = p.elements().iter().map(|e| e.cell.delay_ps()).sum();
+        assert!((p.nominal_delay_ps() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn age_zero_is_nominal() {
+        let p = path();
+        let nbti = NbtiModel::paper();
+        let d = p.delay_at(
+            &nbti,
+            Kelvin::new(350.0),
+            DutyCycle::generic(),
+            Years::new(0.0),
+        );
+        assert!((d - p.nominal_delay_ps()).abs() < 1e-12);
+        let rf = p.relative_frequency(
+            &nbti,
+            Kelvin::new(350.0),
+            DutyCycle::generic(),
+            Years::new(0.0),
+        );
+        assert!((rf - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_grows_with_age_and_temperature() {
+        let p = path();
+        let nbti = NbtiModel::paper();
+        let d = DutyCycle::generic();
+        let cool5 = p.delay_at(&nbti, Celsius::new(25.0).to_kelvin(), d, Years::new(5.0));
+        let cool10 = p.delay_at(&nbti, Celsius::new(25.0).to_kelvin(), d, Years::new(10.0));
+        let hot10 = p.delay_at(&nbti, Celsius::new(140.0).to_kelvin(), d, Years::new(10.0));
+        assert!(cool5 < cool10);
+        assert!(cool10 < hot10);
+    }
+
+    #[test]
+    fn fig1b_delay_increase_bands() {
+        // Fig. 1(b): after 10 years at duty 0.5, the delay increase is about
+        // 1.05-1.15x at 25 degC, 1.1-1.25x at 75 degC, 1.15-1.35x at 100 degC
+        // and 1.3-1.5x at 140 degC. Match the shape within generous bands.
+        let p = path();
+        let nbti = NbtiModel::paper();
+        let d = DutyCycle::generic();
+        let ratio = |c: f64| {
+            p.delay_at(&nbti, Celsius::new(c).to_kelvin(), d, Years::new(10.0))
+                / p.nominal_delay_ps()
+        };
+        let (r25, r75, r100, r140) = (ratio(25.0), ratio(75.0), ratio(100.0), ratio(140.0));
+        assert!((1.05..=1.15).contains(&r25), "25C: {r25}");
+        assert!((1.12..=1.28).contains(&r75), "75C: {r75}");
+        assert!((1.20..=1.40).contains(&r100), "100C: {r100}");
+        assert!((1.35..=1.60).contains(&r140), "140C: {r140}");
+        assert!(r25 < r75 && r75 < r100 && r100 < r140);
+    }
+
+    #[test]
+    fn max_frequency_is_reciprocal_of_delay() {
+        let p = path();
+        let nbti = NbtiModel::paper();
+        let f = p.max_frequency(
+            &nbti,
+            Kelvin::new(350.0),
+            DutyCycle::generic(),
+            Years::new(0.0),
+        );
+        assert!((f.value() - 1000.0 / p.nominal_delay_ps()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_sums_to_the_total_degradation() {
+        let p = path();
+        let nbti = NbtiModel::paper();
+        let t = Celsius::new(100.0).to_kelvin();
+        let d = DutyCycle::generic();
+        let y = Years::new(10.0);
+        let total = p.delay_at(&nbti, t, d, y) - p.nominal_delay_ps();
+        let sum: f64 = p
+            .degradation_breakdown(&nbti, t, d, y)
+            .iter()
+            .map(|(_, v)| v)
+            .sum();
+        assert!((total - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominant_element_is_a_heavy_stress_cell() {
+        let p = path();
+        let nbti = NbtiModel::paper();
+        let idx = p.dominant_element(
+            &nbti,
+            Celsius::new(100.0).to_kelvin(),
+            DutyCycle::generic(),
+            Years::new(10.0),
+        );
+        let breakdown = p.degradation_breakdown(
+            &nbti,
+            Celsius::new(100.0).to_kelvin(),
+            DutyCycle::generic(),
+            Years::new(10.0),
+        );
+        let max = breakdown.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max);
+        assert_eq!(breakdown[idx].1, max);
+        // At age 0 everything degrades by zero; the first element wins ties.
+        assert_eq!(
+            p.dominant_element(
+                &nbti,
+                Kelvin::new(350.0),
+                DutyCycle::generic(),
+                Years::new(0.0)
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn path_ends_with_a_flop() {
+        let p = path();
+        assert_eq!(p.elements().last().unwrap().cell.kind(), CellKind::Dff);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn empty_path_panics() {
+        let _ = CriticalPath::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_length_synthesis_panics() {
+        let _ = CriticalPath::synthesize(0, 1);
+    }
+}

@@ -1,0 +1,431 @@
+//! Offline-generated 3D aging tables and the run-time lookup that advances
+//! health across aging epochs.
+
+use crate::model::AgingModel;
+use hayat_units::{DutyCycle, Kelvin, Years};
+use serde::{Deserialize, Serialize};
+
+/// Sampling axes of a 3D aging table.
+///
+/// The defaults span the full operating envelope of the paper's evaluation:
+/// ambient (318 K) up to well past `T_safe`, all duty cycles, and ages up to
+/// 15 years (beyond the 10-year evaluation horizon so epoch advancement
+/// never walks off the table).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableAxes {
+    /// Temperature grid, kelvin (ascending).
+    pub temperatures: Vec<f64>,
+    /// Duty-cycle grid, fraction (ascending, within `[0, 1]`).
+    pub duty_cycles: Vec<f64>,
+    /// Age grid, years (ascending, starting at 0).
+    pub ages: Vec<f64>,
+}
+
+impl TableAxes {
+    /// The default axes: 300–430 K in 5 K steps; duty and age on grids
+    /// uniform in the *sixth-root* coordinate. Eq. 7 is linear in
+    /// `d^(1/6)` and `y^(1/6)` (both near-vertical at zero in natural
+    /// coordinates), so sixth-root spacing makes the stored function almost
+    /// linear between grid points and keeps trilinear-interpolation error
+    /// small everywhere — including the first epochs of a fresh chip.
+    #[must_use]
+    pub fn paper() -> Self {
+        let sixth_root_grid = |max: f64, points: usize| -> Vec<f64> {
+            let u_max = max.powf(1.0 / 6.0);
+            (0..=points)
+                .map(|i| {
+                    let u = u_max * i as f64 / points as f64;
+                    u.powi(6)
+                })
+                .collect()
+        };
+        TableAxes {
+            temperatures: (0..=26).map(|i| 300.0 + 5.0 * i as f64).collect(),
+            duty_cycles: sixth_root_grid(1.0, 24),
+            ages: sixth_root_grid(15.0, 48),
+        }
+    }
+
+    /// Checks monotonicity and ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an axis is empty, non-ascending, or out of physical range.
+    pub fn assert_valid(&self) {
+        for (name, axis) in [
+            ("temperatures", &self.temperatures),
+            ("duty_cycles", &self.duty_cycles),
+            ("ages", &self.ages),
+        ] {
+            assert!(!axis.is_empty(), "{name} axis must be non-empty");
+            assert!(
+                axis.windows(2).all(|w| w[0] < w[1]),
+                "{name} axis must be strictly ascending"
+            );
+        }
+        assert!(
+            self.duty_cycles.iter().all(|&d| (0.0..=1.0).contains(&d)),
+            "duty cycles must lie in [0, 1]"
+        );
+        assert!(self.ages[0] == 0.0, "age axis must start at 0");
+    }
+}
+
+impl Default for TableAxes {
+    fn default() -> Self {
+        TableAxes::paper()
+    }
+}
+
+/// The offline-generated 3D aging table: relative frequency (aged `fmax`
+/// over initial `fmax`, in `(0, 1]`) for every (temperature, duty, age)
+/// grid point, with trilinear interpolation in between.
+///
+/// Generating the table sweeps the full Eq. 7 + Eq. 8 model once — the
+/// "start-up time effort for a given chip" of Section IV-B — so that the
+/// run-time system never touches the physics model again; every online
+/// health estimate is a table lookup, which is what makes Algorithm 1's
+/// candidate evaluation affordable.
+///
+/// # Example
+///
+/// ```
+/// use hayat_aging::{AgingModel, AgingTable};
+/// use hayat_units::{DutyCycle, Kelvin, Years};
+///
+/// let table = AgingTable::generate(&AgingModel::paper(1), &Default::default());
+/// let h = table.relative_frequency(Kelvin::new(360.0), DutyCycle::generic(), Years::new(5.0));
+/// assert!(h < 1.0 && h > 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgingTable {
+    axes: TableAxes,
+    /// `values[ti][di][yi]`, relative frequency in `(0, 1]`.
+    values: Vec<Vec<Vec<f64>>>,
+}
+
+impl AgingTable {
+    /// Sweeps `model` over `axes` to generate the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axes` fail [`TableAxes::assert_valid`].
+    #[must_use]
+    pub fn generate(model: &AgingModel, axes: &TableAxes) -> Self {
+        axes.assert_valid();
+        let values = axes
+            .temperatures
+            .iter()
+            .map(|&t| {
+                axes.duty_cycles
+                    .iter()
+                    .map(|&d| {
+                        axes.ages
+                            .iter()
+                            .map(|&y| {
+                                model.path().relative_frequency(
+                                    model.nbti(),
+                                    Kelvin::new(t),
+                                    DutyCycle::new(d),
+                                    Years::new(y),
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        AgingTable {
+            axes: axes.clone(),
+            values,
+        }
+    }
+
+    /// The table's sampling axes.
+    #[must_use]
+    pub const fn axes(&self) -> &TableAxes {
+        &self.axes
+    }
+
+    /// Total number of stored grid points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.axes.temperatures.len() * self.axes.duty_cycles.len() * self.axes.ages.len()
+    }
+
+    /// `false`: generation requires non-empty axes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Relative frequency (aged over initial `fmax`) after `age` years of
+    /// stress at temperature `t` and duty `duty`, trilinearly interpolated;
+    /// queries outside the axes are clamped to the table edge.
+    #[must_use]
+    pub fn relative_frequency(&self, t: Kelvin, duty: DutyCycle, age: Years) -> f64 {
+        let (ti, tf) = locate(&self.axes.temperatures, t.value());
+        let (di, df) = locate(&self.axes.duty_cycles, duty.value());
+        let (yi, yf) = locate(&self.axes.ages, age.value());
+        let mut acc = 0.0;
+        for (i, wi) in [(ti, 1.0 - tf), (ti + 1, tf)] {
+            if wi == 0.0 {
+                continue;
+            }
+            for (j, wj) in [(di, 1.0 - df), (di + 1, df)] {
+                if wj == 0.0 {
+                    continue;
+                }
+                for (k, wk) in [(yi, 1.0 - yf), (yi + 1, yf)] {
+                    if wk == 0.0 {
+                        continue;
+                    }
+                    acc += wi * wj * wk * self.values[i][j][k];
+                }
+            }
+        }
+        acc
+    }
+
+    /// The age under conditions `(t, duty)` that corresponds to a given
+    /// relative frequency (health): the inverse of
+    /// [`relative_frequency`](Self::relative_frequency) along the age axis,
+    /// found by bisection. Healths above the un-aged value map to age 0;
+    /// healths below the end-of-table value map to the table's last age.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `health` is not in `(0, 1]`.
+    #[must_use]
+    pub fn equivalent_age(&self, t: Kelvin, duty: DutyCycle, health: f64) -> Years {
+        assert!(
+            health > 0.0 && health <= 1.0,
+            "health must lie in (0, 1], got {health}"
+        );
+        let y_max = *self.axes.ages.last().expect("axes are non-empty");
+        if self.relative_frequency(t, duty, Years::new(0.0)) <= health {
+            return Years::new(0.0);
+        }
+        if self.relative_frequency(t, duty, Years::new(y_max)) >= health {
+            return Years::new(y_max);
+        }
+        let (mut lo, mut hi) = (0.0, y_max);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.relative_frequency(t, duty, Years::new(mid)) > health {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Years::new(0.5 * (lo + hi))
+    }
+
+    /// Advances a core's health across one aging epoch: re-expresses the
+    /// current health as an equivalent age under the epoch's conditions
+    /// (the "new 3D-path inside the table" of Section IV-B), adds the epoch
+    /// length, and reads the resulting health. Health never increases.
+    ///
+    /// A zero duty cycle (dark core) leaves health unchanged: NBTI stress
+    /// requires an active gate bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `health` is not in `(0, 1]`.
+    #[must_use]
+    pub fn advance(&self, t: Kelvin, duty: DutyCycle, health: f64, epoch: Years) -> f64 {
+        if duty.value() == 0.0 || epoch.value() == 0.0 {
+            return health;
+        }
+        let age = self.equivalent_age(t, duty, health);
+        let next = self.relative_frequency(t, duty, age + epoch);
+        next.min(health)
+    }
+}
+
+/// Finds the cell `i` and fraction `f` so that `value` sits between
+/// `axis[i]` and `axis[i+1]`; clamps outside the axis.
+fn locate(axis: &[f64], value: f64) -> (usize, f64) {
+    if value <= axis[0] || axis.len() == 1 {
+        return (0, 0.0);
+    }
+    let last = axis.len() - 1;
+    if value >= axis[last] {
+        return (last - 1, 1.0);
+    }
+    // Binary search for the containing cell.
+    let i = match axis.binary_search_by(|a| a.partial_cmp(&value).expect("axis is finite")) {
+        Ok(exact) => exact.min(last - 1),
+        Err(ins) => ins - 1,
+    };
+    let f = (value - axis[i]) / (axis[i + 1] - axis[i]);
+    (i, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hayat_units::Celsius;
+
+    fn table() -> AgingTable {
+        AgingTable::generate(&AgingModel::paper(3), &TableAxes::paper())
+    }
+
+    #[test]
+    fn locate_basics() {
+        let axis = [0.0, 1.0, 2.0];
+        assert_eq!(locate(&axis, -1.0), (0, 0.0));
+        assert_eq!(locate(&axis, 0.0), (0, 0.0));
+        assert_eq!(locate(&axis, 0.5), (0, 0.5));
+        assert_eq!(locate(&axis, 1.0), (1, 0.0));
+        assert_eq!(locate(&axis, 1.75), (1, 0.75));
+        assert_eq!(locate(&axis, 2.0), (1, 1.0));
+        assert_eq!(locate(&axis, 5.0), (1, 1.0));
+    }
+
+    #[test]
+    fn grid_points_match_the_model_exactly() {
+        let model = AgingModel::paper(3);
+        let t = table();
+        let axes = t.axes().clone();
+        let d_pts = [
+            axes.duty_cycles[0],
+            axes.duty_cycles[12],
+            axes.duty_cycles[24],
+        ];
+        let y_pts = [axes.ages[0], axes.ages[24], axes.ages[48]];
+        for &temp in &[300.0, 350.0, 430.0] {
+            for &d in &d_pts {
+                for &y in &y_pts {
+                    let direct = model.path().relative_frequency(
+                        model.nbti(),
+                        Kelvin::new(temp),
+                        DutyCycle::new(d),
+                        Years::new(y),
+                    );
+                    let looked_up =
+                        t.relative_frequency(Kelvin::new(temp), DutyCycle::new(d), Years::new(y));
+                    assert!(
+                        (direct - looked_up).abs() < 1e-12,
+                        "({temp}, {d}, {y}): {direct} vs {looked_up}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_error_is_small() {
+        let model = AgingModel::paper(3);
+        let t = table();
+        // Off-grid points: trilinear interpolation tracks the model closely.
+        for &(temp, d, y) in &[
+            (337.7, 0.43, 3.33),
+            (361.2, 0.87, 8.91),
+            (402.4, 0.61, 1.28),
+        ] {
+            let direct = model.path().relative_frequency(
+                model.nbti(),
+                Kelvin::new(temp),
+                DutyCycle::new(d),
+                Years::new(y),
+            );
+            let looked_up =
+                t.relative_frequency(Kelvin::new(temp), DutyCycle::new(d), Years::new(y));
+            assert!(
+                (direct - looked_up).abs() < 5e-3,
+                "({temp}, {d}, {y}): {direct} vs {looked_up}"
+            );
+        }
+    }
+
+    #[test]
+    fn relative_frequency_decreases_with_age_and_temperature() {
+        let t = table();
+        let d = DutyCycle::generic();
+        let f =
+            |c: f64, y: f64| t.relative_frequency(Celsius::new(c).to_kelvin(), d, Years::new(y));
+        assert!(f(80.0, 1.0) > f(80.0, 5.0));
+        assert!(f(80.0, 5.0) > f(80.0, 10.0));
+        assert!(f(60.0, 10.0) > f(100.0, 10.0));
+    }
+
+    #[test]
+    fn age_zero_has_full_health() {
+        let t = table();
+        let h = t.relative_frequency(Kelvin::new(400.0), DutyCycle::worst_case(), Years::new(0.0));
+        assert!((h - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equivalent_age_round_trips() {
+        let t = table();
+        let temp = Kelvin::new(365.0);
+        let d = DutyCycle::new(0.6);
+        let h = t.relative_frequency(temp, d, Years::new(4.0));
+        let age = t.equivalent_age(temp, d, h);
+        assert!((age.value() - 4.0).abs() < 1e-3, "age {age}");
+    }
+
+    #[test]
+    fn equivalent_age_clamps() {
+        let t = table();
+        let temp = Kelvin::new(365.0);
+        let d = DutyCycle::generic();
+        assert_eq!(t.equivalent_age(temp, d, 1.0).value(), 0.0);
+        let y_max = *t.axes().ages.last().unwrap();
+        let floor = t.relative_frequency(temp, d, Years::new(y_max));
+        assert!((t.equivalent_age(temp, d, floor * 0.5).value() - y_max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_is_monotone_and_respects_epochs() {
+        let t = table();
+        let temp = Celsius::new(90.0).to_kelvin();
+        let d = DutyCycle::new(0.7);
+        let epoch = Years::new(0.25);
+        let mut h = 1.0;
+        let mut last = h;
+        for _ in 0..40 {
+            h = t.advance(temp, d, h, epoch);
+            assert!(h <= last, "health must never increase");
+            last = h;
+        }
+        // 40 quarter-year epochs == 10 years of constant conditions.
+        let direct = t.relative_frequency(temp, d, Years::new(10.0));
+        assert!(
+            (h - direct).abs() < 5e-3,
+            "epoch-wise {h} vs direct {direct}"
+        );
+    }
+
+    #[test]
+    fn advance_dark_core_keeps_health() {
+        let t = table();
+        let h = t.advance(Kelvin::new(400.0), DutyCycle::idle(), 0.93, Years::new(1.0));
+        assert_eq!(h, 0.93);
+    }
+
+    #[test]
+    fn hotter_epochs_age_faster() {
+        let t = table();
+        let d = DutyCycle::generic();
+        let h_cool = t.advance(Celsius::new(60.0).to_kelvin(), d, 0.95, Years::new(0.5));
+        let h_hot = t.advance(Celsius::new(110.0).to_kelvin(), d, 0.95, Years::new(0.5));
+        assert!(h_hot < h_cool);
+    }
+
+    #[test]
+    #[should_panic(expected = "health must lie in (0, 1]")]
+    fn equivalent_age_rejects_bad_health() {
+        let _ = table().equivalent_age(Kelvin::new(350.0), DutyCycle::generic(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn axes_must_be_ascending() {
+        let mut axes = TableAxes::paper();
+        axes.temperatures = vec![300.0, 300.0];
+        axes.assert_valid();
+    }
+}

@@ -1,0 +1,86 @@
+//! Ablation bench of Dark-Core-Map strategies (the DESIGN.md design-choice
+//! record behind Section II's analysis): construction cost per strategy,
+//! with a one-time report of each map's spread and the steady-state peak it
+//! produces under a uniform 9 W active load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hayat::{ChipSystem, DarkCoreMap, SimulationConfig};
+use hayat_floorplan::Floorplan;
+use hayat_thermal::steady_state;
+use hayat_units::Watts;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn peak_under_load(fp: &Floorplan, system: &ChipSystem, dcm: &DarkCoreMap) -> f64 {
+    let power: Vec<Watts> = fp
+        .cores()
+        .map(|c| {
+            if dcm.is_on(c) {
+                Watts::new(9.0)
+            } else {
+                Watts::new(0.019)
+            }
+        })
+        .collect();
+    steady_state(fp, system.thermal_config(), &power)
+        .max()
+        .value()
+}
+
+fn bench_dcm(c: &mut Criterion) {
+    let config = SimulationConfig::paper(0.5);
+    let system = ChipSystem::paper_chip(0, &config).expect("paper chip builds");
+    let fp = system.floorplan().clone();
+    let n_on = system.budget().max_on();
+
+    let optimized = DarkCoreMap::variation_temperature_aware(
+        &fp,
+        system.chip(),
+        system.predictor(),
+        n_on,
+        Watts::new(7.0),
+        0.05,
+    );
+    let strategies: Vec<(&str, DarkCoreMap)> = vec![
+        ("contiguous", DarkCoreMap::contiguous(&fp, n_on)),
+        ("checkerboard", DarkCoreMap::checkerboard(&fp, n_on)),
+        (
+            "random",
+            DarkCoreMap::random(&fp, n_on, &mut StdRng::seed_from_u64(7)),
+        ),
+        ("optimized", optimized),
+    ];
+
+    println!("\nDCM strategy ablation (32 on-cores, 9 W each):");
+    for (name, dcm) in &strategies {
+        println!(
+            "  {name:<14} spread {:.2} hops, steady peak {:.1} K",
+            dcm.spread(&fp),
+            peak_under_load(&fp, &system, dcm)
+        );
+    }
+
+    c.bench_function("dcm_contiguous", |b| {
+        b.iter(|| black_box(DarkCoreMap::contiguous(&fp, n_on)).on_count());
+    });
+    c.bench_function("dcm_checkerboard", |b| {
+        b.iter(|| black_box(DarkCoreMap::checkerboard(&fp, n_on)).on_count());
+    });
+    c.bench_function("dcm_variation_temperature_aware", |b| {
+        b.iter(|| {
+            black_box(DarkCoreMap::variation_temperature_aware(
+                &fp,
+                system.chip(),
+                system.predictor(),
+                n_on,
+                Watts::new(7.0),
+                0.05,
+            ))
+            .on_count()
+        });
+    });
+}
+
+criterion_group!(benches, bench_dcm);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation bench of the aging-epoch length (Fig. 4's accelerated-aging
+//! granularity): cost of a full lifetime run at 3-, 6- and 12-month epochs,
+//! with a one-time accuracy report — how much the coarser upscaling shifts
+//! the 4-year health outcome relative to the finest granularity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hayat::{Campaign, HayatPolicy, SimulationConfig, SimulationEngine};
+use std::hint::black_box;
+
+fn config_with_epoch(epoch_years: f64) -> SimulationConfig {
+    let mut config = SimulationConfig::paper(0.5);
+    config.chip_count = 1;
+    config.years = 4.0;
+    config.epoch_years = epoch_years;
+    config.transient_window_seconds = 1.0;
+    config
+}
+
+fn final_health(epoch_years: f64) -> f64 {
+    let config = config_with_epoch(epoch_years);
+    let campaign = Campaign::new(config.clone()).expect("valid configuration");
+    let mut engine = SimulationEngine::new(
+        campaign.system_for(0),
+        Box::<HayatPolicy>::default(),
+        &config,
+    );
+    engine.run().final_health_mean()
+}
+
+fn bench_epoch_length(c: &mut Criterion) {
+    println!("\nAging-epoch-length ablation (4-year Hayat run, one chip):");
+    let fine = final_health(0.125);
+    for epoch in [0.125, 0.25, 0.5, 1.0] {
+        let h = final_health(epoch);
+        println!(
+            "  epoch {:>5.3} y: final mean health {h:.5} (drift vs 1.5-month epochs {:+.5})",
+            epoch,
+            h - fine
+        );
+    }
+
+    for epoch in [0.25, 0.5, 1.0] {
+        c.bench_function(&format!("lifetime_run_epoch_{epoch}y"), |b| {
+            let config = config_with_epoch(epoch);
+            let campaign = Campaign::new(config.clone()).expect("valid configuration");
+            b.iter(|| {
+                let mut engine = SimulationEngine::new(
+                    campaign.system_for(0),
+                    Box::<HayatPolicy>::default(),
+                    &config,
+                );
+                black_box(engine.run().final_health_mean())
+            });
+        });
+    }
+}
+
+criterion_group!(benches, bench_epoch_length);
+criterion_main!(benches);

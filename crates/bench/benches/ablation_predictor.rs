@@ -1,0 +1,52 @@
+//! Ablation bench of the online thermal predictor: response-matrix vs
+//! isotropic-footprint learning, with a one-time accuracy report against
+//! the exact steady-state solve (the trade-off DESIGN.md calls out).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hayat_floorplan::Floorplan;
+use hayat_thermal::{steady_state, PredictorModel, ThermalConfig, ThermalPredictor};
+use hayat_units::Watts;
+use std::hint::black_box;
+
+fn load(fp: &Floorplan) -> Vec<Watts> {
+    fp.cores()
+        .map(|c| {
+            if c.index() % 3 == 0 {
+                Watts::new(8.0)
+            } else {
+                Watts::new(0.019)
+            }
+        })
+        .collect()
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let fp = Floorplan::paper_8x8();
+    let cfg = ThermalConfig::paper();
+    let exact = steady_state(&fp, &cfg, &load(&fp));
+    let power = load(&fp);
+
+    println!("\nPredictor-model ablation (64-core chip, scattered 8 W load):");
+    for model in [PredictorModel::ResponseMatrix, PredictorModel::Isotropic] {
+        let predictor = ThermalPredictor::learn_with(&fp, &cfg, model);
+        let predicted = predictor.predict(&fp, &power);
+        let max_err = fp
+            .cores()
+            .map(|core| (predicted.core(core) - exact.core(core)).abs())
+            .fold(0.0f64, f64::max);
+        println!("  {model:?}: max error vs exact solve {max_err:.3} K");
+    }
+
+    for model in [PredictorModel::ResponseMatrix, PredictorModel::Isotropic] {
+        c.bench_function(&format!("predictor_learn_{model:?}"), |b| {
+            b.iter(|| black_box(ThermalPredictor::learn_with(&fp, &cfg, model)).core_count());
+        });
+        let predictor = ThermalPredictor::learn_with(&fp, &cfg, model);
+        c.bench_function(&format!("predictor_predict_{model:?}"), |b| {
+            b.iter(|| black_box(predictor.predict(&fp, black_box(&power))).max());
+        });
+    }
+}
+
+criterion_group!(benches, bench_predictor);
+criterion_main!(benches);

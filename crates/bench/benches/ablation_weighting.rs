@@ -1,0 +1,91 @@
+//! Ablation bench of the Eq. 9 weighting coefficients: decision cost and
+//! *outcome quality* (predicted peak temperature, fastest used core) for the
+//! paper's early- vs late-aging coefficient sets and two degenerate
+//! variants (slack-only, health-only). The quality numbers are printed once
+//! alongside the timing so the ablation doubles as a design-choice record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hayat::{
+    predict_mapping_temperatures, ChipSystem, HayatConfig, HayatPolicy, Policy, PolicyContext,
+    SimulationConfig,
+};
+use hayat_units::Years;
+use hayat_workload::WorkloadMix;
+use std::hint::black_box;
+
+fn variants() -> Vec<(&'static str, HayatConfig)> {
+    let paper = HayatConfig::paper();
+    let slack_only = HayatConfig {
+        beta_early: 0.0,
+        beta_late: 0.0,
+        ..paper.clone()
+    };
+    let health_only = HayatConfig {
+        alpha_early: 0.0,
+        alpha_late: 0.0,
+        beta_early: 1.0,
+        beta_late: 1.0,
+        ..paper.clone()
+    };
+    let late_always = HayatConfig {
+        late_phase_health: 2.0,
+        ..paper.clone()
+    };
+    // DCM-stage ablations: drop the temperature/leakage terms or the
+    // elite-preservation penalty to isolate each mechanism's contribution.
+    let dcm_blind = HayatConfig {
+        lambda_ghz_per_kelvin: 0.0,
+        mu_ghz_per_watt: 0.0,
+        ..paper.clone()
+    };
+    let no_preservation = HayatConfig {
+        preserve_fraction: 0.0001,
+        excess_penalty: 0.0,
+        ..paper.clone()
+    };
+    vec![
+        ("paper", paper),
+        ("slack_only", slack_only),
+        ("health_only", health_only),
+        ("late_coefficients", late_always),
+        ("dcm_temperature_blind", dcm_blind),
+        ("no_elite_preservation", no_preservation),
+    ]
+}
+
+fn bench_weighting(c: &mut Criterion) {
+    let config = SimulationConfig::paper(0.5);
+    let system = ChipSystem::paper_chip(0, &config).expect("paper chip builds");
+    let workload = WorkloadMix::generate(config.workload_seed, system.budget().max_on());
+    let ctx = PolicyContext {
+        system: &system,
+        horizon: config.horizon(),
+        elapsed: Years::new(0.0),
+    };
+
+    // One-time quality report.
+    println!("\nEq. 9 weighting ablation (50% dark, 32 threads):");
+    for (name, cfg) in variants() {
+        let mut policy = HayatPolicy::new(cfg);
+        let mapping = policy.map_threads(&ctx, &workload);
+        let temps = predict_mapping_temperatures(&system, &mapping, &workload);
+        let max_used = mapping
+            .active()
+            .map(|core| system.aged_fmax(core).value())
+            .fold(0.0f64, f64::max);
+        println!(
+            "  {name:<18} predicted peak {:.1} K, fastest used core {max_used:.2} GHz",
+            temps.max().value()
+        );
+    }
+
+    for (name, cfg) in variants() {
+        c.bench_function(&format!("hayat_decision_{name}"), |b| {
+            let mut policy = HayatPolicy::new(cfg.clone());
+            b.iter(|| black_box(policy.map_threads(&ctx, black_box(&workload))).active_cores());
+        });
+    }
+}
+
+criterion_group!(benches, bench_weighting);
+criterion_main!(benches);

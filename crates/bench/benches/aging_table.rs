@@ -1,0 +1,51 @@
+//! Criterion benches of the 3D aging table: offline generation (the
+//! "start-up time effort"), interpolated lookup, and the epoch-advance
+//! operation the engine performs once per core per epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hayat_aging::{AgingModel, AgingTable, TableAxes};
+use hayat_units::{DutyCycle, Kelvin, Years};
+use std::hint::black_box;
+
+fn bench_table(c: &mut Criterion) {
+    let model = AgingModel::paper(1);
+    let table = AgingTable::generate(&model, &TableAxes::paper());
+
+    c.bench_function("aging_table_generation_full_axes", |b| {
+        b.iter(|| black_box(AgingTable::generate(&model, &TableAxes::paper())).len());
+    });
+
+    c.bench_function("aging_table_trilinear_lookup", |b| {
+        b.iter(|| {
+            table.relative_frequency(
+                black_box(Kelvin::new(351.7)),
+                black_box(DutyCycle::new(0.63)),
+                black_box(Years::new(4.2)),
+            )
+        });
+    });
+
+    c.bench_function("aging_table_equivalent_age_bisection", |b| {
+        b.iter(|| {
+            table.equivalent_age(
+                black_box(Kelvin::new(351.7)),
+                black_box(DutyCycle::new(0.63)),
+                black_box(0.93),
+            )
+        });
+    });
+
+    c.bench_function("aging_table_epoch_advance", |b| {
+        b.iter(|| {
+            table.advance(
+                black_box(Kelvin::new(351.7)),
+                black_box(DutyCycle::new(0.63)),
+                black_box(0.93),
+                Years::new(0.25),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_table);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench of the Fig. 1(b) computation: critical-path delay
+//! evaluation across the temperature sweep (the kernel the offline
+//! table-generation phase runs tens of thousands of times).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hayat_aging::AgingModel;
+use hayat_units::{Celsius, DutyCycle, Years};
+use std::hint::black_box;
+
+fn bench_fig1b(c: &mut Criterion) {
+    let model = AgingModel::paper(1);
+    let duty = DutyCycle::generic();
+
+    c.bench_function("path_delay_single_point", |b| {
+        b.iter(|| {
+            model.path().delay_at(
+                model.nbti(),
+                black_box(Celsius::new(100.0).to_kelvin()),
+                duty,
+                black_box(Years::new(10.0)),
+            )
+        });
+    });
+
+    c.bench_function("fig1b_full_sweep_4temps_x_11years", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in [25.0, 75.0, 100.0, 140.0] {
+                for year in 0..=10 {
+                    acc += model.path().delay_at(
+                        model.nbti(),
+                        Celsius::new(t).to_kelvin(),
+                        duty,
+                        Years::new(f64::from(year)),
+                    );
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, bench_fig1b);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches of the run-time primitives behind the Section VI
+//! overhead discussion: `predictTemperature`, `estimateNextHealth`, and one
+//! full Hayat mapping decision.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hayat::{ChipSystem, HayatPolicy, Policy, PolicyContext, SimulationConfig, VaaPolicy};
+use hayat_units::{DutyCycle, Kelvin, Watts, Years};
+use hayat_workload::WorkloadMix;
+use std::hint::black_box;
+
+fn bench_overhead(c: &mut Criterion) {
+    let config = SimulationConfig::paper(0.5);
+    let system = ChipSystem::paper_chip(0, &config).expect("paper chip builds");
+    let fp = system.floorplan().clone();
+    let workload = WorkloadMix::generate(config.workload_seed, system.budget().max_on());
+    let power: Vec<Watts> = fp.cores().map(|_| Watts::new(6.0)).collect();
+
+    c.bench_function("predict_temperature_chip_wide", |b| {
+        let predictor = system.predictor();
+        b.iter(|| {
+            let t = predictor.predict(&fp, black_box(&power));
+            black_box(t.max())
+        });
+    });
+
+    c.bench_function("estimate_next_health_one_core", |b| {
+        let table = system.aging_table();
+        b.iter(|| {
+            table.advance(
+                black_box(Kelvin::new(350.0)),
+                DutyCycle::new(0.7),
+                black_box(0.97),
+                Years::new(1.0),
+            )
+        });
+    });
+
+    let ctx = PolicyContext {
+        system: &system,
+        horizon: config.horizon(),
+        elapsed: Years::new(0.0),
+    };
+
+    c.bench_function("hayat_full_mapping_decision", |b| {
+        let mut policy = HayatPolicy::default();
+        b.iter(|| black_box(policy.map_threads(&ctx, black_box(&workload))).active_cores());
+    });
+
+    c.bench_function("vaa_full_mapping_decision", |b| {
+        let mut policy = VaaPolicy;
+        b.iter(|| black_box(policy.map_threads(&ctx, black_box(&workload))).active_cores());
+    });
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches of the thermal substrate: network construction
+//! (Cholesky factorization), steady-state solve, transient stepping and
+//! predictor learning — the costs that bound the closed-loop simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hayat_floorplan::Floorplan;
+use hayat_thermal::{
+    steady_state_on, RcNetwork, ThermalConfig, ThermalPredictor, TransientSimulator,
+};
+use hayat_units::{Seconds, Watts};
+use std::hint::black_box;
+
+fn bench_thermal(c: &mut Criterion) {
+    let fp = Floorplan::paper_8x8();
+    let cfg = ThermalConfig::paper();
+    let network = RcNetwork::new(&fp, &cfg);
+    let power: Vec<Watts> = (0..64)
+        .map(|i| {
+            if i % 2 == 0 {
+                Watts::new(7.0)
+            } else {
+                Watts::new(0.019)
+            }
+        })
+        .collect();
+
+    c.bench_function("rc_network_build_and_factorize_8x8", |b| {
+        b.iter(|| black_box(RcNetwork::new(&fp, &cfg)).node_count());
+    });
+
+    c.bench_function("steady_state_solve_8x8", |b| {
+        b.iter(|| black_box(steady_state_on(&network, black_box(&power))).max());
+    });
+
+    c.bench_function("transient_step_6_6ms", |b| {
+        let mut sim = TransientSimulator::new(&fp, &cfg);
+        b.iter(|| {
+            sim.step(Seconds::new(0.0066), black_box(&power));
+            black_box(sim.temperatures().max())
+        });
+    });
+
+    c.bench_function("predictor_learn_response_matrix", |b| {
+        b.iter(|| black_box(ThermalPredictor::learn(&fp, &cfg)).core_count());
+    });
+}
+
+criterion_group!(benches, bench_thermal);
+criterion_main!(benches);

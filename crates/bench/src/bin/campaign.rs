@@ -1,0 +1,159 @@
+//! General-purpose campaign driver: run any chip-count / dark-fraction /
+//! policy combination and export the results, without writing code.
+//!
+//! ```sh
+//! cargo run --release -p hayat-bench --bin campaign -- \
+//!     --dark 0.4 --chips 10 --years 5 --epoch 0.25 \
+//!     --policies vaa,hayat,coolest,random \
+//!     --csv results/custom --json results/custom.json
+//! ```
+//!
+//! Defaults reproduce the paper campaign at 50% dark. Unknown flags abort
+//! with usage.
+
+use hayat::sim::campaign::PolicyKind;
+use hayat::{Campaign, SimulationConfig};
+
+struct Args {
+    dark: f64,
+    chips: usize,
+    years: f64,
+    epoch: f64,
+    window: f64,
+    seed: Option<u64>,
+    mesh: usize,
+    policies: Vec<PolicyKind>,
+    csv_dir: Option<String>,
+    json_path: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign [--dark F] [--chips N] [--years Y] [--epoch Y] \
+         [--window S] [--seed N] [--mesh N] \
+         [--policies vaa,hayat,coolest,random] [--csv DIR] [--json FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_policy(name: &str) -> PolicyKind {
+    match name {
+        "vaa" => PolicyKind::Vaa,
+        "hayat" => PolicyKind::Hayat,
+        "coolest" => PolicyKind::CoolestFirst,
+        "random" => PolicyKind::Random,
+        other => {
+            eprintln!("unknown policy {other:?}");
+            usage()
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        dark: 0.5,
+        chips: 25,
+        years: 10.0,
+        epoch: 0.25,
+        window: 2.0,
+        seed: None,
+        mesh: 8,
+        policies: vec![PolicyKind::Vaa, PolicyKind::Hayat],
+        csv_dir: None,
+        json_path: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--dark" => args.dark = value("--dark").parse().unwrap_or_else(|_| usage()),
+            "--chips" => args.chips = value("--chips").parse().unwrap_or_else(|_| usage()),
+            "--years" => args.years = value("--years").parse().unwrap_or_else(|_| usage()),
+            "--epoch" => args.epoch = value("--epoch").parse().unwrap_or_else(|_| usage()),
+            "--window" => args.window = value("--window").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = Some(value("--seed").parse().unwrap_or_else(|_| usage())),
+            "--mesh" => args.mesh = value("--mesh").parse().unwrap_or_else(|_| usage()),
+            "--policies" => {
+                args.policies = value("--policies").split(',').map(parse_policy).collect();
+            }
+            "--csv" => args.csv_dir = Some(value("--csv")),
+            "--json" => args.json_path = Some(value("--json")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut config = SimulationConfig::paper(args.dark);
+    config.chip_count = args.chips;
+    config.years = args.years;
+    config.epoch_years = args.epoch;
+    config.transient_window_seconds = args.window;
+    config.mesh = (args.mesh, args.mesh);
+    if let Some(seed) = args.seed {
+        config.workload_seed = seed;
+        config.variation_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    }
+    config.assert_valid();
+
+    println!(
+        "campaign: {}x{} mesh, {} chips, {:.0}% dark, {} years in {}-year epochs, policies {:?}",
+        config.mesh.0,
+        config.mesh.1,
+        config.chip_count,
+        config.dark_fraction * 100.0,
+        config.years,
+        config.epoch_years,
+        args.policies
+    );
+    let campaign = Campaign::new(config).expect("configuration is valid");
+    let result = campaign.run(&args.policies);
+
+    println!(
+        "\n{:<14} {:>7} {:>9} {:>11} {:>11} {:>11} {:>12}",
+        "policy", "chips", "DTM mig.", "Tavg-amb K", "chip aging", "avg aging", "throughput"
+    );
+    for &kind in &args.policies {
+        if let Some(s) = result.summary(kind) {
+            println!(
+                "{:<14} {:>7} {:>9.1} {:>11.2} {:>11.4} {:>11.4} {:>11.2}%",
+                s.policy,
+                s.chips,
+                s.mean_dtm_migrations,
+                s.mean_temp_over_ambient,
+                s.mean_chip_fmax_aging_rate,
+                s.mean_avg_fmax_aging_rate,
+                s.mean_throughput_fraction * 100.0
+            );
+        }
+    }
+
+    if let Some(dir) = &args.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        for run in &result.runs {
+            let path = format!(
+                "{dir}/{}_chip{}.csv",
+                run.policy.to_lowercase(),
+                run.chip_id
+            );
+            std::fs::write(&path, run.to_csv()).expect("write csv");
+        }
+        println!("\nper-run CSVs written to {dir}/");
+    }
+    if let Some(path) = &args.json_path {
+        let json = serde_json::to_string_pretty(&result).expect("serializable");
+        std::fs::write(path, json).expect("write json");
+        println!("full result JSON written to {path}");
+    }
+}

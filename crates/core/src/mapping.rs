@@ -1,0 +1,236 @@
+//! The thread-to-core mapping `m(i,j,k)`.
+
+use hayat_floorplan::CoreId;
+use hayat_workload::ThreadId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The assignment of threads to cores.
+///
+/// Structurally enforces the paper's Eq. 5 (each core executes at most one
+/// thread) and keeps the inverse index so both directions of the `m(i,j,k)`
+/// relation are O(log n).
+///
+/// # Example
+///
+/// ```
+/// use hayat::ThreadMapping;
+/// use hayat_floorplan::CoreId;
+/// use hayat_workload::ThreadId;
+///
+/// let mut m = ThreadMapping::empty(4);
+/// m.assign(ThreadId::new(0, 0), CoreId::new(2));
+/// assert_eq!(m.core_of(ThreadId::new(0, 0)), Some(CoreId::new(2)));
+/// assert_eq!(m.thread_on(CoreId::new(2)), Some(ThreadId::new(0, 0)));
+/// assert_eq!(m.active_cores(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ThreadMapping {
+    /// Per-core occupant, indexed by core id.
+    per_core: Vec<Option<ThreadId>>,
+    /// Inverse index.
+    per_thread: BTreeMap<ThreadId, CoreId>,
+}
+
+impl ThreadMapping {
+    /// An empty mapping over `cores` cores.
+    #[must_use]
+    pub fn empty(cores: usize) -> Self {
+        ThreadMapping {
+            per_core: vec![None; cores],
+            per_thread: BTreeMap::new(),
+        }
+    }
+
+    /// Number of cores the mapping covers.
+    #[must_use]
+    pub fn core_count(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// Number of cores currently executing a thread (`N_on` when idle cores
+    /// are power-gated).
+    #[must_use]
+    pub fn active_cores(&self) -> usize {
+        self.per_thread.len()
+    }
+
+    /// `true` if `core` has no thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn is_free(&self, core: CoreId) -> bool {
+        self.per_core[core.index()].is_none()
+    }
+
+    /// The thread executing on `core`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn thread_on(&self, core: CoreId) -> Option<ThreadId> {
+        self.per_core[core.index()]
+    }
+
+    /// The core executing `thread`, if mapped.
+    #[must_use]
+    pub fn core_of(&self, thread: ThreadId) -> Option<CoreId> {
+        self.per_thread.get(&thread).copied()
+    }
+
+    /// Assigns `thread` to `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is occupied (Eq. 5 violation), the thread is
+    /// already mapped elsewhere, or the core is out of range.
+    pub fn assign(&mut self, thread: ThreadId, core: CoreId) {
+        assert!(
+            self.per_core[core.index()].is_none(),
+            "core {core} already executes a thread (Eq. 5)"
+        );
+        assert!(
+            !self.per_thread.contains_key(&thread),
+            "thread {thread} is already mapped"
+        );
+        self.per_core[core.index()] = Some(thread);
+        self.per_thread.insert(thread, core);
+    }
+
+    /// Removes the thread from `core`, returning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn unassign(&mut self, core: CoreId) -> Option<ThreadId> {
+        let thread = self.per_core[core.index()].take();
+        if let Some(t) = thread {
+            self.per_thread.remove(&t);
+        }
+        thread
+    }
+
+    /// Migrates the thread on `from` to the free core `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is empty or `to` is occupied.
+    pub fn migrate(&mut self, from: CoreId, to: CoreId) {
+        let thread = self
+            .unassign(from)
+            .expect("source core must execute a thread");
+        self.assign(thread, to);
+    }
+
+    /// Iterator over `(core, thread)` pairs for all active cores.
+    pub fn assignments(&self) -> impl Iterator<Item = (CoreId, ThreadId)> + '_ {
+        self.per_core
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (CoreId::new(i), t)))
+    }
+
+    /// Iterator over the cores currently executing threads.
+    pub fn active(&self) -> impl Iterator<Item = CoreId> + '_ {
+        self.assignments().map(|(c, _)| c)
+    }
+
+    /// Iterator over the free cores.
+    pub fn free(&self) -> impl Iterator<Item = CoreId> + '_ {
+        self.per_core
+            .iter()
+            .enumerate()
+            .filter(|&(_i, t)| t.is_none())
+            .map(|(i, _t)| CoreId::new(i))
+    }
+}
+
+impl fmt::Display for ThreadMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ThreadMapping[{} of {} cores active]",
+            self.active_cores(),
+            self.core_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(k: usize) -> ThreadId {
+        ThreadId::new(0, k)
+    }
+
+    #[test]
+    fn assign_and_lookup_both_directions() {
+        let mut m = ThreadMapping::empty(8);
+        m.assign(t(0), CoreId::new(3));
+        m.assign(t(1), CoreId::new(5));
+        assert_eq!(m.core_of(t(0)), Some(CoreId::new(3)));
+        assert_eq!(m.thread_on(CoreId::new(5)), Some(t(1)));
+        assert_eq!(m.active_cores(), 2);
+        assert!(m.is_free(CoreId::new(0)));
+        assert!(!m.is_free(CoreId::new(3)));
+    }
+
+    #[test]
+    fn unassign_clears_both_directions() {
+        let mut m = ThreadMapping::empty(4);
+        m.assign(t(0), CoreId::new(1));
+        assert_eq!(m.unassign(CoreId::new(1)), Some(t(0)));
+        assert_eq!(m.core_of(t(0)), None);
+        assert_eq!(m.unassign(CoreId::new(1)), None);
+    }
+
+    #[test]
+    fn migrate_moves_the_thread() {
+        let mut m = ThreadMapping::empty(4);
+        m.assign(t(7), CoreId::new(0));
+        m.migrate(CoreId::new(0), CoreId::new(3));
+        assert!(m.is_free(CoreId::new(0)));
+        assert_eq!(m.thread_on(CoreId::new(3)), Some(t(7)));
+        assert_eq!(m.active_cores(), 1);
+    }
+
+    #[test]
+    fn iterators_cover_the_partition() {
+        let mut m = ThreadMapping::empty(6);
+        m.assign(t(0), CoreId::new(2));
+        m.assign(t(1), CoreId::new(4));
+        let active: Vec<_> = m.active().collect();
+        let free: Vec<_> = m.free().collect();
+        assert_eq!(active.len() + free.len(), 6);
+        assert_eq!(active, vec![CoreId::new(2), CoreId::new(4)]);
+        assert!(!free.contains(&CoreId::new(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "Eq. 5")]
+    fn double_occupancy_panics() {
+        let mut m = ThreadMapping::empty(2);
+        m.assign(t(0), CoreId::new(0));
+        m.assign(t(1), CoreId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already mapped")]
+    fn double_mapping_panics() {
+        let mut m = ThreadMapping::empty(2);
+        m.assign(t(0), CoreId::new(0));
+        m.assign(t(0), CoreId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "source core")]
+    fn migrate_from_empty_panics() {
+        let mut m = ThreadMapping::empty(2);
+        m.migrate(CoreId::new(0), CoreId::new(1));
+    }
+}

@@ -1,0 +1,403 @@
+//! Run metrics: everything Figs. 7–11 are computed from.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated observations of one aging epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Simulated years elapsed at the *end* of the epoch.
+    pub years: f64,
+    /// Mean aged per-core maximum frequency at the end of the epoch, GHz
+    /// (the Fig. 10 / Fig. 11-right quantity).
+    pub avg_fmax_ghz: f64,
+    /// Maximum aged per-core frequency at the end of the epoch, GHz
+    /// (the Fig. 9 quantity).
+    pub chip_fmax_ghz: f64,
+    /// Mean chip health at the end of the epoch.
+    pub mean_health: f64,
+    /// Minimum per-core health at the end of the epoch.
+    pub min_health: f64,
+    /// Time-average over the transient window of the chip-mean temperature,
+    /// kelvin (the Fig. 8 quantity).
+    pub avg_temp_kelvin: f64,
+    /// Peak temperature seen anywhere during the transient window, kelvin.
+    pub peak_temp_kelvin: f64,
+    /// DTM migrations triggered during this epoch's window (Fig. 7).
+    pub dtm_migrations: u64,
+    /// DTM throttle activations during this epoch's window.
+    pub dtm_throttles: u64,
+    /// Threads the policy could not place this epoch.
+    pub unplaced_threads: usize,
+    /// Fraction of the workload's required throughput (IPS) actually
+    /// delivered during the window: 1.0 when every thread ran at its
+    /// required frequency the whole time; lower when DTM throttled threads
+    /// or the policy left threads unplaced. The paper's "reduced
+    /// performance overhead" claim is this number.
+    pub throughput_fraction: f64,
+}
+
+/// The complete record of one simulated chip lifetime under one policy.
+///
+/// # Example
+///
+/// ```
+/// use hayat::{ChipSystem, HayatPolicy, SimulationConfig, SimulationEngine};
+///
+/// # fn main() -> Result<(), hayat::BuildSystemError> {
+/// let config = SimulationConfig::quick_demo();
+/// let system = ChipSystem::paper_chip(0, &config)?;
+/// let metrics = SimulationEngine::new(system, Box::<HayatPolicy>::default(), &config).run();
+/// assert_eq!(metrics.epochs.len(), config.epoch_count());
+/// assert!(metrics.avg_fmax_aging_rate() >= 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Policy name.
+    pub policy: String,
+    /// Chip index within its population.
+    pub chip_id: usize,
+    /// Minimum dark-silicon fraction of the run.
+    pub dark_fraction: f64,
+    /// Ambient temperature of the run, kelvin.
+    pub ambient_kelvin: f64,
+    /// Mean per-core fmax before any aging, GHz.
+    pub initial_avg_fmax_ghz: f64,
+    /// Chip (maximum per-core) fmax before any aging, GHz.
+    pub initial_chip_fmax_ghz: f64,
+    /// Per-epoch records, in order.
+    pub epochs: Vec<EpochRecord>,
+    /// Sample standard deviation of the per-core healths at the end of the
+    /// run — the *balancing* metric of the paper's title: low values mean
+    /// aging spread evenly across the chip.
+    pub final_health_std: f64,
+}
+
+impl RunMetrics {
+    /// Total DTM migrations over the whole run (Fig. 7).
+    #[must_use]
+    pub fn total_dtm_migrations(&self) -> u64 {
+        self.epochs.iter().map(|e| e.dtm_migrations).sum()
+    }
+
+    /// Total DTM events (migrations + throttles) over the whole run.
+    #[must_use]
+    pub fn total_dtm_events(&self) -> u64 {
+        self.epochs
+            .iter()
+            .map(|e| e.dtm_migrations + e.dtm_throttles)
+            .sum()
+    }
+
+    /// Total threads left unplaced across all epochs.
+    #[must_use]
+    pub fn total_unplaced(&self) -> usize {
+        self.epochs.iter().map(|e| e.unplaced_threads).sum()
+    }
+
+    /// Run-average of the per-epoch mean temperature *above ambient*,
+    /// kelvin (the Fig. 8 quantity: "Temperature over T_ambient").
+    #[must_use]
+    pub fn avg_temp_over_ambient(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs
+            .iter()
+            .map(|e| e.avg_temp_kelvin - self.ambient_kelvin)
+            .sum::<f64>()
+            / self.epochs.len() as f64
+    }
+
+    /// Run-average of the per-epoch delivered-throughput fraction.
+    #[must_use]
+    pub fn mean_throughput_fraction(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 1.0;
+        }
+        self.epochs
+            .iter()
+            .map(|e| e.throughput_fraction)
+            .sum::<f64>()
+            / self.epochs.len() as f64
+    }
+
+    /// The hottest temperature seen anywhere in the run, kelvin.
+    #[must_use]
+    pub fn peak_temp_kelvin(&self) -> f64 {
+        self.epochs
+            .iter()
+            .map(|e| e.peak_temp_kelvin)
+            .fold(self.ambient_kelvin, f64::max)
+    }
+
+    /// Mean aged fmax at the end of the run, GHz.
+    #[must_use]
+    pub fn final_avg_fmax_ghz(&self) -> f64 {
+        self.epochs
+            .last()
+            .map_or(self.initial_avg_fmax_ghz, |e| e.avg_fmax_ghz)
+    }
+
+    /// Chip fmax at the end of the run, GHz.
+    #[must_use]
+    pub fn final_chip_fmax_ghz(&self) -> f64 {
+        self.epochs
+            .last()
+            .map_or(self.initial_chip_fmax_ghz, |e| e.chip_fmax_ghz)
+    }
+
+    /// Mean chip health at the end of the run.
+    #[must_use]
+    pub fn final_health_mean(&self) -> f64 {
+        self.epochs.last().map_or(1.0, |e| e.mean_health)
+    }
+
+    /// Fractional loss of the *average* per-core fmax over the run:
+    /// `(f_avg(0) − f_avg(end)) / f_avg(0)` — the aging rate Fig. 10
+    /// normalizes.
+    #[must_use]
+    pub fn avg_fmax_aging_rate(&self) -> f64 {
+        (self.initial_avg_fmax_ghz - self.final_avg_fmax_ghz()) / self.initial_avg_fmax_ghz
+    }
+
+    /// Fractional loss of the *chip* (maximum per-core) fmax over the run —
+    /// the aging rate Fig. 9 normalizes.
+    #[must_use]
+    pub fn chip_fmax_aging_rate(&self) -> f64 {
+        (self.initial_chip_fmax_ghz - self.final_chip_fmax_ghz()) / self.initial_chip_fmax_ghz
+    }
+
+    /// The `(years, avg fmax GHz)` trajectory including the year-0 point —
+    /// Fig. 11 (right).
+    #[must_use]
+    pub fn avg_fmax_trajectory(&self) -> Vec<(f64, f64)> {
+        let mut points = vec![(0.0, self.initial_avg_fmax_ghz)];
+        points.extend(self.epochs.iter().map(|e| (e.years, e.avg_fmax_ghz)));
+        points
+    }
+
+    /// The first time the average fmax drops to `threshold_ghz`, linearly
+    /// interpolated between epochs; `None` if it never does within the run.
+    #[must_use]
+    pub fn lifetime_until(&self, threshold_ghz: f64) -> Option<f64> {
+        let traj = self.avg_fmax_trajectory();
+        for pair in traj.windows(2) {
+            let (t0, f0) = pair[0];
+            let (t1, f1) = pair[1];
+            if f0 >= threshold_ghz && f1 < threshold_ghz {
+                if (f0 - f1).abs() < 1e-15 {
+                    return Some(t1);
+                }
+                return Some(t0 + (t1 - t0) * (f0 - threshold_ghz) / (f0 - f1));
+            }
+        }
+        None
+    }
+}
+
+impl RunMetrics {
+    /// Serializes the run as CSV: one header line, one row per epoch —
+    /// ready for external plotting. The header starts with run-level
+    /// constants repeated per row so each file is self-contained.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use hayat::{ChipSystem, HayatPolicy, SimulationConfig, SimulationEngine};
+    /// # fn main() -> Result<(), hayat::BuildSystemError> {
+    /// # let config = SimulationConfig::quick_demo();
+    /// # let system = ChipSystem::paper_chip(0, &config)?;
+    /// # let metrics = SimulationEngine::new(system, Box::<HayatPolicy>::default(), &config).run();
+    /// let csv = metrics.to_csv();
+    /// assert!(csv.starts_with("policy,chip,dark_fraction,epoch,years"));
+    /// assert_eq!(csv.lines().count(), metrics.epochs.len() + 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "policy,chip,dark_fraction,epoch,years,avg_fmax_ghz,chip_fmax_ghz,\
+             mean_health,min_health,avg_temp_kelvin,peak_temp_kelvin,\
+             dtm_migrations,dtm_throttles,unplaced_threads,throughput_fraction\n",
+        );
+        for e in &self.epochs {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                self.policy,
+                self.chip_id,
+                self.dark_fraction,
+                e.epoch,
+                e.years,
+                e.avg_fmax_ghz,
+                e.chip_fmax_ghz,
+                e.mean_health,
+                e.min_health,
+                e.avg_temp_kelvin,
+                e.peak_temp_kelvin,
+                e.dtm_migrations,
+                e.dtm_throttles,
+                e.unplaced_threads,
+                e.throughput_fraction,
+            ));
+        }
+        out
+    }
+}
+
+/// Lifetime gained by `improved` over `base` at a required lifetime of
+/// `target_years` (the Fig. 11 readout): the frequency `base` still delivers
+/// at `target_years` is taken as the requirement, and the gain is how much
+/// longer `improved` stays above it. Returns `None` when `improved` never
+/// falls to that level inside its run (a lower bound would be the run
+/// length) or when the base trajectory is shorter than the target.
+#[must_use]
+pub fn lifetime_gain_years(
+    base: &RunMetrics,
+    improved: &RunMetrics,
+    target_years: f64,
+) -> Option<f64> {
+    let base_traj = base.avg_fmax_trajectory();
+    let f_at_target = interpolate(&base_traj, target_years)?;
+    improved
+        .lifetime_until(f_at_target)
+        .map(|t| t - target_years)
+}
+
+fn interpolate(traj: &[(f64, f64)], at: f64) -> Option<f64> {
+    if traj.is_empty() || at < traj[0].0 || at > traj[traj.len() - 1].0 {
+        return None;
+    }
+    for pair in traj.windows(2) {
+        let (t0, f0) = pair[0];
+        let (t1, f1) = pair[1];
+        if at >= t0 && at <= t1 {
+            if (t1 - t0).abs() < 1e-15 {
+                return Some(f1);
+            }
+            return Some(f0 + (f1 - f0) * (at - t0) / (t1 - t0));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(epoch: usize, years: f64, avg: f64, chip: f64) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            years,
+            avg_fmax_ghz: avg,
+            chip_fmax_ghz: chip,
+            mean_health: avg / 3.5,
+            min_health: avg / 4.0,
+            avg_temp_kelvin: 330.0,
+            peak_temp_kelvin: 345.0,
+            dtm_migrations: 2,
+            dtm_throttles: 1,
+            unplaced_threads: 0,
+            throughput_fraction: 0.99,
+        }
+    }
+
+    fn metrics() -> RunMetrics {
+        RunMetrics {
+            policy: "Test".into(),
+            chip_id: 0,
+            dark_fraction: 0.5,
+            ambient_kelvin: 318.15,
+            initial_avg_fmax_ghz: 3.5,
+            initial_chip_fmax_ghz: 4.0,
+            final_health_std: 0.01,
+            epochs: vec![
+                record(0, 1.0, 3.4, 3.95),
+                record(1, 2.0, 3.3, 3.9),
+                record(2, 3.0, 3.2, 3.85),
+            ],
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let m = metrics();
+        assert_eq!(m.total_dtm_migrations(), 6);
+        assert_eq!(m.total_dtm_events(), 9);
+        assert_eq!(m.total_unplaced(), 0);
+    }
+
+    #[test]
+    fn throughput_fraction_averages() {
+        let m = metrics();
+        assert!((m.mean_throughput_fraction() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aging_rates() {
+        let m = metrics();
+        assert!((m.avg_fmax_aging_rate() - (3.5 - 3.2) / 3.5).abs() < 1e-12);
+        assert!((m.chip_fmax_aging_rate() - (4.0 - 3.85) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temperature_over_ambient() {
+        let m = metrics();
+        assert!((m.avg_temp_over_ambient() - (330.0 - 318.15)).abs() < 1e-12);
+        assert_eq!(m.peak_temp_kelvin(), 345.0);
+    }
+
+    #[test]
+    fn trajectory_includes_year_zero() {
+        let t = metrics().avg_fmax_trajectory();
+        assert_eq!(t[0], (0.0, 3.5));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn lifetime_interpolates() {
+        let m = metrics();
+        // avg fmax crosses 3.35 between year 1 (3.4) and year 2 (3.3).
+        let t = m.lifetime_until(3.35).unwrap();
+        assert!((t - 1.5).abs() < 1e-9, "t = {t}");
+        assert!(m.lifetime_until(1.0).is_none());
+    }
+
+    #[test]
+    fn lifetime_gain_between_runs() {
+        let base = metrics();
+        let mut better = metrics();
+        // The improved run holds frequency one epoch longer.
+        better.epochs = vec![
+            record(0, 1.0, 3.45, 3.98),
+            record(1, 2.0, 3.4, 3.96),
+            record(2, 3.0, 3.35, 3.94),
+        ];
+        // Base delivers 3.4 at year 1; improved reaches 3.4 at year 2.
+        let gain = lifetime_gain_years(&base, &better, 1.0).unwrap();
+        assert!((gain - 1.0).abs() < 1e-9, "gain = {gain}");
+    }
+
+    #[test]
+    fn lifetime_gain_out_of_range_is_none() {
+        let base = metrics();
+        let better = metrics();
+        assert!(lifetime_gain_years(&base, &better, 100.0).is_none());
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_row_per_epoch() {
+        let m = metrics();
+        let csv = m.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 15);
+        assert_eq!(lines.count(), m.epochs.len());
+        // Values round-trip textually for a spot-checked cell.
+        assert!(csv.contains("Test,0,0.5,0,1,3.4"));
+    }
+}

@@ -1,0 +1,570 @@
+//! The Hayat policy — Algorithm 1 with the Eq. 9 weighting function.
+
+use crate::mapping::ThreadMapping;
+use crate::policy::{Policy, PolicyContext};
+use hayat_floorplan::CoreId;
+use hayat_units::{Gigahertz, Kelvin, Watts};
+use hayat_workload::{ThreadId, ThreadProfile, WorkloadMix};
+use serde::{Deserialize, Serialize};
+
+/// Coefficients of the Eq. 9 weighting function and the early/late-aging
+/// switch.
+///
+/// The paper's experimentally chosen values (Section V): early-aging
+/// `α = 0.6, β = 1`; late-aging `α = 4, β = 0.3`; weight cap `w_max = 10`.
+/// The phase switch follows the mean chip health: Fig. 1 distinguishes a
+/// time-/duty-cycle-critical early phase from a temperature-critical late
+/// phase, so once the chip has visibly aged the late coefficients apply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HayatConfig {
+    /// Frequency-matching coefficient `α` in the early-aging phase.
+    pub alpha_early: f64,
+    /// Health-ratio coefficient `β` in the early-aging phase.
+    pub beta_early: f64,
+    /// Frequency-matching coefficient `α` in the late-aging phase.
+    pub alpha_late: f64,
+    /// Health-ratio coefficient `β` in the late-aging phase.
+    pub beta_late: f64,
+    /// Cap `w_max` on the frequency-matching term.
+    pub w_max: f64,
+    /// Mean-health threshold below which the late-aging coefficients apply.
+    pub late_phase_health: f64,
+    /// DCM stage: fraction of cores protected as the chip's frequency elite.
+    pub preserve_fraction: f64,
+    /// DCM stage: penalty per GHz of frequency beyond the preserve threshold.
+    pub excess_penalty: f64,
+    /// DCM stage: temperature penalty, GHz per kelvin of predicted rise.
+    pub lambda_ghz_per_kelvin: f64,
+    /// DCM stage: leakage penalty, GHz per watt of the candidate's own
+    /// leakage (Eq. 2 made explicit: leaky silicon heats the whole chip).
+    pub mu_ghz_per_watt: f64,
+    /// DCM stage: quantile of the non-critical requirements used as the
+    /// feasibility cap.
+    pub cap_quantile: f64,
+    /// DCM stage: margin added to the feasibility cap, GHz.
+    pub cap_margin_ghz: f64,
+}
+
+impl HayatConfig {
+    /// The paper's coefficients.
+    #[must_use]
+    pub fn paper() -> Self {
+        HayatConfig {
+            alpha_early: 0.6,
+            beta_early: 1.0,
+            alpha_late: 4.0,
+            beta_late: 0.3,
+            w_max: 10.0,
+            late_phase_health: 0.95,
+            preserve_fraction: 0.05,
+            excess_penalty: 3.0,
+            lambda_ghz_per_kelvin: 0.08,
+            mu_ghz_per_watt: 0.25,
+            cap_quantile: 0.9,
+            cap_margin_ghz: 0.05,
+        }
+    }
+
+    /// The `(α, β)` pair for a given mean chip health.
+    #[must_use]
+    pub fn coefficients(&self, mean_health: f64) -> (f64, f64) {
+        if mean_health < self.late_phase_health {
+            (self.alpha_late, self.beta_late)
+        } else {
+            (self.alpha_early, self.beta_early)
+        }
+    }
+}
+
+impl Default for HayatConfig {
+    fn default() -> Self {
+        HayatConfig::paper()
+    }
+}
+
+/// The Hayat run-time aging-management policy: Dark-Core-Map selection plus
+/// Algorithm 1.
+///
+/// Per the concept overview (Section I-B), Hayat proactively determines
+/// "(1) an appropriate Dark Core Map (DCM) that decelerates the chip aging
+/// through improved heat dissipation due to dark cores; and (2) performs
+/// variation-aware thread-to-core mapping". Both stages run at every epoch
+/// boundary:
+///
+/// **Stage 1 — DCM selection.** Greedily powers on exactly as many cores as
+/// there are threads (never more than the dark-silicon budget), scoring each
+/// candidate by its aged frequency *capped at the workload's largest
+/// requirement* (a core faster than any thread needs earns nothing extra and
+/// pays a preservation penalty — high-frequency cores "should only be used
+/// to fulfill the deadline constraints of a critical application",
+/// Section II) minus a temperature penalty from the incremental
+/// superposition predictor (spread beats clusters).
+///
+/// **Stage 2 — Algorithm 1.** For every runnable thread it evaluates every
+/// feasible candidate among the DCM's on-cores:
+///
+/// 1. predicts the chip's next temperatures with the thread tentatively on
+///    the candidate (incremental footprint superposition, Section IV-B
+///    step 2),
+/// 2. discards candidates that would push any core past `T_safe` (lines
+///    12–13),
+/// 3. estimates the candidate core's next health over the configured
+///    horizon through the offline 3D aging table (line 15),
+/// 4. scores the candidate with the Eq. 9 weight
+///    `w = min(w_max, α/(f_max,i,t − f_req)) + β · H_cand,next / H_cand,t`
+///    and keeps the best (lines 17–23), tie-breaking toward lower predicted
+///    peak and average temperatures.
+///
+/// Cores that no thread selects stay power-gated — the resulting mapping
+/// *is* the Dark Core Map, chosen jointly with the assignment exactly as the
+/// problem formulation (Eq. 3) demands.
+///
+/// # Example
+///
+/// ```
+/// use hayat::{ChipSystem, HayatPolicy, Policy, PolicyContext, SimulationConfig};
+/// use hayat_units::Years;
+/// use hayat_workload::WorkloadMix;
+///
+/// # fn main() -> Result<(), hayat::BuildSystemError> {
+/// let config = SimulationConfig::quick_demo();
+/// let system = ChipSystem::paper_chip(0, &config)?;
+/// let mut policy = HayatPolicy::default();
+/// let ctx = PolicyContext { system: &system, horizon: Years::new(1.0), elapsed: Years::new(0.0) };
+/// let workload = WorkloadMix::generate(1, 8);
+/// let mapping = policy.map_threads(&ctx, &workload);
+/// assert_eq!(mapping.active_cores(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HayatPolicy {
+    config: HayatConfig,
+}
+
+impl HayatPolicy {
+    /// Policy with the paper's coefficients.
+    #[must_use]
+    pub fn new(config: HayatConfig) -> Self {
+        HayatPolicy { config }
+    }
+
+    /// The weighting-function configuration.
+    #[must_use]
+    pub const fn config(&self) -> &HayatConfig {
+        &self.config
+    }
+
+    /// The Eq. 9 weight of one candidate.
+    ///
+    /// `f_slack = f_max,cand,t − f_req` must be non-negative (infeasible
+    /// candidates are filtered before scoring); a zero slack takes the cap.
+    fn weight(
+        &self,
+        alpha: f64,
+        beta: f64,
+        aged_fmax: Gigahertz,
+        required: Gigahertz,
+        health_now: f64,
+        health_next: f64,
+    ) -> f64 {
+        let slack = (aged_fmax - required).value();
+        let match_term = if slack <= f64::EPSILON {
+            self.config.w_max
+        } else {
+            (alpha / slack).min(self.config.w_max)
+        };
+        match_term + beta * (health_next / health_now)
+    }
+
+    /// The effective power a mapped thread injects for prediction purposes:
+    /// dynamic power at its required frequency plus the core's on-leakage at
+    /// the reference temperature.
+    fn thread_power(ctx: &PolicyContext<'_>, core: CoreId, profile: &ThreadProfile) -> Watts {
+        let model = ctx.system.power_model();
+        let dynamic = profile.dynamic_power(profile.min_frequency());
+        let leakage = model.leakage(
+            hayat_power::PowerState::Idle,
+            ctx.system.chip().leakage_factor(core),
+            model.config().reference_temperature,
+        );
+        dynamic + leakage
+    }
+
+    /// Stage 1: the variation-, health- and temperature-aware Dark Core Map.
+    ///
+    /// Greedily selects `n_on` on-cores. Each step scores every remaining
+    /// core as
+    ///
+    /// ```text
+    /// score = min(aged_fmax, cap) − EXCESS_PENALTY·max(0, aged_fmax − cap)
+    ///         − LAMBDA·T_predicted(core | already-selected set)
+    /// ```
+    ///
+    /// where `cap` is the workload's largest frequency requirement plus a
+    /// small margin. Capping makes "fast enough" cores equivalent, the
+    /// excess penalty keeps the chip's fastest cores dark (preserved), and
+    /// the temperature term spreads the on-set across the die.
+    fn select_dcm(
+        &self,
+        ctx: &PolicyContext<'_>,
+        workload: &WorkloadMix,
+        n_on: usize,
+    ) -> Vec<bool> {
+        let cfg = &self.config;
+        let system = ctx.system;
+        let fp = system.floorplan();
+        let n = fp.core_count();
+        let predictor = system.predictor();
+        // The feasibility cap: the 90th percentile of the *non-critical*
+        // requirements. Deadline-critical outliers are served individually
+        // through the elite-core fallback in stage 2, so they must not drag
+        // the whole DCM toward the chip's fastest (preserved) cores.
+        let cap = workload.requirement_quantile(cfg.cap_quantile).value() + cfg.cap_margin_ghz;
+        let mean_dynamic = workload.mean_dynamic_power().value();
+        // Per-core power estimate including the *core-specific* leakage
+        // (Eq. 2): slow, high-ϑ cores leak multiples of the nominal 1.18 W,
+        // which is exactly why a variation-blind DCM runs hot. Leakage is
+        // evaluated at a typical operating temperature (~ambient + 15 K).
+        let model = system.power_model();
+        let typical_t = system.thermal_config().ambient + 15.0;
+        let core_power = |core: CoreId| {
+            mean_dynamic
+                + model
+                    .leakage(
+                        hayat_power::PowerState::Idle,
+                        system.chip().leakage_factor(core),
+                        typical_t,
+                    )
+                    .value()
+        };
+        // The frequency elite to preserve: the top PRESERVE_FRACTION of the
+        // aged per-core frequencies, but never below the workload's own
+        // requirement cap (feasibility beats preservation).
+        let preserve_threshold = {
+            let mut freqs: Vec<f64> = (0..n)
+                .map(|i| system.aged_fmax(CoreId::new(i)).value())
+                .collect();
+            freqs.sort_by(f64::total_cmp);
+            let idx = ((1.0 - cfg.preserve_fraction) * (n - 1) as f64).round() as usize;
+            freqs[idx.min(n - 1)].max(cap)
+        };
+
+        let mut on = vec![false; n];
+        let mut rise = vec![0.0; n];
+        for _ in 0..n_on.min(n) {
+            let mut best: Option<(f64, CoreId)> = None;
+            for cand in fp.cores() {
+                if on[cand.index()] {
+                    continue;
+                }
+                let f = system.aged_fmax(cand).value();
+                let t_cand = system.thermal_config().ambient.value()
+                    + rise[cand.index()]
+                    + core_power(cand) * predictor.rise_row(cand)[cand.index()];
+                let leak = core_power(cand) - mean_dynamic;
+                let score = f.min(cap)
+                    - cfg.excess_penalty * (f - preserve_threshold).max(0.0)
+                    - cfg.lambda_ghz_per_kelvin * t_cand
+                    - cfg.mu_ghz_per_watt * leak;
+                if best.is_none_or(|(s, _)| score > s) {
+                    best = Some((score, cand));
+                }
+            }
+            let (_, core) = best.expect("n_on is at most the core count");
+            on[core.index()] = true;
+            let row = predictor.rise_row(core);
+            let p = core_power(core);
+            for i in 0..n {
+                rise[i] += p * row[i];
+            }
+        }
+        on
+    }
+}
+
+impl Policy for HayatPolicy {
+    fn name(&self) -> &str {
+        "Hayat"
+    }
+
+    fn map_threads(&mut self, ctx: &PolicyContext<'_>, workload: &WorkloadMix) -> ThreadMapping {
+        let system = ctx.system;
+        let fp = system.floorplan();
+        let n = fp.core_count();
+        let predictor = system.predictor();
+        let table = system.aging_table();
+        let t_safe = system.thermal_config().t_safe;
+        let ambient = system.thermal_config().ambient;
+        let (alpha, beta) = self.config.coefficients(system.health().mean());
+
+        // Sort threads hardest-first so high-frequency demands see the full
+        // candidate set (list S preparation, lines 2-3).
+        let mut threads: Vec<(ThreadId, &ThreadProfile)> = workload.threads().collect();
+        threads.sort_by(|a, b| {
+            b.1.min_frequency()
+                .partial_cmp(&a.1.min_frequency())
+                .expect("frequencies are finite")
+                .then(a.0.cmp(&b.0))
+        });
+
+        // Stage 1: the Dark Core Map — exactly one on-core per thread, never
+        // more than the budget admits.
+        let n_on = workload.total_threads().min(system.budget().max_on());
+        let dcm_on = self.select_dcm(ctx, workload, n_on);
+
+        let mut mapping = ThreadMapping::empty(n);
+        // Incrementally maintained temperature rise above ambient from all
+        // threads mapped so far.
+        let mut rise = vec![0.0; n];
+
+        for (tid, profile) in threads {
+            if mapping.active_cores() >= system.budget().max_on() {
+                break; // Budget exhausted: remaining threads stay unplaced.
+            }
+            let required = profile.min_frequency();
+            let mut best: Option<(f64, f64, f64, CoreId, Watts)> = None;
+            // Thermal-emergency fallback: the feasible candidate with the
+            // lowest predicted peak, kept in case *every* candidate violates
+            // T_safe (the thread must still run; DTM will police the chip at
+            // run time, exactly the "DTM triggers even in case of a naive
+            // optimization" situation the paper accounts for).
+            let mut fallback: Option<(f64, CoreId, Watts)> = None;
+            for cand in fp.cores() {
+                if !dcm_on[cand.index()]
+                    || !mapping.is_free(cand)
+                    || !system.can_host(cand, required)
+                {
+                    continue;
+                }
+                let power = Self::thread_power(ctx, cand, profile);
+                let cand_row = predictor.rise_row(cand);
+
+                // Lines 8-14: predicted next temperatures; discard on T_safe.
+                let mut t_max = f64::MIN;
+                let mut t_sum = 0.0;
+                let mut t_cand = ambient.value();
+                for i in 0..n {
+                    let t = ambient.value() + rise[i] + power.value() * cand_row[i];
+                    if t > t_max {
+                        t_max = t;
+                    }
+                    t_sum += t;
+                    if i == cand.index() {
+                        t_cand = t;
+                    }
+                }
+                if fallback.is_none_or(|(ft, _, _)| t_max < ft) {
+                    fallback = Some((t_max, cand, power));
+                }
+                if t_max > t_safe.value() {
+                    continue;
+                }
+
+                // Line 15: candidate's next health via the 3D table.
+                let health_now = system.health().core(cand).value();
+                let duty = profile.duty();
+                let health_next = table.advance(Kelvin::new(t_cand), duty, health_now, ctx.horizon);
+
+                // Lines 17-23: Eq. 9 weight, tie-breaking toward cooler maps.
+                let w = self.weight(
+                    alpha,
+                    beta,
+                    system.aged_fmax(cand),
+                    required,
+                    health_now,
+                    health_next,
+                );
+                let t_avg = t_sum / n as f64;
+                let better = match &best {
+                    None => true,
+                    Some((bw, bt_max, bt_avg, _, _)) => {
+                        w > *bw
+                            || ((w - *bw).abs() < 1e-12
+                                && (t_max < *bt_max
+                                    || ((t_max - *bt_max).abs() < 1e-12 && t_avg < *bt_avg)))
+                    }
+                };
+                if better {
+                    best = Some((w, t_max, t_avg, cand, power));
+                }
+            }
+            let mut chosen = best
+                .map(|(_, _, _, core, power)| (core, power))
+                .or(fallback.map(|(_, core, power)| (core, power)));
+            if chosen.is_none() {
+                // No feasible core inside the DCM (e.g. a demanding thread
+                // on a well-aged chip): wake the coolest feasible core
+                // outside it instead. N_on stays within the budget because
+                // the per-thread loop is capped above.
+                chosen = fp
+                    .cores()
+                    .filter(|&c| mapping.is_free(c) && system.can_host(c, required))
+                    .min_by(|&a, &b| {
+                        rise[a.index()]
+                            .partial_cmp(&rise[b.index()])
+                            .expect("rises are finite")
+                    })
+                    .map(|core| (core, Self::thread_power(ctx, core, profile)));
+            }
+            if let Some((core, power)) = chosen {
+                mapping.assign(tid, core);
+                let row = predictor.rise_row(core);
+                for i in 0..n {
+                    rise[i] += power.value() * row[i];
+                }
+            }
+            // Threads with no frequency-feasible candidate stay unplaced;
+            // the engine reports them.
+        }
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::config::SimulationConfig;
+    use crate::system::ChipSystem;
+    use hayat_aging::Health;
+    use hayat_units::Years;
+
+    fn setup(dark: f64, threads: usize) -> (ChipSystem, WorkloadMix) {
+        let mut cfg = SimulationConfig::quick_demo();
+        cfg.dark_fraction = dark;
+        let system = ChipSystem::paper_chip(0, &cfg).unwrap();
+        let workload = WorkloadMix::generate(5, threads);
+        (system, workload)
+    }
+
+    fn ctx(system: &ChipSystem) -> PolicyContext<'_> {
+        PolicyContext {
+            system,
+            horizon: Years::new(1.0),
+            elapsed: Years::new(0.0),
+        }
+    }
+
+    #[test]
+    fn maps_all_threads_within_budget() {
+        let (system, workload) = setup(0.5, 24);
+        let mut policy = HayatPolicy::default();
+        let mapping = policy.map_threads(&ctx(&system), &workload);
+        assert_eq!(mapping.active_cores(), 24);
+        assert!(mapping.active_cores() <= system.budget().max_on());
+    }
+
+    #[test]
+    fn respects_frequency_requirements() {
+        let (system, workload) = setup(0.5, 16);
+        let mut policy = HayatPolicy::default();
+        let mapping = policy.map_threads(&ctx(&system), &workload);
+        for (core, tid) in mapping.assignments() {
+            let required = workload.thread(tid).min_frequency();
+            assert!(
+                system.aged_fmax(core) >= required,
+                "core {core} too slow for {tid}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_is_never_exceeded() {
+        let (system, workload) = setup(0.5, 48); // more threads than 32-core budget
+        let mut policy = HayatPolicy::default();
+        let mapping = policy.map_threads(&ctx(&system), &workload);
+        assert!(mapping.active_cores() <= 32);
+    }
+
+    #[test]
+    fn avoids_unhealthy_cores_for_demanding_threads() {
+        let (mut system, _) = setup(0.5, 4);
+        // Cripple a fast core: its aged fmax falls below demanding threads.
+        let fast = {
+            let all = system.aged_fmax_all();
+            let (idx, _) = all
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            hayat_floorplan::CoreId::new(idx)
+        };
+        system.health_mut().set(fast, Health::new(0.55));
+        let workload = WorkloadMix::generate(5, 8);
+        let mut policy = HayatPolicy::default();
+        let mapping = policy.map_threads(&ctx(&system), &workload);
+        for (core, tid) in mapping.assignments() {
+            if core == fast {
+                let required = workload.thread(tid).min_frequency();
+                assert!(system.aged_fmax(fast) >= required);
+            }
+        }
+    }
+
+    #[test]
+    fn preserves_the_fastest_cores_for_modest_threads() {
+        // Eq. 9's frequency-matching term sends modest threads to
+        // just-fast-enough cores, keeping the fastest cores dark.
+        let (system, workload) = setup(0.5, 16);
+        let mut policy = HayatPolicy::default();
+        let mapping = policy.map_threads(&ctx(&system), &workload);
+        let fastest = {
+            let all = system.aged_fmax_all();
+            let (idx, _) = all
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            hayat_floorplan::CoreId::new(idx)
+        };
+        // The fastest core's slack is large for every thread in a typical
+        // mix, so its Eq. 9 weight is low and it should stay unmapped.
+        assert!(
+            mapping.is_free(fastest),
+            "fastest core {fastest} should be preserved"
+        );
+    }
+
+    #[test]
+    fn weight_function_caps_and_orders() {
+        let policy = HayatPolicy::default();
+        let w_tight = policy.weight(
+            0.6,
+            1.0,
+            Gigahertz::new(3.0),
+            Gigahertz::new(2.99),
+            1.0,
+            0.99,
+        );
+        let w_loose = policy.weight(
+            0.6,
+            1.0,
+            Gigahertz::new(4.0),
+            Gigahertz::new(2.0),
+            1.0,
+            0.99,
+        );
+        assert!(w_tight > w_loose, "tight slack must out-weigh loose slack");
+        // Cap: slack of zero takes w_max exactly (plus the health term).
+        let w_cap = policy.weight(0.6, 1.0, Gigahertz::new(3.0), Gigahertz::new(3.0), 1.0, 1.0);
+        assert!((w_cap - (10.0 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_switch_selects_coefficients() {
+        let cfg = HayatConfig::paper();
+        assert_eq!(cfg.coefficients(1.0), (0.6, 1.0));
+        assert_eq!(cfg.coefficients(0.90), (4.0, 0.3));
+    }
+
+    #[test]
+    fn deterministic_for_same_inputs() {
+        let (system, workload) = setup(0.5, 16);
+        let mut p1 = HayatPolicy::default();
+        let mut p2 = HayatPolicy::default();
+        assert_eq!(
+            p1.map_threads(&ctx(&system), &workload),
+            p2.map_threads(&ctx(&system), &workload)
+        );
+    }
+}

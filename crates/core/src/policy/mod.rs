@@ -1,0 +1,172 @@
+//! Run-time mapping policies.
+
+pub mod exhaustive;
+pub mod hayat;
+pub mod simple;
+pub mod vaa;
+
+use crate::mapping::ThreadMapping;
+use crate::system::ChipSystem;
+use hayat_power::PowerState;
+use hayat_thermal::TemperatureMap;
+use hayat_units::{Kelvin, Watts, Years};
+use hayat_workload::WorkloadMix;
+
+/// The read-only view a policy gets of the system when (re)mapping at an
+/// epoch boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyContext<'a> {
+    /// The chip system (geometry, variation, health, predictor, table, …).
+    pub system: &'a ChipSystem,
+    /// Health-estimation horizon for candidate evaluation (Algorithm 1
+    /// estimates "the future (e.g., 1 year) health").
+    pub horizon: Years,
+    /// Simulated time already elapsed, used by policies that distinguish
+    /// early- from late-aging phases.
+    pub elapsed: Years,
+}
+
+/// A run-time thread-to-core mapping policy.
+///
+/// Policies run at aging-epoch boundaries (and when workloads change) and
+/// produce a full [`ThreadMapping`]; cores left unmapped are power-gated,
+/// which makes the mapping double as the Dark Core Map. Implementations
+/// must respect the dark-silicon budget (`mapping.active_cores() ≤
+/// budget.max_on()`) and each thread's minimum-frequency requirement.
+pub trait Policy {
+    /// Human-readable policy name (used in reports and figures).
+    fn name(&self) -> &str;
+
+    /// Maps every thread of `workload` to a core.
+    ///
+    /// Threads that cannot be feasibly placed (no healthy-enough core left
+    /// within the budget) are dropped from the mapping; the engine counts
+    /// them as unplaced and the metrics report them.
+    fn map_threads(&mut self, ctx: &PolicyContext<'_>, workload: &WorkloadMix) -> ThreadMapping;
+}
+
+/// Builds the per-core power vector implied by a mapping: mapped cores run
+/// their thread at its required frequency (threads "only run at their
+/// required frequency and not faster"), unmapped cores are power-gated.
+/// Leakage is evaluated at the given per-core temperatures.
+#[must_use]
+pub fn power_vector(
+    system: &ChipSystem,
+    mapping: &ThreadMapping,
+    workload: &WorkloadMix,
+    temps: &TemperatureMap,
+) -> Vec<Watts> {
+    let fp = system.floorplan();
+    let model = system.power_model();
+    fp.cores()
+        .map(|core| {
+            let state = match mapping.thread_on(core) {
+                Some(tid) => {
+                    let profile = workload.thread(tid);
+                    PowerState::Active {
+                        dynamic: profile.dynamic_power(profile.min_frequency()),
+                    }
+                }
+                None => PowerState::Dark,
+            };
+            model.core_power(state, system.chip().leakage_factor(core), temps.core(core))
+        })
+        .collect()
+}
+
+/// Predicts the chip temperature map for a tentative mapping using the
+/// system's superposition predictor with a one-shot leakage correction:
+/// the base vector evaluates leakage at the reference temperature, then the
+/// predictor adds the extra leakage at the predicted temperatures.
+#[must_use]
+pub fn predict_mapping_temperatures(
+    system: &ChipSystem,
+    mapping: &ThreadMapping,
+    workload: &WorkloadMix,
+) -> TemperatureMap {
+    let fp = system.floorplan();
+    let model = system.power_model();
+    let reference = model.config().reference_temperature;
+    let base_temps = TemperatureMap::uniform(fp.core_count(), reference);
+    let base_power = power_vector(system, mapping, workload, &base_temps);
+    system
+        .predictor()
+        .predict_with_leakage(fp, &base_power, |core, t: Kelvin| {
+            let state = match mapping.thread_on(core) {
+                Some(_) => PowerState::Idle, // leakage share of an on core
+                None => PowerState::Dark,
+            };
+            let lf = system.chip().leakage_factor(core);
+            model.leakage(state, lf, t) - model.leakage(state, lf, reference)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::config::SimulationConfig;
+    use hayat_floorplan::CoreId;
+    use hayat_workload::ThreadId;
+
+    fn setup() -> (ChipSystem, WorkloadMix) {
+        let system = ChipSystem::paper_chip(0, &SimulationConfig::quick_demo()).unwrap();
+        let workload = WorkloadMix::generate(3, 8);
+        (system, workload)
+    }
+
+    #[test]
+    fn power_vector_distinguishes_dark_and_active() {
+        let (system, workload) = setup();
+        let mut mapping = ThreadMapping::empty(64);
+        let (tid, _) = workload.threads().next().unwrap();
+        mapping.assign(tid, CoreId::new(10));
+        let temps = TemperatureMap::uniform(64, system.thermal_config().ambient);
+        let p = power_vector(&system, &mapping, &workload, &temps);
+        assert_eq!(p.len(), 64);
+        // The active core dissipates watts; dark cores only the gated residue.
+        assert!(p[10].value() > 1.0);
+        assert!(p[0].value() < 0.1);
+    }
+
+    #[test]
+    fn predicted_temperatures_rise_with_load() {
+        let (system, workload) = setup();
+        let empty = ThreadMapping::empty(64);
+        let t_empty = predict_mapping_temperatures(&system, &empty, &workload);
+        let mut loaded = ThreadMapping::empty(64);
+        for (i, (tid, _)) in workload.threads().enumerate() {
+            loaded.assign(tid, CoreId::new(i * 8));
+        }
+        let t_loaded = predict_mapping_temperatures(&system, &loaded, &workload);
+        assert!(t_loaded.mean() > t_empty.mean());
+        assert!(t_loaded.max() > t_empty.max());
+    }
+
+    #[test]
+    fn leakage_correction_raises_loaded_prediction() {
+        let (system, workload) = setup();
+        let mut mapping = ThreadMapping::empty(64);
+        for (i, (tid, _)) in workload.threads().enumerate() {
+            mapping.assign(tid, CoreId::new(i));
+        }
+        // Without correction: plain predict on the reference-temp vector.
+        let fp = system.floorplan();
+        let reference = system.power_model().config().reference_temperature;
+        let base_temps = TemperatureMap::uniform(64, reference);
+        let base_power = power_vector(&system, &mapping, &workload, &base_temps);
+        let uncorrected = system.predictor().predict(fp, &base_power);
+        let corrected = predict_mapping_temperatures(&system, &mapping, &workload);
+        // Hot clustered cores leak more, so the corrected peak is higher.
+        assert!(corrected.max() >= uncorrected.max());
+    }
+
+    #[test]
+    fn unmapped_thread_is_simply_absent() {
+        let (system, workload) = setup();
+        let mapping = ThreadMapping::empty(64);
+        let temps = TemperatureMap::uniform(64, system.thermal_config().ambient);
+        let p = power_vector(&system, &mapping, &workload, &temps);
+        assert!(p.iter().all(|w| w.value() < 0.1));
+        let _ = ThreadId::new(0, 0); // ids remain valid even when unmapped
+    }
+}

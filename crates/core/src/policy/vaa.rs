@@ -1,0 +1,276 @@
+//! The VAA baseline: variability- and aging-aware maximum-throughput
+//! mapping derived from Fattah et al.'s smart hill climbing (DAC'13, [28]),
+//! extended per Section VI for a fair comparison.
+
+use crate::mapping::ThreadMapping;
+use crate::policy::{Policy, PolicyContext};
+use hayat_floorplan::CoreId;
+use hayat_workload::{ThreadId, ThreadProfile, WorkloadMix};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The extended state-of-the-art baseline of Section VI ("for brevity, we
+/// call it VAA").
+///
+/// Following the paper's description it is variability- and aging-aware —
+/// "threads get assigned to cores that fulfill frequency requirements at
+/// their current age" — and optimizes for **maximum throughput**: each
+/// application claims a contiguous region (smart-hill-climbing placement
+/// keeps communicating threads adjacent), and within the region each thread
+/// takes the *fastest* feasible core. What it does **not** do is predict
+/// temperatures or health: no dark-core-map optimization, no Eq. 9
+/// weighting — that is exactly the delta the paper's comparison isolates.
+///
+/// It shares everything else with Hayat at run time (epoch knowledge, DTM,
+/// core-level frequency scaling, temperature-dependent leakage), which the
+/// engine provides identically to both policies.
+///
+/// # Example
+///
+/// ```
+/// use hayat::{ChipSystem, Policy, PolicyContext, SimulationConfig, VaaPolicy};
+/// use hayat_units::Years;
+/// use hayat_workload::WorkloadMix;
+///
+/// # fn main() -> Result<(), hayat::BuildSystemError> {
+/// let system = ChipSystem::paper_chip(0, &SimulationConfig::quick_demo())?;
+/// let ctx = PolicyContext { system: &system, horizon: Years::new(1.0), elapsed: Years::new(0.0) };
+/// let mapping = VaaPolicy::default().map_threads(&ctx, &WorkloadMix::generate(2, 12));
+/// assert_eq!(mapping.active_cores(), 12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VaaPolicy;
+
+impl VaaPolicy {
+    /// Smart-hill-climbing first-node selection. SHiC keeps the overall
+    /// allocation compact to avoid fragmenting the free area: after the
+    /// first application, new regions start adjacent to already-occupied
+    /// cores (most occupied neighbours first), tie-broken toward the fastest
+    /// core (max throughput). The very first application starts at the free
+    /// core with the most free neighbours.
+    fn first_node(ctx: &PolicyContext<'_>, mapping: &ThreadMapping) -> Option<CoreId> {
+        let fp = ctx.system.floorplan();
+        let anything_mapped = mapping.active_cores() > 0;
+        fp.cores().filter(|&c| mapping.is_free(c)).max_by(|&a, &b| {
+            let key = |c: CoreId| {
+                if anything_mapped {
+                    fp.neighbors(c).filter(|&n| !mapping.is_free(n)).count()
+                } else {
+                    fp.neighbors(c).filter(|&n| mapping.is_free(n)).count()
+                }
+            };
+            key(a).cmp(&key(b)).then(
+                ctx.system
+                    .aged_fmax(a)
+                    .partial_cmp(&ctx.system.aged_fmax(b))
+                    .expect("frequencies are finite"),
+            )
+        })
+    }
+
+    /// Collects free cores in BFS order from `start` — the contiguous region
+    /// an application expands into.
+    fn region(ctx: &PolicyContext<'_>, mapping: &ThreadMapping, start: CoreId) -> Vec<CoreId> {
+        let fp = ctx.system.floorplan();
+        let mut order = Vec::new();
+        let mut seen = vec![false; fp.core_count()];
+        let mut queue = VecDeque::from([start]);
+        seen[start.index()] = true;
+        while let Some(core) = queue.pop_front() {
+            if mapping.is_free(core) {
+                order.push(core);
+            }
+            for n in fp.neighbors(core) {
+                if !seen[n.index()] && mapping.is_free(n) {
+                    seen[n.index()] = true;
+                    queue.push_back(n);
+                }
+            }
+        }
+        order
+    }
+}
+
+impl Policy for VaaPolicy {
+    fn name(&self) -> &str {
+        "VAA"
+    }
+
+    fn map_threads(&mut self, ctx: &PolicyContext<'_>, workload: &WorkloadMix) -> ThreadMapping {
+        let system = ctx.system;
+        let fp = system.floorplan();
+        let mut mapping = ThreadMapping::empty(fp.core_count());
+
+        for app in workload.applications() {
+            if mapping.active_cores() >= system.budget().max_on() {
+                break;
+            }
+            let Some(start) = Self::first_node(ctx, &mapping) else {
+                break;
+            };
+            // Threads of the app, hardest-first within the region.
+            let mut threads: Vec<(ThreadId, &ThreadProfile)> = app.threads().collect();
+            threads.sort_by(|a, b| {
+                b.1.min_frequency()
+                    .partial_cmp(&a.1.min_frequency())
+                    .expect("frequencies are finite")
+                    .then(a.0.cmp(&b.0))
+            });
+            for (tid, profile) in threads {
+                if mapping.active_cores() >= system.budget().max_on() {
+                    break;
+                }
+                let required = profile.min_frequency();
+                // The contiguous region as currently free, nearest-first.
+                let region = Self::region(ctx, &mapping, start);
+                // Max throughput: the fastest feasible core among the
+                // region's nearest cores (window keeps the placement
+                // contiguous while still preferring speed).
+                let window = region.len().min(4);
+                let near_best = region[..window]
+                    .iter()
+                    .copied()
+                    .filter(|&c| system.can_host(c, required))
+                    .max_by(|&a, &b| {
+                        system
+                            .aged_fmax(a)
+                            .partial_cmp(&system.aged_fmax(b))
+                            .expect("frequencies are finite")
+                    });
+                // Fall back to the fastest feasible core anywhere.
+                let chosen = near_best.or_else(|| {
+                    fp.cores()
+                        .filter(|&c| mapping.is_free(c) && system.can_host(c, required))
+                        .max_by(|&a, &b| {
+                            system
+                                .aged_fmax(a)
+                                .partial_cmp(&system.aged_fmax(b))
+                                .expect("frequencies are finite")
+                        })
+                });
+                if let Some(core) = chosen {
+                    mapping.assign(tid, core);
+                }
+            }
+        }
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::config::SimulationConfig;
+    use crate::system::ChipSystem;
+    use hayat_units::Years;
+
+    fn setup(threads: usize) -> (ChipSystem, WorkloadMix) {
+        let system = ChipSystem::paper_chip(0, &SimulationConfig::quick_demo()).unwrap();
+        let workload = WorkloadMix::generate(5, threads);
+        (system, workload)
+    }
+
+    fn ctx(system: &ChipSystem) -> PolicyContext<'_> {
+        PolicyContext {
+            system,
+            horizon: Years::new(1.0),
+            elapsed: Years::new(0.0),
+        }
+    }
+
+    #[test]
+    fn maps_all_threads_within_budget() {
+        let (system, workload) = setup(24);
+        let mapping = VaaPolicy.map_threads(&ctx(&system), &workload);
+        assert_eq!(mapping.active_cores(), 24);
+        assert!(mapping.active_cores() <= system.budget().max_on());
+    }
+
+    #[test]
+    fn respects_frequency_requirements() {
+        let (system, workload) = setup(16);
+        let mapping = VaaPolicy.map_threads(&ctx(&system), &workload);
+        for (core, tid) in mapping.assignments() {
+            assert!(system.can_host(core, workload.thread(tid).min_frequency()));
+        }
+    }
+
+    #[test]
+    fn vaa_runs_hotter_than_hayat_at_full_budget() {
+        // The paper's central comparison: VAA's max-throughput packing
+        // produces hotter peaks than Hayat's DCM-optimized placement when
+        // the dark-silicon budget is fully used (50% dark).
+        use crate::policy::hayat::HayatPolicy;
+        use crate::policy::predict_mapping_temperatures;
+        let system = ChipSystem::paper_chip(0, &SimulationConfig::quick_demo()).unwrap();
+        let workload = WorkloadMix::generate(5, system.budget().max_on());
+        let c = ctx(&system);
+        let vaa = VaaPolicy.map_threads(&c, &workload);
+        let hayat = HayatPolicy::default().map_threads(&c, &workload);
+        let t_vaa = predict_mapping_temperatures(&system, &vaa, &workload);
+        let t_hayat = predict_mapping_temperatures(&system, &hayat, &workload);
+        assert!(
+            t_hayat.max() < t_vaa.max(),
+            "Hayat peak {} should undercut VAA peak {}",
+            t_hayat.max(),
+            t_vaa.max()
+        );
+    }
+
+    #[test]
+    fn vaa_uses_the_chip_elite_while_hayat_preserves_it() {
+        use crate::policy::hayat::HayatPolicy;
+        let system = ChipSystem::paper_chip(0, &SimulationConfig::quick_demo()).unwrap();
+        let workload = WorkloadMix::generate(5, system.budget().max_on());
+        let c = ctx(&system);
+        let top_used = |m: &ThreadMapping| {
+            m.active()
+                .map(|core| system.aged_fmax(core).value())
+                .fold(0.0f64, f64::max)
+        };
+        let vaa = top_used(&VaaPolicy.map_threads(&c, &workload));
+        let hayat = top_used(&HayatPolicy::default().map_threads(&c, &workload));
+        assert!(
+            hayat < vaa,
+            "Hayat's fastest used core ({hayat} GHz) should be slower than VAA's ({vaa} GHz)"
+        );
+        assert!(
+            (vaa - system.chip_fmax().value()).abs() < 1e-9,
+            "VAA uses the top core"
+        );
+    }
+
+    #[test]
+    fn prefers_fast_cores() {
+        // With a single modest thread, VAA's fallback/max-throughput choice
+        // should sit in the faster half of the chip.
+        let (system, _) = setup(4);
+        let workload = WorkloadMix::generate(9, 1);
+        let mapping = VaaPolicy.map_threads(&ctx(&system), &workload);
+        let (core, _) = mapping.assignments().next().expect("one thread mapped");
+        let mut freqs: Vec<f64> = system.aged_fmax_all().iter().map(|f| f.value()).collect();
+        freqs.sort_by(f64::total_cmp);
+        let median = freqs[freqs.len() / 2];
+        assert!(
+            system.aged_fmax(core).value() >= median,
+            "VAA placed a thread on a below-median core"
+        );
+    }
+
+    #[test]
+    fn budget_is_never_exceeded() {
+        let mut cfg = SimulationConfig::quick_demo();
+        cfg.dark_fraction = 0.75;
+        let system = ChipSystem::paper_chip(0, &cfg).unwrap();
+        let workload = WorkloadMix::generate(5, 48);
+        let mapping = VaaPolicy.map_threads(&ctx(&system), &workload);
+        assert!(mapping.active_cores() <= 16);
+    }
+
+    #[test]
+    fn name_is_vaa() {
+        assert_eq!(VaaPolicy.name(), "VAA");
+    }
+}

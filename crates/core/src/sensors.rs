@@ -1,0 +1,214 @@
+//! On-chip sensor models.
+//!
+//! The paper's processor model gives every core "at least one (soft)
+//! thermal sensor `T_i` and aging sensor `D_i` (like [9, 10]) to monitor
+//! its current temperature and health level". The simulation engine reads
+//! ground truth directly; this module models what *real* monitors deliver —
+//! quantized, noisy readings — so the robustness of the policies to sensor
+//! imperfection can be evaluated (see the sensor-noise integration tests).
+
+use hayat_aging::{Health, HealthMap};
+use hayat_thermal::TemperatureMap;
+use hayat_units::Kelvin;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the per-core sensor suite.
+///
+/// Defaults are typical of production monitors: thermal diodes read in
+/// 1 °C steps with ±1 K of noise; delay-line aging odometers resolve about
+/// 0.5% of frequency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorConfig {
+    /// Quantization step of the thermal sensors, kelvin.
+    pub temperature_step_kelvin: f64,
+    /// Standard deviation of thermal-sensor noise, kelvin.
+    pub temperature_noise_kelvin: f64,
+    /// Quantization step of the aging sensors, in health fraction.
+    pub health_step: f64,
+}
+
+impl SensorConfig {
+    /// Typical production-sensor characteristics.
+    #[must_use]
+    pub fn typical() -> Self {
+        SensorConfig {
+            temperature_step_kelvin: 1.0,
+            temperature_noise_kelvin: 1.0,
+            health_step: 0.005,
+        }
+    }
+
+    /// Ideal sensors: no quantization, no noise (readings = ground truth).
+    #[must_use]
+    pub fn ideal() -> Self {
+        SensorConfig {
+            temperature_step_kelvin: 0.0,
+            temperature_noise_kelvin: 0.0,
+            health_step: 0.0,
+        }
+    }
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        SensorConfig::typical()
+    }
+}
+
+/// The chip's sensor suite: turns ground-truth maps into what the monitors
+/// actually report. Noise is seeded and advances per reading, so whole
+/// simulations stay reproducible.
+///
+/// # Example
+///
+/// ```
+/// use hayat::sensors::{SensorConfig, SensorSuite};
+/// use hayat_thermal::TemperatureMap;
+/// use hayat_units::Kelvin;
+///
+/// let mut sensors = SensorSuite::new(SensorConfig::typical(), 42);
+/// let truth = TemperatureMap::uniform(4, Kelvin::new(345.3));
+/// let reading = sensors.read_temperatures(&truth);
+/// // Readings are quantized/noisy but in the right neighbourhood.
+/// assert!((reading.mean().value() - 345.3).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SensorSuite {
+    config: SensorConfig,
+    rng: StdRng,
+}
+
+impl SensorSuite {
+    /// Creates a suite with the given characteristics and noise seed.
+    #[must_use]
+    pub fn new(config: SensorConfig, seed: u64) -> Self {
+        SensorSuite {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The suite's configuration.
+    #[must_use]
+    pub const fn config(&self) -> &SensorConfig {
+        &self.config
+    }
+
+    /// One thermal-sensor reading of the whole chip: ground truth plus
+    /// Gaussian noise, quantized to the sensor step.
+    pub fn read_temperatures(&mut self, truth: &TemperatureMap) -> TemperatureMap {
+        let cfg = &self.config;
+        let temps = truth
+            .iter()
+            .map(|(_, t)| {
+                let noisy = t.value() + gaussian(&mut self.rng) * cfg.temperature_noise_kelvin;
+                Kelvin::new(quantize(noisy, cfg.temperature_step_kelvin).max(0.0))
+            })
+            .collect();
+        TemperatureMap::new(temps)
+    }
+
+    /// One aging-sensor reading of the whole chip: health quantized to the
+    /// odometer resolution (aging sensors measure accumulated delay, so
+    /// they are precise but coarse rather than noisy). Readings never
+    /// exceed full health.
+    pub fn read_health(&mut self, truth: &HealthMap) -> HealthMap {
+        let cfg = &self.config;
+        let healths = truth
+            .iter()
+            .map(|(_, h)| {
+                let q = quantize(h.value(), cfg.health_step);
+                Health::new(q.clamp(f64::MIN_POSITIVE, 1.0))
+            })
+            .collect();
+        HealthMap::new(healths)
+    }
+}
+
+/// Rounds `value` to the nearest multiple of `step` (no-op for step 0).
+fn quantize(value: f64, step: f64) -> f64 {
+    if step <= 0.0 {
+        value
+    } else {
+        (value / step).round() * step
+    }
+}
+
+/// One draw from N(0, 1) via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_sensors_return_ground_truth() {
+        let mut s = SensorSuite::new(SensorConfig::ideal(), 1);
+        let truth = TemperatureMap::uniform(8, Kelvin::new(341.237));
+        assert_eq!(s.read_temperatures(&truth), truth);
+        let health = HealthMap::fresh(8);
+        assert_eq!(s.read_health(&health), health);
+    }
+
+    #[test]
+    fn temperature_readings_are_quantized() {
+        let mut cfg = SensorConfig::typical();
+        cfg.temperature_noise_kelvin = 0.0;
+        let mut s = SensorSuite::new(cfg, 1);
+        let truth = TemperatureMap::uniform(4, Kelvin::new(345.4));
+        let reading = s.read_temperatures(&truth);
+        for (_, t) in reading.iter() {
+            assert_eq!(t.value(), 345.0);
+        }
+    }
+
+    #[test]
+    fn noise_is_seeded_and_bounded() {
+        let truth = TemperatureMap::uniform(64, Kelvin::new(340.0));
+        let read =
+            |seed: u64| SensorSuite::new(SensorConfig::typical(), seed).read_temperatures(&truth);
+        assert_eq!(read(9), read(9));
+        assert_ne!(read(9), read(10));
+        // ~1 K sigma: all 64 readings within 6 sigma.
+        for (_, t) in read(9).iter() {
+            assert!((t.value() - 340.0).abs() < 6.0, "{t}");
+        }
+    }
+
+    #[test]
+    fn successive_readings_differ() {
+        let mut s = SensorSuite::new(SensorConfig::typical(), 4);
+        let truth = TemperatureMap::uniform(16, Kelvin::new(340.0));
+        let a = s.read_temperatures(&truth);
+        let b = s.read_temperatures(&truth);
+        assert_ne!(a, b, "noise must advance between readings");
+    }
+
+    #[test]
+    fn health_readings_quantize_and_clamp() {
+        let mut s = SensorSuite::new(SensorConfig::typical(), 2);
+        let truth = HealthMap::new(vec![
+            Health::new(0.9974),
+            Health::new(1.0),
+            Health::new(0.8321),
+        ]);
+        let read = s.read_health(&truth);
+        assert_eq!(read.core(hayat_floorplan::CoreId::new(0)).value(), 0.995);
+        assert_eq!(read.core(hayat_floorplan::CoreId::new(1)).value(), 1.0);
+        assert!((read.core(hayat_floorplan::CoreId::new(2)).value() - 0.830).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantize_basics() {
+        assert_eq!(quantize(5.2, 0.0), 5.2);
+        assert_eq!(quantize(5.2, 0.5), 5.0);
+        assert_eq!(quantize(5.3, 0.5), 5.5);
+    }
+}

@@ -1,0 +1,345 @@
+//! Multi-chip evaluation campaigns (the machinery behind Figs. 7–11).
+
+use crate::metrics::RunMetrics;
+use crate::policy::hayat::HayatPolicy;
+use crate::policy::simple::{CoolestFirstPolicy, RandomPolicy};
+use crate::policy::vaa::VaaPolicy;
+use crate::policy::Policy;
+use crate::sim::config::SimulationConfig;
+use crate::sim::engine::SimulationEngine;
+use crate::system::{BuildSystemError, ChipSystem};
+use hayat_aging::{AgingModel, AgingTable};
+use hayat_floorplan::Floorplan;
+use hayat_thermal::ThermalPredictor;
+use hayat_variation::ChipPopulation;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which policy a campaign run uses (serializable, factory-style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PolicyKind {
+    /// The Hayat policy with the paper's coefficients.
+    Hayat,
+    /// The extended state-of-the-art baseline.
+    Vaa,
+    /// Seeded random mapping (ablation lower bound).
+    Random,
+    /// Temperature-aware but health-blind mapping (ablation).
+    CoolestFirst,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy.
+    #[must_use]
+    pub fn instantiate(self, seed: u64) -> Box<dyn Policy> {
+        match self {
+            PolicyKind::Hayat => Box::<HayatPolicy>::default(),
+            PolicyKind::Vaa => Box::new(VaaPolicy),
+            PolicyKind::Random => Box::new(RandomPolicy::new(seed)),
+            PolicyKind::CoolestFirst => Box::new(CoolestFirstPolicy),
+        }
+    }
+}
+
+/// A campaign: one configuration evaluated for every chip of the population
+/// under each requested policy, sharing the expensive offline artifacts
+/// (chip population, thermal predictor, aging table).
+///
+/// # Example
+///
+/// ```no_run
+/// use hayat::{Campaign, SimulationConfig};
+/// use hayat::sim::campaign::PolicyKind;
+///
+/// # fn main() -> Result<(), hayat::BuildSystemError> {
+/// let campaign = Campaign::new(SimulationConfig::paper(0.5))?;
+/// let result = campaign.run(&[PolicyKind::Vaa, PolicyKind::Hayat]);
+/// println!("{}", result.summary(PolicyKind::Hayat).unwrap().mean_dtm_events);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Campaign {
+    config: SimulationConfig,
+    floorplan: Floorplan,
+    population: ChipPopulation,
+    predictor: Arc<ThermalPredictor>,
+    aging_table: Arc<AgingTable>,
+}
+
+impl Campaign {
+    /// Builds the shared infrastructure for a campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildSystemError`] if the chip population cannot be
+    /// generated.
+    pub fn new(config: SimulationConfig) -> Result<Self, BuildSystemError> {
+        config.assert_valid();
+        let floorplan = config.floorplan();
+        let population = ChipPopulation::generate(
+            &floorplan,
+            &config.variation,
+            config.chip_count,
+            config.variation_seed,
+        )?;
+        let predictor = Arc::new(ThermalPredictor::learn(&floorplan, &config.thermal));
+        let aging_model = AgingModel::paper(config.variation.design_seed);
+        let aging_table = Arc::new(AgingTable::generate(&aging_model, &config.table_axes));
+        Ok(Campaign {
+            config,
+            floorplan,
+            population,
+            predictor,
+            aging_table,
+        })
+    }
+
+    /// The campaign's configuration.
+    #[must_use]
+    pub const fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Number of chips in the population.
+    #[must_use]
+    pub fn chip_count(&self) -> usize {
+        self.population.chips().len()
+    }
+
+    /// Builds the (fresh) system for one chip of the population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip_index` is out of range.
+    #[must_use]
+    pub fn system_for(&self, chip_index: usize) -> ChipSystem {
+        let chip = self.population.chips()[chip_index].clone();
+        ChipSystem::from_parts(
+            self.floorplan.clone(),
+            chip,
+            &self.config,
+            Arc::clone(&self.predictor),
+            Arc::clone(&self.aging_table),
+        )
+    }
+
+    /// Runs every chip under every requested policy, fanning the
+    /// independent chip×policy runs across OS threads. Results are ordered
+    /// deterministically (policy-major, then chip index) regardless of
+    /// scheduling.
+    #[must_use]
+    pub fn run(&self, policies: &[PolicyKind]) -> CampaignResult {
+        let jobs: Vec<(PolicyKind, usize)> = policies
+            .iter()
+            .flat_map(|&kind| (0..self.chip_count()).map(move |chip| (kind, chip)))
+            .collect();
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(jobs.len().max(1));
+        let mut runs: Vec<Option<RunMetrics>> = (0..jobs.len()).map(|_| None).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots = std::sync::Mutex::new(&mut runs);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&(kind, chip)) = jobs.get(i) else {
+                        break;
+                    };
+                    let metrics = self.run_one(kind, chip);
+                    slots.lock().expect("no panics hold the lock")[i] = Some(metrics);
+                });
+            }
+        });
+        CampaignResult {
+            runs: runs
+                .into_iter()
+                .map(|r| r.expect("every job ran"))
+                .collect(),
+            dark_fraction: self.config.dark_fraction,
+        }
+    }
+
+    /// Runs one chip under one policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip_index` is out of range.
+    #[must_use]
+    pub fn run_one(&self, kind: PolicyKind, chip_index: usize) -> RunMetrics {
+        let system = self.system_for(chip_index);
+        let policy = kind.instantiate(self.config.workload_seed ^ chip_index as u64);
+        let mut engine = SimulationEngine::new(system, policy, &self.config);
+        engine.run()
+    }
+}
+
+/// All runs of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Every chip × policy run.
+    pub runs: Vec<RunMetrics>,
+    /// The campaign's dark fraction.
+    pub dark_fraction: f64,
+}
+
+impl CampaignResult {
+    /// The runs of one policy.
+    #[must_use]
+    pub fn runs_of(&self, kind: PolicyKind) -> Vec<&RunMetrics> {
+        let name = match kind {
+            PolicyKind::Hayat => "Hayat",
+            PolicyKind::Vaa => "VAA",
+            PolicyKind::Random => "Random",
+            PolicyKind::CoolestFirst => "CoolestFirst",
+        };
+        self.runs.iter().filter(|r| r.policy == name).collect()
+    }
+
+    /// Aggregates one policy's runs; `None` if the policy has no runs.
+    #[must_use]
+    pub fn summary(&self, kind: PolicyKind) -> Option<CampaignSummary> {
+        let runs = self.runs_of(kind);
+        if runs.is_empty() {
+            return None;
+        }
+        let n = runs.len() as f64;
+        let mean = |f: &dyn Fn(&RunMetrics) -> f64| runs.iter().map(|r| f(r)).sum::<f64>() / n;
+        // Average trajectory over chips (same epoch grid on every run).
+        let len = runs.iter().map(|r| r.epochs.len()).min().unwrap_or(0);
+        let mut trajectory = vec![(0.0, mean(&|r| r.initial_avg_fmax_ghz))];
+        for e in 0..len {
+            let years = runs[0].epochs[e].years;
+            let avg = runs.iter().map(|r| r.epochs[e].avg_fmax_ghz).sum::<f64>() / n;
+            trajectory.push((years, avg));
+        }
+        Some(CampaignSummary {
+            policy: runs[0].policy.clone(),
+            dark_fraction: self.dark_fraction,
+            chips: runs.len(),
+            mean_dtm_migrations: mean(&|r| r.total_dtm_migrations() as f64),
+            mean_dtm_events: mean(&|r| r.total_dtm_events() as f64),
+            mean_temp_over_ambient: mean(&RunMetrics::avg_temp_over_ambient),
+            mean_chip_fmax_aging_rate: mean(&RunMetrics::chip_fmax_aging_rate),
+            mean_avg_fmax_aging_rate: mean(&RunMetrics::avg_fmax_aging_rate),
+            mean_final_avg_fmax_ghz: mean(&RunMetrics::final_avg_fmax_ghz),
+            mean_throughput_fraction: mean(&RunMetrics::mean_throughput_fraction),
+            mean_final_health_std: mean(&|r: &RunMetrics| r.final_health_std),
+            mean_final_min_health: mean(&|r: &RunMetrics| {
+                r.epochs.last().map_or(1.0, |e| e.min_health)
+            }),
+            avg_fmax_trajectory: trajectory,
+        })
+    }
+
+    /// Ratio of a summary metric between two policies
+    /// (`numerator / denominator`), the normalization used in Figs. 7–10.
+    /// `None` if either summary is missing or the denominator is zero.
+    #[must_use]
+    pub fn normalized(
+        &self,
+        metric: impl Fn(&CampaignSummary) -> f64,
+        numerator: PolicyKind,
+        denominator: PolicyKind,
+    ) -> Option<f64> {
+        let num = metric(&self.summary(numerator)?);
+        let den = metric(&self.summary(denominator)?);
+        (den != 0.0).then(|| num / den)
+    }
+}
+
+/// Aggregate statistics of one policy across a chip population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSummary {
+    /// Policy name.
+    pub policy: String,
+    /// The campaign's dark fraction.
+    pub dark_fraction: f64,
+    /// Number of chips aggregated.
+    pub chips: usize,
+    /// Mean DTM migrations per chip (Fig. 7).
+    pub mean_dtm_migrations: f64,
+    /// Mean DTM events (migrations + throttles) per chip.
+    pub mean_dtm_events: f64,
+    /// Mean temperature over ambient, kelvin (Fig. 8).
+    pub mean_temp_over_ambient: f64,
+    /// Mean chip-fmax aging rate (Fig. 9).
+    pub mean_chip_fmax_aging_rate: f64,
+    /// Mean average-fmax aging rate (Fig. 10).
+    pub mean_avg_fmax_aging_rate: f64,
+    /// Mean final average fmax, GHz.
+    pub mean_final_avg_fmax_ghz: f64,
+    /// Mean delivered-throughput fraction (1.0 = every thread met its
+    /// requirement the whole run).
+    pub mean_throughput_fraction: f64,
+    /// Mean end-of-run per-core health standard deviation. Note: elite-core
+    /// preservation makes Hayat's distribution bimodal (preserved cores at
+    /// full health), so this is *expected* to be larger for Hayat; the
+    /// balancing claim is measured by [`mean_final_min_health`](Self::mean_final_min_health).
+    pub mean_final_health_std: f64,
+    /// Mean end-of-run *weakest-core* health — the paper's balancing claim:
+    /// higher means no core was driven into the ground.
+    pub mean_final_min_health: f64,
+    /// Population-averaged `(years, avg fmax GHz)` trajectory (Fig. 11).
+    pub avg_fmax_trajectory: Vec<(f64, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_campaign() -> Campaign {
+        let mut config = SimulationConfig::quick_demo();
+        config.chip_count = 2;
+        config.years = 1.0;
+        config.epoch_years = 0.5;
+        config.transient_window_seconds = 0.1;
+        Campaign::new(config).unwrap()
+    }
+
+    #[test]
+    fn campaign_runs_all_chip_policy_pairs() {
+        let c = tiny_campaign();
+        let result = c.run(&[PolicyKind::Vaa, PolicyKind::Hayat]);
+        assert_eq!(result.runs.len(), 4);
+        assert_eq!(result.runs_of(PolicyKind::Vaa).len(), 2);
+        assert_eq!(result.runs_of(PolicyKind::Hayat).len(), 2);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let c = tiny_campaign();
+        let result = c.run(&[PolicyKind::Hayat]);
+        let s = result.summary(PolicyKind::Hayat).unwrap();
+        assert_eq!(s.chips, 2);
+        assert_eq!(s.policy, "Hayat");
+        assert!(s.mean_final_avg_fmax_ghz > 0.0);
+        assert_eq!(s.avg_fmax_trajectory.len(), 3); // year 0 + 2 epochs
+        assert!(result.summary(PolicyKind::Vaa).is_none());
+    }
+
+    #[test]
+    fn normalized_ratio() {
+        let c = tiny_campaign();
+        let result = c.run(&[PolicyKind::Vaa, PolicyKind::Hayat]);
+        let ratio = result
+            .normalized(
+                |s| s.mean_temp_over_ambient,
+                PolicyKind::Hayat,
+                PolicyKind::Vaa,
+            )
+            .unwrap();
+        assert!(ratio > 0.0 && ratio < 5.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn systems_share_infrastructure_but_not_health() {
+        let c = tiny_campaign();
+        let a = c.system_for(0);
+        let b = c.system_for(1);
+        assert_ne!(a.chip().fmax_all(), b.chip().fmax_all());
+        assert!((a.health().mean() - 1.0).abs() < 1e-12);
+    }
+}

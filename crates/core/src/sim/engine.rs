@@ -1,0 +1,425 @@
+//! The epoch-based accelerated-aging engine.
+
+use crate::dtm::DtmController;
+use crate::mapping::ThreadMapping;
+use crate::metrics::{EpochRecord, RunMetrics};
+use crate::policy::{Policy, PolicyContext};
+use crate::sensors::SensorSuite;
+use crate::sim::config::SimulationConfig;
+use crate::system::ChipSystem;
+use hayat_power::PowerState;
+use hayat_units::{Watts, Years};
+use hayat_workload::WorkloadMix;
+
+/// The accelerated-aging evaluation loop of Fig. 4.
+///
+/// Chip aging plays out over years while thermal dynamics play out over
+/// milliseconds, so the engine alternates two timescales per epoch:
+///
+/// 1. **Decision** — the policy produces a thread mapping (and thereby the
+///    Dark Core Map) from the current health map and workload mix.
+/// 2. **Fine-grained transient simulation** — the RC thermal model advances
+///    in control periods (the paper's 6.6 ms temperature-dependent-leakage
+///    update), DTM fires on thermal emergencies, and per-core worst-case
+///    temperatures and duty cycles are recorded.
+/// 3. **Epoch upscale** — the recorded statistics drive one
+///    [`AgingTable::advance`](hayat_aging::AgingTable::advance) per core
+///    over the epoch length (months of simulated stress), updating the
+///    health map the next epoch's decision will see.
+///
+/// Workload mixes rotate across epochs ("the next epoch starts considering
+/// the same set of workloads (or potentially a different one, given
+/// multiple sets of workloads)").
+///
+/// # Example
+///
+/// ```
+/// use hayat::{ChipSystem, SimulationConfig, SimulationEngine, VaaPolicy};
+///
+/// # fn main() -> Result<(), hayat::BuildSystemError> {
+/// let config = SimulationConfig::quick_demo();
+/// let system = ChipSystem::paper_chip(0, &config)?;
+/// let metrics = SimulationEngine::new(system, Box::new(VaaPolicy), &config).run();
+/// // Health can only decline.
+/// assert!(metrics.final_health_mean() <= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SimulationEngine {
+    system: ChipSystem,
+    policy: Box<dyn Policy>,
+    config: SimulationConfig,
+    dtm: DtmController,
+    mixes: Vec<WorkloadMix>,
+    sensors: Option<SensorSuite>,
+}
+
+impl SimulationEngine {
+    /// Builds an engine for one chip and one policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`SimulationConfig::assert_valid`].
+    #[must_use]
+    pub fn new(system: ChipSystem, policy: Box<dyn Policy>, config: &SimulationConfig) -> Self {
+        config.assert_valid();
+        // Mix sizes spread across the malleability range: the paper's
+        // applications adapt K_j to the available on-core count.
+        let max_on = system.budget().max_on();
+        let (lo, hi) = config.mix_load_range;
+        let rotation = config.mix_rotation;
+        let mixes = (0..rotation)
+            .map(|i| {
+                let frac = if rotation <= 1 {
+                    hi
+                } else {
+                    lo + (hi - lo) * i as f64 / (rotation - 1) as f64
+                };
+                let target = ((max_on as f64 * frac).round() as usize).clamp(1, max_on);
+                WorkloadMix::generate(config.workload_seed.wrapping_add(i as u64), target)
+            })
+            .collect();
+        let dtm = DtmController::new(
+            system.thermal_config().t_safe,
+            config.dtm_hysteresis_kelvin,
+            system.floorplan().core_count(),
+        );
+        let sensors = config
+            .sensors
+            .clone()
+            .map(|cfg| SensorSuite::new(cfg, config.workload_seed ^ 0x5E25_0125));
+        SimulationEngine {
+            system,
+            policy,
+            config: config.clone(),
+            dtm,
+            mixes,
+            sensors,
+        }
+    }
+
+    /// The chip system in its current (possibly aged) state.
+    #[must_use]
+    pub const fn system(&self) -> &ChipSystem {
+        &self.system
+    }
+
+    /// The DTM controller with its cumulative counters.
+    #[must_use]
+    pub const fn dtm(&self) -> &DtmController {
+        &self.dtm
+    }
+
+    /// Runs the full configured lifetime and returns the metrics.
+    pub fn run(&mut self) -> RunMetrics {
+        let mut metrics = RunMetrics {
+            policy: self.policy.name().to_owned(),
+            chip_id: self.system.chip().id(),
+            dark_fraction: self.config.dark_fraction,
+            ambient_kelvin: self.system.thermal_config().ambient.value(),
+            initial_avg_fmax_ghz: self.system.avg_fmax().value(),
+            initial_chip_fmax_ghz: self.system.chip_fmax().value(),
+            final_health_std: 0.0,
+            epochs: Vec::with_capacity(self.config.epoch_count()),
+        };
+        for epoch in 0..self.config.epoch_count() {
+            let record = self.run_epoch(epoch);
+            metrics.epochs.push(record);
+        }
+        metrics.final_health_std = self.system.health().std_dev();
+        metrics
+    }
+
+    /// Runs a single epoch (public so benches can time one decision+window).
+    pub fn run_epoch(&mut self, epoch: usize) -> EpochRecord {
+        let elapsed = Years::new(epoch as f64 * self.config.epoch_years);
+        let workload = self.mixes[epoch % self.mixes.len()].clone();
+
+        // --- Decision at the epoch boundary. -----------------------------
+        // With sensors configured, the policy sees the aging monitors'
+        // *reading* of the health map rather than ground truth.
+        let sensed_system = self.sensors.as_mut().map(|sensors| {
+            let mut view = self.system.clone();
+            *view.health_mut() = sensors.read_health(self.system.health());
+            view
+        });
+        let mapping = {
+            let ctx = PolicyContext {
+                system: sensed_system.as_ref().unwrap_or(&self.system),
+                horizon: self.config.horizon(),
+                elapsed,
+            };
+            self.policy.map_threads(&ctx, &workload)
+        };
+        drop(sensed_system);
+        let unplaced_threads = workload.total_threads() - mapping.active_cores();
+        let migrations_before = self.dtm.migrations();
+        let throttles_before = self.dtm.throttles();
+
+        // --- Fine-grained transient simulation. --------------------------
+        let (worst_temps, duty, avg_temp, peak_temp, throughput_fraction) =
+            self.transient_window(mapping, &workload);
+
+        // --- Epoch upscale: advance every core's health. ------------------
+        let epoch_len = self.config.epoch();
+        let updates: Vec<_> = self
+            .system
+            .floorplan()
+            .cores()
+            .map(|core| {
+                let h_now = self.system.health().core(core).value();
+                let h_next = self.system.aging_table().advance(
+                    worst_temps[core.index()],
+                    duty[core.index()],
+                    h_now,
+                    epoch_len,
+                );
+                (core, h_next)
+            })
+            .collect();
+        for (core, h_next) in updates {
+            let current = self.system.health().core(core);
+            self.system
+                .health_mut()
+                .set(core, current.degraded_to(h_next));
+        }
+
+        EpochRecord {
+            epoch,
+            years: (epoch + 1) as f64 * self.config.epoch_years,
+            avg_fmax_ghz: self.system.avg_fmax().value(),
+            chip_fmax_ghz: self.system.chip_fmax().value(),
+            mean_health: self.system.health().mean(),
+            min_health: self.system.health().min().value(),
+            avg_temp_kelvin: avg_temp,
+            peak_temp_kelvin: peak_temp,
+            dtm_migrations: self.dtm.migrations() - migrations_before,
+            dtm_throttles: self.dtm.throttles() - throttles_before,
+            unplaced_threads,
+            throughput_fraction,
+        }
+    }
+
+    /// Advances the thermal state through one transient window under the
+    /// given (mutable — DTM migrates) mapping. Returns per-core worst-case
+    /// temperatures, per-core effective duty cycles, the time-averaged mean
+    /// temperature, the observed peak, and the delivered-throughput
+    /// fraction (achieved over required IPS across all threads and steps).
+    fn transient_window(
+        &mut self,
+        mut mapping: ThreadMapping,
+        workload: &WorkloadMix,
+    ) -> (
+        Vec<hayat_units::Kelvin>,
+        Vec<hayat_units::DutyCycle>,
+        f64,
+        f64,
+        f64,
+    ) {
+        let n = self.system.floorplan().core_count();
+        let window = self.config.transient_window_seconds;
+        let dt = self.config.control_period();
+        let steps = (window / self.config.control_period_seconds)
+            .round()
+            .max(1.0) as usize;
+
+        let mut worst = self.system.transient().temperatures();
+        let mut stress_seconds = vec![0.0f64; n];
+        let mut temp_sum = 0.0;
+        let mut peak: f64 = self.system.transient().temperatures().max().value();
+        // Throughput accounting: required vs delivered IPS per step.
+        let required_ips_per_step: f64 = workload
+            .threads()
+            .map(|(_, t)| t.ips(t.min_frequency()))
+            .sum();
+        let mut required_ips = 0.0;
+        let mut achieved_ips = 0.0;
+
+        for step in 0..steps {
+            let now = step as f64 * self.config.control_period_seconds;
+            let temps = self.system.transient().temperatures();
+            // DTM check against the current temperatures.
+            let _ = self
+                .dtm
+                .check(&self.system, &mut mapping, workload, &temps, now);
+            // Per-core power under the (possibly updated) mapping. Dynamic
+            // power follows the thread's phase trace (compute/memory phases
+            // of the Parsec-like workloads).
+            let model = self.system.power_model();
+            let chip = self.system.chip();
+            let power: Vec<Watts> = self
+                .system
+                .floorplan()
+                .cores()
+                .map(|core| {
+                    let t = temps.core(core);
+                    let state = match mapping.thread_on(core) {
+                        Some(tid) => {
+                            let profile = workload.thread(tid);
+                            let freq = profile
+                                .min_frequency()
+                                .scaled(self.dtm.throttle_factor(core));
+                            let dynamic = profile
+                                .dynamic_power(freq)
+                                .scaled(profile.power_factor(now));
+                            PowerState::Active { dynamic }
+                        }
+                        None => PowerState::Dark,
+                    };
+                    model.core_power(state, chip.leakage_factor(core), t)
+                })
+                .collect();
+            // Stress accounting for the aging upscale, plus delivered
+            // throughput (throttled cores run below the required frequency;
+            // unplaced threads deliver nothing).
+            required_ips += required_ips_per_step;
+            for (core, tid) in mapping.assignments() {
+                let profile = workload.thread(tid);
+                stress_seconds[core.index()] +=
+                    self.config.control_period_seconds * profile.duty().value();
+                let freq = profile
+                    .min_frequency()
+                    .scaled(self.dtm.throttle_factor(core));
+                achieved_ips += profile.ips(freq);
+            }
+            // Advance the thermal state.
+            self.system.transient_mut().step(dt, &power);
+            let after = self.system.transient().temperatures();
+            worst = worst.elementwise_max(&after);
+            temp_sum += after.mean().value();
+            peak = peak.max(after.max().value());
+        }
+
+        let duty: Vec<hayat_units::DutyCycle> = stress_seconds
+            .iter()
+            .map(|&s| hayat_units::DutyCycle::clamped(s / window))
+            .collect();
+        let worst_temps: Vec<hayat_units::Kelvin> = (0..n)
+            .map(|i| worst.core(hayat_floorplan::CoreId::new(i)))
+            .collect();
+        let throughput_fraction = if required_ips > 0.0 {
+            (achieved_ips / required_ips).min(1.0)
+        } else {
+            1.0
+        };
+        (
+            worst_temps,
+            duty,
+            temp_sum / steps as f64,
+            peak,
+            throughput_fraction,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::hayat::HayatPolicy;
+    use crate::policy::vaa::VaaPolicy;
+
+    fn engine(policy: Box<dyn Policy>) -> SimulationEngine {
+        let config = SimulationConfig::quick_demo();
+        let system = ChipSystem::paper_chip(0, &config).unwrap();
+        SimulationEngine::new(system, policy, &config)
+    }
+
+    #[test]
+    fn run_produces_one_record_per_epoch() {
+        let mut e = engine(Box::<HayatPolicy>::default());
+        let m = e.run();
+        assert_eq!(m.epochs.len(), SimulationConfig::quick_demo().epoch_count());
+        assert_eq!(m.policy, "Hayat");
+    }
+
+    #[test]
+    fn health_declines_monotonically() {
+        let mut e = engine(Box::new(VaaPolicy));
+        let m = e.run();
+        let mut last = 1.0;
+        for rec in &m.epochs {
+            assert!(
+                rec.mean_health <= last + 1e-12,
+                "health rose at epoch {}",
+                rec.epoch
+            );
+            last = rec.mean_health;
+        }
+        assert!(last < 1.0, "two simulated years must age the chip");
+    }
+
+    #[test]
+    fn frequencies_track_health() {
+        let mut e = engine(Box::<HayatPolicy>::default());
+        let m = e.run();
+        for rec in &m.epochs {
+            assert!(rec.avg_fmax_ghz <= m.initial_avg_fmax_ghz + 1e-12);
+            assert!(rec.chip_fmax_ghz <= m.initial_chip_fmax_ghz + 1e-12);
+            assert!(rec.avg_fmax_ghz <= rec.chip_fmax_ghz);
+        }
+    }
+
+    #[test]
+    fn temperatures_stay_physical() {
+        let mut e = engine(Box::<HayatPolicy>::default());
+        let m = e.run();
+        for rec in &m.epochs {
+            assert!(rec.avg_temp_kelvin > 300.0 && rec.avg_temp_kelvin < 400.0);
+            assert!(rec.peak_temp_kelvin >= rec.avg_temp_kelvin);
+        }
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let run = || {
+            let mut e = engine(Box::<HayatPolicy>::default());
+            e.run()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn most_threads_get_placed() {
+        let mut e = engine(Box::<HayatPolicy>::default());
+        let m = e.run();
+        assert_eq!(
+            m.total_unplaced(),
+            0,
+            "quick-demo load must be fully placeable"
+        );
+    }
+
+    #[test]
+    fn malleable_mix_range_varies_parallelism_and_still_places_everything() {
+        let mut config = SimulationConfig::quick_demo();
+        config.mix_load_range = (0.5, 1.0);
+        config.mix_rotation = 3;
+        let system = ChipSystem::paper_chip(0, &config).unwrap();
+        let max_on = system.budget().max_on();
+        let mut e = SimulationEngine::new(system, Box::<HayatPolicy>::default(), &config);
+        let sizes: Vec<usize> = e.mixes.iter().map(|m| m.total_threads()).collect();
+        assert_eq!(sizes, vec![max_on / 2, (max_on * 3) / 4, max_on]);
+        let m = e.run();
+        assert_eq!(m.total_unplaced(), 0);
+    }
+
+    #[test]
+    fn sensor_configured_runs_stay_close_to_ground_truth_runs() {
+        let exact = {
+            let mut e = engine(Box::<HayatPolicy>::default());
+            e.run()
+        };
+        let sensed = {
+            let mut config = SimulationConfig::quick_demo();
+            config.sensors = Some(crate::sensors::SensorConfig::typical());
+            let system = ChipSystem::paper_chip(0, &config).unwrap();
+            let mut e = SimulationEngine::new(system, Box::<HayatPolicy>::default(), &config);
+            e.run()
+        };
+        // Quantized health readings must not meaningfully change the
+        // aging outcome.
+        let gap = (exact.final_avg_fmax_ghz() - sensed.final_avg_fmax_ghz()).abs();
+        assert!(gap < 0.05, "sensor path diverged by {gap} GHz");
+        assert_eq!(sensed.total_unplaced(), 0);
+    }
+}

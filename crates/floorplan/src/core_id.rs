@@ -1,0 +1,79 @@
+//! Identifier newtype for cores.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense identifier of a core within a [`Floorplan`](crate::Floorplan).
+///
+/// Core ids index cores in row-major order: on an `R × C` mesh, the core at
+/// mesh row `r` and column `c` has id `r * C + c`. The newtype exists so that
+/// a core index can never be confused with a grid-cell index or a thread
+/// index (both also plain `usize` under the hood).
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::CoreId;
+///
+/// let id = CoreId::new(12);
+/// assert_eq!(id.index(), 12);
+/// assert_eq!(format!("{id}"), "C12");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct CoreId(usize);
+
+impl CoreId {
+    /// Creates a core id from a dense row-major index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        CoreId(index)
+    }
+
+    /// Returns the dense row-major index of this core.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl From<CoreId> for usize {
+    fn from(id: CoreId) -> usize {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_round_trips_index() {
+        for i in [0usize, 1, 7, 63, 1024] {
+            assert_eq!(CoreId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_c_prefixed() {
+        assert_eq!(CoreId::new(0).to_string(), "C0");
+        assert_eq!(CoreId::new(63).to_string(), "C63");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(CoreId::new(3) < CoreId::new(4));
+        assert_eq!(CoreId::new(5), CoreId::new(5));
+    }
+
+    #[test]
+    fn usize_conversion() {
+        assert_eq!(usize::from(CoreId::new(9)), 9);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for floorplan construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`FloorplanBuilder`](crate::FloorplanBuilder)
+/// describes an invalid chip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildFloorplanError {
+    /// The mesh has zero rows or zero columns.
+    EmptyMesh,
+    /// A core dimension was zero or negative.
+    NonPositiveCoreDimension,
+    /// The variation-grid resolution does not evenly tile the core array.
+    GridDoesNotTile {
+        /// Requested grid cells per core edge.
+        cells_per_core: usize,
+    },
+}
+
+impl fmt::Display for BuildFloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildFloorplanError::EmptyMesh => {
+                write!(
+                    f,
+                    "floorplan mesh must have at least one row and one column"
+                )
+            }
+            BuildFloorplanError::NonPositiveCoreDimension => {
+                write!(f, "core width and height must be positive")
+            }
+            BuildFloorplanError::GridDoesNotTile { cells_per_core } => {
+                write!(
+                    f,
+                    "variation grid with {cells_per_core} cells per core edge must be at least 1"
+                )
+            }
+        }
+    }
+}
+
+impl Error for BuildFloorplanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        assert!(BuildFloorplanError::EmptyMesh
+            .to_string()
+            .contains("at least one row"));
+        assert!(BuildFloorplanError::NonPositiveCoreDimension
+            .to_string()
+            .contains("positive"));
+        assert!(BuildFloorplanError::GridDoesNotTile { cells_per_core: 0 }
+            .to_string()
+            .contains("grid"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BuildFloorplanError>();
+    }
+}

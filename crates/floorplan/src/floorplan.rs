@@ -1,0 +1,425 @@
+//! The rectangular-mesh chip floorplan.
+
+use crate::core_id::CoreId;
+use crate::error::BuildFloorplanError;
+use crate::grid::GridOverlay;
+use crate::position::{CorePosition, Millimeters, Point};
+use serde::{Deserialize, Serialize};
+
+/// Immutable description of a manycore chip: an `R × C` mesh of identical
+/// core tiles plus the process-variation grid overlaid on them.
+///
+/// The floorplan is the shared geometric substrate of the whole
+/// reproduction: the variation model samples one Gaussian random variable per
+/// [grid cell](crate::GridCell), the thermal model builds one RC node per
+/// core tile, and the Hayat run-time reasons about core adjacency when
+/// predicting spatial thermal influence.
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::{Floorplan, CoreId};
+///
+/// let fp = Floorplan::paper_8x8();
+/// assert_eq!(fp.rows(), 8);
+/// assert_eq!(fp.cols(), 8);
+/// // A corner core has exactly two mesh neighbours.
+/// assert_eq!(fp.neighbors(CoreId::new(0)).count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    rows: usize,
+    cols: usize,
+    core_width: Millimeters,
+    core_height: Millimeters,
+    grid: GridOverlay,
+}
+
+impl Floorplan {
+    /// The 8×8 Alpha 21264-class floorplan used throughout the paper's
+    /// evaluation: 64 cores of 1.70 mm × 1.75 mm with a 4×4 variation grid
+    /// per core (32×32 grid points chip-wide).
+    #[must_use]
+    pub fn paper_8x8() -> Self {
+        FloorplanBuilder::new(8, 8)
+            .core_size(Millimeters::new(1.70), Millimeters::new(1.75))
+            .grid_cells_per_core(4)
+            .build()
+            .expect("paper floorplan parameters are valid")
+    }
+
+    /// Number of mesh rows.
+    #[must_use]
+    pub const fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of mesh columns.
+    #[must_use]
+    pub const fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of cores (`rows × cols`).
+    #[must_use]
+    pub const fn core_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Width of one core tile.
+    #[must_use]
+    pub const fn core_width(&self) -> Millimeters {
+        self.core_width
+    }
+
+    /// Height of one core tile.
+    #[must_use]
+    pub const fn core_height(&self) -> Millimeters {
+        self.core_height
+    }
+
+    /// The process-variation grid overlaid on the core array.
+    #[must_use]
+    pub const fn grid(&self) -> &GridOverlay {
+        &self.grid
+    }
+
+    /// Iterator over all core ids in row-major order.
+    pub fn cores(&self) -> impl ExactSizeIterator<Item = CoreId> + Clone {
+        (0..self.core_count()).map(CoreId::new)
+    }
+
+    /// Returns the placement of `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range for this floorplan.
+    #[must_use]
+    pub fn position(&self, core: CoreId) -> CorePosition {
+        let idx = core.index();
+        assert!(
+            idx < self.core_count(),
+            "core {core} out of range for {}x{} floorplan",
+            self.rows,
+            self.cols
+        );
+        let row = idx / self.cols;
+        let col = idx % self.cols;
+        let w = self.core_width.value();
+        let h = self.core_height.value();
+        CorePosition {
+            row,
+            col,
+            center: Point::new((col as f64 + 0.5) * w, (row as f64 + 0.5) * h),
+            width: self.core_width,
+            height: self.core_height,
+        }
+    }
+
+    /// Returns the core at mesh coordinates `(row, col)`, if in range.
+    #[must_use]
+    pub fn core_at(&self, row: usize, col: usize) -> Option<CoreId> {
+        (row < self.rows && col < self.cols).then(|| CoreId::new(row * self.cols + col))
+    }
+
+    /// Iterator over the 4-connected mesh neighbours of `core`.
+    ///
+    /// Neighbour order is deterministic: north, south, west, east (skipping
+    /// edges of the mesh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, core: CoreId) -> Neighbors<'_> {
+        let pos = self.position(core);
+        Neighbors {
+            fp: self,
+            row: pos.row,
+            col: pos.col,
+            step: 0,
+        }
+    }
+
+    /// Manhattan distance in mesh hops between two cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either core is out of range.
+    #[must_use]
+    pub fn mesh_distance(&self, a: CoreId, b: CoreId) -> usize {
+        self.position(a).mesh_distance(&self.position(b))
+    }
+
+    /// Physical center-to-center distance between two cores, in millimeters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either core is out of range.
+    #[must_use]
+    pub fn physical_distance(&self, a: CoreId, b: CoreId) -> f64 {
+        self.position(a).center.distance(self.position(b).center)
+    }
+
+    /// Total die area occupied by core tiles, in square millimeters.
+    #[must_use]
+    pub fn core_area_mm2(&self) -> f64 {
+        self.core_count() as f64 * self.core_width.value() * self.core_height.value()
+    }
+}
+
+/// Iterator over the mesh neighbours of a core.
+///
+/// Created by [`Floorplan::neighbors`].
+#[derive(Debug, Clone)]
+pub struct Neighbors<'a> {
+    fp: &'a Floorplan,
+    row: usize,
+    col: usize,
+    step: u8,
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = CoreId;
+
+    fn next(&mut self) -> Option<CoreId> {
+        while self.step < 4 {
+            let step = self.step;
+            self.step += 1;
+            let candidate = match step {
+                0 => self
+                    .row
+                    .checked_add(1)
+                    .and_then(|r| self.fp.core_at(r, self.col)),
+                1 => self
+                    .row
+                    .checked_sub(1)
+                    .and_then(|r| self.fp.core_at(r, self.col)),
+                2 => self
+                    .col
+                    .checked_sub(1)
+                    .and_then(|c| self.fp.core_at(self.row, c)),
+                _ => self
+                    .col
+                    .checked_add(1)
+                    .and_then(|c| self.fp.core_at(self.row, c)),
+            };
+            if candidate.is_some() {
+                return candidate;
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(4 - self.step as usize))
+    }
+}
+
+/// Builder for [`Floorplan`] values.
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::{FloorplanBuilder, Millimeters};
+///
+/// # fn main() -> Result<(), hayat_floorplan::BuildFloorplanError> {
+/// let fp = FloorplanBuilder::new(4, 4)
+///     .core_size(Millimeters::new(2.0), Millimeters::new(2.0))
+///     .grid_cells_per_core(2)
+///     .build()?;
+/// assert_eq!(fp.core_count(), 16);
+/// assert_eq!(fp.grid().cells_per_side(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FloorplanBuilder {
+    rows: usize,
+    cols: usize,
+    core_width: Millimeters,
+    core_height: Millimeters,
+    grid_cells_per_core: usize,
+}
+
+impl FloorplanBuilder {
+    /// Starts a builder for an `rows × cols` mesh with the paper's default
+    /// core tile (1.70 mm × 1.75 mm) and a 4×4 variation grid per core.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        FloorplanBuilder {
+            rows,
+            cols,
+            core_width: Millimeters::new(1.70),
+            core_height: Millimeters::new(1.75),
+            grid_cells_per_core: 4,
+        }
+    }
+
+    /// Sets the physical dimensions of a core tile.
+    #[must_use]
+    pub fn core_size(mut self, width: Millimeters, height: Millimeters) -> Self {
+        self.core_width = width;
+        self.core_height = height;
+        self
+    }
+
+    /// Sets how many variation-grid cells tile one core edge.
+    #[must_use]
+    pub fn grid_cells_per_core(mut self, cells: usize) -> Self {
+        self.grid_cells_per_core = cells;
+        self
+    }
+
+    /// Builds the floorplan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildFloorplanError`] if the mesh is empty, a core dimension
+    /// is non-positive, or the grid resolution is zero.
+    pub fn build(self) -> Result<Floorplan, BuildFloorplanError> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(BuildFloorplanError::EmptyMesh);
+        }
+        if self.core_width.value() <= 0.0 || self.core_height.value() <= 0.0 {
+            return Err(BuildFloorplanError::NonPositiveCoreDimension);
+        }
+        if self.grid_cells_per_core == 0 {
+            return Err(BuildFloorplanError::GridDoesNotTile { cells_per_core: 0 });
+        }
+        let grid = GridOverlay::new(self.rows, self.cols, self.grid_cells_per_core);
+        Ok(Floorplan {
+            rows: self.rows,
+            cols: self.cols,
+            core_width: self.core_width,
+            core_height: self.core_height,
+            grid,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_floorplan_matches_setup_section() {
+        let fp = Floorplan::paper_8x8();
+        assert_eq!(fp.core_count(), 64);
+        assert!((fp.core_width().value() - 1.70).abs() < 1e-12);
+        assert!((fp.core_height().value() - 1.75).abs() < 1e-12);
+        // 8 cores * 4 cells per core edge = 32 grid cells per side.
+        assert_eq!(fp.grid().cells_per_side(), 32);
+        assert!((fp.core_area_mm2() - 64.0 * 2.975).abs() < 1e-9);
+    }
+
+    #[test]
+    fn positions_are_row_major() {
+        let fp = Floorplan::paper_8x8();
+        let p = fp.position(CoreId::new(9));
+        assert_eq!((p.row, p.col), (1, 1));
+        let p0 = fp.position(CoreId::new(0));
+        assert!((p0.center.x - 0.85).abs() < 1e-12);
+        assert!((p0.center.y - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_at_round_trips_position() {
+        let fp = Floorplan::paper_8x8();
+        for core in fp.cores() {
+            let p = fp.position(core);
+            assert_eq!(fp.core_at(p.row, p.col), Some(core));
+        }
+        assert_eq!(fp.core_at(8, 0), None);
+        assert_eq!(fp.core_at(0, 8), None);
+    }
+
+    #[test]
+    fn neighbor_counts_match_mesh_topology() {
+        let fp = Floorplan::paper_8x8();
+        let mut counts = [0usize; 5];
+        for core in fp.cores() {
+            counts[fp.neighbors(core).count()] += 1;
+        }
+        // 4 corners, 24 edge cores, 36 interior cores.
+        assert_eq!(counts[2], 4);
+        assert_eq!(counts[3], 24);
+        assert_eq!(counts[4], 36);
+    }
+
+    #[test]
+    fn neighbors_are_distance_one() {
+        let fp = Floorplan::paper_8x8();
+        for core in fp.cores() {
+            for n in fp.neighbors(core) {
+                assert_eq!(fp.mesh_distance(core, n), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        let fp = Floorplan::paper_8x8();
+        for core in fp.cores() {
+            for n in fp.neighbors(core) {
+                assert!(fp.neighbors(n).any(|m| m == core));
+            }
+        }
+    }
+
+    #[test]
+    fn physical_distance_of_horizontal_neighbors_is_core_width() {
+        let fp = Floorplan::paper_8x8();
+        let a = fp.core_at(0, 0).unwrap();
+        let b = fp.core_at(0, 1).unwrap();
+        assert!((fp.physical_distance(a, b) - 1.70).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_rejects_empty_mesh() {
+        assert_eq!(
+            FloorplanBuilder::new(0, 8).build().unwrap_err(),
+            BuildFloorplanError::EmptyMesh
+        );
+        assert_eq!(
+            FloorplanBuilder::new(8, 0).build().unwrap_err(),
+            BuildFloorplanError::EmptyMesh
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_grid() {
+        assert!(matches!(
+            FloorplanBuilder::new(2, 2).grid_cells_per_core(0).build(),
+            Err(BuildFloorplanError::GridDoesNotTile { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_non_positive_core() {
+        assert_eq!(
+            FloorplanBuilder::new(2, 2)
+                .core_size(Millimeters::new(0.0), Millimeters::new(1.0))
+                .build()
+                .unwrap_err(),
+            BuildFloorplanError::NonPositiveCoreDimension
+        );
+    }
+
+    #[test]
+    fn non_square_mesh_works() {
+        let fp = FloorplanBuilder::new(2, 5).build().unwrap();
+        assert_eq!(fp.core_count(), 10);
+        let last = CoreId::new(9);
+        let p = fp.position(last);
+        assert_eq!((p.row, p.col), (1, 4));
+        assert_eq!(fp.neighbors(last).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn position_panics_out_of_range() {
+        let fp = FloorplanBuilder::new(2, 2).build().unwrap();
+        let _ = fp.position(CoreId::new(4));
+    }
+}

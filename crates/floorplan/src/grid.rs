@@ -1,0 +1,277 @@
+//! The process-variation grid overlaid on the core array.
+//!
+//! The variation model of the paper (Section III, after Xiong/Zolotov [25]
+//! and Raghunathan [26]) partitions the chip into `Nchip × Nchip` grid
+//! points; one Gaussian process parameter is attached to each point. Cores
+//! cover a rectangle of grid cells, and a core's maximum frequency is
+//! determined by the worst grid point its critical path crosses (Eq. 1).
+
+use crate::core_id::CoreId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coordinates of one cell of the variation grid.
+///
+/// Cells use `(row, col)` indexing with `(0, 0)` at the lower-left die
+/// corner, matching core mesh orientation.
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::GridCell;
+///
+/// let c = GridCell::new(3, 5);
+/// assert_eq!((c.row, c.col), (3, 5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GridCell {
+    /// Grid row (0 at the bottom of the die).
+    pub row: usize,
+    /// Grid column (0 at the left of the die).
+    pub col: usize,
+}
+
+impl GridCell {
+    /// Creates a grid cell from row/column coordinates.
+    #[must_use]
+    pub const fn new(row: usize, col: usize) -> Self {
+        GridCell { row, col }
+    }
+
+    /// Euclidean distance to another cell in grid-cell units.
+    #[must_use]
+    pub fn distance(self, other: GridCell) -> f64 {
+        let dr = self.row as f64 - other.row as f64;
+        let dc = self.col as f64 - other.col as f64;
+        (dr * dr + dc * dc).sqrt()
+    }
+}
+
+impl fmt::Display for GridCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g({},{})", self.row, self.col)
+    }
+}
+
+/// The mapping between the variation grid and the core array.
+///
+/// Each core covers a square block of `cells_per_core × cells_per_core`
+/// grid cells. The overlay answers both directions of the mapping: which
+/// cells a core covers, and which core (if any) owns a cell.
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::{Floorplan, CoreId};
+///
+/// let fp = Floorplan::paper_8x8();
+/// let cells = fp.grid().cells_of_core(CoreId::new(0), fp.cols());
+/// assert_eq!(cells.len(), 16); // 4x4 cells per core
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridOverlay {
+    grid_rows: usize,
+    grid_cols: usize,
+    cells_per_core: usize,
+}
+
+impl GridOverlay {
+    /// Creates an overlay for a `core_rows × core_cols` mesh with
+    /// `cells_per_core` grid cells along each core edge.
+    #[must_use]
+    pub fn new(core_rows: usize, core_cols: usize, cells_per_core: usize) -> Self {
+        GridOverlay {
+            grid_rows: core_rows * cells_per_core,
+            grid_cols: core_cols * cells_per_core,
+            cells_per_core,
+        }
+    }
+
+    /// Number of grid rows over the whole die.
+    #[must_use]
+    pub const fn rows(&self) -> usize {
+        self.grid_rows
+    }
+
+    /// Number of grid columns over the whole die.
+    #[must_use]
+    pub const fn cols(&self) -> usize {
+        self.grid_cols
+    }
+
+    /// Grid cells along one side, assuming a square die
+    /// (`rows()` for the paper's square configurations).
+    #[must_use]
+    pub const fn cells_per_side(&self) -> usize {
+        self.grid_rows
+    }
+
+    /// Grid cells along one core edge.
+    #[must_use]
+    pub const fn cells_per_core(&self) -> usize {
+        self.cells_per_core
+    }
+
+    /// Total number of grid cells.
+    #[must_use]
+    pub const fn cell_count(&self) -> usize {
+        self.grid_rows * self.grid_cols
+    }
+
+    /// Dense index of a cell (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell lies outside the grid.
+    #[must_use]
+    pub fn cell_index(&self, cell: GridCell) -> usize {
+        assert!(
+            cell.row < self.grid_rows && cell.col < self.grid_cols,
+            "{cell} outside {}x{} grid",
+            self.grid_rows,
+            self.grid_cols
+        );
+        cell.row * self.grid_cols + cell.col
+    }
+
+    /// Cell at a dense row-major index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= cell_count()`.
+    #[must_use]
+    pub fn cell_at(&self, index: usize) -> GridCell {
+        assert!(index < self.cell_count(), "cell index {index} out of range");
+        GridCell::new(index / self.grid_cols, index % self.grid_cols)
+    }
+
+    /// All cells covered by `core` on a mesh with `core_cols` columns,
+    /// in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the computed block lies outside the grid (i.e. the core id
+    /// is inconsistent with the mesh this overlay was built for).
+    #[must_use]
+    pub fn cells_of_core(&self, core: CoreId, core_cols: usize) -> Vec<GridCell> {
+        let core_row = core.index() / core_cols;
+        let core_col = core.index() % core_cols;
+        let r0 = core_row * self.cells_per_core;
+        let c0 = core_col * self.cells_per_core;
+        assert!(
+            r0 + self.cells_per_core <= self.grid_rows
+                && c0 + self.cells_per_core <= self.grid_cols,
+            "core {core} block outside the grid"
+        );
+        let mut cells = Vec::with_capacity(self.cells_per_core * self.cells_per_core);
+        for r in r0..r0 + self.cells_per_core {
+            for c in c0..c0 + self.cells_per_core {
+                cells.push(GridCell::new(r, c));
+            }
+        }
+        cells
+    }
+
+    /// The core owning `cell`, given the mesh column count.
+    ///
+    /// Returns `None` when the cell is outside the grid.
+    #[must_use]
+    pub fn core_of_cell(&self, cell: GridCell, core_cols: usize) -> Option<CoreId> {
+        if cell.row >= self.grid_rows || cell.col >= self.grid_cols {
+            return None;
+        }
+        let core_row = cell.row / self.cells_per_core;
+        let core_col = cell.col / self.cells_per_core;
+        Some(CoreId::new(core_row * core_cols + core_col))
+    }
+
+    /// Iterator over all grid cells in row-major order.
+    pub fn cells(&self) -> impl ExactSizeIterator<Item = GridCell> + Clone + '_ {
+        let cols = self.grid_cols;
+        (0..self.cell_count()).map(move |i| GridCell::new(i / cols, i % cols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overlay() -> GridOverlay {
+        GridOverlay::new(8, 8, 4)
+    }
+
+    #[test]
+    fn dimensions_match_mesh() {
+        let g = overlay();
+        assert_eq!(g.rows(), 32);
+        assert_eq!(g.cols(), 32);
+        assert_eq!(g.cell_count(), 1024);
+        assert_eq!(g.cells_per_core(), 4);
+    }
+
+    #[test]
+    fn cell_index_round_trips() {
+        let g = overlay();
+        for i in [0usize, 1, 31, 32, 1023] {
+            assert_eq!(g.cell_index(g.cell_at(i)), i);
+        }
+    }
+
+    #[test]
+    fn cells_of_core_are_disjoint_and_cover_grid() {
+        let g = overlay();
+        let mut seen = vec![false; g.cell_count()];
+        for core in 0..64 {
+            for cell in g.cells_of_core(CoreId::new(core), 8) {
+                let idx = g.cell_index(cell);
+                assert!(!seen[idx], "cell {cell} covered twice");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn core_of_cell_inverts_cells_of_core() {
+        let g = overlay();
+        for core in 0..64 {
+            let core = CoreId::new(core);
+            for cell in g.cells_of_core(core, 8) {
+                assert_eq!(g.core_of_cell(cell, 8), Some(core));
+            }
+        }
+    }
+
+    #[test]
+    fn core_of_cell_out_of_range_is_none() {
+        let g = overlay();
+        assert_eq!(g.core_of_cell(GridCell::new(32, 0), 8), None);
+        assert_eq!(g.core_of_cell(GridCell::new(0, 32), 8), None);
+    }
+
+    #[test]
+    fn grid_cell_distance() {
+        assert!((GridCell::new(0, 0).distance(GridCell::new(3, 4)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cells_iterator_is_row_major_and_exact() {
+        let g = GridOverlay::new(2, 2, 1);
+        let cells: Vec<_> = g.cells().collect();
+        assert_eq!(
+            cells,
+            vec![
+                GridCell::new(0, 0),
+                GridCell::new(0, 1),
+                GridCell::new(1, 0),
+                GridCell::new(1, 1)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn cell_index_panics_outside_grid() {
+        let _ = overlay().cell_index(GridCell::new(40, 0));
+    }
+}

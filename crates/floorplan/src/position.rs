@@ -1,0 +1,197 @@
+//! Physical coordinates on the die.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A physical length on the die, in millimeters.
+///
+/// The paper's core tile is 1.70 mm × 1.75 mm; keeping the unit in the type
+/// prevents accidental mixing of millimeter geometry with the unit-less
+/// variation-grid coordinates.
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::Millimeters;
+///
+/// let w = Millimeters::new(1.70);
+/// let h = Millimeters::new(1.75);
+/// assert!((w + h).value() - 3.45 < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Millimeters(f64);
+
+impl Millimeters {
+    /// Creates a length from a value in millimeters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite(), "length must be finite, got {value}");
+        Millimeters(value)
+    }
+
+    /// Returns the length in millimeters.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the length in meters (for thermal-conductance computations).
+    #[must_use]
+    pub fn meters(self) -> f64 {
+        self.0 * 1e-3
+    }
+}
+
+impl Add for Millimeters {
+    type Output = Millimeters;
+    fn add(self, rhs: Millimeters) -> Millimeters {
+        Millimeters(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Millimeters {
+    type Output = Millimeters;
+    fn sub(self, rhs: Millimeters) -> Millimeters {
+        Millimeters(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Millimeters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} mm", self.0)
+    }
+}
+
+/// A point on the die surface in millimeters from the lower-left die corner.
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert!((a.distance(b) - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal offset from the die's lower-left corner, in millimeters.
+    pub x: f64,
+    /// Vertical offset from the die's lower-left corner, in millimeters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from millimeter coordinates.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point, in millimeters.
+    #[must_use]
+    pub fn distance(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3}) mm", self.x, self.y)
+    }
+}
+
+/// Placement of a single core tile: mesh coordinates plus physical footprint.
+///
+/// Produced by [`Floorplan`](crate::Floorplan); users normally obtain these
+/// through [`Floorplan::position`](crate::Floorplan::position).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorePosition {
+    /// Mesh row of the core (0 at the bottom).
+    pub row: usize,
+    /// Mesh column of the core (0 at the left).
+    pub col: usize,
+    /// Physical center of the core tile.
+    pub center: Point,
+    /// Width of the core tile.
+    pub width: Millimeters,
+    /// Height of the core tile.
+    pub height: Millimeters,
+}
+
+impl CorePosition {
+    /// Area of the core tile in square millimeters.
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        self.width.value() * self.height.value()
+    }
+
+    /// Manhattan distance in mesh hops to another core position.
+    #[must_use]
+    pub fn mesh_distance(&self, other: &CorePosition) -> usize {
+        self.row.abs_diff(other.row) + self.col.abs_diff(other.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn millimeters_arithmetic() {
+        let a = Millimeters::new(2.0);
+        let b = Millimeters::new(0.5);
+        assert_eq!((a + b).value(), 2.5);
+        assert_eq!((a - b).value(), 1.5);
+    }
+
+    #[test]
+    fn millimeters_to_meters() {
+        assert!((Millimeters::new(1.75).meters() - 0.00175).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn millimeters_rejects_nan() {
+        let _ = Millimeters::new(f64::NAN);
+    }
+
+    #[test]
+    fn point_distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 7.5);
+        assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_position_area_and_mesh_distance() {
+        let p = CorePosition {
+            row: 1,
+            col: 2,
+            center: Point::new(0.0, 0.0),
+            width: Millimeters::new(1.70),
+            height: Millimeters::new(1.75),
+        };
+        let q = CorePosition {
+            row: 4,
+            col: 0,
+            ..p
+        };
+        assert!((p.area_mm2() - 2.975).abs() < 1e-12);
+        assert_eq!(p.mesh_distance(&q), 5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Millimeters::new(1.7).to_string(), "1.7 mm");
+        assert_eq!(Point::new(1.0, 2.0).to_string(), "(1.000, 2.000) mm");
+    }
+}

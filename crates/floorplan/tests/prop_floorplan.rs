@@ -1,0 +1,99 @@
+//! Property tests and serde round-trips for the floorplan crate.
+
+use hayat_floorplan::{CoreId, Floorplan, FloorplanBuilder, GridCell, Millimeters};
+use proptest::prelude::*;
+
+fn arb_floorplan() -> impl Strategy<Value = Floorplan> {
+    (1usize..10, 1usize..10, 1usize..6).prop_map(|(rows, cols, cells)| {
+        FloorplanBuilder::new(rows, cols)
+            .grid_cells_per_core(cells)
+            .build()
+            .expect("valid mesh")
+    })
+}
+
+proptest! {
+    #[test]
+    fn positions_round_trip_through_core_at(fp in arb_floorplan()) {
+        for core in fp.cores() {
+            let p = fp.position(core);
+            prop_assert_eq!(fp.core_at(p.row, p.col), Some(core));
+        }
+    }
+
+    #[test]
+    fn neighbor_counts_match_mesh_position(fp in arb_floorplan()) {
+        for core in fp.cores() {
+            let p = fp.position(core);
+            let mut expect = 4;
+            if p.row == 0 { expect -= 1; }
+            if p.row == fp.rows() - 1 { expect -= 1; }
+            if p.col == 0 { expect -= 1; }
+            if p.col == fp.cols() - 1 { expect -= 1; }
+            // Degenerate 1-wide meshes double-count the same edge.
+            let expect = expect.max(0);
+            prop_assert_eq!(fp.neighbors(core).count(), expect as usize);
+        }
+    }
+
+    #[test]
+    fn grid_cells_partition_exactly(fp in arb_floorplan()) {
+        let grid = fp.grid();
+        let mut covered = vec![0u32; grid.cell_count()];
+        for core in fp.cores() {
+            for cell in grid.cells_of_core(core, fp.cols()) {
+                covered[grid.cell_index(cell)] += 1;
+                prop_assert_eq!(grid.core_of_cell(cell, fp.cols()), Some(core));
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn physical_distance_scales_with_mesh_distance_on_rows(
+        fp in arb_floorplan(),
+        a in 0usize..100,
+        b in 0usize..100,
+    ) {
+        let n = fp.core_count();
+        let (a, b) = (CoreId::new(a % n), CoreId::new(b % n));
+        let pa = fp.position(a);
+        let pb = fp.position(b);
+        if pa.row == pb.row {
+            let expect = pa.col.abs_diff(pb.col) as f64 * fp.core_width().value();
+            prop_assert!((fp.physical_distance(a, b) - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn floorplan_serde_round_trips(fp in arb_floorplan()) {
+        let json = serde_json::to_string(&fp).expect("serialize");
+        let back: Floorplan = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, fp);
+    }
+
+    #[test]
+    fn grid_cell_distance_is_symmetric(
+        r1 in 0usize..50, c1 in 0usize..50, r2 in 0usize..50, c2 in 0usize..50,
+    ) {
+        let a = GridCell::new(r1, c1);
+        let b = GridCell::new(r2, c2);
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+        prop_assert_eq!(a.distance(a), 0.0);
+    }
+}
+
+#[test]
+fn millimeters_serde_round_trips() {
+    let w = Millimeters::new(1.70);
+    let json = serde_json::to_string(&w).unwrap();
+    let back: Millimeters = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, w);
+}
+
+#[test]
+fn core_id_serde_is_transparent() {
+    assert_eq!(serde_json::to_string(&CoreId::new(5)).unwrap(), "5");
+    let back: CoreId = serde_json::from_str("63").unwrap();
+    assert_eq!(back, CoreId::new(63));
+}

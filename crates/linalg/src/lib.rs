@@ -1,0 +1,460 @@
+//! Minimal dense linear algebra shared by the Hayat substrates.
+//!
+//! Two consumers drive the contents:
+//!
+//! * the **variation** crate factorizes grid covariance matrices
+//!   (≈ 1024 × 1024 for the paper's 8×8 chip with a 4×4 grid per core) and
+//!   multiplies the factor with Gaussian vectors ([`lower_mul_vec`]);
+//! * the **thermal** crate solves conductance systems `G·T = P`
+//!   ([`cholesky_solve`]) for exact steady-state temperature maps.
+//!
+//! Only what those two need is provided; this is not a general-purpose
+//! linear-algebra library.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Dense square matrix in row-major storage.
+///
+/// # Example
+///
+/// ```
+/// use hayat_linalg::SquareMatrix;
+///
+/// let mut m = SquareMatrix::zeros(2);
+/// m.set(0, 0, 4.0);
+/// m.set(1, 1, 9.0);
+/// assert_eq!(m.get(1, 1), 9.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquareMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SquareMatrix {
+    /// Creates an `n × n` zero matrix.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        SquareMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = SquareMatrix::zeros(n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Side length of the matrix.
+    #[must_use]
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Reads element `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(
+            row < self.n && col < self.n,
+            "index ({row},{col}) out of range"
+        );
+        self.data[row * self.n + col]
+    }
+
+    /// Writes element `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.n && col < self.n,
+            "index ({row},{col}) out of range"
+        );
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Returns one row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[f64] {
+        assert!(row < self.n, "row {row} out of range");
+        &self.data[row * self.n..(row + 1) * self.n]
+    }
+
+    /// Multiplies the matrix with a vector: `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    #[must_use]
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "vector length must match matrix size");
+        (0..self.n)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// `true` if the matrix equals its transpose within `tol`.
+    #[must_use]
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if (self.get(i, j) - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for SquareMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}x{} matrix", self.n, self.n)?;
+        for i in 0..self.n.min(8) {
+            for j in 0..self.n.min(8) {
+                write!(f, "{:>10.4} ", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        if self.n > 8 {
+            writeln!(f, "...")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by [`cholesky`] when the input is not positive definite
+/// even after the allowed diagonal jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotPositiveDefiniteError {
+    /// The pivot index at which factorization broke down.
+    pub pivot: usize,
+}
+
+impl fmt::Display for NotPositiveDefiniteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite (factorization broke down at pivot {})",
+            self.pivot
+        )
+    }
+}
+
+impl std::error::Error for NotPositiveDefiniteError {}
+
+/// Computes the lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+///
+/// Correlation matrices built from sampled distances can be borderline
+/// positive semi-definite; a small diagonal jitter (`1e-10` of the mean
+/// diagonal, growing ×10 per retry, at most 4 retries) is added when the
+/// plain factorization breaks down — standard practice for Gaussian-process
+/// samplers.
+///
+/// # Errors
+///
+/// Returns [`NotPositiveDefiniteError`] if factorization still fails after
+/// the maximum jitter.
+///
+/// # Panics
+///
+/// Panics if `a` is not symmetric within `1e-9`.
+///
+/// # Example
+///
+/// ```
+/// use hayat_linalg::{cholesky, SquareMatrix};
+///
+/// # fn main() -> Result<(), hayat_linalg::NotPositiveDefiniteError> {
+/// let mut a = SquareMatrix::zeros(2);
+/// a.set(0, 0, 4.0);
+/// a.set(0, 1, 2.0);
+/// a.set(1, 0, 2.0);
+/// a.set(1, 1, 3.0);
+/// let l = cholesky(&a)?;
+/// assert!((l.get(0, 0) - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cholesky(a: &SquareMatrix) -> Result<SquareMatrix, NotPositiveDefiniteError> {
+    assert!(a.is_symmetric(1e-9), "cholesky requires a symmetric matrix");
+    let n = a.n();
+    let mean_diag = (0..n).map(|i| a.get(i, i)).sum::<f64>() / n.max(1) as f64;
+    let mut jitter = 0.0;
+    let mut next_jitter = 1e-10 * mean_diag.max(1e-300);
+    for _attempt in 0..=4 {
+        match try_cholesky(a, jitter) {
+            Ok(l) => return Ok(l),
+            Err(err) => {
+                if jitter >= next_jitter * 1e4 {
+                    return Err(err);
+                }
+                jitter = if jitter == 0.0 {
+                    next_jitter
+                } else {
+                    jitter * 10.0
+                };
+            }
+        }
+    }
+    next_jitter *= 1e4;
+    try_cholesky(a, next_jitter)
+}
+
+fn try_cholesky(a: &SquareMatrix, jitter: f64) -> Result<SquareMatrix, NotPositiveDefiniteError> {
+    let n = a.n();
+    let mut l = SquareMatrix::zeros(n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            if i == j {
+                sum += jitter;
+            }
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(NotPositiveDefiniteError { pivot: i });
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Multiplies a lower-triangular factor with a vector (`y = L·z`), the core
+/// operation of correlated-Gaussian sampling.
+///
+/// # Panics
+///
+/// Panics if `z.len() != l.n()`.
+#[must_use]
+pub fn lower_mul_vec(l: &SquareMatrix, z: &[f64]) -> Vec<f64> {
+    assert_eq!(z.len(), l.n(), "vector length must match matrix size");
+    (0..l.n())
+        .map(|i| {
+            l.row(i)[..=i]
+                .iter()
+                .zip(&z[..=i])
+                .map(|(a, b)| a * b)
+                .sum()
+        })
+        .collect()
+}
+
+/// Solves `A·x = b` given the lower Cholesky factor `L` of `A` (so
+/// `L·Lᵀ·x = b`) by forward then backward substitution.
+///
+/// # Panics
+///
+/// Panics if `b.len() != l.n()` or a diagonal entry of `l` is zero.
+///
+/// # Example
+///
+/// ```
+/// use hayat_linalg::{cholesky, cholesky_solve, SquareMatrix};
+///
+/// # fn main() -> Result<(), hayat_linalg::NotPositiveDefiniteError> {
+/// let mut a = SquareMatrix::zeros(2);
+/// a.set(0, 0, 4.0);
+/// a.set(0, 1, 2.0);
+/// a.set(1, 0, 2.0);
+/// a.set(1, 1, 3.0);
+/// let l = cholesky(&a)?;
+/// let x = cholesky_solve(&l, &[8.0, 7.0]);
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn cholesky_solve(l: &SquareMatrix, b: &[f64]) -> Vec<f64> {
+    let n = l.n();
+    assert_eq!(b.len(), n, "rhs length must match matrix size");
+    // Forward substitution: L·y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        let row = l.row(i);
+        for k in 0..i {
+            sum -= row[k] * y[k];
+        }
+        let d = row[i];
+        assert!(d != 0.0, "zero diagonal in Cholesky factor at {i}");
+        y[i] = sum / d;
+    }
+    // Backward substitution: Lᵀ·x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for (k, xk) in x.iter().enumerate().skip(i + 1) {
+            sum -= l.get(k, i) * xk;
+        }
+        x[i] = sum / l.get(i, i);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> SquareMatrix {
+        // A known symmetric positive-definite matrix.
+        let vals = [
+            [4.0, 12.0, -16.0],
+            [12.0, 37.0, -43.0],
+            [-16.0, -43.0, 98.0],
+        ];
+        let mut a = SquareMatrix::zeros(3);
+        for (i, row) in vals.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                a.set(i, j, v);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn identity_is_its_own_factor() {
+        let l = cholesky(&SquareMatrix::identity(5)).unwrap();
+        assert_eq!(l, SquareMatrix::identity(5));
+    }
+
+    #[test]
+    fn known_factorization() {
+        // Wikipedia's classic example: L = [[2,0,0],[6,1,0],[-8,5,3]].
+        let l = cholesky(&spd3()).unwrap();
+        let expect = [[2.0, 0.0, 0.0], [6.0, 1.0, 0.0], [-8.0, 5.0, 3.0]];
+        for (i, row) in expect.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert!((l.get(i, j) - v).abs() < 1e-9, "L[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn factor_reconstructs_input() {
+        let a = spd3();
+        let l = cholesky(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut sum = 0.0;
+                for k in 0..3 {
+                    sum += l.get(i, k) * l.get(j, k);
+                }
+                assert!((sum - a.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected() {
+        let mut a = SquareMatrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 1.0); // eigenvalues 3 and -1
+        assert!(cholesky(&a).is_err());
+    }
+
+    #[test]
+    fn semidefinite_matrix_succeeds_via_jitter() {
+        // Rank-1 matrix: ones everywhere. PSD but singular.
+        let mut a = SquareMatrix::zeros(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                a.set(i, j, 1.0);
+            }
+        }
+        assert!(cholesky(&a).is_ok());
+    }
+
+    #[test]
+    fn lower_mul_vec_matches_full_mul() {
+        let l = cholesky(&spd3()).unwrap();
+        let z = [1.0, -2.0, 0.5];
+        let fast = lower_mul_vec(&l, &z);
+        let slow = l.mul_vec(&z);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mul_vec_identity() {
+        let m = SquareMatrix::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(m.mul_vec(&x), x.to_vec());
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let mut a = SquareMatrix::identity(2);
+        assert!(a.is_symmetric(0.0));
+        a.set(0, 1, 0.5);
+        assert!(!a.is_symmetric(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn cholesky_panics_on_asymmetric() {
+        let mut a = SquareMatrix::identity(2);
+        a.set(0, 1, 0.5);
+        let _ = cholesky(&a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let _ = SquareMatrix::zeros(2).get(2, 0);
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = [2.0, -1.0, 0.5];
+        let b = a.mul_vec(&x_true);
+        let l = cholesky(&a).unwrap();
+        let x = cholesky_solve(&l, &b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_identity_is_identity() {
+        let l = cholesky(&SquareMatrix::identity(4)).unwrap();
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(cholesky_solve(&l, &b), b.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length")]
+    fn cholesky_solve_checks_length() {
+        let l = cholesky(&SquareMatrix::identity(3)).unwrap();
+        let _ = cholesky_solve(&l, &[1.0]);
+    }
+}

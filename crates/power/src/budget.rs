@@ -1,0 +1,145 @@
+//! The dark-silicon budget.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How much of the chip must stay dark.
+///
+/// The paper evaluates "min. 25% dark silicon" and "min. 50% dark silicon":
+/// at any instant at most `(1 − fraction) · N` cores may be powered on.
+///
+/// # Example
+///
+/// ```
+/// use hayat_power::DarkSiliconBudget;
+///
+/// let budget = DarkSiliconBudget::new(64, 0.5);
+/// assert_eq!(budget.max_on(), 32);
+/// assert!(budget.allows_on(32));
+/// assert!(!budget.allows_on(33));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DarkSiliconBudget {
+    total_cores: usize,
+    min_dark_fraction: f64,
+}
+
+impl DarkSiliconBudget {
+    /// Creates a budget for `total_cores` with a minimum dark fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_cores` is zero or `min_dark_fraction` is outside
+    /// `[0, 1)`.
+    #[must_use]
+    pub fn new(total_cores: usize, min_dark_fraction: f64) -> Self {
+        assert!(total_cores > 0, "budget needs at least one core");
+        assert!(
+            min_dark_fraction.is_finite() && (0.0..1.0).contains(&min_dark_fraction),
+            "dark fraction must lie in [0, 1), got {min_dark_fraction}"
+        );
+        DarkSiliconBudget {
+            total_cores,
+            min_dark_fraction,
+        }
+    }
+
+    /// Total number of cores on the chip.
+    #[must_use]
+    pub const fn total_cores(&self) -> usize {
+        self.total_cores
+    }
+
+    /// The minimum fraction of cores that must stay dark.
+    #[must_use]
+    pub const fn min_dark_fraction(&self) -> f64 {
+        self.min_dark_fraction
+    }
+
+    /// Maximum number of simultaneously powered-on cores
+    /// (`N_on ≤ (1 − fraction)·N`, rounded down).
+    #[must_use]
+    pub fn max_on(&self) -> usize {
+        ((1.0 - self.min_dark_fraction) * self.total_cores as f64).floor() as usize
+    }
+
+    /// Minimum number of dark cores (`N_off = N − max_on`).
+    #[must_use]
+    pub fn min_dark(&self) -> usize {
+        self.total_cores - self.max_on()
+    }
+
+    /// Whether powering `on` cores simultaneously respects the budget.
+    #[must_use]
+    pub fn allows_on(&self, on: usize) -> bool {
+        on <= self.max_on()
+    }
+}
+
+impl fmt::Display for DarkSiliconBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}% dark ({} of {} cores may be on)",
+            self.min_dark_fraction * 100.0,
+            self.max_on(),
+            self.total_cores
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_budgets() {
+        let b25 = DarkSiliconBudget::new(64, 0.25);
+        assert_eq!(b25.max_on(), 48);
+        assert_eq!(b25.min_dark(), 16);
+        let b50 = DarkSiliconBudget::new(64, 0.5);
+        assert_eq!(b50.max_on(), 32);
+        assert_eq!(b50.min_dark(), 32);
+    }
+
+    #[test]
+    fn allows_on_boundary() {
+        let b = DarkSiliconBudget::new(64, 0.5);
+        assert!(b.allows_on(0));
+        assert!(b.allows_on(32));
+        assert!(!b.allows_on(33));
+    }
+
+    #[test]
+    fn rounding_is_conservative() {
+        // 10 cores at 25% dark: 7.5 -> 7 cores may be on (not 8).
+        let b = DarkSiliconBudget::new(10, 0.25);
+        assert_eq!(b.max_on(), 7);
+        assert_eq!(b.min_dark(), 3);
+    }
+
+    #[test]
+    fn zero_dark_fraction_allows_everything() {
+        let b = DarkSiliconBudget::new(16, 0.0);
+        assert_eq!(b.max_on(), 16);
+        assert_eq!(b.min_dark(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = DarkSiliconBudget::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1)")]
+    fn full_dark_fraction_panics() {
+        let _ = DarkSiliconBudget::new(4, 1.0);
+    }
+
+    #[test]
+    fn display() {
+        let b = DarkSiliconBudget::new(64, 0.5);
+        assert_eq!(b.to_string(), "50% dark (32 of 64 cores may be on)");
+    }
+}

@@ -1,0 +1,45 @@
+//! Power-model substrate for the Hayat reproduction (McPAT-equivalent
+//! accounting).
+//!
+//! The paper's power numbers come from McPAT \[18\] driven by Gem5 traces.
+//! This crate implements the published accounting from scratch:
+//!
+//! * per-core **power states** — dark (power-gated), idle-on, or active at a
+//!   frequency ([`PowerState`]),
+//! * **leakage** with the paper's constants — 1.18 W nominal subthreshold
+//!   leakage per powered-on core, 0.019 W residue in power-gated mode —
+//!   scaled by the chip's process-dependent leakage factor (Eq. 2, from
+//!   `hayat-variation`) and by an exponential temperature dependence
+//!   ("temperature dependent leakage as implemented in the McPAT
+//!   simulator"),
+//! * **dynamic power** scaling with frequency (`P ∝ f·V²` at fixed chip
+//!   voltage, so linear in `f` here),
+//! * the **dark-silicon budget** — how many cores may be on at once for a
+//!   minimum dark fraction of 25% / 50%.
+//!
+//! # Example
+//!
+//! ```
+//! use hayat_power::{PowerModel, PowerState};
+//! use hayat_units::{Kelvin, Watts};
+//!
+//! let model = PowerModel::paper();
+//! let dark = model.core_power(PowerState::Dark, 1.0, Kelvin::new(330.0));
+//! let active = model.core_power(
+//!     PowerState::Active { dynamic: Watts::new(5.0) },
+//!     1.0,
+//!     Kelvin::new(330.0),
+//! );
+//! assert!(dark < active);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod model;
+mod state;
+
+pub use crate::budget::DarkSiliconBudget;
+pub use crate::model::{PowerConfig, PowerModel};
+pub use crate::state::PowerState;

@@ -1,0 +1,239 @@
+//! Leakage and total-power computation.
+
+use crate::state::PowerState;
+use hayat_units::{Celsius, Kelvin, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Constants of the power model.
+///
+/// Defaults are the paper's setup values: 1.18 W nominal subthreshold
+/// leakage per powered-on core, 0.019 W residue when power-gated, and an
+/// exponential temperature dependence with leakage doubling roughly every
+/// 28 K (a standard subthreshold slope, standing in for McPAT's internal
+/// temperature model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerConfig {
+    /// Nominal subthreshold leakage of a powered-on core at the reference
+    /// temperature, before process scaling.
+    pub leakage_on: Watts,
+    /// Residual leakage of a power-gated (dark) core.
+    pub leakage_gated: Watts,
+    /// Temperature coefficient `k` of `e^(k·(T − T_ref))`.
+    pub leakage_temp_coefficient: f64,
+    /// Reference temperature the nominal leakage is quoted at.
+    pub reference_temperature: Kelvin,
+}
+
+impl PowerConfig {
+    /// The paper's constants.
+    #[must_use]
+    pub fn paper() -> Self {
+        PowerConfig {
+            leakage_on: Watts::new(1.18),
+            leakage_gated: Watts::new(0.019),
+            // ln(2)/28: leakage doubles per 28 K.
+            leakage_temp_coefficient: 0.02476,
+            reference_temperature: Celsius::new(45.0).to_kelvin(),
+        }
+    }
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig::paper()
+    }
+}
+
+/// The chip power model: combines power state, process-dependent leakage
+/// factor and temperature into per-core and chip-wide power.
+///
+/// # Example
+///
+/// ```
+/// use hayat_power::{PowerModel, PowerState};
+/// use hayat_units::{Kelvin, Watts};
+///
+/// let model = PowerModel::paper();
+/// // A leaky (fast) core at elevated temperature dissipates more.
+/// let cool = model.core_power(PowerState::Idle, 1.0, Kelvin::new(318.0));
+/// let hot = model.core_power(PowerState::Idle, 1.3, Kelvin::new(350.0));
+/// assert!(hot > cool);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerModel {
+    config: PowerConfig,
+}
+
+impl PowerModel {
+    /// Model with the paper's constants.
+    #[must_use]
+    pub fn paper() -> Self {
+        PowerModel {
+            config: PowerConfig::paper(),
+        }
+    }
+
+    /// Model with explicit constants.
+    #[must_use]
+    pub const fn new(config: PowerConfig) -> Self {
+        PowerModel { config }
+    }
+
+    /// The model's constants.
+    #[must_use]
+    pub const fn config(&self) -> &PowerConfig {
+        &self.config
+    }
+
+    /// Temperature multiplier of leakage at `t` relative to the reference
+    /// temperature.
+    #[must_use]
+    pub fn leakage_temperature_factor(&self, t: Kelvin) -> f64 {
+        (self.config.leakage_temp_coefficient * (t - self.config.reference_temperature)).exp()
+    }
+
+    /// Leakage power of one core: state-dependent base, scaled by the
+    /// process-dependent `leakage_factor` (Eq. 2) and the temperature
+    /// factor. Power-gated cores keep the (temperature-scaled) gated
+    /// residue; the process factor is not applied there because the gated
+    /// residue is dominated by the sleep transistors, not the core's logic.
+    #[must_use]
+    pub fn leakage(&self, state: PowerState, leakage_factor: f64, t: Kelvin) -> Watts {
+        let temp_factor = self.leakage_temperature_factor(t);
+        match state {
+            PowerState::Dark => self.config.leakage_gated.scaled(temp_factor),
+            PowerState::Idle | PowerState::Active { .. } => {
+                self.config.leakage_on.scaled(leakage_factor * temp_factor)
+            }
+        }
+    }
+
+    /// Total power of one core (Eq. 2): dynamic (if active) plus leakage.
+    #[must_use]
+    pub fn core_power(&self, state: PowerState, leakage_factor: f64, t: Kelvin) -> Watts {
+        state.dynamic() + self.leakage(state, leakage_factor, t)
+    }
+
+    /// Per-core power vector for a whole chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    #[must_use]
+    pub fn chip_power(
+        &self,
+        states: &[PowerState],
+        leakage_factors: &[f64],
+        temps: &[Kelvin],
+    ) -> Vec<Watts> {
+        assert!(
+            states.len() == leakage_factors.len() && states.len() == temps.len(),
+            "states, leakage factors and temperatures must cover the same cores"
+        );
+        states
+            .iter()
+            .zip(leakage_factors)
+            .zip(temps)
+            .map(|((&s, &lf), &t)| self.core_power(s, lf, t))
+            .collect()
+    }
+
+    /// Total chip power for a per-core vector.
+    #[must_use]
+    pub fn total(&self, core_power: &[Watts]) -> Watts {
+        core_power.iter().copied().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PowerModel {
+        PowerModel::paper()
+    }
+
+    #[test]
+    fn reference_temperature_factor_is_one() {
+        let m = model();
+        let f = m.leakage_temperature_factor(m.config().reference_temperature);
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_doubles_per_28_kelvin() {
+        let m = model();
+        let t0 = m.config().reference_temperature;
+        let f = m.leakage_temperature_factor(t0 + 28.0);
+        assert!((f - 2.0).abs() < 0.01, "factor {f}");
+    }
+
+    #[test]
+    fn paper_leakage_constants() {
+        let m = model();
+        let t0 = m.config().reference_temperature;
+        let on = m.leakage(PowerState::Idle, 1.0, t0);
+        let dark = m.leakage(PowerState::Dark, 1.0, t0);
+        assert!((on.value() - 1.18).abs() < 1e-12);
+        assert!((dark.value() - 0.019).abs() < 1e-12);
+    }
+
+    #[test]
+    fn process_factor_scales_on_cores_only() {
+        let m = model();
+        let t0 = m.config().reference_temperature;
+        let leaky = m.leakage(PowerState::Idle, 2.0, t0);
+        assert!((leaky.value() - 2.36).abs() < 1e-12);
+        let dark_leaky = m.leakage(PowerState::Dark, 2.0, t0);
+        let dark_nominal = m.leakage(PowerState::Dark, 1.0, t0);
+        assert_eq!(dark_leaky, dark_nominal);
+    }
+
+    #[test]
+    fn active_power_adds_dynamic() {
+        let m = model();
+        let t0 = m.config().reference_temperature;
+        let p = m.core_power(
+            PowerState::Active {
+                dynamic: Watts::new(5.0),
+            },
+            1.0,
+            t0,
+        );
+        assert!((p.value() - 6.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chip_power_and_total() {
+        let m = model();
+        let t0 = m.config().reference_temperature;
+        let states = [
+            PowerState::Dark,
+            PowerState::Idle,
+            PowerState::Active {
+                dynamic: Watts::new(4.0),
+            },
+        ];
+        let p = m.chip_power(&states, &[1.0, 1.0, 1.0], &[t0, t0, t0]);
+        assert_eq!(p.len(), 3);
+        let total = m.total(&p);
+        assert!((total.value() - (0.019 + 1.18 + 5.18)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_temperature_feedback_direction() {
+        // Hotter cores leak more — the positive-feedback loop the thermal
+        // simulation must respect.
+        let m = model();
+        let cool = m.leakage(PowerState::Idle, 1.0, Kelvin::new(320.0));
+        let hot = m.leakage(PowerState::Idle, 1.0, Kelvin::new(360.0));
+        assert!(hot.value() > cool.value() * 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same cores")]
+    fn chip_power_checks_lengths() {
+        let m = model();
+        let _ = m.chip_power(&[PowerState::Dark], &[1.0, 1.0], &[Kelvin::new(300.0)]);
+    }
+}

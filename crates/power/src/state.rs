@@ -1,0 +1,113 @@
+//! Per-core power states.
+
+use hayat_units::Watts;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The power state of one core.
+///
+/// The paper's processor model gives each core a power state `ps_i ∈ {0, 1}`
+/// (dark or on); on cores are further split here into idle (leaking but not
+/// computing) and active (running a thread, adding dynamic power) because
+/// the run-time system briefly holds cores idle during migrations.
+///
+/// # Example
+///
+/// ```
+/// use hayat_power::PowerState;
+/// use hayat_units::Watts;
+///
+/// let s = PowerState::Active { dynamic: Watts::new(4.5) };
+/// assert!(s.is_on());
+/// assert_eq!(PowerState::Dark.is_on(), false);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum PowerState {
+    /// Power-gated ("dark"): only the gated leakage residue dissipates.
+    #[default]
+    Dark,
+    /// Powered on but not executing a thread: full leakage, no dynamic power.
+    Idle,
+    /// Executing a thread that dissipates the given dynamic power.
+    Active {
+        /// Dynamic power of the thread currently executing on the core.
+        dynamic: Watts,
+    },
+}
+
+impl PowerState {
+    /// `true` if the core is powered on (`ps_i = 1` in the paper's model).
+    #[must_use]
+    pub const fn is_on(self) -> bool {
+        !matches!(self, PowerState::Dark)
+    }
+
+    /// `true` if the core is executing a thread.
+    #[must_use]
+    pub const fn is_active(self) -> bool {
+        matches!(self, PowerState::Active { .. })
+    }
+
+    /// The dynamic power of the state (zero unless active).
+    #[must_use]
+    pub fn dynamic(self) -> Watts {
+        match self {
+            PowerState::Active { dynamic } => dynamic,
+            PowerState::Dark | PowerState::Idle => Watts::new(0.0),
+        }
+    }
+}
+
+impl fmt::Display for PowerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerState::Dark => write!(f, "dark"),
+            PowerState::Idle => write!(f, "idle"),
+            PowerState::Active { dynamic } => write!(f, "active({dynamic})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_and_active_flags() {
+        assert!(!PowerState::Dark.is_on());
+        assert!(PowerState::Idle.is_on());
+        assert!(PowerState::Active {
+            dynamic: Watts::new(1.0)
+        }
+        .is_on());
+        assert!(!PowerState::Idle.is_active());
+        assert!(PowerState::Active {
+            dynamic: Watts::new(1.0)
+        }
+        .is_active());
+    }
+
+    #[test]
+    fn dynamic_power_extraction() {
+        assert_eq!(PowerState::Dark.dynamic(), Watts::new(0.0));
+        assert_eq!(PowerState::Idle.dynamic(), Watts::new(0.0));
+        assert_eq!(
+            PowerState::Active {
+                dynamic: Watts::new(3.3)
+            }
+            .dynamic(),
+            Watts::new(3.3)
+        );
+    }
+
+    #[test]
+    fn default_is_dark() {
+        assert_eq!(PowerState::default(), PowerState::Dark);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PowerState::Dark.to_string(), "dark");
+        assert_eq!(PowerState::Idle.to_string(), "idle");
+    }
+}

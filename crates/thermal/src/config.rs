@@ -1,0 +1,146 @@
+//! Thermal-model configuration.
+
+use hayat_units::{Celsius, Kelvin};
+use serde::{Deserialize, Serialize};
+
+/// Physical parameters of the RC thermal network.
+///
+/// [`ThermalConfig::paper`] is calibrated so the paper's 8×8 Alpha-class
+/// chip (≈ 3–8 W per active core, 1.18 W subthreshold leakage, 45 °C
+/// ambient) lands in the paper's reported steady-state band of roughly
+/// 325–345 K with `T_safe = 95 °C`.
+///
+/// # Example
+///
+/// ```
+/// use hayat_thermal::ThermalConfig;
+///
+/// let cfg = ThermalConfig::paper();
+/// assert!((cfg.t_safe.value() - 368.15).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalConfig {
+    /// Ambient temperature (paper setup: 45 °C).
+    pub ambient: Kelvin,
+    /// Maximum thermally safe temperature `T_safe`
+    /// (95 °C, "as adopted in Intel mobile i5").
+    pub t_safe: Kelvin,
+    /// Vertical resistance silicon → spreader per core, K/W.
+    pub r_si_spreader: f64,
+    /// Vertical resistance spreader → sink per core, K/W.
+    pub r_spreader_sink: f64,
+    /// Lateral resistance between adjacent silicon nodes, K/W.
+    pub r_si_lateral: f64,
+    /// Lateral resistance between adjacent spreader nodes, K/W.
+    pub r_spreader_lateral: f64,
+    /// Lateral resistance between adjacent sink cells, K/W.
+    pub r_sink_lateral: f64,
+    /// Sink-to-ambient resistance for the whole chip, K/W (shared across
+    /// all sink cells in parallel).
+    pub r_sink_ambient: f64,
+    /// Heat capacity of one silicon node, J/K.
+    pub c_silicon: f64,
+    /// Heat capacity of one spreader node, J/K.
+    pub c_spreader: f64,
+    /// Heat capacity of the whole sink layer, J/K (divided evenly over the
+    /// per-core sink cells).
+    pub c_sink: f64,
+}
+
+impl ThermalConfig {
+    /// Calibrated parameters for the paper's 8×8 chip.
+    #[must_use]
+    pub fn paper() -> Self {
+        ThermalConfig {
+            ambient: Celsius::new(45.0).to_kelvin(),
+            t_safe: Celsius::new(95.0).to_kelvin(),
+            r_si_spreader: 0.9,
+            r_spreader_sink: 2.5,
+            r_si_lateral: 5.0,
+            r_spreader_lateral: 1.8,
+            r_sink_lateral: 5.0,
+            r_sink_ambient: 0.045,
+            c_silicon: 0.008,
+            c_spreader: 0.12,
+            c_sink: 18.0,
+        }
+    }
+
+    /// Checks that all resistances and capacitances are positive and that
+    /// `t_safe` exceeds the ambient temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a parameter is out of range; configurations are
+    /// programmer-supplied constants, so a panic (not a `Result`) matches
+    /// how the constructors downstream use this.
+    pub fn assert_valid(&self) {
+        for (name, v) in [
+            ("r_si_spreader", self.r_si_spreader),
+            ("r_spreader_sink", self.r_spreader_sink),
+            ("r_si_lateral", self.r_si_lateral),
+            ("r_spreader_lateral", self.r_spreader_lateral),
+            ("r_sink_lateral", self.r_sink_lateral),
+            ("r_sink_ambient", self.r_sink_ambient),
+            ("c_silicon", self.c_silicon),
+            ("c_spreader", self.c_spreader),
+            ("c_sink", self.c_sink),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{name} must be positive, got {v}");
+        }
+        assert!(
+            self.t_safe > self.ambient,
+            "t_safe {} must exceed ambient {}",
+            self.t_safe,
+            self.ambient
+        );
+    }
+
+    /// Headroom between `T_safe` and ambient, in kelvin.
+    #[must_use]
+    pub fn thermal_headroom(&self) -> f64 {
+        self.t_safe - self.ambient
+    }
+}
+
+impl Default for ThermalConfig {
+    fn default() -> Self {
+        ThermalConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        ThermalConfig::paper().assert_valid();
+    }
+
+    #[test]
+    fn paper_headroom_is_50k() {
+        assert!((ThermalConfig::paper().thermal_headroom() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "r_si_spreader")]
+    fn invalid_resistance_panics() {
+        let mut cfg = ThermalConfig::paper();
+        cfg.r_si_spreader = 0.0;
+        cfg.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed ambient")]
+    fn t_safe_below_ambient_panics() {
+        let mut cfg = ThermalConfig::paper();
+        cfg.t_safe = Kelvin::new(300.0);
+        cfg.assert_valid();
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(ThermalConfig::default(), ThermalConfig::paper());
+    }
+}

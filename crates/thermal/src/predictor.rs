@@ -1,0 +1,427 @@
+//! The lightweight online thermal predictor (paper Section IV-B step 2,
+//! after the DATE'15 scheme [27]).
+//!
+//! Running a full RC solve for every candidate mapping inside Algorithm 1
+//! would be far too slow (the paper budgets ~25 µs per `predictTemperature`
+//! call). Instead the predictor **learns offline** how one watt of power on
+//! each core raises temperatures across the chip, and **superposes** those
+//! footprints at run time — with an optional one-shot correction for
+//! temperature-dependent leakage.
+//!
+//! Two learned models are provided:
+//!
+//! * [`PredictorModel::ResponseMatrix`] (default) — one steady-state solve
+//!   per source core during learning; the full linear response is captured,
+//!   so superposition matches the exact solve for any load (the remaining
+//!   run-time error comes from leakage–temperature feedback).
+//! * [`PredictorModel::Isotropic`] — a single solve at a central reference
+//!   core, averaged per mesh distance. Cheaper to learn and store, but it
+//!   misses die-edge effects; the `ablation_predictor` bench quantifies the
+//!   gap.
+
+use crate::config::ThermalConfig;
+use crate::profile::TemperatureMap;
+use crate::steady::steady_state;
+use hayat_floorplan::{CoreId, Floorplan};
+use hayat_units::{Kelvin, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Which offline-learned thermal model the predictor superposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PredictorModel {
+    /// Full per-source-core linear response (exact for the linear network).
+    #[default]
+    ResponseMatrix,
+    /// Distance-averaged footprint of a central reference core.
+    Isotropic,
+}
+
+/// The learned isotropic thermal footprint of one watt of core power: the
+/// steady-state temperature rise (kelvin per watt) it causes at each mesh
+/// distance.
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::Floorplan;
+/// use hayat_thermal::{ThermalConfig, ThreadFootprint};
+///
+/// let fp = Floorplan::paper_8x8();
+/// let footprint = ThreadFootprint::learn(&fp, &ThermalConfig::paper());
+/// // Heating is strongest at the core itself and decays with distance.
+/// assert!(footprint.rise_at(0) > footprint.rise_at(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadFootprint {
+    /// Kelvin of steady-state rise per watt, indexed by mesh distance.
+    rise_per_watt: Vec<f64>,
+}
+
+impl ThreadFootprint {
+    /// Learns the footprint by solving the RC model once with unit power on
+    /// a central core (the offline phase of the isotropic predictor).
+    #[must_use]
+    pub fn learn(floorplan: &Floorplan, config: &ThermalConfig) -> Self {
+        let reference = floorplan
+            .core_at(floorplan.rows() / 2, floorplan.cols() / 2)
+            .expect("floorplan is non-empty");
+        let mut power = vec![Watts::new(0.0); floorplan.core_count()];
+        power[reference.index()] = Watts::new(1.0);
+        let temps = steady_state(floorplan, config, &power);
+        let max_dist = (floorplan.rows() - 1) + (floorplan.cols() - 1);
+        // Average the rise over all cores at each distance so the footprint
+        // is isotropic.
+        let mut sums = vec![0.0; max_dist + 1];
+        let mut counts = vec![0usize; max_dist + 1];
+        for core in floorplan.cores() {
+            let d = floorplan.mesh_distance(reference, core);
+            sums[d] += temps.core(core) - config.ambient;
+            counts[d] += 1;
+        }
+        let rise_per_watt = sums
+            .iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+            .collect();
+        ThreadFootprint { rise_per_watt }
+    }
+
+    /// Temperature rise (K/W) at mesh distance `d`; distances beyond the
+    /// learned range reuse the farthest learned value (the sink-dominated
+    /// floor).
+    #[must_use]
+    pub fn rise_at(&self, d: usize) -> f64 {
+        let last = self.rise_per_watt.len() - 1;
+        self.rise_per_watt[d.min(last)]
+    }
+
+    /// Largest learned mesh distance.
+    #[must_use]
+    pub fn max_distance(&self) -> usize {
+        self.rise_per_watt.len() - 1
+    }
+}
+
+/// Superposition-based chip-temperature predictor.
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::{CoreId, Floorplan};
+/// use hayat_thermal::{ThermalConfig, ThermalPredictor};
+/// use hayat_units::Watts;
+///
+/// let fp = Floorplan::paper_8x8();
+/// let cfg = ThermalConfig::paper();
+/// let predictor = ThermalPredictor::learn(&fp, &cfg);
+/// let mut power = vec![Watts::new(0.0); fp.core_count()];
+/// power[0] = Watts::new(6.0);
+/// let predicted = predictor.predict(&fp, &power);
+/// assert!(predicted.core(CoreId::new(0)) > cfg.ambient);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalPredictor {
+    ambient: Kelvin,
+    /// Per-source rise vectors, `rises[src][dst]`, K/W.
+    rises: Vec<Vec<f64>>,
+    model: PredictorModel,
+}
+
+impl ThermalPredictor {
+    /// Learns a response-matrix predictor (the default, exact-linear model).
+    #[must_use]
+    pub fn learn(floorplan: &Floorplan, config: &ThermalConfig) -> Self {
+        ThermalPredictor::learn_with(floorplan, config, PredictorModel::ResponseMatrix)
+    }
+
+    /// Learns a predictor with an explicit model choice.
+    #[must_use]
+    pub fn learn_with(
+        floorplan: &Floorplan,
+        config: &ThermalConfig,
+        model: PredictorModel,
+    ) -> Self {
+        let n = floorplan.core_count();
+        let rises = match model {
+            PredictorModel::ResponseMatrix => {
+                let network = crate::rc_model::RcNetwork::new(floorplan, config);
+                (0..n)
+                    .map(|src| {
+                        let mut power = vec![Watts::new(0.0); n];
+                        power[src] = Watts::new(1.0);
+                        let temps = crate::steady::steady_state_on(&network, &power);
+                        floorplan
+                            .cores()
+                            .map(|c| temps.core(c) - config.ambient)
+                            .collect()
+                    })
+                    .collect()
+            }
+            PredictorModel::Isotropic => {
+                let footprint = ThreadFootprint::learn(floorplan, config);
+                (0..n)
+                    .map(|src| {
+                        let src_core = CoreId::new(src);
+                        floorplan
+                            .cores()
+                            .map(|dst| footprint.rise_at(floorplan.mesh_distance(src_core, dst)))
+                            .collect()
+                    })
+                    .collect()
+            }
+        };
+        ThermalPredictor {
+            ambient: config.ambient,
+            rises,
+            model,
+        }
+    }
+
+    /// Which learned model this predictor uses.
+    #[must_use]
+    pub const fn model(&self) -> PredictorModel {
+        self.model
+    }
+
+    /// Number of cores covered by the learned model.
+    #[must_use]
+    pub fn core_count(&self) -> usize {
+        self.rises.len()
+    }
+
+    /// The ambient temperature predictions start from.
+    #[must_use]
+    pub const fn ambient(&self) -> Kelvin {
+        self.ambient
+    }
+
+    /// The learned rise vector of one watt on `src`: kelvin of steady-state
+    /// rise at every core, indexed by destination core id. This is the
+    /// incremental-superposition primitive Algorithm 1 uses to evaluate
+    /// thousands of candidate placements without re-predicting from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    #[must_use]
+    pub fn rise_row(&self, src: CoreId) -> &[f64] {
+        &self.rises[src.index()]
+    }
+
+    /// Predicts the chip temperature map for a per-core power vector by
+    /// superposing the learned rise of every power source (online phase; no
+    /// linear solve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_power.len()` differs from the learned core count.
+    #[must_use]
+    pub fn predict(&self, floorplan: &Floorplan, core_power: &[Watts]) -> TemperatureMap {
+        let n = self.rises.len();
+        assert_eq!(core_power.len(), n, "power vector must cover every core");
+        assert_eq!(
+            floorplan.core_count(),
+            n,
+            "floorplan must match learned predictor"
+        );
+        let mut temps = vec![self.ambient.value(); n];
+        for (src, p) in core_power.iter().enumerate() {
+            let w = p.value();
+            if w == 0.0 {
+                continue;
+            }
+            let row = &self.rises[src];
+            for (t, &r) in temps.iter_mut().zip(row) {
+                *t += w * r;
+            }
+        }
+        TemperatureMap::new(temps.into_iter().map(Kelvin::new).collect())
+    }
+
+    /// Predicts with a one-shot temperature-dependent-leakage correction:
+    /// first superposes the supplied power, then asks `leakage_at` for the
+    /// extra leakage each core dissipates at the predicted temperature and
+    /// superposes that too.
+    ///
+    /// `leakage_at(core, predicted_t)` must return only the *additional*
+    /// leakage relative to what `core_power` already contains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_power.len()` differs from the learned core count.
+    #[must_use]
+    pub fn predict_with_leakage<F>(
+        &self,
+        floorplan: &Floorplan,
+        core_power: &[Watts],
+        mut leakage_at: F,
+    ) -> TemperatureMap
+    where
+        F: FnMut(CoreId, Kelvin) -> Watts,
+    {
+        let base = self.predict(floorplan, core_power);
+        let corrected: Vec<Watts> = core_power
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let core = CoreId::new(i);
+                p + leakage_at(core, base.core(core))
+            })
+            .collect();
+        self.predict(floorplan, &corrected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Floorplan, ThermalConfig, ThermalPredictor) {
+        let fp = Floorplan::paper_8x8();
+        let cfg = ThermalConfig::paper();
+        let pred = ThermalPredictor::learn(&fp, &cfg);
+        (fp, cfg, pred)
+    }
+
+    #[test]
+    fn footprint_decays_monotonically_near_the_source() {
+        let fp = Floorplan::paper_8x8();
+        let f = ThreadFootprint::learn(&fp, &ThermalConfig::paper());
+        assert!(f.rise_at(0) > f.rise_at(1));
+        assert!(f.rise_at(1) > f.rise_at(2));
+        assert!(
+            f.rise_at(0) > 0.5,
+            "self-heating {} too small",
+            f.rise_at(0)
+        );
+    }
+
+    #[test]
+    fn far_distance_clamps_to_floor() {
+        let fp = Floorplan::paper_8x8();
+        let f = ThreadFootprint::learn(&fp, &ThermalConfig::paper());
+        assert_eq!(f.rise_at(100), f.rise_at(f.max_distance()));
+    }
+
+    #[test]
+    fn zero_power_predicts_ambient() {
+        let (fp, cfg, pred) = setup();
+        let t = pred.predict(&fp, &vec![Watts::new(0.0); 64]);
+        for (_, k) in t.iter() {
+            assert!((k - cfg.ambient).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn response_matrix_matches_full_solve() {
+        // The response-matrix predictor is exact for the linear network.
+        let (fp, cfg, pred) = setup();
+        let mut power = vec![Watts::new(0.019); 64];
+        for i in (0..64).step_by(4) {
+            power[i] = Watts::new(6.0);
+        }
+        let predicted = pred.predict(&fp, &power);
+        let exact = steady_state(&fp, &cfg, &power);
+        for core in fp.cores() {
+            let err = (predicted.core(core) - exact.core(core)).abs();
+            assert!(
+                err < 1e-6,
+                "core {core}: predicted {} vs exact {}",
+                predicted.core(core),
+                exact.core(core)
+            );
+        }
+    }
+
+    #[test]
+    fn isotropic_tracks_full_solve_within_a_few_kelvin() {
+        // The cheap model keeps errors bounded even for clustered loads.
+        let fp = Floorplan::paper_8x8();
+        let cfg = ThermalConfig::paper();
+        let pred = ThermalPredictor::learn_with(&fp, &cfg, PredictorModel::Isotropic);
+        let mut power = vec![Watts::new(0.019); 64];
+        for i in (0..64).step_by(4) {
+            power[i] = Watts::new(6.0);
+        }
+        let predicted = pred.predict(&fp, &power);
+        let exact = steady_state(&fp, &cfg, &power);
+        for core in fp.cores() {
+            let err = (predicted.core(core) - exact.core(core)).abs();
+            assert!(
+                err < 10.0,
+                "core {core}: predicted {} vs exact {}",
+                predicted.core(core),
+                exact.core(core)
+            );
+        }
+    }
+
+    #[test]
+    fn prediction_is_linear_in_power() {
+        let (fp, _, pred) = setup();
+        let mut p1 = vec![Watts::new(0.0); 64];
+        p1[7] = Watts::new(3.0);
+        let t1 = pred.predict(&fp, &p1);
+        let p2: Vec<Watts> = p1.iter().map(|&w| w * 2.0).collect();
+        let t2 = pred.predict(&fp, &p2);
+        let amb = pred.ambient.value();
+        for core in fp.cores() {
+            let r1 = t1.core(core).value() - amb;
+            let r2 = t2.core(core).value() - amb;
+            assert!((r2 - 2.0 * r1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn leakage_correction_only_raises_temperatures() {
+        let (fp, _, pred) = setup();
+        let mut power = vec![Watts::new(0.0); 64];
+        power[12] = Watts::new(5.0);
+        let base = pred.predict(&fp, &power);
+        let corrected = pred.predict_with_leakage(&fp, &power, |_, t| {
+            // 10 mW of extra leakage per kelvin above ambient.
+            Watts::new(0.01 * (t - pred.ambient).max(0.0))
+        });
+        for core in fp.cores() {
+            assert!(corrected.core(core) >= base.core(core));
+        }
+    }
+
+    #[test]
+    fn hot_neighbourhoods_predict_hotter_cores() {
+        let (fp, _, pred) = setup();
+        // Same core power, different neighbourhoods.
+        let lone = {
+            let mut p = vec![Watts::new(0.0); 64];
+            p[fp.core_at(0, 0).unwrap().index()] = Watts::new(6.0);
+            p
+        };
+        let crowded = {
+            let mut p = vec![Watts::new(0.0); 64];
+            p[fp.core_at(0, 0).unwrap().index()] = Watts::new(6.0);
+            p[fp.core_at(0, 1).unwrap().index()] = Watts::new(6.0);
+            p[fp.core_at(1, 0).unwrap().index()] = Watts::new(6.0);
+            p
+        };
+        let c = fp.core_at(0, 0).unwrap();
+        assert!(
+            pred.predict(&fp, &crowded).core(c) > pred.predict(&fp, &lone).core(c),
+            "neighbour heating must raise the core's prediction"
+        );
+    }
+
+    #[test]
+    fn models_are_reported() {
+        let fp = Floorplan::paper_8x8();
+        let cfg = ThermalConfig::paper();
+        assert_eq!(
+            ThermalPredictor::learn(&fp, &cfg).model(),
+            PredictorModel::ResponseMatrix
+        );
+        assert_eq!(
+            ThermalPredictor::learn_with(&fp, &cfg, PredictorModel::Isotropic).model(),
+            PredictorModel::Isotropic
+        );
+        assert_eq!(ThermalPredictor::learn(&fp, &cfg).core_count(), 64);
+    }
+}

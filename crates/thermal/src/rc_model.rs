@@ -1,0 +1,303 @@
+//! The equivalent RC network built from a floorplan.
+
+use crate::config::ThermalConfig;
+use hayat_floorplan::Floorplan;
+use hayat_linalg::{cholesky, SquareMatrix};
+use hayat_units::{Kelvin, Watts};
+
+/// One edge of the conductance graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Edge {
+    /// Index of the neighbouring node.
+    other: usize,
+    /// Thermal conductance of the edge, W/K.
+    g: f64,
+}
+
+/// The RC thermal network of one chip.
+///
+/// Node layout for an `N`-core chip (three laterally resolved layers, as in
+/// HotSpot's block model):
+///
+/// * nodes `0..N` — silicon (one per core; power is injected here),
+/// * nodes `N..2N` — heat-spreader cells (one per core),
+/// * nodes `2N..3N` — heat-sink cells (one per core), each coupled to
+///   ambient through its share of the chip-level sink resistance.
+///
+/// Resolving the sink laterally matters: a dense block of active cores
+/// heats *its* half of the sink, which is exactly why contiguous Dark Core
+/// Maps run hotter than spread ones (Section II).
+///
+/// The steady-state conductance system `G·T = P + G_amb·T_amb` is factorized
+/// once at construction (dense Cholesky; `G` is symmetric positive definite
+/// because every node drains to ambient through the sink), so each
+/// steady-state query is just two triangular solves. The transient
+/// integrator reuses the same edge list for explicit time stepping.
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::Floorplan;
+/// use hayat_thermal::{RcNetwork, ThermalConfig};
+///
+/// let fp = Floorplan::paper_8x8();
+/// let net = RcNetwork::new(&fp, &ThermalConfig::paper());
+/// assert_eq!(net.node_count(), 3 * 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RcNetwork {
+    cores: usize,
+    /// Adjacency list per node.
+    edges: Vec<Vec<Edge>>,
+    /// Conductance to ambient per node (non-zero only for the sink).
+    g_ambient: Vec<f64>,
+    /// Heat capacity per node, J/K.
+    capacitance: Vec<f64>,
+    ambient: Kelvin,
+    /// Lower Cholesky factor of the conductance matrix.
+    factor: SquareMatrix,
+}
+
+impl RcNetwork {
+    /// Builds the network for `floorplan` under `config` and factorizes the
+    /// steady-state conductance system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`ThermalConfig::assert_valid`].
+    #[must_use]
+    pub fn new(floorplan: &Floorplan, config: &ThermalConfig) -> Self {
+        config.assert_valid();
+        let n = floorplan.core_count();
+        let node_count = 3 * n;
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); node_count];
+        let mut connect = |a: usize, b: usize, r: f64| {
+            let g = 1.0 / r;
+            edges[a].push(Edge { other: b, g });
+            edges[b].push(Edge { other: a, g });
+        };
+        for core in floorplan.cores() {
+            let i = core.index();
+            // Vertical: silicon -> spreader -> sink cell.
+            connect(i, n + i, config.r_si_spreader);
+            connect(n + i, 2 * n + i, config.r_spreader_sink);
+            // Lateral: connect to neighbours with a larger id only, so each
+            // physical edge is added exactly once.
+            for nb in floorplan.neighbors(core) {
+                if nb.index() > i {
+                    connect(i, nb.index(), config.r_si_lateral);
+                    connect(n + i, n + nb.index(), config.r_spreader_lateral);
+                    connect(2 * n + i, 2 * n + nb.index(), config.r_sink_lateral);
+                }
+            }
+        }
+        let mut g_ambient = vec![0.0; node_count];
+        // The chip-level sink resistance is shared by all sink cells in
+        // parallel: per-cell resistance = N * total.
+        for cell in 0..n {
+            g_ambient[2 * n + cell] = 1.0 / (config.r_sink_ambient * n as f64);
+        }
+        let mut capacitance = vec![config.c_silicon; n];
+        capacitance.extend(std::iter::repeat_n(config.c_spreader, n));
+        capacitance.extend(std::iter::repeat_n(config.c_sink / n as f64, n));
+
+        // Assemble and factorize the conductance (weighted-Laplacian +
+        // ambient tie) matrix.
+        let mut g = SquareMatrix::zeros(node_count);
+        for (i, node_edges) in edges.iter().enumerate() {
+            let mut diag = g_ambient[i];
+            for e in node_edges {
+                diag += e.g;
+                g.set(i, e.other, -e.g);
+            }
+            g.set(i, i, diag);
+        }
+        let factor = cholesky(&g).expect("conductance matrix is positive definite");
+
+        RcNetwork {
+            cores: n,
+            edges,
+            g_ambient,
+            capacitance,
+            ambient: config.ambient,
+            factor,
+        }
+    }
+
+    /// Number of cores the network models.
+    #[must_use]
+    pub const fn core_count(&self) -> usize {
+        self.cores
+    }
+
+    /// Total number of RC nodes (`3·cores`).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The ambient temperature the sink is coupled to.
+    #[must_use]
+    pub const fn ambient(&self) -> Kelvin {
+        self.ambient
+    }
+
+    /// Expands a per-core power vector into a per-node injection vector
+    /// (power enters at the silicon nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_power.len() != core_count()`.
+    #[must_use]
+    pub fn injection(&self, core_power: &[Watts]) -> Vec<f64> {
+        assert_eq!(
+            core_power.len(),
+            self.cores,
+            "power vector must cover every core"
+        );
+        let mut p = vec![0.0; self.node_count()];
+        for (i, w) in core_power.iter().enumerate() {
+            p[i] = w.value();
+        }
+        p
+    }
+
+    /// Exact steady-state node temperatures for a per-node injection vector:
+    /// solves `G·T = P + G_amb·T_amb` through the cached factorization.
+    pub fn solve_steady(&self, injection: &[f64]) -> Vec<f64> {
+        let rhs: Vec<f64> = injection
+            .iter()
+            .zip(&self.g_ambient)
+            .map(|(&p, &ga)| p + ga * self.ambient.value())
+            .collect();
+        hayat_linalg::cholesky_solve(&self.factor, &rhs)
+    }
+
+    /// Net heat flow into node `i` at the given node temperatures, W.
+    pub(crate) fn net_flow(&self, i: usize, temps: &[f64], injection: &[f64]) -> f64 {
+        let mut flow = injection[i] + self.g_ambient[i] * (self.ambient.value() - temps[i]);
+        for e in &self.edges[i] {
+            flow += e.g * (temps[e.other] - temps[i]);
+        }
+        flow
+    }
+
+    /// Heat capacity of node `i`, J/K.
+    pub(crate) fn capacity(&self, i: usize) -> f64 {
+        self.capacitance[i]
+    }
+
+    /// The largest explicit-Euler step that keeps integration stable:
+    /// `0.5 · min_i (C_i / ΣG_i)`.
+    #[must_use]
+    pub fn stable_step(&self) -> f64 {
+        let mut min_tau = f64::MAX;
+        for i in 0..self.node_count() {
+            let g_total: f64 = self.edges[i].iter().map(|e| e.g).sum::<f64>() + self.g_ambient[i];
+            if g_total > 0.0 {
+                min_tau = min_tau.min(self.capacitance[i] / g_total);
+            }
+        }
+        0.5 * min_tau
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hayat_floorplan::FloorplanBuilder;
+
+    fn net() -> RcNetwork {
+        RcNetwork::new(&Floorplan::paper_8x8(), &ThermalConfig::paper())
+    }
+
+    #[test]
+    fn node_layout() {
+        let n = net();
+        assert_eq!(n.core_count(), 64);
+        assert_eq!(n.node_count(), 192);
+    }
+
+    #[test]
+    fn edge_conductances_are_symmetric() {
+        let n = net();
+        for i in 0..n.node_count() {
+            for e in &n.edges[i] {
+                let back = n.edges[e.other]
+                    .iter()
+                    .find(|b| b.other == i)
+                    .expect("reverse edge exists");
+                assert!((back.g - e.g).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn only_sink_cells_touch_ambient() {
+        let n = net();
+        for i in 0..128 {
+            assert_eq!(n.g_ambient[i], 0.0, "node {i}");
+        }
+        // Per-cell ambient conductances sum to the chip-level value.
+        let total: f64 = n.g_ambient[128..].iter().sum();
+        assert!((total - 1.0 / ThermalConfig::paper().r_sink_ambient).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corner_core_has_fewer_lateral_edges() {
+        let fp = Floorplan::paper_8x8();
+        let n = RcNetwork::new(&fp, &ThermalConfig::paper());
+        // Corner silicon node: 1 vertical + 2 lateral = 3 edges.
+        assert_eq!(n.edges[0].len(), 3);
+        // Interior silicon node (row 1, col 1 = core 9): 1 vertical + 4 lateral.
+        assert_eq!(n.edges[9].len(), 5);
+    }
+
+    #[test]
+    fn injection_places_power_on_silicon_nodes() {
+        let n = net();
+        let mut power = vec![Watts::new(0.0); 64];
+        power[5] = Watts::new(7.5);
+        let p = n.injection(&power);
+        assert_eq!(p[5], 7.5);
+        assert!(p[64..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn stable_step_is_positive_and_small() {
+        let dt = net().stable_step();
+        assert!(dt > 0.0 && dt < 0.1, "dt = {dt}");
+    }
+
+    #[test]
+    fn zero_power_equilibrium_is_ambient() {
+        let n = net();
+        let injection = vec![0.0; n.node_count()];
+        let temps = n.solve_steady(&injection);
+        for &t in &temps {
+            assert!((t - n.ambient().value()).abs() < 1e-8, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn net_flow_is_zero_at_equilibrium() {
+        let fp = FloorplanBuilder::new(2, 2).build().unwrap();
+        let n = RcNetwork::new(&fp, &ThermalConfig::paper());
+        let power = vec![Watts::new(2.0); 4];
+        let injection = n.injection(&power);
+        let temps = n.solve_steady(&injection);
+        for i in 0..n.node_count() {
+            assert!(
+                n.net_flow(i, &temps, &injection).abs() < 1e-8,
+                "node {i} flow {}",
+                n.net_flow(i, &temps, &injection)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "every core")]
+    fn injection_checks_length() {
+        let _ = net().injection(&[Watts::new(1.0)]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Transient (time-domain) thermal integration.
+
+use crate::config::ThermalConfig;
+use crate::profile::TemperatureMap;
+use crate::rc_model::RcNetwork;
+use hayat_floorplan::Floorplan;
+use hayat_units::{Kelvin, Seconds, Watts};
+
+/// Explicit-Euler transient simulator over the RC network.
+///
+/// This is the "fine-grained thermal simulation cycle" of the paper's
+/// accelerated-aging loop (Fig. 4): within an aging epoch the run-time
+/// system advances the chip's thermal state under the current power vector,
+/// checks DTM triggers, and records worst-case temperatures for the aging
+/// upscale.
+///
+/// Requested steps are internally subdivided into numerically stable
+/// sub-steps, so callers can simply advance by their control period (the
+/// paper's temperature-dependent-leakage update period is 6.6 ms).
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::Floorplan;
+/// use hayat_thermal::{ThermalConfig, TransientSimulator};
+/// use hayat_units::{Seconds, Watts};
+///
+/// let fp = Floorplan::paper_8x8();
+/// let mut sim = TransientSimulator::new(&fp, &ThermalConfig::paper());
+/// let power = vec![Watts::new(4.0); fp.core_count()];
+/// sim.step(Seconds::new(0.0066), &power);
+/// assert!(sim.temperatures().mean() > sim.ambient());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransientSimulator {
+    network: RcNetwork,
+    /// Per-node temperatures (silicon, spreader, sink), kelvin.
+    node_temps: Vec<f64>,
+    elapsed: f64,
+}
+
+impl TransientSimulator {
+    /// Creates a simulator with every node at ambient temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`ThermalConfig::assert_valid`]).
+    #[must_use]
+    pub fn new(floorplan: &Floorplan, config: &ThermalConfig) -> Self {
+        let network = RcNetwork::new(floorplan, config);
+        let node_temps = vec![network.ambient().value(); network.node_count()];
+        TransientSimulator {
+            network,
+            node_temps,
+            elapsed: 0.0,
+        }
+    }
+
+    /// Creates a simulator starting from a given per-core temperature map
+    /// (spreader and sink start at ambient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's core count differs from the floorplan's.
+    #[must_use]
+    pub fn with_initial(
+        floorplan: &Floorplan,
+        config: &ThermalConfig,
+        initial: &TemperatureMap,
+    ) -> Self {
+        let mut sim = TransientSimulator::new(floorplan, config);
+        assert_eq!(
+            initial.len(),
+            sim.network.core_count(),
+            "initial map must cover every core"
+        );
+        for (core, t) in initial.iter() {
+            sim.node_temps[core.index()] = t.value();
+        }
+        sim
+    }
+
+    /// The ambient temperature of the underlying network.
+    #[must_use]
+    pub fn ambient(&self) -> Kelvin {
+        self.network.ambient()
+    }
+
+    /// Simulated time advanced so far.
+    #[must_use]
+    pub fn elapsed(&self) -> Seconds {
+        Seconds::new(self.elapsed)
+    }
+
+    /// Advances the thermal state by `dt` under a constant per-core power
+    /// vector, subdividing into stable sub-steps internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_power.len()` differs from the core count.
+    pub fn step(&mut self, dt: Seconds, core_power: &[Watts]) {
+        let injection = self.network.injection(core_power);
+        let mut remaining = dt.value();
+        let max_step = self.network.stable_step();
+        while remaining > 0.0 {
+            let h = remaining.min(max_step);
+            self.euler_step(h, &injection);
+            remaining -= h;
+        }
+        self.elapsed += dt.value();
+    }
+
+    fn euler_step(&mut self, h: f64, injection: &[f64]) {
+        let n = self.network.node_count();
+        let mut next = self.node_temps.clone();
+        for (i, next_t) in next.iter_mut().enumerate().take(n) {
+            let flow = self.network.net_flow(i, &self.node_temps, injection);
+            *next_t += h * flow / self.network.capacity(i);
+        }
+        self.node_temps = next;
+    }
+
+    /// Current per-core (silicon-node) temperatures.
+    #[must_use]
+    pub fn temperatures(&self) -> TemperatureMap {
+        TemperatureMap::new(
+            self.node_temps[..self.network.core_count()]
+                .iter()
+                .map(|&t| Kelvin::new(t))
+                .collect(),
+        )
+    }
+
+    /// Runs to (approximate) equilibrium under a constant power vector:
+    /// advances in `window`-sized steps until the largest per-core change
+    /// over a window drops below `tol_kelvin`, or `max_time` is reached.
+    ///
+    /// Returns the simulated time actually advanced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_power.len()` differs from the core count.
+    pub fn settle(
+        &mut self,
+        core_power: &[Watts],
+        window: Seconds,
+        tol_kelvin: f64,
+        max_time: Seconds,
+    ) -> Seconds {
+        let start = self.elapsed;
+        loop {
+            let before = self.temperatures();
+            self.step(window, core_power);
+            let after = self.temperatures();
+            let delta = before
+                .iter()
+                .zip(after.iter())
+                .map(|((_, a), (_, b))| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            if delta < tol_kelvin || self.elapsed - start >= max_time.value() {
+                return Seconds::new(self.elapsed - start);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steady::steady_state;
+
+    fn setup() -> (Floorplan, ThermalConfig) {
+        (Floorplan::paper_8x8(), ThermalConfig::paper())
+    }
+
+    #[test]
+    fn temperatures_rise_monotonically_toward_equilibrium() {
+        let (fp, cfg) = setup();
+        let mut sim = TransientSimulator::new(&fp, &cfg);
+        let power = vec![Watts::new(5.0); 64];
+        let mut last = sim.temperatures().mean().value();
+        for _ in 0..10 {
+            sim.step(Seconds::new(0.05), &power);
+            let now = sim.temperatures().mean().value();
+            assert!(now >= last - 1e-9, "mean fell from {last} to {now}");
+            last = now;
+        }
+        assert!(last > cfg.ambient.value() + 1.0);
+    }
+
+    #[test]
+    fn transient_converges_to_steady_state() {
+        let (fp, cfg) = setup();
+        let mut power = vec![Watts::new(0.019); 64];
+        for i in (0..64).step_by(3) {
+            power[i] = Watts::new(6.5);
+        }
+        let target = steady_state(&fp, &cfg, &power);
+        let mut sim = TransientSimulator::new(&fp, &cfg);
+        sim.settle(&power, Seconds::new(0.25), 1e-4, Seconds::new(200.0));
+        let got = sim.temperatures();
+        for core in fp.cores() {
+            let err = (got.core(core) - target.core(core)).abs();
+            assert!(
+                err < 0.05,
+                "core {core}: transient {} vs steady {}",
+                got.core(core),
+                target.core(core)
+            );
+        }
+    }
+
+    #[test]
+    fn cooling_after_power_removal() {
+        let (fp, cfg) = setup();
+        let mut sim = TransientSimulator::new(&fp, &cfg);
+        let hot = vec![Watts::new(6.0); 64];
+        sim.step(Seconds::new(5.0), &hot);
+        let peak = sim.temperatures().max();
+        let off = vec![Watts::new(0.0); 64];
+        sim.step(Seconds::new(5.0), &off);
+        assert!(sim.temperatures().max() < peak);
+    }
+
+    #[test]
+    fn with_initial_seeds_core_temperatures() {
+        let (fp, cfg) = setup();
+        let initial = TemperatureMap::uniform(64, Kelvin::new(350.0));
+        let sim = TransientSimulator::with_initial(&fp, &cfg, &initial);
+        assert_eq!(sim.temperatures().max(), Kelvin::new(350.0));
+    }
+
+    #[test]
+    fn elapsed_time_accumulates() {
+        let (fp, cfg) = setup();
+        let mut sim = TransientSimulator::new(&fp, &cfg);
+        let power = vec![Watts::new(1.0); 64];
+        sim.step(Seconds::new(0.0066), &power);
+        sim.step(Seconds::new(0.0066), &power);
+        assert!((sim.elapsed().value() - 0.0132).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subdivision_matches_small_steps() {
+        // One big step must equal many small steps (same sub-stepping).
+        let (fp, cfg) = setup();
+        let power = vec![Watts::new(4.0); 64];
+        let mut big = TransientSimulator::new(&fp, &cfg);
+        big.step(Seconds::new(0.1), &power);
+        let mut small = TransientSimulator::new(&fp, &cfg);
+        for _ in 0..100 {
+            small.step(Seconds::new(0.001), &power);
+        }
+        for core in fp.cores() {
+            let a = big.temperatures().core(core).value();
+            let b = small.temperatures().core(core).value();
+            assert!((a - b).abs() < 0.02, "core {core}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "every core")]
+    fn step_checks_power_length() {
+        let (fp, cfg) = setup();
+        let mut sim = TransientSimulator::new(&fp, &cfg);
+        sim.step(Seconds::new(0.01), &[Watts::new(1.0)]);
+    }
+}

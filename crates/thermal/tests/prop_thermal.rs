@@ -1,0 +1,105 @@
+//! Property tests for the thermal substrate: physical invariants of the RC
+//! network that must hold for *any* (bounded) load, plus serde round-trips.
+
+use hayat_floorplan::{CoreId, Floorplan, FloorplanBuilder};
+use hayat_thermal::{steady_state, TemperatureMap, ThermalConfig, ThermalPredictor};
+use hayat_units::{Kelvin, Watts};
+use proptest::prelude::*;
+
+fn small_fp() -> Floorplan {
+    FloorplanBuilder::new(3, 3).build().expect("valid mesh")
+}
+
+fn arb_power() -> impl Strategy<Value = Vec<Watts>> {
+    prop::collection::vec(0.0f64..10.0, 9).prop_map(|v| v.into_iter().map(Watts::new).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_temperatures_at_or_above_ambient(power in arb_power()) {
+        let cfg = ThermalConfig::paper();
+        let temps = steady_state(&small_fp(), &cfg, &power);
+        for (_, t) in temps.iter() {
+            prop_assert!(t.value() >= cfg.ambient.value() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn superposition_of_arbitrary_loads(p1 in arb_power(), p2 in arb_power()) {
+        // The RC network is linear: responses add.
+        let fp = small_fp();
+        let cfg = ThermalConfig::paper();
+        let both: Vec<Watts> = p1.iter().zip(&p2).map(|(&a, &b)| a + b).collect();
+        let t1 = steady_state(&fp, &cfg, &p1);
+        let t2 = steady_state(&fp, &cfg, &p2);
+        let t12 = steady_state(&fp, &cfg, &both);
+        let amb = cfg.ambient.value();
+        for core in fp.cores() {
+            let lhs = t12.core(core).value() - amb;
+            let rhs = (t1.core(core).value() - amb) + (t2.core(core).value() - amb);
+            prop_assert!((lhs - rhs).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn reciprocity_of_the_response(src in 0usize..9, dst in 0usize..9, w in 0.5f64..8.0) {
+        // Symmetric resistive networks are reciprocal: the rise at B from
+        // power at A equals the rise at A from the same power at B.
+        let fp = small_fp();
+        let cfg = ThermalConfig::paper();
+        let rise = |from: usize, at: usize| {
+            let mut p = vec![Watts::new(0.0); 9];
+            p[from] = Watts::new(w);
+            steady_state(&fp, &cfg, &p).core(CoreId::new(at)).value() - cfg.ambient.value()
+        };
+        prop_assert!((rise(src, dst) - rise(dst, src)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn predictor_matches_exact_solve_for_any_load(power in arb_power()) {
+        // The response-matrix predictor is exact for the linear network.
+        let fp = small_fp();
+        let cfg = ThermalConfig::paper();
+        let predictor = ThermalPredictor::learn(&fp, &cfg);
+        let predicted = predictor.predict(&fp, &power);
+        let exact = steady_state(&fp, &cfg, &power);
+        for core in fp.cores() {
+            prop_assert!((predicted.core(core) - exact.core(core)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn energy_balance_at_equilibrium(power in arb_power()) {
+        // At steady state, total injected power leaves through the sink:
+        // total rise of the mean sink path ~ P_total * R_sink. Check the
+        // weaker, exact invariant: mean core temperature grows linearly
+        // with uniform scaling of the load.
+        let fp = small_fp();
+        let cfg = ThermalConfig::paper();
+        let t1 = steady_state(&fp, &cfg, &power);
+        let double: Vec<Watts> = power.iter().map(|&w| w * 2.0).collect();
+        let t2 = steady_state(&fp, &cfg, &double);
+        let amb = cfg.ambient.value();
+        let rise1 = t1.mean().value() - amb;
+        let rise2 = t2.mean().value() - amb;
+        prop_assert!((rise2 - 2.0 * rise1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn temperature_map_serde_round_trips(vals in prop::collection::vec(250.0f64..450.0, 1..32)) {
+        let map = TemperatureMap::new(vals.into_iter().map(Kelvin::new).collect());
+        let json = serde_json::to_string(&map).expect("serialize");
+        let back: TemperatureMap = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, map);
+    }
+}
+
+#[test]
+fn thermal_config_serde_round_trips() {
+    let cfg = ThermalConfig::paper();
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: ThermalConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, cfg);
+}

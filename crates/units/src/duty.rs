@@ -1,0 +1,170 @@
+//! Duty-cycle newtype.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Fraction of time a transistor (or core) is under NBTI stress, in `[0, 1]`.
+///
+/// The paper uses three working assumptions for per-core duty cycles when
+/// estimating future health: a *generic* 50%, a *known* value estimated from
+/// offline netlist data, and a *worst-case* 85–100% (Section IV-C); the
+/// associated constructors are provided.
+///
+/// # Example
+///
+/// ```
+/// use hayat_units::DutyCycle;
+///
+/// let d = DutyCycle::new(0.85);
+/// assert!((d.value() - 0.85).abs() < 1e-12);
+/// assert_eq!(DutyCycle::generic().value(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct DutyCycle(f64);
+
+impl DutyCycle {
+    /// Creates a duty cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite or outside `[0, 1]`.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && (0.0..=1.0).contains(&value),
+            "duty cycle must be within [0, 1], got {value}"
+        );
+        DutyCycle(value)
+    }
+
+    /// Checked constructor: like `new`, but returns an error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRangeError`](crate::OutOfRangeError) when `value` is
+    /// not within [0, 1].
+    pub fn try_new(value: f64) -> Result<Self, crate::OutOfRangeError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(DutyCycle(value))
+        } else {
+            Err(crate::OutOfRangeError {
+                quantity: "duty cycle",
+                value,
+                valid: "within [0, 1]",
+            })
+        }
+    }
+
+    /// Creates a duty cycle, clamping out-of-range values into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    #[must_use]
+    pub fn clamped(value: f64) -> Self {
+        assert!(!value.is_nan(), "duty cycle must not be NaN");
+        DutyCycle(value.clamp(0.0, 1.0))
+    }
+
+    /// The paper's *generic* assumption: 50% stress.
+    #[must_use]
+    pub const fn generic() -> Self {
+        DutyCycle(0.5)
+    }
+
+    /// The paper's *worst-case* assumption: 100% stress.
+    #[must_use]
+    pub const fn worst_case() -> Self {
+        DutyCycle(1.0)
+    }
+
+    /// A fully idle (recovery-only) duty cycle.
+    #[must_use]
+    pub const fn idle() -> Self {
+        DutyCycle(0.0)
+    }
+
+    /// Returns the duty cycle as a fraction in `[0, 1]`.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Combines a core-level utilization with an application-level
+    /// transistor stress probability (Section IV-B step 3 multiplies the
+    /// core duty cycle with the application mix's PMOS duty cycle).
+    #[must_use]
+    pub fn combine(self, application: DutyCycle) -> DutyCycle {
+        DutyCycle(self.0 * application.0)
+    }
+}
+
+impl Default for DutyCycle {
+    /// Defaults to the generic 50% assumption.
+    fn default() -> Self {
+        DutyCycle::generic()
+    }
+}
+
+impl TryFrom<f64> for DutyCycle {
+    type Error = crate::OutOfRangeError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        DutyCycle::try_new(value)
+    }
+}
+
+impl From<DutyCycle> for f64 {
+    fn from(v: DutyCycle) -> f64 {
+        v.0
+    }
+}
+
+impl fmt::Display for DutyCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.0 * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        assert_eq!(DutyCycle::generic().value(), 0.5);
+        assert_eq!(DutyCycle::worst_case().value(), 1.0);
+        assert_eq!(DutyCycle::idle().value(), 0.0);
+        assert_eq!(DutyCycle::default(), DutyCycle::generic());
+    }
+
+    #[test]
+    fn combine_multiplies() {
+        let d = DutyCycle::new(0.8).combine(DutyCycle::new(0.5));
+        assert!((d.value() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamped_saturates() {
+        assert_eq!(DutyCycle::clamped(1.5).value(), 1.0);
+        assert_eq!(DutyCycle::clamped(-0.5).value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn new_rejects_out_of_range() {
+        let _ = DutyCycle::new(1.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn clamped_rejects_nan() {
+        let _ = DutyCycle::clamped(f64::NAN);
+    }
+
+    #[test]
+    fn display_is_percent() {
+        assert_eq!(DutyCycle::new(0.85).to_string(), "85.0%");
+    }
+}

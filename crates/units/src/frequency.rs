@@ -1,0 +1,224 @@
+//! Clock-frequency newtype.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// Clock frequency in gigahertz.
+///
+/// The paper reports all frequencies in GHz (nominal 3 GHz, variation maps
+/// spanning roughly 2.5–4 GHz), so GHz is the canonical unit here. A core's
+/// *health* is the ratio of two `Gigahertz` values ([`Gigahertz::ratio`]).
+///
+/// # Example
+///
+/// ```
+/// use hayat_units::Gigahertz;
+///
+/// let init = Gigahertz::new(3.6);
+/// let aged = Gigahertz::new(3.2);
+/// let health = aged.ratio(init);
+/// assert!((health - 0.888).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Gigahertz(f64);
+
+impl Gigahertz {
+    /// Creates a frequency in GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite or is negative.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "frequency must be finite and non-negative, got {value} GHz"
+        );
+        Gigahertz(value)
+    }
+
+    /// Checked constructor: like `new`, but returns an error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRangeError`](crate::OutOfRangeError) when `value` is
+    /// not finite and non-negative.
+    pub fn try_new(value: f64) -> Result<Self, crate::OutOfRangeError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(Gigahertz(value))
+        } else {
+            Err(crate::OutOfRangeError {
+                quantity: "gigahertz",
+                value,
+                valid: "finite and non-negative",
+            })
+        }
+    }
+
+    /// Returns the frequency in GHz.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the frequency in hertz.
+    #[must_use]
+    pub fn hertz(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Ratio of this frequency to `base` (e.g. health = aged / initial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero.
+    #[must_use]
+    pub fn ratio(self, base: Gigahertz) -> f64 {
+        assert!(base.0 > 0.0, "cannot take a ratio against a zero frequency");
+        self.0 / base.0
+    }
+
+    /// Scales the frequency by a non-negative factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Gigahertz {
+        Gigahertz::new(self.0 * factor)
+    }
+
+    /// Returns the larger of two frequencies.
+    #[must_use]
+    pub fn max(self, other: Gigahertz) -> Gigahertz {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two frequencies.
+    #[must_use]
+    pub fn min(self, other: Gigahertz) -> Gigahertz {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Gigahertz {
+    type Output = Gigahertz;
+    fn add(self, rhs: Gigahertz) -> Gigahertz {
+        Gigahertz::new(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Gigahertz {
+    type Output = Gigahertz;
+    /// Saturates at zero: frequencies cannot go negative.
+    fn sub(self, rhs: Gigahertz) -> Gigahertz {
+        Gigahertz::new((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Gigahertz {
+    type Output = Gigahertz;
+    fn mul(self, factor: f64) -> Gigahertz {
+        self.scaled(factor)
+    }
+}
+
+impl Div<f64> for Gigahertz {
+    type Output = Gigahertz;
+    fn div(self, divisor: f64) -> Gigahertz {
+        Gigahertz::new(self.0 / divisor)
+    }
+}
+
+impl Sum for Gigahertz {
+    fn sum<I: Iterator<Item = Gigahertz>>(iter: I) -> Gigahertz {
+        iter.fold(Gigahertz::new(0.0), |acc, f| acc + f)
+    }
+}
+
+impl TryFrom<f64> for Gigahertz {
+    type Error = crate::OutOfRangeError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Gigahertz::try_new(value)
+    }
+}
+
+impl From<Gigahertz> for f64 {
+    fn from(v: Gigahertz) -> f64 {
+        v.0
+    }
+}
+
+impl fmt::Display for Gigahertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} GHz", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hertz_conversion() {
+        assert!((Gigahertz::new(3.0).hertz() - 3.0e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ratio_is_health() {
+        let h = Gigahertz::new(2.7).ratio(Gigahertz::new(3.0));
+        assert!((h - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let f = Gigahertz::new(1.0) - Gigahertz::new(2.0);
+        assert_eq!(f.value(), 0.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let f = Gigahertz::new(2.0) + Gigahertz::new(1.5);
+        assert!((f.value() - 3.5).abs() < 1e-12);
+        assert!(((f * 2.0).value() - 7.0).abs() < 1e-12);
+        assert!(((f / 7.0).value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_frequencies() {
+        let total: Gigahertz = [1.0, 2.0, 3.0].into_iter().map(Gigahertz::new).sum();
+        assert!((total.value() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Gigahertz::new(3.0);
+        let b = Gigahertz::new(2.5);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative() {
+        let _ = Gigahertz::new(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero frequency")]
+    fn ratio_rejects_zero_base() {
+        let _ = Gigahertz::new(1.0).ratio(Gigahertz::new(0.0));
+    }
+}

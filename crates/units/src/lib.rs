@@ -1,0 +1,40 @@
+//! Physical-quantity newtypes shared by every Hayat substrate.
+//!
+//! The reproduction mixes at least five physical dimensions in one control
+//! loop — temperature (thermal model), power (power model), frequency
+//! (variation + aging), voltage (NBTI stress) and time at two very different
+//! scales (millisecond transient simulation vs multi-year aging epochs).
+//! Newtypes keep those apart at compile time: `Kelvin` cannot be passed where
+//! `Watts` is expected, and converting years to seconds is an explicit,
+//! documented call instead of a magic constant.
+//!
+//! # Example
+//!
+//! ```
+//! use hayat_units::{Celsius, Kelvin, Gigahertz, Years};
+//!
+//! let t_safe = Celsius::new(95.0).to_kelvin();
+//! assert!((t_safe.value() - 368.15).abs() < 1e-9);
+//! let f = Gigahertz::new(3.0);
+//! assert!((f.hertz() - 3.0e9).abs() < 1.0);
+//! assert!((Years::new(0.5).seconds() - 15_778_800.0).abs() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod duty;
+mod frequency;
+mod out_of_range;
+mod power;
+mod temperature;
+mod time;
+mod voltage;
+
+pub use crate::duty::DutyCycle;
+pub use crate::frequency::Gigahertz;
+pub use crate::out_of_range::OutOfRangeError;
+pub use crate::power::Watts;
+pub use crate::temperature::{Celsius, Kelvin};
+pub use crate::time::{Seconds, Years, SECONDS_PER_YEAR};
+pub use crate::voltage::Volts;

@@ -1,0 +1,63 @@
+//! Shared error for checked unit construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// A value fell outside a physical quantity's valid range.
+///
+/// Returned by the `try_new` constructors and by serde deserialization of
+/// every validated newtype in this crate — deserialization goes through the
+/// same checks as construction, so invalid quantities cannot enter through
+/// data files.
+///
+/// # Example
+///
+/// ```
+/// use hayat_units::Kelvin;
+///
+/// let err = Kelvin::try_new(-3.0).unwrap_err();
+/// assert!(err.to_string().contains("kelvin"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutOfRangeError {
+    /// Name of the quantity ("kelvin", "watts", …).
+    pub quantity: &'static str,
+    /// The offending value.
+    pub value: f64,
+    /// Human-readable description of the valid range.
+    pub valid: &'static str,
+}
+
+impl fmt::Display for OutOfRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} value {} outside valid range ({})",
+            self.quantity, self.value, self.valid
+        )
+    }
+}
+
+impl Error for OutOfRangeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_quantity_and_range() {
+        let e = OutOfRangeError {
+            quantity: "watts",
+            value: -1.0,
+            valid: "finite and >= 0",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("watts") && msg.contains("-1") && msg.contains(">= 0"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_bounds<T: std::error::Error + Send + Sync>() {}
+        assert_bounds::<OutOfRangeError>();
+    }
+}

@@ -1,0 +1,179 @@
+//! Power newtype.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Power in watts.
+///
+/// Used for per-thread dynamic power, per-core leakage (the paper's
+/// 1.18 W nominal subthreshold leakage and 0.019 W power-gated residue) and
+/// whole-chip TDP accounting.
+///
+/// # Example
+///
+/// ```
+/// use hayat_units::Watts;
+///
+/// let dynamic = Watts::new(4.2);
+/// let leakage = Watts::new(1.18);
+/// assert!(((dynamic + leakage).value() - 5.38).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Watts(f64);
+
+impl Watts {
+    /// Creates a power value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite or is negative.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "power must be finite and non-negative, got {value} W"
+        );
+        Watts(value)
+    }
+
+    /// Checked constructor: like `new`, but returns an error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRangeError`](crate::OutOfRangeError) when `value` is
+    /// not finite and non-negative.
+    pub fn try_new(value: f64) -> Result<Self, crate::OutOfRangeError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(Watts(value))
+        } else {
+            Err(crate::OutOfRangeError {
+                quantity: "watts",
+                value,
+                valid: "finite and non-negative",
+            })
+        }
+    }
+
+    /// Returns the power in watts.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Scales the power by a non-negative factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Watts {
+        Watts::new(self.0 * factor)
+    }
+}
+
+impl Add for Watts {
+    type Output = Watts;
+    fn add(self, rhs: Watts) -> Watts {
+        Watts::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Watts {
+    fn add_assign(&mut self, rhs: Watts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Watts {
+    type Output = Watts;
+    /// Saturates at zero: power cannot go negative.
+    fn sub(self, rhs: Watts) -> Watts {
+        Watts::new((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Watts {
+    type Output = Watts;
+    fn mul(self, factor: f64) -> Watts {
+        self.scaled(factor)
+    }
+}
+
+impl Div<f64> for Watts {
+    type Output = Watts;
+    fn div(self, divisor: f64) -> Watts {
+        Watts::new(self.0 / divisor)
+    }
+}
+
+impl Sum for Watts {
+    fn sum<I: Iterator<Item = Watts>>(iter: I) -> Watts {
+        iter.fold(Watts::new(0.0), |acc, w| acc + w)
+    }
+}
+
+impl TryFrom<f64> for Watts {
+    type Error = crate::OutOfRangeError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Watts::try_new(value)
+    }
+}
+
+impl From<Watts> for f64 {
+    fn from(v: Watts) -> f64 {
+        v.0
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} W", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let p = Watts::new(3.0) + Watts::new(1.5);
+        assert!((p.value() - 4.5).abs() < 1e-12);
+        assert!(((p * 2.0).value() - 9.0).abs() < 1e-12);
+        assert!(((p / 3.0).value() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        assert_eq!((Watts::new(1.0) - Watts::new(5.0)).value(), 0.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut total = Watts::new(0.0);
+        total += Watts::new(1.18);
+        total += Watts::new(0.019);
+        assert!((total.value() - 1.199).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_over_cores() {
+        let total: Watts = std::iter::repeat_n(Watts::new(1.18), 64).sum();
+        assert!((total.value() - 75.52).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative() {
+        let _ = Watts::new(-0.5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Watts::new(1.18).to_string(), "1.180 W");
+    }
+}

@@ -1,0 +1,260 @@
+//! Absolute and relative temperature newtypes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Offset between the Celsius and Kelvin scales.
+const KELVIN_OFFSET: f64 = 273.15;
+
+/// Absolute temperature in kelvin.
+///
+/// All thermal-model state and all aging-model inputs use kelvin; the
+/// paper's Eq. 7 (`e^(−1500/T)`) expects an absolute temperature. User-facing
+/// configuration (e.g. the Intel mobile i5 `T_safe = 95 °C`) typically starts
+/// as [`Celsius`] and is converted explicitly.
+///
+/// # Example
+///
+/// ```
+/// use hayat_units::Kelvin;
+///
+/// let t = Kelvin::new(338.0);
+/// assert!((t.to_celsius().value() - 64.85).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Kelvin(f64);
+
+impl Kelvin {
+    /// Creates an absolute temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite or is negative (below absolute zero).
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "absolute temperature must be finite and non-negative, got {value}"
+        );
+        Kelvin(value)
+    }
+
+    /// Checked constructor: like `new`, but returns an error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRangeError`](crate::OutOfRangeError) when `value` is
+    /// not finite and non-negative.
+    pub fn try_new(value: f64) -> Result<Self, crate::OutOfRangeError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(Kelvin(value))
+        } else {
+            Err(crate::OutOfRangeError {
+                quantity: "kelvin",
+                value,
+                valid: "finite and non-negative",
+            })
+        }
+    }
+
+    /// Returns the temperature in kelvin.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to the Celsius scale.
+    #[must_use]
+    pub fn to_celsius(self) -> Celsius {
+        Celsius::new(self.0 - KELVIN_OFFSET)
+    }
+
+    /// Returns the larger of two temperatures.
+    #[must_use]
+    pub fn max(self, other: Kelvin) -> Kelvin {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two temperatures.
+    #[must_use]
+    pub fn min(self, other: Kelvin) -> Kelvin {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<f64> for Kelvin {
+    type Output = Kelvin;
+    /// Adds a temperature *difference* in kelvin.
+    fn add(self, delta: f64) -> Kelvin {
+        Kelvin::new(self.0 + delta)
+    }
+}
+
+impl Sub for Kelvin {
+    type Output = f64;
+    /// Difference between two absolute temperatures, in kelvin.
+    fn sub(self, rhs: Kelvin) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl TryFrom<f64> for Kelvin {
+    type Error = crate::OutOfRangeError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Kelvin::try_new(value)
+    }
+}
+
+impl From<Kelvin> for f64 {
+    fn from(v: Kelvin) -> f64 {
+        v.0
+    }
+}
+
+impl fmt::Display for Kelvin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} K", self.0)
+    }
+}
+
+/// Temperature on the Celsius scale, used for human-facing configuration.
+///
+/// # Example
+///
+/// ```
+/// use hayat_units::Celsius;
+///
+/// let ambient = Celsius::new(45.0);
+/// assert!((ambient.to_kelvin().value() - 318.15).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Celsius(f64);
+
+impl Celsius {
+    /// Creates a Celsius temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite or below absolute zero.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= -KELVIN_OFFSET,
+            "temperature must be finite and above absolute zero, got {value} degC"
+        );
+        Celsius(value)
+    }
+
+    /// Checked constructor: like `new`, but returns an error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRangeError`](crate::OutOfRangeError) when `value` is
+    /// not finite and above absolute zero.
+    pub fn try_new(value: f64) -> Result<Self, crate::OutOfRangeError> {
+        if value.is_finite() && value >= -273.15 {
+            Ok(Celsius(value))
+        } else {
+            Err(crate::OutOfRangeError {
+                quantity: "celsius",
+                value,
+                valid: "finite and above absolute zero",
+            })
+        }
+    }
+
+    /// Returns the temperature in degrees Celsius.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to kelvin.
+    #[must_use]
+    pub fn to_kelvin(self) -> Kelvin {
+        Kelvin::new(self.0 + KELVIN_OFFSET)
+    }
+}
+
+impl TryFrom<f64> for Celsius {
+    type Error = crate::OutOfRangeError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Celsius::try_new(value)
+    }
+}
+
+impl From<Celsius> for f64 {
+    fn from(v: Celsius) -> f64 {
+        v.0
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} degC", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kelvin_celsius_round_trip() {
+        let t = Kelvin::new(368.15);
+        assert!((t.to_celsius().to_kelvin() - t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_constants_convert() {
+        // T_safe = 95 degC (Intel mobile i5, Section V).
+        assert!((Celsius::new(95.0).to_kelvin().value() - 368.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn difference_and_offset() {
+        let a = Kelvin::new(340.0);
+        let b = Kelvin::new(330.0);
+        assert!((a - b - 10.0).abs() < 1e-12);
+        assert!(((b + 10.0) - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Kelvin::new(340.0);
+        let b = Kelvin::new(330.0);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn kelvin_rejects_negative() {
+        let _ = Kelvin::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "absolute zero")]
+    fn celsius_rejects_below_absolute_zero() {
+        let _ = Celsius::new(-300.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Kelvin::new(338.0).to_string(), "338.00 K");
+        assert_eq!(Celsius::new(95.0).to_string(), "95.00 degC");
+    }
+}

@@ -1,0 +1,254 @@
+//! Time newtypes at the two scales the accelerated-aging loop mixes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// Seconds in a Julian year, the conversion constant between the transient
+/// and aging timescales.
+pub const SECONDS_PER_YEAR: f64 = 31_557_600.0;
+
+/// Fine-grained (transient-simulation) time in seconds.
+///
+/// The paper runs millisecond-scale closed-loop thermal simulation (its
+/// temperature-dependent-leakage update period is 6.6 ms) and upscales the
+/// gathered statistics to aging epochs of months.
+///
+/// # Example
+///
+/// ```
+/// use hayat_units::Seconds;
+///
+/// let step = Seconds::new(0.0066);
+/// assert!((step.value() - 0.0066).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Seconds(f64);
+
+impl Seconds {
+    /// Creates a duration in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite or is negative.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "duration must be finite and non-negative, got {value} s"
+        );
+        Seconds(value)
+    }
+
+    /// Checked constructor: like `new`, but returns an error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRangeError`](crate::OutOfRangeError) when `value` is
+    /// not finite and non-negative.
+    pub fn try_new(value: f64) -> Result<Self, crate::OutOfRangeError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(Seconds(value))
+        } else {
+            Err(crate::OutOfRangeError {
+                quantity: "seconds",
+                value,
+                valid: "finite and non-negative",
+            })
+        }
+    }
+
+    /// Returns the duration in seconds.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to years.
+    #[must_use]
+    pub fn to_years(self) -> Years {
+        Years::new(self.0 / SECONDS_PER_YEAR)
+    }
+}
+
+impl Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds::new(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for Seconds {
+    type Output = Seconds;
+    fn mul(self, factor: f64) -> Seconds {
+        Seconds::new(self.0 * factor)
+    }
+}
+
+impl TryFrom<f64> for Seconds {
+    type Error = crate::OutOfRangeError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Seconds::try_new(value)
+    }
+}
+
+impl From<Seconds> for f64 {
+    fn from(v: Seconds) -> f64 {
+        v.0
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} s", self.0)
+    }
+}
+
+/// Coarse-grained (aging) time in years.
+///
+/// NBTI age `y` in the paper's Eq. 7 is expressed in years; aging epochs are
+/// 3- or 6-month slices, i.e. `Years::new(0.25)` / `Years::new(0.5)`.
+///
+/// # Example
+///
+/// ```
+/// use hayat_units::Years;
+///
+/// let epoch = Years::new(0.25);
+/// let age = Years::new(2.0) + epoch;
+/// assert!((age.value() - 2.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Years(f64);
+
+impl Years {
+    /// Creates a duration in years.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite or is negative.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "age must be finite and non-negative, got {value} years"
+        );
+        Years(value)
+    }
+
+    /// Checked constructor: like `new`, but returns an error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRangeError`](crate::OutOfRangeError) when `value` is
+    /// not finite and non-negative.
+    pub fn try_new(value: f64) -> Result<Self, crate::OutOfRangeError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(Years(value))
+        } else {
+            Err(crate::OutOfRangeError {
+                quantity: "years",
+                value,
+                valid: "finite and non-negative",
+            })
+        }
+    }
+
+    /// Returns the duration in years.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to seconds.
+    #[must_use]
+    pub fn seconds(self) -> f64 {
+        self.0 * SECONDS_PER_YEAR
+    }
+}
+
+impl Add for Years {
+    type Output = Years;
+    fn add(self, rhs: Years) -> Years {
+        Years::new(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Years {
+    type Output = Years;
+    /// Saturates at zero: ages cannot go negative.
+    fn sub(self, rhs: Years) -> Years {
+        Years::new((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Years {
+    type Output = Years;
+    fn mul(self, factor: f64) -> Years {
+        Years::new(self.0 * factor)
+    }
+}
+
+impl TryFrom<f64> for Years {
+    type Error = crate::OutOfRangeError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Years::try_new(value)
+    }
+}
+
+impl From<Years> for f64 {
+    fn from(v: Years) -> f64 {
+        v.0
+    }
+}
+
+impl fmt::Display for Years {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} yr", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_years_round_trip() {
+        let y = Years::new(2.5);
+        let s = Seconds::new(y.seconds());
+        assert!((s.to_years().value() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_lengths() {
+        // 3-month and 6-month epochs from the overhead discussion.
+        assert!((Years::new(0.25).seconds() - SECONDS_PER_YEAR / 4.0).abs() < 1e-6);
+        assert!((Years::new(0.5).seconds() - SECONDS_PER_YEAR / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert!(((Years::new(1.0) + Years::new(0.5)).value() - 1.5).abs() < 1e-12);
+        assert!(((Years::new(1.0) - Years::new(0.25)).value() - 0.75).abs() < 1e-12);
+        assert_eq!((Years::new(1.0) - Years::new(2.0)).value(), 0.0);
+        assert!(((Years::new(2.0) * 3.0).value() - 6.0).abs() < 1e-12);
+        assert!(((Seconds::new(2.0) + Seconds::new(1.0)).value() - 3.0).abs() < 1e-12);
+        assert!(((Seconds::new(2.0) * 0.5).value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn years_rejects_negative() {
+        let _ = Years::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn seconds_rejects_negative() {
+        let _ = Seconds::new(-1.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Voltage newtype.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Supply or threshold voltage in volts.
+///
+/// The paper's chips run at a chip-level `Vdd = 1.13 V`; NBTI stress in
+/// Eq. 7 scales with `Vdd⁴`, so getting the unit right matters.
+///
+/// # Example
+///
+/// ```
+/// use hayat_units::Volts;
+///
+/// let vdd = Volts::new(1.13);
+/// assert!((vdd.value().powi(4) - 1.630).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Volts(f64);
+
+impl Volts {
+    /// Creates a voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite or is negative.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "voltage must be finite and non-negative, got {value} V"
+        );
+        Volts(value)
+    }
+
+    /// Checked constructor: like `new`, but returns an error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRangeError`](crate::OutOfRangeError) when `value` is
+    /// not finite and non-negative.
+    pub fn try_new(value: f64) -> Result<Self, crate::OutOfRangeError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(Volts(value))
+        } else {
+            Err(crate::OutOfRangeError {
+                quantity: "volts",
+                value,
+                valid: "finite and non-negative",
+            })
+        }
+    }
+
+    /// Returns the voltage in volts.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl TryFrom<f64> for Volts {
+    type Error = crate::OutOfRangeError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Volts::try_new(value)
+    }
+}
+
+impl From<Volts> for f64 {
+    fn from(v: Volts) -> f64 {
+        v.0
+    }
+}
+
+impl fmt::Display for Volts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} V", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_vdd() {
+        assert!((Volts::new(1.13).value() - 1.13).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative() {
+        let _ = Volts::new(-1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Volts::new(1.13).to_string(), "1.130 V");
+    }
+}

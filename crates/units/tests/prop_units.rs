@@ -1,0 +1,116 @@
+//! Property tests and serde round-trips for the unit newtypes.
+
+use hayat_units::{Celsius, DutyCycle, Gigahertz, Kelvin, Seconds, Volts, Watts, Years};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn kelvin_celsius_round_trip(v in 0.0f64..2000.0) {
+        let k = Kelvin::new(v);
+        let back = k.to_celsius().to_kelvin();
+        prop_assert!((back - k).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_ratio_scales(f in 0.001f64..10.0, s in 0.0f64..3.0) {
+        let base = Gigahertz::new(f);
+        let scaled = base.scaled(s);
+        prop_assert!((scaled.ratio(base) - s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_sub_saturates(a in 0.0f64..10.0, b in 0.0f64..10.0) {
+        let d = Gigahertz::new(a) - Gigahertz::new(b);
+        prop_assert!(d.value() >= 0.0);
+        prop_assert!((d.value() - (a - b).max(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn watts_sum_is_commutative_and_monotone(vals in prop::collection::vec(0.0f64..50.0, 1..20)) {
+        let total: Watts = vals.iter().map(|&v| Watts::new(v)).sum();
+        let mut rev = vals.clone();
+        rev.reverse();
+        let total_rev: Watts = rev.iter().map(|&v| Watts::new(v)).sum();
+        prop_assert!((total.value() - total_rev.value()).abs() < 1e-9);
+        prop_assert!(total.value() >= vals.iter().cloned().fold(0.0, f64::max) - 1e-12);
+    }
+
+    #[test]
+    fn years_seconds_round_trip(y in 0.0f64..100.0) {
+        let years = Years::new(y);
+        let back = Seconds::new(years.seconds()).to_years();
+        prop_assert!((back.value() - y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duty_combine_stays_in_range(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let d = DutyCycle::new(a).combine(DutyCycle::new(b));
+        prop_assert!((0.0..=1.0).contains(&d.value()));
+        prop_assert!(d.value() <= a.min(b) + 1e-12);
+    }
+
+    #[test]
+    fn duty_clamped_is_idempotent(v in -5.0f64..5.0) {
+        let once = DutyCycle::clamped(v);
+        let twice = DutyCycle::clamped(once.value());
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn serde_round_trips(
+        k in 0.0f64..1000.0,
+        w in 0.0f64..500.0,
+        g in 0.0f64..10.0,
+        v in 0.0f64..3.0,
+        d in 0.0f64..=1.0,
+        y in 0.0f64..50.0,
+    ) {
+        macro_rules! rt {
+            ($value:expr, $ty:ty) => {{
+                let json = serde_json::to_string(&$value).expect("serialize");
+                let back: $ty = serde_json::from_str(&json).expect("deserialize");
+                prop_assert_eq!(back, $value);
+            }};
+        }
+        rt!(Kelvin::new(k), Kelvin);
+        rt!(Watts::new(w), Watts);
+        rt!(Gigahertz::new(g), Gigahertz);
+        rt!(Volts::new(v), Volts);
+        rt!(DutyCycle::new(d), DutyCycle);
+        rt!(Years::new(y), Years);
+        rt!(Celsius::new(25.0), Celsius);
+    }
+}
+
+#[test]
+fn serde_rejects_garbage() {
+    assert!(serde_json::from_str::<Kelvin>("\"hot\"").is_err());
+    assert!(serde_json::from_str::<Watts>("{}").is_err());
+}
+
+#[test]
+fn serde_rejects_out_of_range_values() {
+    // Deserialization goes through the same validation as construction, so
+    // invalid physical quantities cannot enter through data files.
+    assert!(serde_json::from_str::<Kelvin>("-5.0").is_err());
+    assert!(serde_json::from_str::<Watts>("-0.1").is_err());
+    assert!(serde_json::from_str::<Gigahertz>("-1.0").is_err());
+    assert!(serde_json::from_str::<DutyCycle>("1.5").is_err());
+    assert!(serde_json::from_str::<Years>("-2.0").is_err());
+    assert!(serde_json::from_str::<Celsius>("-400.0").is_err());
+    // In-range values still parse.
+    assert!(serde_json::from_str::<Kelvin>("300.0").is_ok());
+    assert!(serde_json::from_str::<DutyCycle>("0.5").is_ok());
+}
+
+#[test]
+fn try_new_matches_new_behaviour() {
+    assert_eq!(Kelvin::try_new(300.0).unwrap(), Kelvin::new(300.0));
+    assert!(Kelvin::try_new(-1.0).is_err());
+    assert!(Kelvin::try_new(f64::NAN).is_err());
+    assert_eq!(Watts::try_new(1.18).unwrap(), Watts::new(1.18));
+    assert!(Watts::try_new(f64::INFINITY).is_err());
+    assert!(DutyCycle::try_new(1.01).is_err());
+    let err = Gigahertz::try_new(-3.0).unwrap_err();
+    assert!(err.to_string().contains("gigahertz"));
+}

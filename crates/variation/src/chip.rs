@@ -1,0 +1,260 @@
+//! One manufactured chip: per-core initial frequency and leakage deviation.
+
+use crate::critical_path::CriticalPathMap;
+use crate::field::ThetaField;
+use crate::params::VariationParams;
+use hayat_floorplan::{CoreId, Floorplan};
+use hayat_units::Gigahertz;
+use serde::{Deserialize, Serialize};
+
+/// One chip sample out of a manufactured population.
+///
+/// Holds the raw `ϑ` field plus the two derived per-core quantities the rest
+/// of the system consumes:
+///
+/// * `fmax` — the variation-dependent initial maximum safe frequency of each
+///   core, from Eq. 1 (`f_i = α · min 1/ϑ` over the core's critical-path
+///   sites). This is the `f_max,i,init` that normalizes *health*.
+/// * `leakage_factor` — the process-dependent leakage multiplier of each
+///   core, from the exponential `ϑ` dependence of Eq. 2, normalized to 1.0
+///   at the nominal corner and averaged over the core's grid cells.
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::{CoreId, Floorplan};
+/// use hayat_variation::{ChipPopulation, VariationParams};
+///
+/// # fn main() -> Result<(), hayat_variation::VariationError> {
+/// let fp = Floorplan::paper_8x8();
+/// let pop = ChipPopulation::generate(&fp, &VariationParams::paper(), 1, 11)?;
+/// let chip = &pop.chips()[0];
+/// let f0 = chip.fmax(CoreId::new(0));
+/// assert!(f0.value() > 1.0 && f0.value() < 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chip {
+    id: usize,
+    theta: ThetaField,
+    fmax: Vec<Gigahertz>,
+    leakage_factor: Vec<f64>,
+}
+
+impl Chip {
+    /// Derives a chip from a sampled `ϑ` field under a given design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design's core count does not match the floorplan.
+    #[must_use]
+    pub fn from_theta(
+        id: usize,
+        floorplan: &Floorplan,
+        design: &CriticalPathMap,
+        theta: ThetaField,
+        params: &VariationParams,
+    ) -> Self {
+        assert_eq!(
+            design.core_count(),
+            floorplan.core_count(),
+            "design core count must match floorplan"
+        );
+        let mut fmax = Vec::with_capacity(floorplan.core_count());
+        let mut leakage_factor = Vec::with_capacity(floorplan.core_count());
+        let leak_k = params.vth_sensitivity.value() / params.thermal_voltage.value();
+        for core in floorplan.cores() {
+            // Eq. 1: the slowest grid point on the critical paths limits fmax.
+            let worst_theta = design
+                .sites(core)
+                .iter()
+                .map(|&c| theta.value(c))
+                .fold(f64::MIN, f64::max);
+            fmax.push(params.alpha.scaled(params.mean / worst_theta));
+
+            // Eq. 2 (process part): exponential leakage deviation, averaged
+            // over the cells of the core and normalized to 1.0 at ϑ = μ.
+            let cells = theta.core_values(core);
+            let factor = cells
+                .iter()
+                .map(|&v| (leak_k * (v - params.mean)).exp())
+                .sum::<f64>()
+                / cells.len().max(1) as f64;
+            leakage_factor.push(factor);
+        }
+        Chip {
+            id,
+            theta,
+            fmax,
+            leakage_factor,
+        }
+    }
+
+    /// Identifier of the chip within its population.
+    #[must_use]
+    pub const fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The raw process-parameter field.
+    #[must_use]
+    pub const fn theta(&self) -> &ThetaField {
+        &self.theta
+    }
+
+    /// Number of cores on the chip.
+    #[must_use]
+    pub fn core_count(&self) -> usize {
+        self.fmax.len()
+    }
+
+    /// Initial (year-0) maximum safe frequency of `core` (Eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn fmax(&self, core: CoreId) -> Gigahertz {
+        self.fmax[core.index()]
+    }
+
+    /// All initial per-core maximum frequencies, indexed by core.
+    #[must_use]
+    pub fn fmax_all(&self) -> &[Gigahertz] {
+        &self.fmax
+    }
+
+    /// Process-dependent leakage multiplier of `core` (1.0 = nominal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn leakage_factor(&self, core: CoreId) -> f64 {
+        self.leakage_factor[core.index()]
+    }
+
+    /// Fastest core frequency on the chip.
+    #[must_use]
+    pub fn max_fmax(&self) -> Gigahertz {
+        self.fmax
+            .iter()
+            .copied()
+            .fold(Gigahertz::new(0.0), Gigahertz::max)
+    }
+
+    /// Slowest core frequency on the chip.
+    #[must_use]
+    pub fn min_fmax(&self) -> Gigahertz {
+        self.fmax
+            .iter()
+            .copied()
+            .fold(Gigahertz::new(f64::MAX.sqrt()), Gigahertz::min)
+    }
+
+    /// Mean core frequency on the chip.
+    #[must_use]
+    pub fn avg_fmax(&self) -> Gigahertz {
+        let sum: Gigahertz = self.fmax.iter().copied().sum();
+        sum / self.core_count().max(1) as f64
+    }
+
+    /// Core-to-core frequency spread: `(max − min) / max`.
+    ///
+    /// The paper reports 30–35% for its population at 1.13 V, 3–4 GHz.
+    #[must_use]
+    pub fn fmax_spread(&self) -> f64 {
+        let max = self.max_fmax().value();
+        if max == 0.0 {
+            return 0.0;
+        }
+        (max - self.min_fmax().value()) / max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::ChipPopulation;
+    use hayat_floorplan::GridOverlay;
+
+    fn uniform_chip(theta_value: f64) -> (Floorplan, Chip) {
+        let fp = Floorplan::paper_8x8();
+        let params = VariationParams::paper();
+        let design = CriticalPathMap::synthesize(&fp, params.sites_per_core, params.design_seed);
+        let grid = fp.grid().clone();
+        let n = grid.cell_count();
+        let theta = ThetaField::from_values(grid, fp.cols(), vec![theta_value; n]);
+        let chip = Chip::from_theta(0, &fp, &design, theta, &params);
+        (fp, chip)
+    }
+
+    #[test]
+    fn nominal_theta_gives_alpha_and_unit_leakage() {
+        let (fp, chip) = uniform_chip(1.0);
+        let alpha = VariationParams::paper().alpha;
+        for core in fp.cores() {
+            assert!((chip.fmax(core).value() - alpha.value()).abs() < 1e-12);
+            assert!((chip.leakage_factor(core) - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(chip.fmax_spread(), 0.0);
+    }
+
+    #[test]
+    fn slow_silicon_lowers_frequency_and_raises_leakage() {
+        let (_, slow) = uniform_chip(1.1);
+        let (_, fast) = uniform_chip(0.9);
+        assert!(slow.max_fmax() < fast.min_fmax());
+        assert!(slow.leakage_factor(CoreId::new(0)) > 1.0);
+        assert!(fast.leakage_factor(CoreId::new(0)) < 1.0);
+    }
+
+    #[test]
+    fn eq1_uses_the_worst_site() {
+        let fp = Floorplan::paper_8x8();
+        let params = VariationParams::paper();
+        let design = CriticalPathMap::synthesize(&fp, params.sites_per_core, params.design_seed);
+        let grid: GridOverlay = fp.grid().clone();
+        let mut values = vec![1.0; grid.cell_count()];
+        // Poison exactly one critical-path site of core 0.
+        let site = design.sites(CoreId::new(0))[0];
+        values[grid.cell_index(site)] = 1.25;
+        let theta = ThetaField::from_values(grid, fp.cols(), values);
+        let chip = Chip::from_theta(0, &fp, &design, theta, &params);
+        let expect = params.alpha.value() / 1.25;
+        assert!((chip.fmax(CoreId::new(0)).value() - expect).abs() < 1e-9);
+        // Other cores are untouched.
+        assert!((chip.fmax(CoreId::new(1)).value() - params.alpha.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn population_spread_matches_paper_band() {
+        let fp = Floorplan::paper_8x8();
+        let pop = ChipPopulation::generate(&fp, &VariationParams::paper(), 10, 2015).unwrap();
+        let mut spreads: Vec<f64> = pop.chips().iter().map(Chip::fmax_spread).collect();
+        spreads.sort_by(f64::total_cmp);
+        let median = spreads[spreads.len() / 2];
+        // Paper: "frequency variation of about 30%-35% at 1.13V, 3-4GHz".
+        assert!(
+            (0.20..=0.45).contains(&median),
+            "median spread {median} outside the plausible band around the paper's 30-35%"
+        );
+        // Frequencies land in the paper's 2.5-4 GHz color-scale range.
+        for chip in pop.chips() {
+            assert!(chip.max_fmax().value() < 4.6, "max {}", chip.max_fmax());
+            assert!(chip.min_fmax().value() > 1.8, "min {}", chip.min_fmax());
+        }
+    }
+
+    #[test]
+    fn aggregate_statistics_are_consistent() {
+        let fp = Floorplan::paper_8x8();
+        let pop = ChipPopulation::generate(&fp, &VariationParams::paper(), 1, 3).unwrap();
+        let chip = &pop.chips()[0];
+        assert!(chip.min_fmax() <= chip.avg_fmax());
+        assert!(chip.avg_fmax() <= chip.max_fmax());
+        assert_eq!(chip.core_count(), 64);
+        assert_eq!(chip.fmax_all().len(), 64);
+    }
+}

@@ -1,0 +1,135 @@
+//! Placement of critical-path grid sites (`S_CP(C_i)` of Eq. 1).
+//!
+//! In the paper the set of grid points a core's critical paths cross comes
+//! from hardware synthesis (Synopsys DC) of the processor netlist. Here the
+//! *design* is synthesized deterministically from a seed: for each core, a
+//! fixed number of its grid cells are selected as critical-path sites. The
+//! same design (same sites) applies to every chip of a population — only the
+//! silicon (`ϑ` field) differs chip to chip, exactly as in manufacturing.
+
+use hayat_floorplan::{CoreId, Floorplan, GridCell};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Per-core critical-path grid sites for one processor design.
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::{CoreId, Floorplan};
+/// use hayat_variation::CriticalPathMap;
+///
+/// let fp = Floorplan::paper_8x8();
+/// let cp = CriticalPathMap::synthesize(&fp, 6, 0xDAC);
+/// assert_eq!(cp.sites(CoreId::new(0)).len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CriticalPathMap {
+    sites: Vec<Vec<GridCell>>,
+}
+
+impl CriticalPathMap {
+    /// Synthesizes a design: for every core of `floorplan`, selects
+    /// `sites_per_core` distinct grid cells out of the core's block
+    /// (clamped to the block size), deterministically from `design_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites_per_core` is zero.
+    #[must_use]
+    pub fn synthesize(floorplan: &Floorplan, sites_per_core: usize, design_seed: u64) -> Self {
+        assert!(
+            sites_per_core > 0,
+            "critical paths must cross at least one grid point"
+        );
+        let mut rng = StdRng::seed_from_u64(design_seed);
+        let grid = floorplan.grid();
+        let sites = floorplan
+            .cores()
+            .map(|core| {
+                let mut cells = grid.cells_of_core(core, floorplan.cols());
+                cells.shuffle(&mut rng);
+                cells.truncate(sites_per_core.min(cells.len()));
+                cells.sort_unstable();
+                cells
+            })
+            .collect();
+        CriticalPathMap { sites }
+    }
+
+    /// Number of cores covered by the design.
+    #[must_use]
+    pub fn core_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Grid sites crossed by `core`'s critical paths, in sorted order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range for the design.
+    #[must_use]
+    pub fn sites(&self, core: CoreId) -> &[GridCell] {
+        &self.sites[core.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hayat_floorplan::FloorplanBuilder;
+
+    #[test]
+    fn sites_stay_inside_the_core_block() {
+        let fp = Floorplan::paper_8x8();
+        let cp = CriticalPathMap::synthesize(&fp, 6, 1);
+        for core in fp.cores() {
+            let block = fp.grid().cells_of_core(core, fp.cols());
+            for site in cp.sites(core) {
+                assert!(block.contains(site), "site {site} outside core {core}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_design() {
+        let fp = Floorplan::paper_8x8();
+        let a = CriticalPathMap::synthesize(&fp, 6, 5);
+        let b = CriticalPathMap::synthesize(&fp, 6, 5);
+        assert_eq!(a, b);
+        let c = CriticalPathMap::synthesize(&fp, 6, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn site_count_is_clamped_to_block_size() {
+        let fp = FloorplanBuilder::new(2, 2)
+            .grid_cells_per_core(2)
+            .build()
+            .unwrap();
+        // A 2x2 block has 4 cells; asking for 10 yields 4.
+        let cp = CriticalPathMap::synthesize(&fp, 10, 1);
+        assert_eq!(cp.sites(CoreId::new(0)).len(), 4);
+    }
+
+    #[test]
+    fn sites_are_distinct() {
+        let fp = Floorplan::paper_8x8();
+        let cp = CriticalPathMap::synthesize(&fp, 6, 9);
+        for core in fp.cores() {
+            let sites = cp.sites(core);
+            let mut dedup = sites.to_vec();
+            dedup.dedup();
+            assert_eq!(dedup.len(), sites.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_sites_panics() {
+        let fp = Floorplan::paper_8x8();
+        let _ = CriticalPathMap::synthesize(&fp, 0, 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the variation crate.
+
+use hayat_linalg::NotPositiveDefiniteError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by variation-model construction and sampling.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VariationError {
+    /// Parameters were out of their physical range.
+    InvalidParams {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+    /// The spatial-covariance matrix could not be factorized.
+    Covariance(NotPositiveDefiniteError),
+}
+
+impl fmt::Display for VariationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VariationError::InvalidParams { reason } => {
+                write!(f, "invalid variation parameters: {reason}")
+            }
+            VariationError::Covariance(err) => {
+                write!(f, "covariance factorization failed: {err}")
+            }
+        }
+    }
+}
+
+impl Error for VariationError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VariationError::Covariance(err) => Some(err),
+            VariationError::InvalidParams { .. } => None,
+        }
+    }
+}
+
+impl From<NotPositiveDefiniteError> for VariationError {
+    fn from(err: NotPositiveDefiniteError) -> Self {
+        VariationError::Covariance(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = VariationError::InvalidParams {
+            reason: "sigma must be positive".into(),
+        };
+        assert!(err.to_string().contains("sigma"));
+        assert!(err.source().is_none());
+
+        let inner = NotPositiveDefiniteError { pivot: 3 };
+        let err = VariationError::from(inner);
+        assert!(err.to_string().contains("pivot 3"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VariationError>();
+    }
+}

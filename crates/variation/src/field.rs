@@ -1,0 +1,173 @@
+//! The sampled per-grid-point process-parameter field.
+
+use hayat_floorplan::{CoreId, GridCell, GridOverlay};
+use serde::{Deserialize, Serialize};
+
+/// One realization of the process parameter `ϑ(u,v)` over the whole die.
+///
+/// Values are stored densely in grid row-major order. `ϑ` is dimensionless
+/// and centered at the nominal corner (`μ = 1`); larger `ϑ` means a slower,
+/// leakier region of silicon.
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::Floorplan;
+/// use hayat_variation::{SpatialSampler, VariationParams};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), hayat_variation::VariationError> {
+/// let fp = Floorplan::paper_8x8();
+/// let sampler = SpatialSampler::new(&fp, &VariationParams::paper())?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let field = sampler.sample(&mut rng);
+/// assert_eq!(field.len(), 32 * 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThetaField {
+    grid: GridOverlay,
+    core_cols: usize,
+    values: Vec<f64>,
+}
+
+impl ThetaField {
+    /// Wraps dense per-cell values (row-major) into a field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` does not match the grid's cell count.
+    #[must_use]
+    pub fn from_values(grid: GridOverlay, core_cols: usize, values: Vec<f64>) -> Self {
+        assert_eq!(
+            values.len(),
+            grid.cell_count(),
+            "value count must match grid cell count"
+        );
+        ThetaField {
+            grid,
+            core_cols,
+            values,
+        }
+    }
+
+    /// Number of grid cells in the field.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the field has no cells (only possible for degenerate grids).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The grid overlay this field was sampled on.
+    #[must_use]
+    pub const fn grid(&self) -> &GridOverlay {
+        &self.grid
+    }
+
+    /// `ϑ` value at a grid cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is outside the grid.
+    #[must_use]
+    pub fn value(&self, cell: GridCell) -> f64 {
+        self.values[self.grid.cell_index(cell)]
+    }
+
+    /// `ϑ` values over the block of cells owned by `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is inconsistent with the grid.
+    #[must_use]
+    pub fn core_values(&self, core: CoreId) -> Vec<f64> {
+        self.grid
+            .cells_of_core(core, self.core_cols)
+            .into_iter()
+            .map(|c| self.value(c))
+            .collect()
+    }
+
+    /// Mean `ϑ` over the whole die.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len().max(1) as f64
+    }
+
+    /// Sample standard deviation of `ϑ` over the whole die.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self.values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Iterator over `(cell, ϑ)` pairs in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (GridCell, f64)> + '_ {
+        self.grid.cells().zip(self.values.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_field() -> ThetaField {
+        // 2x2 cores, 2 cells per core edge => 4x4 grid.
+        let grid = GridOverlay::new(2, 2, 2);
+        let values: Vec<f64> = (0..16).map(|i| 1.0 + i as f64 * 0.01).collect();
+        ThetaField::from_values(grid, 2, values)
+    }
+
+    #[test]
+    fn value_lookup_is_row_major() {
+        let f = small_field();
+        assert!((f.value(GridCell::new(0, 0)) - 1.00).abs() < 1e-12);
+        assert!((f.value(GridCell::new(0, 3)) - 1.03).abs() < 1e-12);
+        assert!((f.value(GridCell::new(3, 3)) - 1.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_values_pick_the_core_block() {
+        let f = small_field();
+        // Core 0 covers grid rows 0-1, cols 0-1 => indices 0,1,4,5.
+        let vals = f.core_values(CoreId::new(0));
+        assert_eq!(vals.len(), 4);
+        assert!((vals[0] - 1.00).abs() < 1e-12);
+        assert!((vals[1] - 1.01).abs() < 1e-12);
+        assert!((vals[2] - 1.04).abs() < 1e-12);
+        assert!((vals[3] - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statistics() {
+        let f = small_field();
+        assert!((f.mean() - 1.075).abs() < 1e-12);
+        assert!(f.std_dev() > 0.0);
+    }
+
+    #[test]
+    fn iter_covers_all_cells() {
+        let f = small_field();
+        assert_eq!(f.iter().count(), 16);
+        let sum: f64 = f.iter().map(|(_, v)| v).sum();
+        assert!((sum / 16.0 - f.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn from_values_checks_length() {
+        let grid = GridOverlay::new(2, 2, 2);
+        let _ = ThetaField::from_values(grid, 2, vec![1.0; 3]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Manufacturing process-variation substrate for the Hayat reproduction.
+//!
+//! Implements the variation model of the paper's Section III, following the
+//! experimentally validated spatial-correlation model of Xiong/Zolotov
+//! (\[25\]) as used by Raghunathan et al.'s *Cherry-Picking* (\[26\]):
+//!
+//! * The chip is partitioned into an `Nchip × Nchip` grid of points
+//!   (provided by [`hayat_floorplan::GridOverlay`]). A Gaussian process
+//!   parameter `ϑ(u,v)` with mean `μ`, standard deviation `σ` and
+//!   distance-decaying spatial correlation `ρ` is attached to each point.
+//! * A core's maximum frequency follows **Eq. 1**:
+//!   `f_i = α · min_{(x,y) ∈ S_CP(i)} (1 / ϑ(x,y))` — the slowest grid point
+//!   crossed by the core's critical paths limits the core.
+//! * A core's leakage deviation follows the exponential dependence of
+//!   **Eq. 2**: leakage scales with `e^(Vth·ϑ/V_T)`, so a few-percent `ϑ`
+//!   spread yields the multi-x leakage spread seen in silicon.
+//!
+//! Sampling a correlated Gaussian field requires a covariance factorization;
+//! a small dense [Cholesky decomposition](linalg::cholesky) is included so
+//! the crate has no external linear-algebra dependency. One factorization is
+//! shared by an entire [chip population](ChipPopulation), which is how the
+//! paper evaluates "25 different chips".
+//!
+//! # Example
+//!
+//! ```
+//! use hayat_floorplan::Floorplan;
+//! use hayat_variation::{ChipPopulation, VariationParams};
+//!
+//! # fn main() -> Result<(), hayat_variation::VariationError> {
+//! let fp = Floorplan::paper_8x8();
+//! let population = ChipPopulation::generate(&fp, &VariationParams::paper(), 2, 42)?;
+//! let chip = &population.chips()[0];
+//! // Initial per-core maximum safe frequencies differ core to core.
+//! assert!(chip.max_fmax() > chip.min_fmax());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hayat_linalg as linalg;
+
+mod chip;
+mod critical_path;
+mod error;
+mod field;
+mod params;
+mod population;
+mod sampler;
+
+pub use crate::chip::Chip;
+pub use crate::critical_path::CriticalPathMap;
+pub use crate::error::VariationError;
+pub use crate::field::ThetaField;
+pub use crate::params::{CorrelationKernel, VariationParams};
+pub use crate::population::ChipPopulation;
+pub use crate::sampler::SpatialSampler;

@@ -1,0 +1,139 @@
+//! Populations of manufactured chips.
+
+use crate::chip::Chip;
+use crate::critical_path::CriticalPathMap;
+use crate::error::VariationError;
+use crate::params::VariationParams;
+use crate::sampler::SpatialSampler;
+use hayat_floorplan::Floorplan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A set of chips manufactured from one design under process variations.
+///
+/// The paper's campaign evaluates "25 different chips"; this type generates
+/// such a population reproducibly: one covariance factorization, one shared
+/// critical-path design, `count` independent `ϑ` draws from a single seeded
+/// RNG stream.
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::Floorplan;
+/// use hayat_variation::{ChipPopulation, VariationParams};
+///
+/// # fn main() -> Result<(), hayat_variation::VariationError> {
+/// let fp = Floorplan::paper_8x8();
+/// let pop = ChipPopulation::generate(&fp, &VariationParams::paper(), 3, 7)?;
+/// assert_eq!(pop.chips().len(), 3);
+/// // Chips differ but share the design.
+/// assert_ne!(pop.chips()[0], pop.chips()[1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipPopulation {
+    design: CriticalPathMap,
+    chips: Vec<Chip>,
+    seed: u64,
+}
+
+impl ChipPopulation {
+    /// Generates `count` chips on `floorplan` under `params`, seeded by
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VariationError`] from parameter validation or covariance
+    /// factorization.
+    pub fn generate(
+        floorplan: &Floorplan,
+        params: &VariationParams,
+        count: usize,
+        seed: u64,
+    ) -> Result<Self, VariationError> {
+        let sampler = SpatialSampler::new(floorplan, params)?;
+        let design =
+            CriticalPathMap::synthesize(floorplan, params.sites_per_core, params.design_seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chips = (0..count)
+            .map(|id| {
+                let theta = sampler.sample(&mut rng);
+                Chip::from_theta(id, floorplan, &design, theta, params)
+            })
+            .collect();
+        Ok(ChipPopulation {
+            design,
+            chips,
+            seed,
+        })
+    }
+
+    /// The shared critical-path design.
+    #[must_use]
+    pub const fn design(&self) -> &CriticalPathMap {
+        &self.design
+    }
+
+    /// The manufactured chips, in generation order.
+    #[must_use]
+    pub fn chips(&self) -> &[Chip] {
+        &self.chips
+    }
+
+    /// The seed the population was generated from.
+    #[must_use]
+    pub const fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Mean of the per-chip core-to-core frequency spreads.
+    #[must_use]
+    pub fn mean_spread(&self) -> f64 {
+        if self.chips.is_empty() {
+            return 0.0;
+        }
+        self.chips.iter().map(Chip::fmax_spread).sum::<f64>() / self.chips.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let fp = Floorplan::paper_8x8();
+        let p = VariationParams::paper();
+        let a = ChipPopulation::generate(&fp, &p, 2, 55).unwrap();
+        let b = ChipPopulation::generate(&fp, &p, 2, 55).unwrap();
+        assert_eq!(a, b);
+        let c = ChipPopulation::generate(&fp, &p, 2, 56).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn chips_have_sequential_ids() {
+        let fp = Floorplan::paper_8x8();
+        let pop = ChipPopulation::generate(&fp, &VariationParams::paper(), 4, 1).unwrap();
+        for (i, chip) in pop.chips().iter().enumerate() {
+            assert_eq!(chip.id(), i);
+        }
+    }
+
+    #[test]
+    fn empty_population_is_fine() {
+        let fp = Floorplan::paper_8x8();
+        let pop = ChipPopulation::generate(&fp, &VariationParams::paper(), 0, 1).unwrap();
+        assert!(pop.chips().is_empty());
+        assert_eq!(pop.mean_spread(), 0.0);
+    }
+
+    #[test]
+    fn mean_spread_is_positive_for_real_populations() {
+        let fp = Floorplan::paper_8x8();
+        let pop = ChipPopulation::generate(&fp, &VariationParams::paper(), 5, 77).unwrap();
+        assert!(pop.mean_spread() > 0.05);
+    }
+}

@@ -1,0 +1,227 @@
+//! Correlated-Gaussian sampling of the `ϑ` field.
+
+use crate::error::VariationError;
+use crate::field::ThetaField;
+use crate::params::VariationParams;
+use hayat_floorplan::Floorplan;
+use hayat_linalg::{cholesky, lower_mul_vec, SquareMatrix};
+use rand::Rng;
+use rand_distr_standard_normal::standard_normal;
+
+/// Tiny internal standard-normal sampler (Box–Muller), so the crate only
+/// needs `rand`'s uniform source.
+mod rand_distr_standard_normal {
+    use rand::Rng;
+
+    /// One draw from N(0, 1) via the Box–Muller transform.
+    pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // Avoid u1 == 0 which would give ln(0).
+        let u1: f64 = loop {
+            let u: f64 = rng.gen();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Sampler of spatially correlated `ϑ` fields for one floorplan.
+///
+/// Construction factorizes the grid covariance matrix once (O(n³) in the
+/// number of grid cells); every [`sample`](SpatialSampler::sample) is then a
+/// cheap matrix–vector product. A whole [chip
+/// population](crate::ChipPopulation) shares one sampler.
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::Floorplan;
+/// use hayat_variation::{SpatialSampler, VariationParams};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), hayat_variation::VariationError> {
+/// let fp = Floorplan::paper_8x8();
+/// let sampler = SpatialSampler::new(&fp, &VariationParams::paper())?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let a = sampler.sample(&mut rng);
+/// let b = sampler.sample(&mut rng);
+/// assert_ne!(a, b); // independent draws
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialSampler {
+    factor: SquareMatrix,
+    mean: f64,
+    grid: hayat_floorplan::GridOverlay,
+    core_cols: usize,
+}
+
+impl SpatialSampler {
+    /// Builds a sampler for `floorplan` under `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariationError::InvalidParams`] for out-of-range parameters
+    /// and [`VariationError::Covariance`] if the covariance matrix cannot be
+    /// factorized.
+    pub fn new(floorplan: &Floorplan, params: &VariationParams) -> Result<Self, VariationError> {
+        params.validate()?;
+        let grid = floorplan.grid().clone();
+        let n = grid.cell_count();
+        let mut cov = SquareMatrix::zeros(n);
+        let cells: Vec<_> = grid.cells().collect();
+        let var = params.sigma * params.sigma;
+        for i in 0..n {
+            for j in 0..=i {
+                let rho = params.correlation(cells[i].distance(cells[j]));
+                let c = var * rho;
+                cov.set(i, j, c);
+                cov.set(j, i, c);
+            }
+        }
+        let factor = cholesky(&cov)?;
+        Ok(SpatialSampler {
+            factor,
+            mean: params.mean,
+            grid,
+            core_cols: floorplan.cols(),
+        })
+    }
+
+    /// Number of grid cells the sampler draws per field.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.grid.cell_count()
+    }
+
+    /// Draws one correlated `ϑ` field: `ϑ = μ + L·z` with `z ~ N(0, I)`.
+    ///
+    /// `ϑ` values are floored at 10% of the mean so that `1/ϑ` in Eq. 1 stays
+    /// bounded even for extreme draws (a >10σ event under paper parameters).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> ThetaField {
+        let n = self.cell_count();
+        let z: Vec<f64> = (0..n).map(|_| standard_normal(rng)).collect();
+        let correlated = lower_mul_vec(&self.factor, &z);
+        let floor = self.mean * 0.1;
+        let values: Vec<f64> = correlated
+            .into_iter()
+            .map(|v| (self.mean + v).max(floor))
+            .collect();
+        ThetaField::from_values(self.grid.clone(), self.core_cols, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hayat_floorplan::{FloorplanBuilder, GridCell};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_fp() -> Floorplan {
+        FloorplanBuilder::new(4, 4)
+            .grid_cells_per_core(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let fp = small_fp();
+        let sampler = SpatialSampler::new(&fp, &VariationParams::paper()).unwrap();
+        let a = sampler.sample(&mut StdRng::seed_from_u64(99));
+        let b = sampler.sample(&mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+        let c = sampler.sample(&mut StdRng::seed_from_u64(100));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn field_statistics_match_params() {
+        let fp = small_fp();
+        let params = VariationParams::paper();
+        let sampler = SpatialSampler::new(&fp, &params).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        // Average over many fields: mean ≈ μ, std ≈ σ.
+        let mut means = Vec::new();
+        let mut stds = Vec::new();
+        for _ in 0..200 {
+            let f = sampler.sample(&mut rng);
+            means.push(f.mean());
+            stds.push(f.std_dev());
+        }
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
+        let std = stds.iter().sum::<f64>() / stds.len() as f64;
+        assert!((mean - params.mean).abs() < 0.03, "mean {mean}");
+        // Spatial correlation shrinks the per-field sample std a bit; allow slack.
+        assert!(
+            std > params.sigma * 0.4 && std < params.sigma * 1.5,
+            "std {std}"
+        );
+    }
+
+    #[test]
+    fn nearby_cells_are_more_correlated_than_distant() {
+        let fp = small_fp();
+        let params = VariationParams::paper();
+        let sampler = SpatialSampler::new(&fp, &params).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let near = (GridCell::new(0, 0), GridCell::new(0, 1));
+        let far = (GridCell::new(0, 0), GridCell::new(7, 7));
+        let (mut cov_near, mut cov_far) = (0.0, 0.0);
+        let trials = 400;
+        let mut samples = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let f = sampler.sample(&mut rng);
+            samples.push((
+                f.value(near.0),
+                f.value(near.1),
+                f.value(far.0),
+                f.value(far.1),
+            ));
+        }
+        let m = |idx: usize| {
+            samples
+                .iter()
+                .map(|s| [s.0, s.1, s.2, s.3][idx])
+                .sum::<f64>()
+                / trials as f64
+        };
+        let (m0, m1, m2, m3) = (m(0), m(1), m(2), m(3));
+        for s in &samples {
+            cov_near += (s.0 - m0) * (s.1 - m1);
+            cov_far += (s.2 - m2) * (s.3 - m3);
+        }
+        assert!(
+            cov_near > cov_far,
+            "adjacent-cell covariance {cov_near} should exceed far-cell covariance {cov_far}"
+        );
+    }
+
+    #[test]
+    fn values_stay_above_floor() {
+        let fp = small_fp();
+        let mut params = VariationParams::paper();
+        params.sigma = 0.4; // extreme spread to provoke the floor
+        let sampler = SpatialSampler::new(&fp, &params).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let f = sampler.sample(&mut rng);
+            assert!(f.iter().all(|(_, v)| v >= params.mean * 0.1));
+        }
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let fp = small_fp();
+        let mut params = VariationParams::paper();
+        params.sigma = -1.0;
+        assert!(matches!(
+            SpatialSampler::new(&fp, &params),
+            Err(VariationError::InvalidParams { .. })
+        ));
+    }
+}

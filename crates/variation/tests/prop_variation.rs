@@ -1,0 +1,109 @@
+//! Property tests for the variation substrate on small grids (fast
+//! covariance factorizations), plus serde round-trips.
+
+use hayat_floorplan::{CoreId, FloorplanBuilder};
+use hayat_variation::{Chip, ChipPopulation, CriticalPathMap, SpatialSampler, VariationParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_fp() -> hayat_floorplan::Floorplan {
+    FloorplanBuilder::new(3, 3)
+        .grid_cells_per_core(2)
+        .build()
+        .expect("valid mesh")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn population_is_deterministic_and_physical(seed in 0u64..5000, count in 1usize..4) {
+        let fp = small_fp();
+        let params = VariationParams::paper();
+        let a = ChipPopulation::generate(&fp, &params, count, seed).expect("generates");
+        let b = ChipPopulation::generate(&fp, &params, count, seed).expect("generates");
+        prop_assert_eq!(&a, &b);
+        for chip in a.chips() {
+            for core in fp.cores() {
+                let f = chip.fmax(core).value();
+                prop_assert!(f > 0.5 && f < 10.0, "fmax {f}");
+                let lf = chip.leakage_factor(core);
+                prop_assert!(lf > 0.0 && lf < 30.0, "leakage factor {lf}");
+            }
+            prop_assert!(chip.min_fmax() <= chip.avg_fmax());
+            prop_assert!(chip.avg_fmax() <= chip.max_fmax());
+        }
+    }
+
+    #[test]
+    fn sampling_statistics_respect_sigma(seed in 0u64..500, sigma in 0.02f64..0.2) {
+        let fp = small_fp();
+        let mut params = VariationParams::paper();
+        params.sigma = sigma;
+        let sampler = SpatialSampler::new(&fp, &params).expect("builds");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Pooled std over several fields stays within a loose factor of σ.
+        let mut all = Vec::new();
+        for _ in 0..20 {
+            let f = sampler.sample(&mut rng);
+            all.extend(f.iter().map(|(_, v)| v));
+        }
+        let mean = all.iter().sum::<f64>() / all.len() as f64;
+        let std = (all.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / all.len() as f64).sqrt();
+        prop_assert!(std > sigma * 0.5 && std < sigma * 1.6, "std {std} for sigma {sigma}");
+        prop_assert!((mean - params.mean).abs() < 4.0 * sigma);
+    }
+
+    #[test]
+    fn design_is_shared_but_silicon_differs(seed in 0u64..500) {
+        let fp = small_fp();
+        let params = VariationParams::paper();
+        let pop = ChipPopulation::generate(&fp, &params, 2, seed).expect("generates");
+        // Same design sites for every chip; distinct theta fields.
+        prop_assert_eq!(
+            pop.design(),
+            &CriticalPathMap::synthesize(&fp, params.sites_per_core, params.design_seed)
+        );
+        prop_assert_ne!(pop.chips()[0].theta(), pop.chips()[1].theta());
+    }
+
+    #[test]
+    fn slower_silicon_leaks_more_on_average(seed in 0u64..300) {
+        // ϑ drives both effects in opposite directions: across cores, fmax
+        // and leakage factor are anti-correlated. With only 9 cores per tiny
+        // chip the sample covariance is noisy, so pool 8 chips per seed.
+        let fp = small_fp();
+        let pop = ChipPopulation::generate(&fp, &VariationParams::paper(), 8, seed).expect("generates");
+        let cores: Vec<CoreId> = fp.cores().collect();
+        let mut f = Vec::new();
+        let mut l = Vec::new();
+        for chip in pop.chips() {
+            f.extend(cores.iter().map(|&c| chip.fmax(c).value()));
+            l.extend(cores.iter().map(|&c| chip.leakage_factor(c)));
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (mf, ml) = (mean(&f), mean(&l));
+        let cov: f64 = f.iter().zip(&l).map(|(a, b)| (a - mf) * (b - ml)).sum::<f64>()
+            / f.len() as f64;
+        prop_assert!(cov < 0.0, "pooled fmax/leakage covariance {cov} should be negative");
+    }
+
+    #[test]
+    fn chip_serde_round_trips(seed in 0u64..200) {
+        let fp = small_fp();
+        let pop = ChipPopulation::generate(&fp, &VariationParams::paper(), 1, seed).expect("generates");
+        let chip: &Chip = &pop.chips()[0];
+        let json = serde_json::to_string(chip).expect("serialize");
+        let back: Chip = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(&back, chip);
+    }
+}
+
+#[test]
+fn variation_params_serde_round_trips() {
+    let p = VariationParams::paper();
+    let json = serde_json::to_string(&p).unwrap();
+    let back: VariationParams = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, p);
+}

@@ -1,0 +1,219 @@
+//! Malleable multi-threaded applications.
+
+use crate::benchmark::Benchmark;
+use crate::thread::{ThreadId, ThreadProfile};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an application within a workload mix (the paper's `A_j`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct AppId(usize);
+
+impl AppId {
+    /// Creates an application id.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        AppId(index)
+    }
+
+    /// Dense index of the application in its mix.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// A malleable multi-threaded application: `A_j = {τ(j,1), …, τ(j,K_j)}`
+/// where the thread count `K_j` "can vary depending upon the value of
+/// `N_on`" (Section III, after the malleable model of [23, 24]).
+///
+/// The application carries profiles for its *maximum* useful parallelism;
+/// the mix instantiates however many the dark-silicon budget admits.
+///
+/// # Example
+///
+/// ```
+/// use hayat_workload::{Application, Benchmark};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+/// let app = Application::sample(hayat_workload::AppId::new(0), Benchmark::Ferret, &mut rng);
+/// assert!(app.max_threads() >= app.min_threads());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Application {
+    id: AppId,
+    benchmark: Benchmark,
+    threads: Vec<ThreadProfile>,
+    min_threads: usize,
+    active_threads: usize,
+}
+
+impl Application {
+    /// Samples an application of class `benchmark` with per-thread jitter,
+    /// initially sized to its minimum parallelism.
+    pub fn sample<R: Rng + ?Sized>(id: AppId, benchmark: Benchmark, rng: &mut R) -> Self {
+        let profile = benchmark.profile();
+        // One phase offset per application: its threads run in barrier
+        // lockstep, so their power bursts coincide.
+        let app_phase = rng.gen_range(0.0..1.0);
+        let threads = (0..profile.max_threads)
+            .map(|_| ThreadProfile::sample_with_phase(benchmark, rng, app_phase))
+            .collect();
+        Application {
+            id,
+            benchmark,
+            threads,
+            min_threads: profile.min_threads,
+            active_threads: profile.min_threads,
+        }
+    }
+
+    /// Creates a single-threaded deadline-critical application around one
+    /// [`ThreadProfile::critical_task`].
+    pub fn critical_task<R: Rng + ?Sized>(
+        id: AppId,
+        min_frequency: hayat_units::Gigahertz,
+        rng: &mut R,
+    ) -> Self {
+        Application {
+            id,
+            benchmark: Benchmark::Blackscholes,
+            threads: vec![ThreadProfile::critical_task(min_frequency, rng)],
+            min_threads: 1,
+            active_threads: 1,
+        }
+    }
+
+    /// The application's id within its mix.
+    #[must_use]
+    pub const fn id(&self) -> AppId {
+        self.id
+    }
+
+    /// The benchmark class.
+    #[must_use]
+    pub const fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// Smallest useful thread count.
+    #[must_use]
+    pub const fn min_threads(&self) -> usize {
+        self.min_threads
+    }
+
+    /// Largest useful thread count.
+    #[must_use]
+    pub fn max_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Currently instantiated thread count (`K_j`).
+    #[must_use]
+    pub const fn active_threads(&self) -> usize {
+        self.active_threads
+    }
+
+    /// Resizes the application's parallelism (malleability), clamped to
+    /// `[min_threads, max_threads]`.
+    pub fn resize(&mut self, threads: usize) {
+        self.active_threads = threads.clamp(self.min_threads, self.max_threads());
+    }
+
+    /// The profile of thread `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= active_threads()`.
+    #[must_use]
+    pub fn thread(&self, k: usize) -> &ThreadProfile {
+        assert!(
+            k < self.active_threads,
+            "thread {k} not instantiated (K_j = {})",
+            self.active_threads
+        );
+        &self.threads[k]
+    }
+
+    /// Iterator over the instantiated threads with their ids.
+    pub fn threads(&self) -> impl Iterator<Item = (ThreadId, &ThreadProfile)> + '_ {
+        self.threads[..self.active_threads]
+            .iter()
+            .enumerate()
+            .map(move |(k, t)| (ThreadId::new(self.id.index(), k), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn app() -> Application {
+        Application::sample(
+            AppId::new(3),
+            Benchmark::Swaptions,
+            &mut StdRng::seed_from_u64(4),
+        )
+    }
+
+    #[test]
+    fn starts_at_minimum_parallelism() {
+        let a = app();
+        assert_eq!(a.active_threads(), a.min_threads());
+    }
+
+    #[test]
+    fn resize_clamps() {
+        let mut a = app();
+        a.resize(1000);
+        assert_eq!(a.active_threads(), a.max_threads());
+        a.resize(0);
+        assert_eq!(a.active_threads(), a.min_threads());
+        a.resize(3);
+        assert_eq!(a.active_threads(), 3);
+    }
+
+    #[test]
+    fn threads_iterator_matches_active_count() {
+        let mut a = app();
+        a.resize(5);
+        let ids: Vec<ThreadId> = a.threads().map(|(id, _)| id).collect();
+        assert_eq!(ids.len(), 5);
+        assert_eq!(ids[0], ThreadId::new(3, 0));
+        assert_eq!(ids[4], ThreadId::new(3, 4));
+    }
+
+    #[test]
+    fn thread_profiles_differ_across_threads() {
+        let mut a = app();
+        a.resize(a.max_threads());
+        let all: Vec<_> = a.threads().map(|(_, t)| t.clone()).collect();
+        assert!(
+            all.windows(2).any(|w| w[0] != w[1]),
+            "jitter should differentiate threads"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not instantiated")]
+    fn inactive_thread_access_panics() {
+        let a = app();
+        let _ = a.thread(a.active_threads());
+    }
+
+    #[test]
+    fn app_id_display() {
+        assert_eq!(AppId::new(7).to_string(), "A7");
+    }
+}

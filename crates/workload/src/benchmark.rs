@@ -1,0 +1,206 @@
+//! Parsec-like benchmark classes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A multi-threaded benchmark class with published-workload-like
+/// characteristics.
+///
+/// The numeric profiles (dynamic power at 3 GHz, duty cycle, minimum
+/// frequency demand, IPC, parallelism range) are synthetic but shaped after
+/// the Parsec suite the paper uses: compute-bound kernels run hot with high
+/// duty cycles (bodytrack, x264 — the two named in Fig. 2's setup), while
+/// memory-bound ones are cooler and more elastic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Benchmark {
+    /// Body tracking (compute-heavy vision pipeline; "bodytrackhigh").
+    Bodytrack,
+    /// H.264 video encoding over HD sequences.
+    X264,
+    /// Option pricing (regular, CPU-bound).
+    Blackscholes,
+    /// Monte-Carlo swaption pricing.
+    Swaptions,
+    /// Online clustering (memory-bound).
+    Streamcluster,
+    /// Content-based similarity search.
+    Ferret,
+    /// Particle fluid dynamics.
+    Fluidanimate,
+    /// Simulated-annealing chip routing (cache-thrashing).
+    Canneal,
+}
+
+/// Static characteristics of a benchmark class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Mean per-thread dynamic power at the 3 GHz nominal frequency, watts.
+    pub dynamic_power_at_nominal: f64,
+    /// Mean NBTI duty cycle of a thread.
+    pub duty_cycle: f64,
+    /// Mean minimum required frequency to meet the throughput constraint, GHz.
+    pub min_frequency_ghz: f64,
+    /// Mean instructions per cycle.
+    pub ipc: f64,
+    /// Smallest useful thread count (malleable lower bound).
+    pub min_threads: usize,
+    /// Largest useful thread count (malleable upper bound).
+    pub max_threads: usize,
+    /// Relative amplitude of the thread's power phases (0 = flat trace;
+    /// 0.5 = dynamic power swings ±50% around its mean). Parsec video and
+    /// vision kernels are strongly phased; pricing kernels are flat.
+    pub phase_amplitude: f64,
+    /// Period of the power phases, seconds.
+    pub phase_period_s: f64,
+}
+
+impl Benchmark {
+    /// All benchmark classes, in a fixed order.
+    pub const ALL: [Benchmark; 8] = [
+        Benchmark::Bodytrack,
+        Benchmark::X264,
+        Benchmark::Blackscholes,
+        Benchmark::Swaptions,
+        Benchmark::Streamcluster,
+        Benchmark::Ferret,
+        Benchmark::Fluidanimate,
+        Benchmark::Canneal,
+    ];
+
+    /// The class's static profile.
+    #[must_use]
+    pub fn profile(self) -> BenchmarkProfile {
+        match self {
+            Benchmark::Bodytrack => BenchmarkProfile {
+                dynamic_power_at_nominal: 6.2,
+                duty_cycle: 0.85,
+                min_frequency_ghz: 2.8,
+                ipc: 1.6,
+                min_threads: 2,
+                max_threads: 16,
+                phase_amplitude: 0.85,
+                phase_period_s: 0.35,
+            },
+            Benchmark::X264 => BenchmarkProfile {
+                dynamic_power_at_nominal: 6.8,
+                duty_cycle: 0.80,
+                min_frequency_ghz: 3.0,
+                ipc: 1.8,
+                min_threads: 2,
+                max_threads: 12,
+                phase_amplitude: 0.90,
+                phase_period_s: 0.25,
+            },
+            Benchmark::Blackscholes => BenchmarkProfile {
+                dynamic_power_at_nominal: 5.0,
+                duty_cycle: 0.75,
+                min_frequency_ghz: 2.2,
+                ipc: 2.0,
+                min_threads: 1,
+                max_threads: 16,
+                phase_amplitude: 0.35,
+                phase_period_s: 0.60,
+            },
+            Benchmark::Swaptions => BenchmarkProfile {
+                dynamic_power_at_nominal: 5.4,
+                duty_cycle: 0.78,
+                min_frequency_ghz: 2.4,
+                ipc: 1.9,
+                min_threads: 1,
+                max_threads: 16,
+                phase_amplitude: 0.50,
+                phase_period_s: 0.50,
+            },
+            Benchmark::Streamcluster => BenchmarkProfile {
+                dynamic_power_at_nominal: 3.6,
+                duty_cycle: 0.55,
+                min_frequency_ghz: 1.9,
+                ipc: 0.9,
+                min_threads: 2,
+                max_threads: 16,
+                phase_amplitude: 0.60,
+                phase_period_s: 0.40,
+            },
+            Benchmark::Ferret => BenchmarkProfile {
+                dynamic_power_at_nominal: 4.4,
+                duty_cycle: 0.65,
+                min_frequency_ghz: 2.1,
+                ipc: 1.2,
+                min_threads: 2,
+                max_threads: 12,
+                phase_amplitude: 0.70,
+                phase_period_s: 0.45,
+            },
+            Benchmark::Fluidanimate => BenchmarkProfile {
+                dynamic_power_at_nominal: 4.8,
+                duty_cycle: 0.70,
+                min_frequency_ghz: 2.3,
+                ipc: 1.4,
+                min_threads: 2,
+                max_threads: 16,
+                phase_amplitude: 0.80,
+                phase_period_s: 0.30,
+            },
+            Benchmark::Canneal => BenchmarkProfile {
+                dynamic_power_at_nominal: 3.2,
+                duty_cycle: 0.45,
+                min_frequency_ghz: 1.8,
+                ipc: 0.7,
+                min_threads: 1,
+                max_threads: 8,
+                phase_amplitude: 0.50,
+                phase_period_s: 0.55,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Benchmark::Bodytrack => "bodytrack",
+            Benchmark::X264 => "x264",
+            Benchmark::Blackscholes => "blackscholes",
+            Benchmark::Swaptions => "swaptions",
+            Benchmark::Streamcluster => "streamcluster",
+            Benchmark::Ferret => "ferret",
+            Benchmark::Fluidanimate => "fluidanimate",
+            Benchmark::Canneal => "canneal",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_are_physical() {
+        for b in Benchmark::ALL {
+            let p = b.profile();
+            assert!(p.dynamic_power_at_nominal > 0.0 && p.dynamic_power_at_nominal < 15.0);
+            assert!((0.0..=1.0).contains(&p.duty_cycle));
+            assert!(p.min_frequency_ghz > 0.5 && p.min_frequency_ghz < 4.0);
+            assert!(p.ipc > 0.0);
+            assert!(p.min_threads >= 1);
+            assert!(p.max_threads >= p.min_threads);
+        }
+    }
+
+    #[test]
+    fn compute_bound_kernels_demand_more() {
+        let x264 = Benchmark::X264.profile();
+        let canneal = Benchmark::Canneal.profile();
+        assert!(x264.dynamic_power_at_nominal > canneal.dynamic_power_at_nominal);
+        assert!(x264.duty_cycle > canneal.duty_cycle);
+        assert!(x264.min_frequency_ghz > canneal.min_frequency_ghz);
+    }
+
+    #[test]
+    fn display_names_are_parsec_style() {
+        assert_eq!(Benchmark::Bodytrack.to_string(), "bodytrack");
+        assert_eq!(Benchmark::X264.to_string(), "x264");
+    }
+}

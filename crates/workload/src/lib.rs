@@ -1,0 +1,44 @@
+//! Workload substrate for the Hayat reproduction.
+//!
+//! The paper drives its evaluation with "power and performance traces
+//! obtained through cycle-accurate simulations from integrated closed-loop
+//! Gem5 and McPAT" of Parsec benchmarks, plus derived "throughput
+//! constraints for these tasks as a function of the minimum required
+//! frequency they need to run on". The Hayat decision algorithm never sees
+//! microarchitectural detail — only those per-thread traces. This crate
+//! therefore synthesizes equivalent traces from scratch:
+//!
+//! * [`Benchmark`] — Parsec-like benchmark classes (bodytrack, x264, …) with
+//!   characteristic dynamic power, duty cycle, IPC and frequency demands,
+//! * [`ThreadProfile`] — one thread's trace summary: dynamic power at its
+//!   running frequency, NBTI duty cycle, minimum required frequency
+//!   (`f_τ,min`) and throughput (IPS),
+//! * [`Application`] — a malleable multi-threaded application (`A_j` with a
+//!   variable thread count `K_j`, after the paper's malleable model
+//!   [23, 24]),
+//! * [`WorkloadMix`] — seeded mixes of applications sized to a target
+//!   thread count, standing in for the paper's "several mixes".
+//!
+//! # Example
+//!
+//! ```
+//! use hayat_workload::WorkloadMix;
+//!
+//! // A mix that wants 32 threads (50% dark silicon on a 64-core chip).
+//! let mix = WorkloadMix::generate(42, 32);
+//! assert_eq!(mix.total_threads(), 32);
+//! assert!(!mix.applications().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod application;
+mod benchmark;
+mod mix;
+mod thread;
+
+pub use crate::application::{AppId, Application};
+pub use crate::benchmark::Benchmark;
+pub use crate::mix::WorkloadMix;
+pub use crate::thread::{ThreadId, ThreadProfile};

@@ -1,0 +1,315 @@
+//! Workload mixes.
+
+use crate::application::{AppId, Application};
+use crate::benchmark::Benchmark;
+use crate::thread::{ThreadId, ThreadProfile};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A concurrent set of malleable applications sized to a target thread
+/// count — the paper's "several mixes using the multithreaded applications
+/// from the Parsec benchmark suite".
+///
+/// Generation is greedy and deterministic per seed: applications are drawn
+/// until their minimum parallelism fills the target, then parallelism is
+/// distributed round-robin (malleability) until the target is met exactly.
+///
+/// # Example
+///
+/// ```
+/// use hayat_workload::WorkloadMix;
+///
+/// let mix = WorkloadMix::generate(7, 48);
+/// assert_eq!(mix.total_threads(), 48);
+/// // Each instantiated thread is reachable through the mix.
+/// let (id, profile) = mix.threads().next().expect("mix is non-empty");
+/// assert_eq!(id.app, 0);
+/// assert!(profile.min_frequency().value() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    applications: Vec<Application>,
+    seed: u64,
+}
+
+impl WorkloadMix {
+    /// Generates a mix totalling exactly `target_threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_threads` is zero.
+    #[must_use]
+    pub fn generate(seed: u64, target_threads: usize) -> Self {
+        assert!(target_threads > 0, "a mix needs at least one thread");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut applications: Vec<Application> = Vec::new();
+        let mut committed = 0;
+        // Draw applications until their minimum parallelism fills the target.
+        while committed < target_threads {
+            let bench = Benchmark::ALL[rng.gen_range(0..Benchmark::ALL.len())];
+            let mut app = Application::sample(AppId::new(applications.len()), bench, &mut rng);
+            let remaining = target_threads - committed;
+            if app.min_threads() > remaining {
+                // Shrink the last app to exactly fit, if its class allows.
+                if remaining >= 1 {
+                    app.resize(remaining);
+                    if app.active_threads() == remaining {
+                        committed += remaining;
+                        applications.push(app);
+                        break;
+                    }
+                }
+                continue; // Draw a different class.
+            }
+            committed += app.active_threads();
+            applications.push(app);
+        }
+        // Distribute the slack round-robin across the malleable apps.
+        let mut guard = 0;
+        while committed < target_threads {
+            let before = committed;
+            for app in &mut applications {
+                if committed == target_threads {
+                    break;
+                }
+                if app.active_threads() < app.max_threads() {
+                    app.resize(app.active_threads() + 1);
+                    committed += 1;
+                }
+            }
+            if committed == before {
+                guard += 1;
+                if guard > 1 {
+                    // Every app saturated: append another application.
+                    let bench = Benchmark::ALL[rng.gen_range(0..Benchmark::ALL.len())];
+                    let app = Application::sample(AppId::new(applications.len()), bench, &mut rng);
+                    committed += app.active_threads();
+                    applications.push(app);
+                    guard = 0;
+                }
+            }
+        }
+        // Trim any overshoot from the final append.
+        let mut mix = WorkloadMix { applications, seed };
+        mix.shrink_to(target_threads);
+        mix
+    }
+
+    fn shrink_to(&mut self, target: usize) {
+        let mut total = self.total_threads();
+        while total > target {
+            let mut shrunk = false;
+            for app in self.applications.iter_mut().rev() {
+                if total == target {
+                    break;
+                }
+                if app.active_threads() > app.min_threads() {
+                    app.resize(app.active_threads() - 1);
+                    total -= 1;
+                    shrunk = true;
+                }
+            }
+            if !shrunk {
+                // Drop the smallest app entirely if shrinking cannot reach
+                // the target (can only happen for tiny targets).
+                if let Some(pos) = self
+                    .applications
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, a)| a.active_threads())
+                    .map(|(i, _)| i)
+                {
+                    let removed = self.applications.remove(pos);
+                    total -= removed.active_threads();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Appends a single-threaded deadline-critical application (Section II's
+    /// "critical (single-threaded) application" that justifies waking a
+    /// preserved high-frequency core). Returns its application id.
+    pub fn push_critical(&mut self, min_frequency: hayat_units::Gigahertz, seed: u64) -> AppId {
+        let id = AppId::new(self.applications.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.applications
+            .push(Application::critical_task(id, min_frequency, &mut rng));
+        id
+    }
+
+    /// The mix's applications.
+    #[must_use]
+    pub fn applications(&self) -> &[Application] {
+        &self.applications
+    }
+
+    /// Mutable access for malleability decisions by the run-time system.
+    pub fn applications_mut(&mut self) -> &mut [Application] {
+        &mut self.applications
+    }
+
+    /// The seed the mix was generated from.
+    #[must_use]
+    pub const fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Total instantiated threads across all applications (`Σ K_j`).
+    #[must_use]
+    pub fn total_threads(&self) -> usize {
+        self.applications
+            .iter()
+            .map(Application::active_threads)
+            .sum()
+    }
+
+    /// Iterator over every instantiated thread of every application.
+    pub fn threads(&self) -> impl Iterator<Item = (ThreadId, &ThreadProfile)> + '_ {
+        self.applications.iter().flat_map(Application::threads)
+    }
+
+    /// The `q`-quantile (0 = min, 1 = max) of the *non-critical* threads'
+    /// minimum-frequency requirements; falls back to all threads when the
+    /// mix is purely critical. Policies size their Dark Core Maps against
+    /// this ("fast enough for the bulk of the work") so single critical
+    /// outliers don't drag the whole map toward the chip's fastest cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn requirement_quantile(&self, q: f64) -> hayat_units::Gigahertz {
+        assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+        let mut reqs: Vec<f64> = self
+            .threads()
+            .filter(|(_, t)| !t.is_critical())
+            .map(|(_, t)| t.min_frequency().value())
+            .collect();
+        if reqs.is_empty() {
+            reqs = self
+                .threads()
+                .map(|(_, t)| t.min_frequency().value())
+                .collect();
+        }
+        reqs.sort_by(f64::total_cmp);
+        let idx = ((q * (reqs.len() - 1) as f64).round() as usize).min(reqs.len() - 1);
+        hayat_units::Gigahertz::new(reqs[idx])
+    }
+
+    /// Mean per-thread dynamic power at each thread's required frequency —
+    /// the per-core load estimate Dark-Core-Map optimization assumes.
+    #[must_use]
+    pub fn mean_dynamic_power(&self) -> hayat_units::Watts {
+        let total: f64 = self
+            .threads()
+            .map(|(_, t)| t.dynamic_power(t.min_frequency()).value())
+            .sum();
+        hayat_units::Watts::new(total / self.total_threads().max(1) as f64)
+    }
+
+    /// Looks up one thread profile by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not name an instantiated thread.
+    #[must_use]
+    pub fn thread(&self, id: ThreadId) -> &ThreadProfile {
+        self.applications[id.app].thread(id.thread)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_hits_the_target_exactly() {
+        for target in [1, 5, 16, 32, 48, 64] {
+            for seed in 0..5 {
+                let mix = WorkloadMix::generate(seed, target);
+                assert_eq!(mix.total_threads(), target, "target {target}, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(WorkloadMix::generate(11, 32), WorkloadMix::generate(11, 32));
+        assert_ne!(WorkloadMix::generate(11, 32), WorkloadMix::generate(12, 32));
+    }
+
+    #[test]
+    fn thread_ids_are_dense_and_resolvable() {
+        let mix = WorkloadMix::generate(3, 32);
+        let mut count = 0;
+        for (id, profile) in mix.threads() {
+            assert_eq!(mix.thread(id), profile);
+            count += 1;
+        }
+        assert_eq!(count, 32);
+    }
+
+    #[test]
+    fn app_ids_match_positions() {
+        let mix = WorkloadMix::generate(19, 48);
+        for (i, app) in mix.applications().iter().enumerate() {
+            assert_eq!(app.id().index(), i);
+        }
+    }
+
+    #[test]
+    fn mixes_are_diverse() {
+        let mix = WorkloadMix::generate(5, 48);
+        let mut benches: Vec<Benchmark> =
+            mix.applications().iter().map(|a| a.benchmark()).collect();
+        benches.dedup();
+        assert!(
+            benches.len() > 1,
+            "a 48-thread mix should span several classes"
+        );
+    }
+
+    #[test]
+    fn requirement_quantile_bounds_and_excludes_critical() {
+        let mut mix = WorkloadMix::generate(3, 16);
+        let q0 = mix.requirement_quantile(0.0);
+        let q1 = mix.requirement_quantile(1.0);
+        assert!(q0 <= q1);
+        // A critical outlier must not move the quantiles.
+        let before = mix.requirement_quantile(0.9);
+        mix.push_critical(hayat_units::Gigahertz::new(4.9), 1);
+        assert_eq!(mix.requirement_quantile(0.9), before);
+        assert_eq!(mix.requirement_quantile(1.0), q1);
+    }
+
+    #[test]
+    fn mean_dynamic_power_is_physical() {
+        let mix = WorkloadMix::generate(3, 32);
+        let p = mix.mean_dynamic_power().value();
+        assert!(p > 1.0 && p < 10.0, "mean dynamic power {p}");
+    }
+
+    #[test]
+    fn push_critical_appends_one_thread() {
+        let mut mix = WorkloadMix::generate(3, 16);
+        let id = mix.push_critical(hayat_units::Gigahertz::new(4.2), 9);
+        assert_eq!(mix.total_threads(), 17);
+        let (tid, profile) = mix
+            .threads()
+            .find(|(tid, _)| tid.app == id.index())
+            .expect("critical thread present");
+        assert!(profile.is_critical());
+        assert_eq!(profile.min_frequency(), hayat_units::Gigahertz::new(4.2));
+        assert_eq!(mix.thread(tid), profile);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_target_panics() {
+        let _ = WorkloadMix::generate(1, 0);
+    }
+}

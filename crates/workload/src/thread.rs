@@ -1,0 +1,275 @@
+//! Per-thread trace summaries.
+
+use crate::benchmark::Benchmark;
+use hayat_units::{DutyCycle, Gigahertz, Watts};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one thread: the paper's `τ(j,k)` — application `j`,
+/// thread `k` within it.
+///
+/// # Example
+///
+/// ```
+/// use hayat_workload::ThreadId;
+///
+/// let t = ThreadId::new(2, 5);
+/// assert_eq!(format!("{t}"), "t(2,5)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId {
+    /// Index of the owning application (`j`).
+    pub app: usize,
+    /// Index of the thread within the application (`k`).
+    pub thread: usize,
+}
+
+impl ThreadId {
+    /// Creates a thread id.
+    #[must_use]
+    pub const fn new(app: usize, thread: usize) -> Self {
+        ThreadId { app, thread }
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t({},{})", self.app, self.thread)
+    }
+}
+
+/// The trace summary of one thread — everything the run-time system needs:
+/// its dynamic power, its NBTI duty cycle, its minimum frequency requirement
+/// and its throughput.
+///
+/// Threads "only run at their required frequency and not faster"
+/// (Section VI), so the dynamic power is characterized at `min_frequency`
+/// and scaled linearly for throttled execution (fixed chip voltage).
+///
+/// # Example
+///
+/// ```
+/// use hayat_workload::{Benchmark, ThreadProfile};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let t = ThreadProfile::sample(Benchmark::Bodytrack, &mut rng);
+/// assert!(t.min_frequency().value() > 1.0);
+/// assert!(t.dynamic_power(t.min_frequency()).value() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadProfile {
+    benchmark: Benchmark,
+    /// Dynamic power at the 3 GHz nominal frequency.
+    power_at_nominal: Watts,
+    duty: DutyCycle,
+    min_frequency: Gigahertz,
+    ipc: f64,
+    /// Relative amplitude of the thread's power phases.
+    phase_amplitude: f64,
+    /// Period of the power phases, seconds.
+    phase_period_s: f64,
+    /// Phase offset as a fraction of the period (input-dependent).
+    phase_offset: f64,
+    /// `true` for a deadline-critical single-threaded task that justifies
+    /// waking one of the chip's preserved high-frequency cores
+    /// (Section II: fast cores "should only be used to fulfill the
+    /// deadline constraints of a critical (single-threaded) application").
+    #[serde(default)]
+    critical: bool,
+}
+
+/// The nominal characterization frequency, GHz.
+const NOMINAL_GHZ: f64 = 3.0;
+
+impl ThreadProfile {
+    /// Samples one thread of `benchmark` with ±10% per-thread jitter on
+    /// power/duty/IPC and ±0.15 GHz on the frequency requirement,
+    /// representing input-dependent phase behaviour.
+    pub fn sample<R: Rng + ?Sized>(benchmark: Benchmark, rng: &mut R) -> Self {
+        let offset = rng.gen_range(0.0..1.0);
+        ThreadProfile::sample_with_phase(benchmark, rng, offset)
+    }
+
+    /// Samples one thread with an externally supplied phase offset. Threads
+    /// of one application are barrier-synchronized in Parsec, so an
+    /// [`Application`](crate::Application) draws one offset and hands it to
+    /// all of its threads — their power bursts then coincide, which is what
+    /// makes densely packed placements thermally dangerous.
+    pub fn sample_with_phase<R: Rng + ?Sized>(
+        benchmark: Benchmark,
+        rng: &mut R,
+        phase_offset: f64,
+    ) -> Self {
+        let p = benchmark.profile();
+        let jitter = |rng: &mut R| rng.gen_range(0.9..=1.1);
+        ThreadProfile {
+            benchmark,
+            power_at_nominal: Watts::new(p.dynamic_power_at_nominal * jitter(rng)),
+            duty: DutyCycle::clamped(p.duty_cycle * jitter(rng)),
+            min_frequency: Gigahertz::new(
+                (p.min_frequency_ghz + rng.gen_range(-0.15..=0.15)).max(0.5),
+            ),
+            ipc: p.ipc * jitter(rng),
+            phase_amplitude: p.phase_amplitude,
+            // Small per-thread drift around the class period keeps threads
+            // *approximately* in step, as real barrier phases are.
+            phase_period_s: p.phase_period_s * rng.gen_range(0.98..=1.02),
+            phase_offset: (phase_offset + rng.gen_range(-0.02..=0.02)).rem_euclid(1.0),
+            critical: false,
+        }
+    }
+
+    /// Samples a deadline-critical single-threaded task: a high, explicit
+    /// frequency requirement with compute-bound (Blackscholes-class) power
+    /// and duty characteristics.
+    pub fn critical_task<R: Rng + ?Sized>(min_frequency: Gigahertz, rng: &mut R) -> Self {
+        let mut profile = ThreadProfile::sample(Benchmark::Blackscholes, rng);
+        profile.min_frequency = min_frequency;
+        profile.critical = true;
+        profile
+    }
+
+    /// The benchmark class this thread belongs to.
+    #[must_use]
+    pub const fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// The thread's NBTI duty cycle.
+    #[must_use]
+    pub const fn duty(&self) -> DutyCycle {
+        self.duty
+    }
+
+    /// Minimum frequency required to meet the thread's throughput/deadline
+    /// constraint (`f_τ,min`).
+    #[must_use]
+    pub const fn min_frequency(&self) -> Gigahertz {
+        self.min_frequency
+    }
+
+    /// `true` for a deadline-critical task (see [`ThreadProfile::critical_task`]).
+    #[must_use]
+    pub const fn is_critical(&self) -> bool {
+        self.critical
+    }
+
+    /// Dynamic power when executing at `frequency` (linear in `f` at fixed
+    /// chip voltage).
+    #[must_use]
+    pub fn dynamic_power(&self, frequency: Gigahertz) -> Watts {
+        self.power_at_nominal
+            .scaled(frequency.value() / NOMINAL_GHZ)
+    }
+
+    /// Throughput in instructions per second when executing at `frequency`.
+    #[must_use]
+    pub fn ips(&self, frequency: Gigahertz) -> f64 {
+        self.ipc * frequency.hertz()
+    }
+
+    /// The thread's instantaneous power phase factor at a point in its
+    /// execution: a unit-mean oscillation `1 + a·sin(2π(t/T + φ))`
+    /// representing the workload's compute/memory phases (Parsec's video and
+    /// vision kernels swing by ±50%). Multiply the mean dynamic power by
+    /// this to get the transient power trace the closed-loop thermal
+    /// simulation consumes.
+    #[must_use]
+    pub fn power_factor(&self, at_seconds: f64) -> f64 {
+        let angle = std::f64::consts::TAU * (at_seconds / self.phase_period_s + self.phase_offset);
+        1.0 + self.phase_amplitude * angle.sin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn thread() -> ThreadProfile {
+        ThreadProfile::sample(Benchmark::X264, &mut StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = ThreadProfile::sample(Benchmark::X264, &mut StdRng::seed_from_u64(9));
+        let b = ThreadProfile::sample(Benchmark::X264, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jitter_stays_near_the_class_profile() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = Benchmark::Bodytrack.profile();
+        for _ in 0..100 {
+            let t = ThreadProfile::sample(Benchmark::Bodytrack, &mut rng);
+            let pw = t.dynamic_power(Gigahertz::new(NOMINAL_GHZ)).value();
+            assert!((pw / p.dynamic_power_at_nominal - 1.0).abs() <= 0.1 + 1e-9);
+            assert!((t.min_frequency().value() - p.min_frequency_ghz).abs() <= 0.15 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn dynamic_power_scales_linearly_with_frequency() {
+        let t = thread();
+        let p1 = t.dynamic_power(Gigahertz::new(1.5)).value();
+        let p2 = t.dynamic_power(Gigahertz::new(3.0)).value();
+        assert!((p2 - 2.0 * p1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ips_scales_with_frequency() {
+        let t = thread();
+        assert!(t.ips(Gigahertz::new(3.0)) > t.ips(Gigahertz::new(2.0)));
+        // IPS at the class IPC: ipc * f.
+        let expect = t.ipc * 2.0e9;
+        assert!((t.ips(Gigahertz::new(2.0)) - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn power_factor_is_unit_mean_and_bounded() {
+        let t = thread();
+        let p = Benchmark::X264.profile();
+        let samples = 10_000;
+        let mut sum = 0.0;
+        for i in 0..samples {
+            let f = t.power_factor(i as f64 * 0.001);
+            assert!(f >= 1.0 - p.phase_amplitude - 1e-9);
+            assert!(f <= 1.0 + p.phase_amplitude + 1e-9);
+            sum += f;
+        }
+        let mean = sum / samples as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean factor {mean}");
+    }
+
+    #[test]
+    fn phases_differ_across_threads() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = ThreadProfile::sample(Benchmark::X264, &mut rng);
+        let b = ThreadProfile::sample(Benchmark::X264, &mut rng);
+        // Same instant, different offsets: factors disagree somewhere.
+        assert!((0..100).any(|i| (a.power_factor(i as f64 * 0.01)
+            - b.power_factor(i as f64 * 0.01))
+        .abs()
+            > 0.05));
+    }
+
+    #[test]
+    fn critical_task_carries_its_requirement() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = ThreadProfile::critical_task(Gigahertz::new(4.2), &mut rng);
+        assert!(t.is_critical());
+        assert_eq!(t.min_frequency(), Gigahertz::new(4.2));
+        // Ordinary samples are not critical.
+        assert!(!ThreadProfile::sample(Benchmark::X264, &mut rng).is_critical());
+    }
+
+    #[test]
+    fn thread_id_ordering_and_display() {
+        assert!(ThreadId::new(0, 1) < ThreadId::new(1, 0));
+        assert_eq!(ThreadId::new(3, 4).to_string(), "t(3,4)");
+    }
+}

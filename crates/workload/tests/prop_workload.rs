@@ -1,0 +1,98 @@
+//! Property tests for the workload substrate: mix exactness, malleability
+//! bounds and trace-physicality for arbitrary seeds and targets.
+
+use hayat_units::Gigahertz;
+use hayat_workload::{AppId, Application, Benchmark, ThreadProfile, WorkloadMix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mixes_hit_any_target_exactly(seed in 0u64..10_000, target in 1usize..64) {
+        let mix = WorkloadMix::generate(seed, target);
+        prop_assert_eq!(mix.total_threads(), target);
+        // Every id resolves and is unique.
+        let mut ids: Vec<_> = mix.threads().map(|(id, _)| id).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn every_thread_is_physical(seed in 0u64..10_000, target in 1usize..64) {
+        let mix = WorkloadMix::generate(seed, target);
+        for (_, t) in mix.threads() {
+            prop_assert!(t.min_frequency().value() > 0.4 && t.min_frequency().value() < 4.0);
+            let p = t.dynamic_power(t.min_frequency()).value();
+            prop_assert!(p > 0.5 && p < 12.0, "dynamic power {p}");
+            prop_assert!((0.0..=1.0).contains(&t.duty().value()));
+            prop_assert!(t.ips(t.min_frequency()) > 0.0);
+            // Power factor over one full period averages to ~1.
+            let samples = 400;
+            let mean: f64 = (0..samples)
+                .map(|i| t.power_factor(i as f64 * (1.0 / samples as f64)))
+                .sum::<f64>() / samples as f64;
+            prop_assert!(mean > 0.2 && mean < 1.8, "mean phase factor {mean}");
+        }
+    }
+
+    #[test]
+    fn apps_stay_within_their_parallelism_bounds(seed in 0u64..10_000, target in 1usize..64) {
+        let mix = WorkloadMix::generate(seed, target);
+        for app in mix.applications() {
+            prop_assert!(app.active_threads() >= app.min_threads());
+            prop_assert!(app.active_threads() <= app.max_threads());
+        }
+    }
+
+    #[test]
+    fn resize_is_always_clamped(seed in 0u64..1000, request in 0usize..64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for bench in Benchmark::ALL {
+            let mut app = Application::sample(AppId::new(0), bench, &mut rng);
+            app.resize(request);
+            prop_assert!(app.active_threads() >= app.min_threads());
+            prop_assert!(app.active_threads() <= app.max_threads());
+        }
+    }
+
+    #[test]
+    fn critical_task_requirement_is_exact(seed in 0u64..1000, f in 1.0f64..5.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = ThreadProfile::critical_task(Gigahertz::new(f), &mut rng);
+        prop_assert!(t.is_critical());
+        prop_assert_eq!(t.min_frequency(), Gigahertz::new(f));
+    }
+
+    #[test]
+    fn mix_serde_round_trips(seed in 0u64..1000, target in 1usize..32) {
+        let mix = WorkloadMix::generate(seed, target);
+        let json = serde_json::to_string(&mix).expect("serialize");
+        let back: WorkloadMix = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, mix);
+    }
+}
+
+#[test]
+fn app_synchronized_phases_cluster() {
+    // Threads of one app share a phase (±2% jitter); threads of different
+    // apps usually do not.
+    let mix = WorkloadMix::generate(17, 32);
+    let mut max_intra_spread = 0.0f64;
+    for app in mix.applications() {
+        let factors: Vec<f64> = app.threads().map(|(_, t)| t.power_factor(0.0)).collect();
+        if factors.len() > 1 {
+            let min = factors.iter().cloned().fold(f64::MAX, f64::min);
+            let max = factors.iter().cloned().fold(f64::MIN, f64::max);
+            max_intra_spread = max_intra_spread.max(max - min);
+        }
+    }
+    assert!(
+        max_intra_spread < 0.6,
+        "intra-app phase factors should cluster, spread {max_intra_spread}"
+    );
+}

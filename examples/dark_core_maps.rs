@@ -1,0 +1,73 @@
+//! Dark-core-map exploration: how the same chip behaves thermally under
+//! contiguous, checkerboard, random and variation/temperature-optimized
+//! DCMs — the Section II analysis as a runnable program.
+//!
+//! ```sh
+//! cargo run --release --example dark_core_maps
+//! ```
+
+use hayat::{ChipSystem, DarkCoreMap, SimulationConfig};
+use hayat_thermal::steady_state;
+use hayat_units::Watts;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SimulationConfig::paper(0.5);
+    let system = ChipSystem::paper_chip(0, &config)?;
+    let fp = system.floorplan().clone();
+    let n_on = system.budget().max_on();
+
+    let strategies: Vec<(&str, DarkCoreMap)> = vec![
+        ("contiguous", DarkCoreMap::contiguous(&fp, n_on)),
+        ("checkerboard", DarkCoreMap::checkerboard(&fp, n_on)),
+        (
+            "random",
+            DarkCoreMap::random(&fp, n_on, &mut StdRng::seed_from_u64(42)),
+        ),
+        (
+            "optimized",
+            DarkCoreMap::variation_temperature_aware(
+                &fp,
+                system.chip(),
+                system.predictor(),
+                n_on,
+                Watts::new(7.0),
+                0.05,
+            ),
+        ),
+    ];
+
+    println!("DCM strategy     spread (hops)   steady peak   steady mean   headroom to T_safe");
+    let t_safe = system.thermal_config().t_safe;
+    for (name, dcm) in &strategies {
+        // Active cores at 7 W dynamic plus their process-dependent leakage;
+        // dark cores keep the gated residue.
+        let power: Vec<Watts> = fp
+            .cores()
+            .map(|c| {
+                if dcm.is_on(c) {
+                    Watts::new(7.0 + 1.18 * system.chip().leakage_factor(c))
+                } else {
+                    Watts::new(0.019)
+                }
+            })
+            .collect();
+        let temps = steady_state(&fp, system.thermal_config(), &power);
+        println!(
+            "{:<16} {:>10.2}      {:>8.2} K   {:>8.2} K   {:>12.2} K",
+            name,
+            dcm.spread(&fp),
+            temps.max().value(),
+            temps.mean().value(),
+            t_safe - temps.max(),
+        );
+    }
+
+    println!(
+        "\nThe optimized map is chip-specific: it avoids this chip's leaky \
+         regions and spreads the on-set, buying thermal headroom that the \
+         run-time system converts into decelerated aging."
+    );
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! DTM stress test: deliberately pack a bursty workload into a dense corner
+//! of the chip and watch dynamic thermal management fire — migrations while
+//! cold cores remain, throttling once the neighbourhood saturates.
+//!
+//! ```sh
+//! cargo run --release --example dtm_stress
+//! ```
+
+use hayat::{ChipSystem, DtmController, SimulationConfig, ThreadMapping};
+use hayat_power::PowerState;
+use hayat_units::{Seconds, Watts};
+use hayat_workload::WorkloadMix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SimulationConfig::paper(0.5);
+    let mut system = ChipSystem::paper_chip(0, &config)?;
+    let fp = system.floorplan().clone();
+
+    // A dense 4x8 block of threads in the bottom rows: the worst-case
+    // contiguous placement DTM has to police.
+    let workload = WorkloadMix::generate(11, 32);
+    let mut mapping = ThreadMapping::empty(fp.core_count());
+    for (i, (tid, _)) in workload.threads().enumerate() {
+        mapping.assign(tid, fp.core_at(i / 8, i % 8).expect("in range"));
+    }
+
+    let mut dtm = DtmController::new(
+        system.thermal_config().t_safe,
+        config.dtm_hysteresis_kelvin,
+        fp.core_count(),
+    );
+
+    // Drive the transient loop exactly as the engine does, for 4 simulated
+    // seconds of the bursty workload.
+    let dt = Seconds::new(config.control_period_seconds);
+    let steps = (4.0 / config.control_period_seconds) as usize;
+    let mut last_report = 0u64;
+    for step in 0..steps {
+        let now = step as f64 * config.control_period_seconds;
+        let temps = system.transient().temperatures();
+        let events = dtm.check(&system, &mut mapping, &workload, &temps, now);
+        for e in &events {
+            println!("t={:>6.3}s  {:?}", e.at_seconds, e.outcome);
+        }
+        let power: Vec<Watts> = fp
+            .cores()
+            .map(|core| {
+                let state = match mapping.thread_on(core) {
+                    Some(tid) => {
+                        let p = workload.thread(tid);
+                        let freq = p.min_frequency().scaled(dtm.throttle_factor(core));
+                        PowerState::Active {
+                            dynamic: p.dynamic_power(freq).scaled(p.power_factor(now)),
+                        }
+                    }
+                    None => PowerState::Dark,
+                };
+                system.power_model().core_power(
+                    state,
+                    system.chip().leakage_factor(core),
+                    temps.core(core),
+                )
+            })
+            .collect();
+        system.transient_mut().step(dt, &power);
+
+        let total = dtm.migrations() + dtm.throttles();
+        if step % 150 == 0 || total != last_report {
+            last_report = total;
+            let t = system.transient().temperatures();
+            println!(
+                "t={now:>6.3}s  peak {:>7.2} K  mean {:>7.2} K  migrations {:>3}  throttles {:>3}",
+                t.max().value(),
+                t.mean().value(),
+                dtm.migrations(),
+                dtm.throttles(),
+            );
+        }
+    }
+
+    println!(
+        "\nfinal: {} migrations, {} throttle activations; threads now spread over {} cores",
+        dtm.migrations(),
+        dtm.throttles(),
+        mapping.active_cores(),
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Lifetime comparison: VAA vs Hayat (vs the simple reference policies) on
+//! the same chip over a multi-year run — a one-chip version of the paper's
+//! Fig. 11 experiment.
+//!
+//! ```sh
+//! cargo run --release --example lifetime_comparison
+//! ```
+
+use hayat::metrics::lifetime_gain_years;
+use hayat::{
+    ChipSystem, CoolestFirstPolicy, HayatPolicy, Policy, RandomPolicy, RunMetrics,
+    SimulationConfig, SimulationEngine, VaaPolicy,
+};
+
+fn run(policy: Box<dyn Policy>, config: &SimulationConfig) -> RunMetrics {
+    let system = ChipSystem::paper_chip(0, config).expect("paper chip builds");
+    SimulationEngine::new(system, policy, config).run()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = SimulationConfig::paper(0.5);
+    // One chip, 10 years in 6-month epochs: a couple of seconds in release.
+    config.chip_count = 1;
+    config.epoch_years = 0.5;
+    config.transient_window_seconds = 1.5;
+
+    let runs: Vec<RunMetrics> = vec![
+        run(Box::new(VaaPolicy), &config),
+        run(Box::<HayatPolicy>::default(), &config),
+        run(Box::new(CoolestFirstPolicy), &config),
+        run(Box::new(RandomPolicy::new(7)), &config),
+    ];
+
+    println!("policy         avg fmax @10y   aging rate   chip fmax @10y   DTM events");
+    for m in &runs {
+        println!(
+            "{:<14} {:>10.3} GHz   {:>8.2}%   {:>11.3} GHz   {:>8}",
+            m.policy,
+            m.final_avg_fmax_ghz(),
+            m.avg_fmax_aging_rate() * 100.0,
+            m.final_chip_fmax_ghz(),
+            m.total_dtm_events(),
+        );
+    }
+
+    let vaa = &runs[0];
+    let hayat = &runs[1];
+    for target in [3.0, 5.0, 8.0] {
+        match lifetime_gain_years(vaa, hayat, target) {
+            Some(gain) => println!(
+                "required lifetime {target} years: Hayat gains {gain:+.2} years over VAA"
+            ),
+            None => println!(
+                "required lifetime {target} years: Hayat holds VAA's level beyond the simulated horizon"
+            ),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build a paper-configuration chip, run a short accelerated
+//! lifetime under the Hayat policy, and inspect the outcome.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hayat::{ChipSystem, HayatPolicy, SimulationConfig, SimulationEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The scaled-down demo configuration: 2 simulated years in 6-month
+    // aging epochs on an 8x8 chip at 50% dark silicon.
+    let config = SimulationConfig::quick_demo();
+
+    // Chip 0 of the seeded population: one manufactured instance with its
+    // own frequency/leakage variation map.
+    let system = ChipSystem::paper_chip(0, &config)?;
+    println!(
+        "chip 0: {} cores, initial fmax {:.2}-{:.2} GHz (spread {:.0}%), budget: {}",
+        system.floorplan().core_count(),
+        system.chip().min_fmax().value(),
+        system.chip().max_fmax().value(),
+        system.chip().fmax_spread() * 100.0,
+        system.budget(),
+    );
+
+    // Run the accelerated-aging loop under Hayat.
+    let mut engine = SimulationEngine::new(system, Box::<HayatPolicy>::default(), &config);
+    let metrics = engine.run();
+
+    println!("\nepoch  years  avg fmax  chip fmax  mean health  Tavg      DTM");
+    for e in &metrics.epochs {
+        println!(
+            "{:>5}  {:>5.2}  {:>7.3}   {:>8.3}   {:>10.4}  {:>7.2}K  {:>3}",
+            e.epoch,
+            e.years,
+            e.avg_fmax_ghz,
+            e.chip_fmax_ghz,
+            e.mean_health,
+            e.avg_temp_kelvin,
+            e.dtm_migrations + e.dtm_throttles,
+        );
+    }
+
+    println!(
+        "\nafter {:.1} years: avg fmax {:.3} GHz (aged {:.2}% from {:.3}), \
+         chip fmax {:.3} GHz, {} DTM events",
+        config.years,
+        metrics.final_avg_fmax_ghz(),
+        metrics.avg_fmax_aging_rate() * 100.0,
+        metrics.initial_avg_fmax_ghz,
+        metrics.final_chip_fmax_ghz(),
+        metrics.total_dtm_events(),
+    );
+    Ok(())
+}

@@ -1,0 +1,144 @@
+//! Cross-crate integration: the full substrate pipeline from process
+//! variation through thermal simulation, power accounting and aging, as the
+//! run-time system composes them.
+
+use hayat::{ChipSystem, SimulationConfig};
+use hayat_floorplan::{CoreId, Floorplan};
+use hayat_power::PowerState;
+use hayat_thermal::{steady_state, ThermalPredictor, TransientSimulator};
+use hayat_units::{DutyCycle, Seconds, Watts, Years};
+use hayat_variation::{ChipPopulation, VariationParams};
+
+#[test]
+fn variation_to_thermal_to_aging_round_trip() {
+    // 1. Manufacture a chip.
+    let fp = Floorplan::paper_8x8();
+    let params = VariationParams::paper();
+    let pop = ChipPopulation::generate(&fp, &params, 1, 99).expect("population generates");
+    let chip = &pop.chips()[0];
+
+    // 2. Power a spread subset of cores with leakage-aware power and solve
+    //    the thermal steady state.
+    let config = SimulationConfig::paper(0.5);
+    let power: Vec<Watts> = fp
+        .cores()
+        .map(|c| {
+            if c.index() % 2 == 0 {
+                Watts::new(6.5 + 1.18 * chip.leakage_factor(c))
+            } else {
+                Watts::new(0.019)
+            }
+        })
+        .collect();
+    let temps = steady_state(&fp, &config.thermal, &power);
+    assert!(
+        temps.max() < config.thermal.t_safe,
+        "spread map must be thermally safe"
+    );
+    assert!(temps.min() > config.thermal.ambient);
+
+    // 3. Feed the observed temperatures into the aging table: one simulated
+    //    year of epoch-advance per core, active cores only.
+    let system = ChipSystem::paper_chip(0, &config).expect("system builds");
+    let table = system.aging_table();
+    let mut healths = vec![1.0f64; fp.core_count()];
+    for c in fp.cores() {
+        if c.index() % 2 == 0 {
+            healths[c.index()] =
+                table.advance(temps.core(c), DutyCycle::new(0.7), 1.0, Years::new(1.0));
+        }
+    }
+    // Active cores aged; dark cores did not.
+    for c in fp.cores() {
+        if c.index() % 2 == 0 {
+            assert!(healths[c.index()] < 1.0, "active core {c} must age");
+        } else {
+            assert_eq!(healths[c.index()], 1.0, "dark core {c} must not age");
+        }
+    }
+
+    // 4. Hotter cores aged more (monotonicity across the real temperature
+    //    field, comparing two active cores).
+    let mut active: Vec<CoreId> = fp.cores().filter(|c| c.index() % 2 == 0).collect();
+    active.sort_by(|&a, &b| temps.core(a).partial_cmp(&temps.core(b)).unwrap());
+    let coolest = active[0];
+    let hottest = active[active.len() - 1];
+    assert!(
+        healths[hottest.index()] <= healths[coolest.index()],
+        "hotter core {hottest} must age at least as much as cooler core {coolest}"
+    );
+}
+
+#[test]
+fn predictor_agrees_with_transient_equilibrium() {
+    // The online predictor (learned from steady solves) must agree with the
+    // transient simulator once the transient settles.
+    let fp = Floorplan::paper_8x8();
+    let config = SimulationConfig::paper(0.5);
+    let predictor = ThermalPredictor::learn(&fp, &config.thermal);
+    let mut power = vec![Watts::new(0.019); fp.core_count()];
+    for i in (0..64).step_by(5) {
+        power[i] = Watts::new(7.0);
+    }
+    let predicted = predictor.predict(&fp, &power);
+
+    let mut sim = TransientSimulator::new(&fp, &config.thermal);
+    sim.settle(&power, Seconds::new(0.5), 1e-4, Seconds::new(600.0));
+    let settled = sim.temperatures();
+    for core in fp.cores() {
+        let err = (predicted.core(core) - settled.core(core)).abs();
+        assert!(
+            err < 0.5,
+            "core {core}: predicted {} vs settled {}",
+            predicted.core(core),
+            settled.core(core)
+        );
+    }
+}
+
+#[test]
+fn power_model_closes_the_loop_with_leakage_feedback() {
+    // Iterating power(T) -> T(power) must converge (no thermal runaway at
+    // paper operating points) and land strictly above the
+    // leakage-at-ambient estimate.
+    let fp = Floorplan::paper_8x8();
+    let config = SimulationConfig::paper(0.5);
+    let system = ChipSystem::paper_chip(0, &config).expect("system builds");
+    let model = system.power_model();
+    let chip = system.chip();
+
+    let states: Vec<PowerState> = fp
+        .cores()
+        .map(|c| {
+            if c.index() % 2 == 0 {
+                PowerState::Active {
+                    dynamic: Watts::new(6.0),
+                }
+            } else {
+                PowerState::Dark
+            }
+        })
+        .collect();
+
+    let ambient_temps = vec![config.thermal.ambient; fp.core_count()];
+    let factors: Vec<f64> = fp.cores().map(|c| chip.leakage_factor(c)).collect();
+    let p0 = model.chip_power(&states, &factors, &ambient_temps);
+    let t0 = steady_state(&fp, &config.thermal, &p0);
+
+    // One feedback iteration: leakage at the computed temperatures.
+    let t0_vec: Vec<_> = fp.cores().map(|c| t0.core(c)).collect();
+    let p1 = model.chip_power(&states, &factors, &t0_vec);
+    let t1 = steady_state(&fp, &config.thermal, &p1);
+
+    assert!(model.total(&p1) > model.total(&p0), "hot chip leaks more");
+    assert!(t1.mean() > t0.mean());
+    // Convergence: the second correction is much smaller than the first.
+    let t1_vec: Vec<_> = fp.cores().map(|c| t1.core(c)).collect();
+    let p2 = model.chip_power(&states, &factors, &t1_vec);
+    let first = model.total(&p1).value() - model.total(&p0).value();
+    let second = model.total(&p2).value() - model.total(&p1).value();
+    assert!(
+        second < first * 0.75,
+        "leakage feedback must contract: {first} then {second}"
+    );
+}

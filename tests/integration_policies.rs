@@ -1,0 +1,239 @@
+//! Cross-crate integration of the mapping policies: feasibility, budget
+//! discipline, and the qualitative orderings the paper's comparison relies
+//! on, across several chips and workload mixes.
+
+use hayat::{
+    predict_mapping_temperatures, ChipSystem, CoolestFirstPolicy, FixedDcmPolicy, HayatPolicy,
+    Policy, PolicyContext, RandomPolicy, SimulationConfig, VaaPolicy,
+};
+use hayat_units::Years;
+use hayat_workload::WorkloadMix;
+
+fn ctx(system: &ChipSystem) -> PolicyContext<'_> {
+    PolicyContext {
+        system,
+        horizon: Years::new(1.0),
+        elapsed: Years::new(0.0),
+    }
+}
+
+fn all_policies() -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::<HayatPolicy>::default(),
+        Box::new(VaaPolicy),
+        Box::new(RandomPolicy::new(3)),
+        Box::new(CoolestFirstPolicy),
+    ]
+}
+
+#[test]
+fn every_policy_respects_feasibility_and_budget_across_chips() {
+    let mut config = SimulationConfig::quick_demo();
+    config.chip_count = 3;
+    for chip in 0..3 {
+        let system = ChipSystem::paper_chip(chip, &config).expect("system builds");
+        for seed in [1u64, 2, 3] {
+            let workload = WorkloadMix::generate(seed, 24);
+            for mut policy in all_policies() {
+                let mapping = policy.map_threads(&ctx(&system), &workload);
+                assert!(
+                    mapping.active_cores() <= system.budget().max_on(),
+                    "{} exceeded the budget on chip {chip}",
+                    policy.name()
+                );
+                for (core, tid) in mapping.assignments() {
+                    assert!(
+                        system.can_host(core, workload.thread(tid).min_frequency()),
+                        "{} placed {tid} on infeasible {core}",
+                        policy.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hayat_beats_vaa_on_predicted_peak_across_chips() {
+    // The Fig. 7/8 mechanism must hold chip by chip, not just on average:
+    // at a full 50%-dark budget, Hayat's placement peaks cooler.
+    let mut config = SimulationConfig::quick_demo();
+    config.chip_count = 3;
+    let mut wins = 0;
+    for chip in 0..3 {
+        let system = ChipSystem::paper_chip(chip, &config).expect("system builds");
+        let workload = WorkloadMix::generate(7, system.budget().max_on());
+        let c = ctx(&system);
+        let vaa = VaaPolicy.map_threads(&c, &workload);
+        let hayat = HayatPolicy::default().map_threads(&c, &workload);
+        let t_vaa = predict_mapping_temperatures(&system, &vaa, &workload);
+        let t_hayat = predict_mapping_temperatures(&system, &hayat, &workload);
+        if t_hayat.max() < t_vaa.max() {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins >= 2,
+        "Hayat must run cooler on most chips, won {wins}/3"
+    );
+}
+
+#[test]
+fn hayat_preserves_faster_cores_than_every_baseline() {
+    let config = SimulationConfig::quick_demo();
+    let system = ChipSystem::paper_chip(0, &config).expect("system builds");
+    let workload = WorkloadMix::generate(5, system.budget().max_on());
+    let c = ctx(&system);
+    let top_used = |mapping: &hayat::ThreadMapping| {
+        mapping
+            .active()
+            .map(|core| system.aged_fmax(core).value())
+            .fold(0.0f64, f64::max)
+    };
+    let hayat_top = top_used(&HayatPolicy::default().map_threads(&c, &workload));
+    let vaa_top = top_used(&VaaPolicy.map_threads(&c, &workload));
+    assert!(
+        hayat_top < vaa_top,
+        "Hayat's fastest used core {hayat_top} must be below VAA's {vaa_top}"
+    );
+    assert!(
+        hayat_top < system.chip_fmax().value(),
+        "Hayat must keep the single fastest core dark"
+    );
+}
+
+#[test]
+fn fixed_dcm_policies_reproduce_the_section_2_contrast() {
+    // Contiguous vs checkerboard DCMs under identical workloads: the dense
+    // map must predict hotter peaks.
+    let config = SimulationConfig::quick_demo();
+    let system = ChipSystem::paper_chip(0, &config).expect("system builds");
+    let fp = system.floorplan();
+    let workload = WorkloadMix::generate(5, 32);
+    let c = ctx(&system);
+    let dense =
+        FixedDcmPolicy::new(hayat::DarkCoreMap::contiguous(fp, 32)).map_threads(&c, &workload);
+    let spread =
+        FixedDcmPolicy::new(hayat::DarkCoreMap::checkerboard(fp, 32)).map_threads(&c, &workload);
+    let t_dense = predict_mapping_temperatures(&system, &dense, &workload);
+    let t_spread = predict_mapping_temperatures(&system, &spread, &workload);
+    assert!(
+        t_dense.max() > t_spread.max(),
+        "contiguous {} must beat checkerboard {}",
+        t_dense.max(),
+        t_spread.max()
+    );
+}
+
+#[test]
+fn critical_task_wakes_a_preserved_elite_core() {
+    // Section II: high-frequency cores are preserved "to fulfill the
+    // deadline constraints of a critical (single-threaded) application".
+    // When such a task arrives, Hayat must place it — on a core fast
+    // enough — even though its DCM normally keeps the elite dark.
+    let config = SimulationConfig::quick_demo();
+    let system = ChipSystem::paper_chip(0, &config).expect("system builds");
+    let requirement = system.chip_fmax() * 0.97;
+    let mut workload = WorkloadMix::generate(5, system.budget().max_on() - 1);
+    let critical_app = workload.push_critical(requirement, 77);
+    let mapping = HayatPolicy::default().map_threads(&ctx(&system), &workload);
+    let placed = mapping
+        .assignments()
+        .find(|(_, tid)| tid.app == critical_app.index());
+    let (core, _) = placed.expect("critical task must be placed");
+    assert!(
+        system.aged_fmax(core) >= requirement,
+        "critical task landed on a too-slow core {core}"
+    );
+}
+
+#[test]
+fn after_years_only_hayat_can_still_serve_the_critical_deadline() {
+    // The payoff of preservation: age both systems for a few years under
+    // their own policies, then ask whether any core still meets an
+    // elite-level requirement.
+    use hayat::SimulationEngine;
+    let mut config = SimulationConfig::quick_demo();
+    config.years = 5.0;
+    config.epoch_years = 0.5;
+    let fresh = ChipSystem::paper_chip(0, &config).expect("system builds");
+    let requirement = fresh.chip_fmax() * 0.97;
+
+    let can_serve_after = |policy: Box<dyn Policy>| {
+        let system = ChipSystem::paper_chip(0, &config).expect("system builds");
+        let mut engine = SimulationEngine::new(system, policy, &config);
+        let _ = engine.run();
+        engine
+            .system()
+            .floorplan()
+            .cores()
+            .any(|c| engine.system().can_host(c, requirement))
+    };
+    assert!(
+        can_serve_after(Box::<HayatPolicy>::default()),
+        "Hayat must still have an elite core after 5 years"
+    );
+    assert!(
+        !can_serve_after(Box::new(VaaPolicy)),
+        "VAA should have aged its fastest cores below the elite requirement"
+    );
+}
+
+#[test]
+fn hayat_is_robust_to_sensor_imperfection() {
+    // Feed the policy a *sensor reading* of the health map (quantized aging
+    // odometers) instead of ground truth: the resulting mapping must be of
+    // near-identical quality under the ILP objective.
+    use hayat::sensors::{SensorConfig, SensorSuite};
+    use hayat::{objective, ExhaustivePolicy};
+    let _ = ExhaustivePolicy; // same objective the reference solver uses
+
+    let mut config = SimulationConfig::quick_demo();
+    config.years = 2.0;
+    let mut aged = {
+        // Age the chip a little so health maps carry real structure.
+        let system = ChipSystem::paper_chip(0, &config).expect("system builds");
+        let mut engine =
+            hayat::SimulationEngine::new(system, Box::<HayatPolicy>::default(), &config);
+        let _ = engine.run();
+        engine.system().clone()
+    };
+    let workload = WorkloadMix::generate(5, aged.budget().max_on());
+
+    let truth_mapping = HayatPolicy::default().map_threads(&ctx(&aged), &workload);
+    let (truth_health, _) = objective(&ctx(&aged), &truth_mapping, &workload);
+
+    // Replace the health map with its sensor reading and re-decide.
+    let mut sensors = SensorSuite::new(SensorConfig::typical(), 31);
+    let reading = sensors.read_health(aged.health());
+    *aged.health_mut() = reading;
+    let noisy_mapping = HayatPolicy::default().map_threads(&ctx(&aged), &workload);
+    let (noisy_health, _) = objective(&ctx(&aged), &noisy_mapping, &workload);
+
+    let truth_loss = 1.0 - truth_health;
+    let noisy_loss = 1.0 - noisy_health;
+    assert!(
+        noisy_loss <= truth_loss * 1.1 + 1e-4,
+        "sensor quantization degraded the objective too much: {noisy_loss} vs {truth_loss}"
+    );
+}
+
+#[test]
+fn policies_are_deterministic_across_invocations() {
+    let config = SimulationConfig::quick_demo();
+    let system = ChipSystem::paper_chip(0, &config).expect("system builds");
+    let workload = WorkloadMix::generate(9, 16);
+    let c = ctx(&system);
+    assert_eq!(
+        HayatPolicy::default().map_threads(&c, &workload),
+        HayatPolicy::default().map_threads(&c, &workload)
+    );
+    assert_eq!(
+        VaaPolicy.map_threads(&c, &workload),
+        VaaPolicy.map_threads(&c, &workload)
+    );
+    assert_eq!(
+        RandomPolicy::new(4).map_threads(&c, &workload),
+        RandomPolicy::new(4).map_threads(&c, &workload)
+    );
+}
