@@ -57,11 +57,7 @@ fn bench_weighting(c: &mut Criterion) {
     let config = SimulationConfig::paper(0.5);
     let system = ChipSystem::paper_chip(0, &config).expect("paper chip builds");
     let workload = WorkloadMix::generate(config.workload_seed, system.budget().max_on());
-    let ctx = PolicyContext {
-        system: &system,
-        horizon: config.horizon(),
-        elapsed: Years::new(0.0),
-    };
+    let ctx = PolicyContext::new(&system, config.horizon(), Years::new(0.0));
 
     // One-time quality report.
     println!("\nEq. 9 weighting ablation (50% dark, 32 threads):");

@@ -35,11 +35,7 @@ fn bench_overhead(c: &mut Criterion) {
         });
     });
 
-    let ctx = PolicyContext {
-        system: &system,
-        horizon: config.horizon(),
-        elapsed: Years::new(0.0),
-    };
+    let ctx = PolicyContext::new(&system, config.horizon(), Years::new(0.0));
 
     c.bench_function("hayat_full_mapping_decision", |b| {
         let mut policy = HayatPolicy::default();

@@ -11,8 +11,11 @@
 //! Defaults reproduce the paper campaign at 50% dark. Unknown flags abort
 //! with usage.
 
+use std::sync::Arc;
+
 use hayat::sim::campaign::PolicyKind;
 use hayat::{Campaign, SimulationConfig};
+use hayat_telemetry::{JsonlRecorder, Recorder};
 
 struct Args {
     dark: f64,
@@ -25,13 +28,15 @@ struct Args {
     policies: Vec<PolicyKind>,
     csv_dir: Option<String>,
     json_path: Option<String>,
+    telemetry_path: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--dark F] [--chips N] [--years Y] [--epoch Y] \
          [--window S] [--seed N] [--mesh N] \
-         [--policies vaa,hayat,coolest,random] [--csv DIR] [--json FILE]"
+         [--policies vaa,hayat,coolest,random] [--csv DIR] [--json FILE] \
+         [--telemetry FILE.jsonl]"
     );
     std::process::exit(2);
 }
@@ -61,6 +66,7 @@ fn parse_args() -> Args {
         policies: vec![PolicyKind::Vaa, PolicyKind::Hayat],
         csv_dir: None,
         json_path: None,
+        telemetry_path: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -83,6 +89,7 @@ fn parse_args() -> Args {
             }
             "--csv" => args.csv_dir = Some(value("--csv")),
             "--json" => args.json_path = Some(value("--json")),
+            "--telemetry" => args.telemetry_path = Some(value("--telemetry")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -118,7 +125,16 @@ fn main() {
         args.policies
     );
     let campaign = Campaign::new(config).expect("configuration is valid");
-    let result = campaign.run(&args.policies);
+    let recorder = args
+        .telemetry_path
+        .as_deref()
+        .map(|path| Arc::new(JsonlRecorder::create(path).expect("create telemetry stream")));
+    let result = match &recorder {
+        Some(rec) => {
+            campaign.run_with_recorder(&args.policies, Arc::clone(rec) as Arc<dyn Recorder>)
+        }
+        None => campaign.run(&args.policies),
+    };
 
     println!(
         "\n{:<14} {:>7} {:>9} {:>11} {:>11} {:>11} {:>12}",
@@ -155,5 +171,15 @@ fn main() {
         let json = serde_json::to_string_pretty(&result).expect("serializable");
         std::fs::write(path, json).expect("write json");
         println!("full result JSON written to {path}");
+    }
+    if let Some(rec) = recorder {
+        let rec = Arc::try_unwrap(rec)
+            .ok()
+            .expect("campaign workers have exited, so no recorder refs remain");
+        let events = rec.events_recorded();
+        let summary = rec.finish().expect("flush telemetry stream");
+        let path = args.telemetry_path.as_deref().unwrap_or_default();
+        println!("\ntelemetry: {events} events written to {path}");
+        println!("{}", summary.render_table());
     }
 }

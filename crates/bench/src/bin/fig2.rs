@@ -78,11 +78,8 @@ fn main() {
 
             // Steady-state temperature profile of the mapped workload.
             let mut policy = FixedDcmPolicy::new(dcm.clone());
-            let ctx = hayat::PolicyContext {
-                system: &system,
-                horizon: config.horizon(),
-                elapsed: hayat_units::Years::new(0.0),
-            };
+            let ctx =
+                hayat::PolicyContext::new(&system, config.horizon(), hayat_units::Years::new(0.0));
             let mapping = hayat::Policy::map_threads(&mut policy, &ctx, &workload);
             let temps = {
                 let ref_temps = hayat_thermal::TemperatureMap::uniform(

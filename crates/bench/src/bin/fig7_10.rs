@@ -15,9 +15,12 @@
 //! (`--quick` runs 5 chips with 6-month epochs; the default is the paper's
 //! 25 chips with 3-month epochs and takes several minutes).
 
+use std::sync::Arc;
+
 use hayat::sim::campaign::PolicyKind;
 use hayat::{Campaign, CampaignSummary, SimulationConfig};
 use hayat_bench::{bar_row, section};
+use hayat_telemetry::{JsonlRecorder, Recorder};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -29,6 +32,16 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    // Optional observability: `--telemetry <file.jsonl>` streams one JSON
+    // event per line covering both dark-fraction campaigns.
+    let telemetry_path = args
+        .iter()
+        .position(|a| a == "--telemetry")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let recorder = telemetry_path
+        .as_deref()
+        .map(|path| Arc::new(JsonlRecorder::create(path).expect("create telemetry stream")));
     for dark in [0.25, 0.5] {
         let mut config = SimulationConfig::paper(dark);
         if quick {
@@ -37,7 +50,13 @@ fn main() {
             config.transient_window_seconds = 1.5;
         }
         let campaign = Campaign::new(config).expect("paper configuration is valid");
-        let result = campaign.run(&[PolicyKind::Vaa, PolicyKind::Hayat]);
+        let policies = [PolicyKind::Vaa, PolicyKind::Hayat];
+        let result = match &recorder {
+            Some(rec) => {
+                campaign.run_with_recorder(&policies, Arc::clone(rec) as Arc<dyn Recorder>)
+            }
+            None => campaign.run(&policies),
+        };
         let vaa = result.summary(PolicyKind::Vaa).expect("VAA ran");
         let hayat = result.summary(PolicyKind::Hayat).expect("Hayat ran");
         if let Some(dir) = &json_dir {
@@ -136,5 +155,15 @@ fn main() {
             "  avg-fmax aging reduced by {:>6.1}%   (paper: 6.3% at 25%, 23% at 50%)",
             pct(vaa.mean_avg_fmax_aging_rate, hayat.mean_avg_fmax_aging_rate)
         );
+    }
+    if let Some(rec) = recorder {
+        let rec = Arc::try_unwrap(rec)
+            .ok()
+            .expect("campaign workers have exited, so no recorder refs remain");
+        let events = rec.events_recorded();
+        let summary = rec.finish().expect("flush telemetry stream");
+        let path = telemetry_path.as_deref().unwrap_or_default();
+        println!("\ntelemetry: {events} events written to {path}");
+        println!("{}", summary.render_table());
     }
 }

@@ -4,9 +4,14 @@
 //! full decision ≈ 1.6 ms, and the per-epoch health-map update, "1–10
 //! seconds each 3 or 6 months" on the paper's full simulation stack.
 //!
-//! Usage: `cargo run --release -p hayat-bench --bin overhead_table`
+//! Usage: `cargo run --release -p hayat-bench --bin overhead_table [--telemetry FILE.jsonl]`
+//!
+//! With `--telemetry`, each measured primitive is also recorded as an
+//! `overhead.*` span sample in the JSONL stream, so the printed table can be
+//! recovered offline via `TelemetrySummary::from_jsonl`.
 
 use hayat::{ChipSystem, HayatPolicy, Policy, PolicyContext, SimulationConfig};
+use hayat_telemetry::{JsonlRecorder, Recorder, NULL_RECORDER};
 use hayat_units::{DutyCycle, Kelvin, Watts, Years};
 use hayat_workload::WorkloadMix;
 use std::time::Instant;
@@ -22,6 +27,20 @@ fn time_per_call<F: FnMut()>(mut f: F, calls: u32) -> f64 {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let telemetry_path = args
+        .iter()
+        .position(|a| a == "--telemetry")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let jsonl = telemetry_path
+        .as_deref()
+        .map(|path| JsonlRecorder::create(path).expect("create telemetry stream"));
+    let recorder: &dyn Recorder = match &jsonl {
+        Some(rec) => rec,
+        None => &NULL_RECORDER,
+    };
+
     let config = SimulationConfig::paper(0.5);
     let system = ChipSystem::paper_chip(0, &config).expect("paper chip builds");
     let fp = system.floorplan().clone();
@@ -53,13 +72,11 @@ fn main() {
         20_000,
     );
 
-    // Full decision: DCM selection + Algorithm 1 over every thread.
+    // Full decision: DCM selection + Algorithm 1 over every thread. The
+    // policy's own decision spans and counters flow into the same stream.
     let mut policy = HayatPolicy::default();
-    let ctx = PolicyContext {
-        system: &system,
-        horizon: config.horizon(),
-        elapsed: Years::new(0.0),
-    };
+    let ctx =
+        PolicyContext::new(&system, config.horizon(), Years::new(0.0)).with_recorder(recorder);
     let t_decision = time_per_call(
         || {
             let m = policy.map_threads(&ctx, &workload);
@@ -83,6 +100,13 @@ fn main() {
         },
         2_000,
     );
+
+    // One span sample per primitive with its measured mean, so the table can
+    // be reconstructed from the JSONL stream alone.
+    recorder.span_seconds("overhead.predict_temperature", t_predict);
+    recorder.span_seconds("overhead.estimate_next_health", t_health);
+    recorder.span_seconds("overhead.full_mapping_decision", t_decision);
+    recorder.span_seconds("overhead.epoch_health_map_update", t_epoch);
 
     hayat_bench::section("Section VI overhead table (this machine, release build)");
     println!(
@@ -116,4 +140,12 @@ fn main() {
     println!();
     println!("  * the paper's epoch update includes its full Gem5/HotSpot re-");
     println!("    simulation; ours is the table-driven update only, hence far cheaper.");
+
+    if let Some(rec) = jsonl {
+        let events = rec.events_recorded();
+        let summary = rec.finish().expect("flush telemetry stream");
+        let path = telemetry_path.as_deref().unwrap_or_default();
+        println!("\ntelemetry: {events} events written to {path}");
+        println!("{}", summary.render_table());
+    }
 }

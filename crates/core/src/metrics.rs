@@ -390,6 +390,30 @@ mod tests {
     }
 
     #[test]
+    fn run_metrics_round_trip_through_json() {
+        let m = metrics();
+        let json = serde_json::to_string(&m).expect("RunMetrics serializes");
+        let back: RunMetrics = serde_json::from_str(&json).expect("RunMetrics parses");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn epoch_records_round_trip_through_jsonl() {
+        let m = metrics();
+        // One JSON object per line, the same framing the telemetry stream uses.
+        let jsonl: String = m
+            .epochs
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("EpochRecord serializes") + "\n")
+            .collect();
+        let back: Vec<EpochRecord> = jsonl
+            .lines()
+            .map(|line| serde_json::from_str(line).expect("EpochRecord parses"))
+            .collect();
+        assert_eq!(m.epochs, back);
+    }
+
+    #[test]
     fn csv_has_header_plus_one_row_per_epoch() {
         let m = metrics();
         let csv = m.to_csv();

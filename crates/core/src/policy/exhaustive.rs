@@ -163,11 +163,7 @@ mod tests {
     }
 
     fn ctx(system: &ChipSystem) -> PolicyContext<'_> {
-        PolicyContext {
-            system,
-            horizon: Years::new(1.0),
-            elapsed: Years::new(0.0),
-        }
+        PolicyContext::new(system, Years::new(1.0), Years::new(0.0))
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::mapping::ThreadMapping;
 use crate::policy::{Policy, PolicyContext};
 use hayat_floorplan::CoreId;
+use hayat_telemetry::RecorderExt;
 use hayat_units::{Gigahertz, Kelvin, Watts};
 use hayat_workload::{ThreadId, ThreadProfile, WorkloadMix};
 use serde::{Deserialize, Serialize};
@@ -130,7 +131,7 @@ impl Default for HayatConfig {
 /// let config = SimulationConfig::quick_demo();
 /// let system = ChipSystem::paper_chip(0, &config)?;
 /// let mut policy = HayatPolicy::default();
-/// let ctx = PolicyContext { system: &system, horizon: Years::new(1.0), elapsed: Years::new(0.0) };
+/// let ctx = PolicyContext::new(&system, Years::new(1.0), Years::new(0.0));
 /// let workload = WorkloadMix::generate(1, 8);
 /// let mapping = policy.map_threads(&ctx, &workload);
 /// assert_eq!(mapping.active_cores(), 8);
@@ -252,12 +253,14 @@ impl HayatPolicy {
 
         let mut on = vec![false; n];
         let mut rise = vec![0.0; n];
+        let mut candidates_evaluated: u64 = 0;
         for _ in 0..n_on.min(n) {
             let mut best: Option<(f64, CoreId)> = None;
             for cand in fp.cores() {
                 if on[cand.index()] {
                     continue;
                 }
+                candidates_evaluated += 1;
                 let f = system.aged_fmax(cand).value();
                 let t_cand = system.thermal_config().ambient.value()
                     + rise[cand.index()]
@@ -279,6 +282,8 @@ impl HayatPolicy {
                 rise[i] += p * row[i];
             }
         }
+        ctx.recorder
+            .counter("policy.dcm.candidates_evaluated", candidates_evaluated);
         on
     }
 }
@@ -289,6 +294,7 @@ impl Policy for HayatPolicy {
     }
 
     fn map_threads(&mut self, ctx: &PolicyContext<'_>, workload: &WorkloadMix) -> ThreadMapping {
+        let _decision = ctx.recorder.span("policy.hayat.decision");
         let system = ctx.system;
         let fp = system.floorplan();
         let n = fp.core_count();
@@ -317,6 +323,8 @@ impl Policy for HayatPolicy {
         // Incrementally maintained temperature rise above ambient from all
         // threads mapped so far.
         let mut rise = vec![0.0; n];
+        let mut candidates_evaluated: u64 = 0;
+        let mut dcm_swaps: u64 = 0;
 
         for (tid, profile) in threads {
             if mapping.active_cores() >= system.budget().max_on() {
@@ -337,6 +345,7 @@ impl Policy for HayatPolicy {
                 {
                     continue;
                 }
+                candidates_evaluated += 1;
                 let power = Self::thread_power(ctx, cand, profile);
                 let cand_row = predictor.rise_row(cand);
 
@@ -406,6 +415,10 @@ impl Policy for HayatPolicy {
                             .expect("rises are finite")
                     })
                     .map(|core| (core, Self::thread_power(ctx, core, profile)));
+                if chosen.is_some() {
+                    // Waking a planned-dark core swaps the Dark Core Map.
+                    dcm_swaps += 1;
+                }
             }
             if let Some((core, power)) = chosen {
                 mapping.assign(tid, core);
@@ -417,6 +430,11 @@ impl Policy for HayatPolicy {
             // Threads with no frequency-feasible candidate stay unplaced;
             // the engine reports them.
         }
+        ctx.recorder
+            .counter("policy.hayat.candidates_evaluated", candidates_evaluated);
+        ctx.recorder.counter("policy.hayat.dcm_swaps", dcm_swaps);
+        ctx.recorder
+            .counter("policy.hayat.assignments", mapping.active_cores() as u64);
         mapping
     }
 }
@@ -438,11 +456,7 @@ mod tests {
     }
 
     fn ctx(system: &ChipSystem) -> PolicyContext<'_> {
-        PolicyContext {
-            system,
-            horizon: Years::new(1.0),
-            elapsed: Years::new(0.0),
-        }
+        PolicyContext::new(system, Years::new(1.0), Years::new(0.0))
     }
 
     #[test]

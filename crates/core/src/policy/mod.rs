@@ -8,13 +8,14 @@ pub mod vaa;
 use crate::mapping::ThreadMapping;
 use crate::system::ChipSystem;
 use hayat_power::PowerState;
+use hayat_telemetry::{Recorder, NULL_RECORDER};
 use hayat_thermal::TemperatureMap;
 use hayat_units::{Kelvin, Watts, Years};
 use hayat_workload::WorkloadMix;
 
 /// The read-only view a policy gets of the system when (re)mapping at an
 /// epoch boundary.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct PolicyContext<'a> {
     /// The chip system (geometry, variation, health, predictor, table, …).
     pub system: &'a ChipSystem,
@@ -24,6 +25,41 @@ pub struct PolicyContext<'a> {
     /// Simulated time already elapsed, used by policies that distinguish
     /// early- from late-aging phases.
     pub elapsed: Years,
+    /// Telemetry sink for decision-path instrumentation (decision-latency
+    /// spans, candidates-evaluated counters). Defaults to the zero-cost
+    /// [`hayat_telemetry::NullRecorder`]; recorders must never influence the
+    /// mapping a policy produces.
+    pub recorder: &'a dyn Recorder,
+}
+
+impl<'a> PolicyContext<'a> {
+    /// A context with the default (null) recorder.
+    #[must_use]
+    pub fn new(system: &'a ChipSystem, horizon: Years, elapsed: Years) -> Self {
+        PolicyContext {
+            system,
+            horizon,
+            elapsed,
+            recorder: &NULL_RECORDER,
+        }
+    }
+
+    /// Replaces the telemetry sink.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+}
+
+impl std::fmt::Debug for PolicyContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyContext")
+            .field("horizon", &self.horizon)
+            .field("elapsed", &self.elapsed)
+            .field("recorder_enabled", &self.recorder.enabled())
+            .finish_non_exhaustive()
+    }
 }
 
 /// A run-time thread-to-core mapping policy.

@@ -20,7 +20,7 @@ use rand::SeedableRng;
 ///
 /// # fn main() -> Result<(), hayat::BuildSystemError> {
 /// let system = ChipSystem::paper_chip(0, &SimulationConfig::quick_demo())?;
-/// let ctx = PolicyContext { system: &system, horizon: Years::new(1.0), elapsed: Years::new(0.0) };
+/// let ctx = PolicyContext::new(&system, Years::new(1.0), Years::new(0.0));
 /// let mapping = RandomPolicy::new(7).map_threads(&ctx, &WorkloadMix::generate(2, 8));
 /// assert_eq!(mapping.active_cores(), 8);
 /// # Ok(())
@@ -181,11 +181,7 @@ mod tests {
     }
 
     fn ctx(system: &ChipSystem) -> PolicyContext<'_> {
-        PolicyContext {
-            system,
-            horizon: Years::new(1.0),
-            elapsed: Years::new(0.0),
-        }
+        PolicyContext::new(system, Years::new(1.0), Years::new(0.0))
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use crate::mapping::ThreadMapping;
 use crate::policy::{Policy, PolicyContext};
 use hayat_floorplan::CoreId;
+use hayat_telemetry::RecorderExt;
 use hayat_workload::{ThreadId, ThreadProfile, WorkloadMix};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -34,7 +35,7 @@ use std::collections::VecDeque;
 ///
 /// # fn main() -> Result<(), hayat::BuildSystemError> {
 /// let system = ChipSystem::paper_chip(0, &SimulationConfig::quick_demo())?;
-/// let ctx = PolicyContext { system: &system, horizon: Years::new(1.0), elapsed: Years::new(0.0) };
+/// let ctx = PolicyContext::new(&system, Years::new(1.0), Years::new(0.0));
 /// let mapping = VaaPolicy::default().map_threads(&ctx, &WorkloadMix::generate(2, 12));
 /// assert_eq!(mapping.active_cores(), 12);
 /// # Ok(())
@@ -99,9 +100,11 @@ impl Policy for VaaPolicy {
     }
 
     fn map_threads(&mut self, ctx: &PolicyContext<'_>, workload: &WorkloadMix) -> ThreadMapping {
+        let _decision = ctx.recorder.span("policy.vaa.decision");
         let system = ctx.system;
         let fp = system.floorplan();
         let mut mapping = ThreadMapping::empty(fp.core_count());
+        let mut candidates_evaluated: u64 = 0;
 
         for app in workload.applications() {
             if mapping.active_cores() >= system.budget().max_on() {
@@ -129,6 +132,7 @@ impl Policy for VaaPolicy {
                 // region's nearest cores (window keeps the placement
                 // contiguous while still preferring speed).
                 let window = region.len().min(4);
+                candidates_evaluated += window as u64;
                 let near_best = region[..window]
                     .iter()
                     .copied()
@@ -155,6 +159,10 @@ impl Policy for VaaPolicy {
                 }
             }
         }
+        ctx.recorder
+            .counter("policy.vaa.candidates_evaluated", candidates_evaluated);
+        ctx.recorder
+            .counter("policy.vaa.assignments", mapping.active_cores() as u64);
         mapping
     }
 }
@@ -173,11 +181,7 @@ mod tests {
     }
 
     fn ctx(system: &ChipSystem) -> PolicyContext<'_> {
-        PolicyContext {
-            system,
-            horizon: Years::new(1.0),
-            elapsed: Years::new(0.0),
-        }
+        PolicyContext::new(system, Years::new(1.0), Years::new(0.0))
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::sim::engine::SimulationEngine;
 use crate::system::{BuildSystemError, ChipSystem};
 use hayat_aging::{AgingModel, AgingTable};
 use hayat_floorplan::Floorplan;
+use hayat_telemetry::{NullRecorder, Recorder, RecorderExt};
 use hayat_thermal::ThermalPredictor;
 use hayat_variation::ChipPopulation;
 use serde::{Deserialize, Serialize};
@@ -130,6 +131,21 @@ impl Campaign {
     /// scheduling.
     #[must_use]
     pub fn run(&self, policies: &[PolicyKind]) -> CampaignResult {
+        self.run_with_recorder(policies, Arc::new(NullRecorder))
+    }
+
+    /// [`run`](Self::run) with campaign telemetry: one `campaign.chip` span
+    /// per chip×policy job plus everything the per-run engines emit (epoch
+    /// spans, decision latencies, DTM counters, thermal-solver statistics).
+    ///
+    /// The recorder is shared by all worker threads, so a locking recorder
+    /// serializes only its own bookkeeping — the simulations stay parallel.
+    #[must_use]
+    pub fn run_with_recorder(
+        &self,
+        policies: &[PolicyKind],
+        recorder: Arc<dyn Recorder>,
+    ) -> CampaignResult {
         let jobs: Vec<(PolicyKind, usize)> = policies
             .iter()
             .flat_map(|&kind| (0..self.chip_count()).map(move |chip| (kind, chip)))
@@ -141,6 +157,7 @@ impl Campaign {
         let mut runs: Vec<Option<RunMetrics>> = (0..jobs.len()).map(|_| None).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let slots = std::sync::Mutex::new(&mut runs);
+        let recorder = &recorder;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -148,7 +165,10 @@ impl Campaign {
                     let Some(&(kind, chip)) = jobs.get(i) else {
                         break;
                     };
-                    let metrics = self.run_one(kind, chip);
+                    let chip_span = recorder.span("campaign.chip");
+                    let metrics = self.run_one_with_recorder(kind, chip, Arc::clone(recorder));
+                    drop(chip_span);
+                    recorder.counter("campaign.runs_completed", 1);
                     slots.lock().expect("no panics hold the lock")[i] = Some(metrics);
                 });
             }
@@ -169,9 +189,25 @@ impl Campaign {
     /// Panics if `chip_index` is out of range.
     #[must_use]
     pub fn run_one(&self, kind: PolicyKind, chip_index: usize) -> RunMetrics {
+        self.run_one_with_recorder(kind, chip_index, Arc::new(NullRecorder))
+    }
+
+    /// [`run_one`](Self::run_one) with the engine wired to a telemetry sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip_index` is out of range.
+    #[must_use]
+    pub fn run_one_with_recorder(
+        &self,
+        kind: PolicyKind,
+        chip_index: usize,
+        recorder: Arc<dyn Recorder>,
+    ) -> RunMetrics {
         let system = self.system_for(chip_index);
         let policy = kind.instantiate(self.config.workload_seed ^ chip_index as u64);
-        let mut engine = SimulationEngine::new(system, policy, &self.config);
+        let mut engine =
+            SimulationEngine::new(system, policy, &self.config).with_recorder(recorder);
         engine.run()
     }
 }
@@ -332,6 +368,19 @@ mod tests {
             )
             .unwrap();
         assert!(ratio > 0.0 && ratio < 5.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn recorded_campaign_matches_unrecorded_and_counts_jobs() {
+        let c = tiny_campaign();
+        let plain = c.run(&[PolicyKind::Hayat]);
+        let rec = Arc::new(hayat_telemetry::MemoryRecorder::new());
+        let recorded = c.run_with_recorder(&[PolicyKind::Hayat], rec.clone());
+        assert_eq!(plain, recorded, "telemetry must be a pure observer");
+        let s = rec.summary();
+        assert_eq!(s.counter_total("campaign.runs_completed"), Some(2));
+        assert_eq!(s.span("campaign.chip").map(|sp| sp.count), Some(2));
+        assert!(s.span("engine.epoch").map_or(0, |sp| sp.count) >= 2);
     }
 
     #[test]

@@ -8,8 +8,10 @@ use crate::sensors::SensorSuite;
 use crate::sim::config::SimulationConfig;
 use crate::system::ChipSystem;
 use hayat_power::PowerState;
+use hayat_telemetry::{NullRecorder, Recorder, RecorderExt};
 use hayat_units::{Watts, Years};
 use hayat_workload::WorkloadMix;
+use std::sync::Arc;
 
 /// The accelerated-aging evaluation loop of Fig. 4.
 ///
@@ -52,6 +54,7 @@ pub struct SimulationEngine {
     dtm: DtmController,
     mixes: Vec<WorkloadMix>,
     sensors: Option<SensorSuite>,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl SimulationEngine {
@@ -95,7 +98,18 @@ impl SimulationEngine {
             dtm,
             mixes,
             sensors,
+            recorder: Arc::new(NullRecorder),
         }
+    }
+
+    /// Replaces the engine's telemetry sink (the default is the zero-cost
+    /// [`NullRecorder`]). The recorder observes epoch spans, policy decision
+    /// latencies, DTM counters, and thermal-solver statistics; it must never
+    /// change simulation results.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The chip system in its current (possibly aged) state.
@@ -132,6 +146,8 @@ impl SimulationEngine {
 
     /// Runs a single epoch (public so benches can time one decision+window).
     pub fn run_epoch(&mut self, epoch: usize) -> EpochRecord {
+        let recorder = Arc::clone(&self.recorder);
+        let _epoch_span = recorder.span("engine.epoch");
         let elapsed = Years::new(epoch as f64 * self.config.epoch_years);
         let workload = self.mixes[epoch % self.mixes.len()].clone();
 
@@ -144,15 +160,17 @@ impl SimulationEngine {
             view
         });
         let mapping = {
-            let ctx = PolicyContext {
-                system: sensed_system.as_ref().unwrap_or(&self.system),
-                horizon: self.config.horizon(),
+            let ctx = PolicyContext::new(
+                sensed_system.as_ref().unwrap_or(&self.system),
+                self.config.horizon(),
                 elapsed,
-            };
+            )
+            .with_recorder(recorder.as_ref());
             self.policy.map_threads(&ctx, &workload)
         };
         drop(sensed_system);
         let unplaced_threads = workload.total_threads() - mapping.active_cores();
+        recorder.gauge("engine.threads.unplaced", unplaced_threads as f64);
         let migrations_before = self.dtm.migrations();
         let throttles_before = self.dtm.throttles();
 
@@ -183,6 +201,9 @@ impl SimulationEngine {
                 .health_mut()
                 .set(core, current.degraded_to(h_next));
         }
+
+        recorder.counter("dtm.migrations", self.dtm.migrations() - migrations_before);
+        recorder.counter("dtm.throttles", self.dtm.throttles() - throttles_before);
 
         EpochRecord {
             epoch,
@@ -216,6 +237,7 @@ impl SimulationEngine {
         f64,
         f64,
     ) {
+        let recorder = Arc::clone(&self.recorder);
         let n = self.system.floorplan().core_count();
         let window = self.config.transient_window_seconds;
         let dt = self.config.control_period();
@@ -283,7 +305,9 @@ impl SimulationEngine {
                 achieved_ips += profile.ips(freq);
             }
             // Advance the thermal state.
-            self.system.transient_mut().step(dt, &power);
+            self.system
+                .transient_mut()
+                .step_recorded(dt, &power, recorder.as_ref());
             let after = self.system.transient().temperatures();
             worst = worst.elementwise_max(&after);
             temp_sum += after.mean().value();
@@ -376,6 +400,50 @@ mod tests {
             e.run()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn recorder_never_changes_results() {
+        let baseline = {
+            let mut e = engine(Box::<HayatPolicy>::default());
+            e.run()
+        };
+        let rec = std::sync::Arc::new(hayat_telemetry::MemoryRecorder::new());
+        let observed = {
+            let mut e = engine(Box::<HayatPolicy>::default()).with_recorder(rec.clone());
+            e.run()
+        };
+        assert_eq!(baseline, observed, "telemetry must be a pure observer");
+    }
+
+    #[test]
+    fn recorder_sees_epoch_spans_decisions_and_dtm_counters() {
+        let rec = std::sync::Arc::new(hayat_telemetry::MemoryRecorder::new());
+        let metrics = {
+            let mut e = engine(Box::<HayatPolicy>::default()).with_recorder(rec.clone());
+            e.run()
+        };
+        let s = rec.summary();
+        let epochs = metrics.epochs.len() as u64;
+        assert_eq!(s.span("engine.epoch").map(|sp| sp.count), Some(epochs));
+        assert_eq!(
+            s.span("policy.hayat.decision").map(|sp| sp.count),
+            Some(epochs)
+        );
+        assert_eq!(
+            s.counter_total("dtm.migrations"),
+            Some(metrics.total_dtm_migrations())
+        );
+        assert!(
+            s.counter_total("policy.hayat.candidates_evaluated")
+                .unwrap()
+                > 0
+        );
+        assert_eq!(
+            s.gauge("engine.threads.unplaced").map(|g| g.count),
+            Some(epochs)
+        );
+        assert!(s.span("thermal.transient.step").map_or(0, |sp| sp.count) > 0);
     }
 
     #[test]

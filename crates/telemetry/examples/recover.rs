@@ -1,0 +1,12 @@
+use hayat_telemetry::TelemetrySummary;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .expect("usage: recover <file.jsonl>");
+    let stream = std::fs::read_to_string(&path).expect("read stream");
+    let summary = TelemetrySummary::from_jsonl(&stream).expect("parse stream");
+    println!("{}", summary.render_table());
+    let predict = summary.span("overhead.predict_temperature").unwrap();
+    println!("predictTemperature: {:.1} us", predict.total_seconds * 1e6);
+}

@@ -1,0 +1,65 @@
+//! The on-disk telemetry event: one JSON object per JSONL line.
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of signal an event carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Monotonic counter increment; `value` is the delta.
+    Counter,
+    /// Instantaneous gauge sample; `value` is the reading.
+    Gauge,
+    /// One histogram observation; `value` is the observed quantity.
+    Histogram,
+    /// One completed timed span; `value` is the duration in seconds.
+    Span,
+}
+
+/// One telemetry event, serialized as a single JSONL line such as
+/// `{"seq":17,"kind":"Span","name":"engine.epoch","value":0.0042}`.
+///
+/// `value` is an `f64` for every kind; counter deltas are exact up to 2^53,
+/// far beyond any count this simulator produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryEvent {
+    /// Position in the stream (0-based, dense).
+    pub seq: u64,
+    /// Signal kind.
+    pub kind: EventKind,
+    /// Dotted signal name, e.g. `policy.hayat.decision`.
+    pub name: String,
+    /// Kind-dependent payload (see [`EventKind`]).
+    pub value: f64,
+}
+
+impl TelemetryEvent {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(seq: u64, kind: EventKind, name: impl Into<String>, value: f64) -> Self {
+        TelemetryEvent {
+            seq,
+            kind,
+            name: name.into(),
+            value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_round_trips_through_json() {
+        let event = TelemetryEvent::new(17, EventKind::Span, "engine.epoch", 0.0042);
+        let line = serde_json::to_string(&event).unwrap();
+        let back: TelemetryEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, event);
+    }
+
+    #[test]
+    fn kind_serializes_as_bare_string() {
+        let line = serde_json::to_string(&EventKind::Counter).unwrap();
+        assert_eq!(line, "\"Counter\"");
+    }
+}

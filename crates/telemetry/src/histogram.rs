@@ -1,0 +1,201 @@
+//! Log-bucketed histogram with cheap inserts and approximate quantiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Bucket `i` covers `[2^(i + MIN_EXP), 2^(i + MIN_EXP + 1))`.
+const MIN_EXP: i32 = -44;
+/// Number of power-of-two buckets: exponents `-44..=43`, i.e. values from
+/// ~5.7e-14 (sub-picosecond spans) to ~8.8e12 (hundreds of simulated years
+/// in seconds). Values outside clamp to the edge buckets.
+const BUCKETS: usize = 88;
+
+/// A histogram over positive magnitudes with power-of-two buckets.
+///
+/// Inserts cost one `f64` exponent extraction and an array increment — cheap
+/// enough for per-substep solver instrumentation. Quantiles are approximate:
+/// the reported value is the geometric midpoint of the bucket holding the
+/// requested rank, so the relative error is at most √2.
+///
+/// Exact `min`/`max`/`sum` are tracked alongside, so totals and means are
+/// precise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the bucket holding `value`.
+    fn bucket(value: f64) -> usize {
+        if value <= 0.0 || !value.is_finite() {
+            return 0;
+        }
+        // log2 floor via the IEEE-754 exponent field; subnormals clamp low.
+        let exp = ((value.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+        (exp - MIN_EXP).clamp(0, BUCKETS as i32 - 1) as usize
+    }
+
+    /// Geometric midpoint of bucket `i` (√2 above its lower edge).
+    fn bucket_mid(i: usize) -> f64 {
+        f64::from(i as i32 + MIN_EXP).exp2() * std::f64::consts::SQRT_2
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.counts[Self::bucket(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact smallest observation, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact largest observation, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`, or `None` if empty.
+    ///
+    /// The answer is clamped into `[min, max]`, so single-observation
+    /// histograms report that observation exactly.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_mid(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        let mut h = LogHistogram::new();
+        h.record(0.125);
+        assert_eq!(h.quantile(0.5), Some(0.125));
+        assert_eq!(h.quantile(0.99), Some(0.125));
+        assert_eq!(h.min(), Some(0.125));
+        assert_eq!(h.max(), Some(0.125));
+    }
+
+    #[test]
+    fn quantiles_are_within_a_bucket_of_truth() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000 {
+            h.record(f64::from(i) * 1e-6); // 1µs .. 1ms
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(
+            (2.5e-4..=1.0e-3).contains(&p50),
+            "p50 {p50} too far from 5e-4"
+        );
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= 4.9e-4, "p99 {p99}");
+        assert!((h.sum() - 1000.0 * 1001.0 / 2.0 * 1e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extreme_values_clamp_to_edge_buckets() {
+        let mut h = LogHistogram::new();
+        h.record(1e-300);
+        h.record(1e300);
+        h.record(-5.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 3); // NaN dropped, negative kept in edge bucket
+        assert!(h.quantile(0.5).is_some());
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let (mut a, mut b) = (LogHistogram::new(), LogHistogram::new());
+        a.record(1.0);
+        b.record(4.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(4.0));
+    }
+
+    #[test]
+    fn histogram_round_trips_through_json() {
+        let mut h = LogHistogram::new();
+        h.record(0.25);
+        h.record(3.5);
+        let text = serde_json::to_string(&h).unwrap();
+        let back: LogHistogram = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, h);
+    }
+}

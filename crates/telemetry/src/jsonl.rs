@@ -1,0 +1,191 @@
+//! Buffered JSONL recorder: one JSON event per line, plus a side summary.
+
+use crate::event::{EventKind, TelemetryEvent};
+use crate::recorder::Recorder;
+use crate::summary::{SummaryBuilder, TelemetrySummary};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A recorder that streams every event to a JSONL sink while aggregating a
+/// [`TelemetrySummary`] on the side.
+///
+/// Writes are buffered; recording itself is infallible (the [`Recorder`]
+/// contract), so I/O errors are latched and surfaced by
+/// [`JsonlRecorder::finish`]. Call `finish` to flush and obtain the summary;
+/// dropping the recorder also flushes on a best-effort basis.
+pub struct JsonlRecorder<W: Write + Send = File> {
+    inner: Mutex<Inner<W>>,
+}
+
+struct Inner<W: Write + Send> {
+    writer: BufWriter<W>,
+    seq: u64,
+    builder: SummaryBuilder,
+    io_error: Option<io::Error>,
+}
+
+impl JsonlRecorder<File> {
+    /// Creates (truncating) the JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from [`File::create`].
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> JsonlRecorder<W> {
+    /// Wraps an arbitrary sink (a `Vec<u8>` in tests, a file in binaries).
+    pub fn new(sink: W) -> Self {
+        JsonlRecorder {
+            inner: Mutex::new(Inner {
+                writer: BufWriter::new(sink),
+                seq: 0,
+                builder: SummaryBuilder::default(),
+                io_error: None,
+            }),
+        }
+    }
+
+    /// Flushes the stream and returns the end-of-run summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error hit at any point while recording or
+    /// flushing; the summary still reflects every event recorded.
+    pub fn finish(self) -> io::Result<TelemetrySummary> {
+        let mut inner = self
+            .inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let flush = inner.writer.flush();
+        let summary = inner.builder.build();
+        match inner.io_error.take() {
+            Some(e) => Err(e),
+            None => flush.map(|()| summary),
+        }
+    }
+
+    /// Number of events recorded so far.
+    pub fn events_recorded(&self) -> u64 {
+        self.inner.lock().expect("telemetry lock poisoned").seq
+    }
+
+    fn record(&self, kind: EventKind, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("telemetry lock poisoned");
+        let event = TelemetryEvent::new(inner.seq, kind, name, value);
+        inner.seq += 1;
+        inner.builder.apply(kind, name, value);
+        if inner.io_error.is_none() {
+            let line = serde_json::to_string(&event).expect("event is always serializable");
+            if let Err(e) = inner
+                .writer
+                .write_all(line.as_bytes())
+                .and_then(|()| inner.writer.write_all(b"\n"))
+            {
+                inner.io_error = Some(e);
+            }
+        }
+    }
+}
+
+impl<W: Write + Send> Recorder for JsonlRecorder<W> {
+    fn counter(&self, name: &str, delta: u64) {
+        self.record(EventKind::Counter, name, delta as f64);
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.record(EventKind::Gauge, name, value);
+    }
+
+    fn histogram(&self, name: &str, value: f64) {
+        self.record(EventKind::Histogram, name, value);
+    }
+
+    fn span_seconds(&self, name: &str, seconds: f64) {
+        self.record(EventKind::Span, name, seconds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::RecorderExt;
+
+    /// A `Vec<u8>` sink shared with the test through an `Arc<Mutex<..>>`.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stream_is_one_valid_json_event_per_line() {
+        let buf = SharedBuf::default();
+        let rec = JsonlRecorder::new(buf.clone());
+        {
+            let _g = rec.span("epoch");
+            rec.counter("migrations", 2);
+            rec.gauge("unplaced", 1.0);
+        }
+        assert_eq!(rec.events_recorded(), 3);
+        let summary = rec.finish().unwrap();
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let events: Vec<TelemetryEvent> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // The side summary matches a from-scratch parse of the stream.
+        assert_eq!(TelemetrySummary::from_jsonl(&text).unwrap(), summary);
+    }
+
+    #[test]
+    fn io_errors_latch_and_surface_in_finish() {
+        struct FailingSink;
+        impl Write for FailingSink {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        // Tiny buffer capacity is not controllable here, so force a flush by
+        // writing more than the default 8 KiB buffer.
+        let rec = JsonlRecorder::new(FailingSink);
+        let long_name = "x".repeat(4096);
+        rec.counter(&long_name, 1);
+        rec.counter(&long_name, 1);
+        rec.counter(&long_name, 1);
+        let err = rec.finish().unwrap_err();
+        assert_eq!(err.to_string(), "disk gone");
+    }
+
+    #[test]
+    fn create_writes_a_file() {
+        let path = std::env::temp_dir().join("hayat_telemetry_jsonl_test.jsonl");
+        let rec = JsonlRecorder::create(&path).unwrap();
+        rec.counter("c", 7);
+        let summary = rec.finish().unwrap();
+        assert_eq!(summary.counter_total("c"), Some(7));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(TelemetrySummary::from_jsonl(&text).unwrap(), summary);
+        let _ = std::fs::remove_file(&path);
+    }
+}

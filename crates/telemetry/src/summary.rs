@@ -1,0 +1,428 @@
+//! End-of-run aggregation: per-span quantiles, counter totals, gauge
+//! extrema, and the text table.
+
+use crate::event::{EventKind, TelemetryEvent};
+use crate::histogram::LogHistogram;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated statistics of one span name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanStats {
+    /// Span name.
+    pub name: String,
+    /// Completed span count.
+    pub count: u64,
+    /// Exact total wall-clock seconds across all spans.
+    pub total_seconds: f64,
+    /// Approximate median span duration (log-bucket resolution).
+    pub p50_seconds: f64,
+    /// Approximate 99th-percentile span duration.
+    pub p99_seconds: f64,
+    /// Exact worst span duration.
+    pub max_seconds: f64,
+}
+
+/// Aggregated statistics of one histogram name (same shape as spans but in
+/// the signal's own unit rather than seconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramStats {
+    /// Histogram name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Exact sum of observations.
+    pub sum: f64,
+    /// Approximate median observation.
+    pub p50: f64,
+    /// Approximate 99th-percentile observation.
+    pub p99: f64,
+    /// Exact largest observation.
+    pub max: f64,
+}
+
+/// Total of one counter name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterStats {
+    /// Counter name.
+    pub name: String,
+    /// Sum of all recorded deltas.
+    pub total: u64,
+}
+
+/// Aggregated readings of one gauge name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeStats {
+    /// Gauge name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Most recent sample.
+    pub last: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// The end-of-run rollup of a telemetry stream.
+///
+/// Built incrementally by the recorders, from an event iterator with
+/// [`TelemetrySummary::from_events`], or from raw JSONL text with
+/// [`TelemetrySummary::from_jsonl`]. Entries are sorted by name.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TelemetrySummary {
+    /// Per-span timing statistics.
+    pub spans: Vec<SpanStats>,
+    /// Per-histogram value statistics.
+    pub histograms: Vec<HistogramStats>,
+    /// Counter totals.
+    pub counters: Vec<CounterStats>,
+    /// Gauge aggregates.
+    pub gauges: Vec<GaugeStats>,
+}
+
+impl TelemetrySummary {
+    /// Aggregates a stream of events.
+    pub fn from_events<I: IntoIterator<Item = TelemetryEvent>>(events: I) -> Self {
+        let mut builder = SummaryBuilder::default();
+        for e in events {
+            builder.apply(e.kind, &e.name, e.value);
+        }
+        builder.build()
+    }
+
+    /// Parses JSONL text (one event per non-empty line) and aggregates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`serde_json::Error`] for the first malformed
+    /// line.
+    pub fn from_jsonl(text: &str) -> Result<Self, serde_json::Error> {
+        let mut builder = SummaryBuilder::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let event: TelemetryEvent = serde_json::from_str(line)?;
+            builder.apply(event.kind, &event.name, event.value);
+        }
+        Ok(builder.build())
+    }
+
+    /// Looks up one span's statistics by name.
+    #[must_use]
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up one counter's total by name.
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.total)
+    }
+
+    /// Looks up one gauge's aggregate by name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<&GaugeStats> {
+        self.gauges.iter().find(|g| g.name == name)
+    }
+
+    /// Looks up one histogram's statistics by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramStats> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// `true` if no signal of any kind was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.histograms.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+    }
+
+    /// Renders the fixed-width text table printed at the end of a run.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<42} {:>10} {:>12} {:>11} {:>11} {:>11}",
+                "span", "count", "total", "p50", "p99", "max"
+            );
+            for s in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "{:<42} {:>10} {:>12} {:>11} {:>11} {:>11}",
+                    s.name,
+                    s.count,
+                    fmt_duration(s.total_seconds),
+                    fmt_duration(s.p50_seconds),
+                    fmt_duration(s.p99_seconds),
+                    fmt_duration(s.max_seconds),
+                );
+            }
+        }
+        if !self.histograms.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(
+                out,
+                "{:<42} {:>10} {:>12} {:>11} {:>11} {:>11}",
+                "histogram", "count", "sum", "p50", "p99", "max"
+            );
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{:<42} {:>10} {:>12.4} {:>11.4} {:>11.4} {:>11.4}",
+                    h.name, h.count, h.sum, h.p50, h.p99, h.max
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "{:<42} {:>10}", "counter", "total");
+            for c in &self.counters {
+                let _ = writeln!(out, "{:<42} {:>10}", c.name, c.total);
+            }
+        }
+        if !self.gauges.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(
+                out,
+                "{:<42} {:>10} {:>11} {:>11} {:>11}",
+                "gauge", "samples", "last", "min", "max"
+            );
+            for g in &self.gauges {
+                let _ = writeln!(
+                    out,
+                    "{:<42} {:>10} {:>11.4} {:>11.4} {:>11.4}",
+                    g.name, g.count, g.last, g.min, g.max
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no telemetry recorded)\n");
+        }
+        out
+    }
+}
+
+/// Formats a duration in seconds with an adaptive unit (`ns`/`µs`/`ms`/`s`).
+fn fmt_duration(seconds: f64) -> String {
+    let abs = seconds.abs();
+    if abs >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if abs >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if abs >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Gauge aggregation state.
+#[derive(Debug, Clone, Copy)]
+struct GaugeAgg {
+    count: u64,
+    last: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Incremental aggregation shared by the recorders.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SummaryBuilder {
+    spans: BTreeMap<String, LogHistogram>,
+    histograms: BTreeMap<String, LogHistogram>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, GaugeAgg>,
+}
+
+impl SummaryBuilder {
+    /// Folds one signal into the aggregation.
+    pub(crate) fn apply(&mut self, kind: EventKind, name: &str, value: f64) {
+        match kind {
+            EventKind::Span => {
+                self.spans.entry_or_default(name).record(value);
+            }
+            EventKind::Histogram => {
+                self.histograms.entry_or_default(name).record(value);
+            }
+            EventKind::Counter => {
+                *self.counters.entry_or_default(name) += value as u64;
+            }
+            EventKind::Gauge => {
+                self.gauges
+                    .entry(name.to_string())
+                    .and_modify(|g| {
+                        g.count += 1;
+                        g.last = value;
+                        g.min = g.min.min(value);
+                        g.max = g.max.max(value);
+                    })
+                    .or_insert(GaugeAgg {
+                        count: 1,
+                        last: value,
+                        min: value,
+                        max: value,
+                    });
+            }
+        }
+    }
+
+    /// Produces the sorted, user-facing summary.
+    pub(crate) fn build(&self) -> TelemetrySummary {
+        TelemetrySummary {
+            spans: self
+                .spans
+                .iter()
+                .map(|(name, h)| SpanStats {
+                    name: name.clone(),
+                    count: h.count(),
+                    total_seconds: h.sum(),
+                    p50_seconds: h.quantile(0.5).unwrap_or(0.0),
+                    p99_seconds: h.quantile(0.99).unwrap_or(0.0),
+                    max_seconds: h.max().unwrap_or(0.0),
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, h)| HistogramStats {
+                    name: name.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    p50: h.quantile(0.5).unwrap_or(0.0),
+                    p99: h.quantile(0.99).unwrap_or(0.0),
+                    max: h.max().unwrap_or(0.0),
+                })
+                .collect(),
+            counters: self
+                .counters
+                .iter()
+                .map(|(name, &total)| CounterStats {
+                    name: name.clone(),
+                    total,
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(name, g)| GaugeStats {
+                    name: name.clone(),
+                    count: g.count,
+                    last: g.last,
+                    min: g.min,
+                    max: g.max,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Small helper: `entry(name).or_default()` without allocating when present.
+trait EntryOrDefault<V: Default> {
+    fn entry_or_default(&mut self, name: &str) -> &mut V;
+}
+
+impl<V: Default> EntryOrDefault<V> for BTreeMap<String, V> {
+    fn entry_or_default(&mut self, name: &str) -> &mut V {
+        if !self.contains_key(name) {
+            self.insert(name.to_string(), V::default());
+        }
+        self.get_mut(name).expect("just inserted")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TelemetryEvent> {
+        vec![
+            TelemetryEvent::new(0, EventKind::Span, "epoch", 0.010),
+            TelemetryEvent::new(1, EventKind::Span, "epoch", 0.012),
+            TelemetryEvent::new(2, EventKind::Counter, "migrations", 2.0),
+            TelemetryEvent::new(3, EventKind::Counter, "migrations", 3.0),
+            TelemetryEvent::new(4, EventKind::Gauge, "unplaced", 1.0),
+            TelemetryEvent::new(5, EventKind::Gauge, "unplaced", 0.0),
+            TelemetryEvent::new(6, EventKind::Histogram, "substeps", 40.0),
+        ]
+    }
+
+    #[test]
+    fn from_events_aggregates_every_kind() {
+        let s = TelemetrySummary::from_events(sample_events());
+        let epoch = s.span("epoch").unwrap();
+        assert_eq!(epoch.count, 2);
+        assert!((epoch.total_seconds - 0.022).abs() < 1e-12);
+        assert!((epoch.max_seconds - 0.012).abs() < 1e-12);
+        assert_eq!(s.counter_total("migrations"), Some(5));
+        let g = s.gauge("unplaced").unwrap();
+        assert_eq!((g.count, g.last, g.min, g.max), (2, 0.0, 0.0, 1.0));
+        assert_eq!(s.histogram("substeps").unwrap().count, 1);
+    }
+
+    #[test]
+    fn from_jsonl_matches_from_events() {
+        let text: String = sample_events()
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let parsed = TelemetrySummary::from_jsonl(&text).unwrap();
+        assert_eq!(parsed, TelemetrySummary::from_events(sample_events()));
+    }
+
+    #[test]
+    fn from_jsonl_rejects_garbage() {
+        assert!(TelemetrySummary::from_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let s = TelemetrySummary::from_events(sample_events());
+        let text = serde_json::to_string(&s).unwrap();
+        let back: TelemetrySummary = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn table_lists_every_section() {
+        let table = TelemetrySummary::from_events(sample_events()).render_table();
+        for needle in [
+            "span",
+            "epoch",
+            "counter",
+            "migrations",
+            "gauge",
+            "unplaced",
+        ] {
+            assert!(table.contains(needle), "missing {needle} in\n{table}");
+        }
+        assert!(TelemetrySummary::default()
+            .render_table()
+            .contains("no telemetry"));
+    }
+
+    #[test]
+    fn durations_format_with_adaptive_units() {
+        assert_eq!(fmt_duration(2.5), "2.500 s");
+        assert_eq!(fmt_duration(0.0042), "4.200 ms");
+        assert_eq!(fmt_duration(8.23e-7), "823.0 ns");
+    }
+}

@@ -23,6 +23,7 @@ use crate::config::ThermalConfig;
 use crate::profile::TemperatureMap;
 use crate::steady::steady_state;
 use hayat_floorplan::{CoreId, Floorplan};
+use hayat_telemetry::{Recorder, RecorderExt, NULL_RECORDER};
 use hayat_units::{Kelvin, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -141,7 +142,30 @@ impl ThermalPredictor {
         config: &ThermalConfig,
         model: PredictorModel,
     ) -> Self {
+        Self::learn_with_recorded(floorplan, config, model, &NULL_RECORDER)
+    }
+
+    /// [`learn_with`](Self::learn_with) plus offline-phase telemetry: a
+    /// `thermal.predictor.learn` span around the whole learning pass and a
+    /// `thermal.predictor.steady_solves` counter of the steady-state solves
+    /// it took (one per source core for the response matrix, one total for
+    /// the isotropic footprint).
+    #[must_use]
+    pub fn learn_with_recorded(
+        floorplan: &Floorplan,
+        config: &ThermalConfig,
+        model: PredictorModel,
+        recorder: &dyn Recorder,
+    ) -> Self {
+        let _learn = recorder.span("thermal.predictor.learn");
         let n = floorplan.core_count();
+        recorder.counter(
+            "thermal.predictor.steady_solves",
+            match model {
+                PredictorModel::ResponseMatrix => n as u64,
+                PredictorModel::Isotropic => 1,
+            },
+        );
         let rises = match model {
             PredictorModel::ResponseMatrix => {
                 let network = crate::rc_model::RcNetwork::new(floorplan, config);
@@ -408,6 +432,23 @@ mod tests {
             pred.predict(&fp, &crowded).core(c) > pred.predict(&fp, &lone).core(c),
             "neighbour heating must raise the core's prediction"
         );
+    }
+
+    #[test]
+    fn recorded_learning_counts_solves() {
+        let fp = Floorplan::paper_8x8();
+        let cfg = ThermalConfig::paper();
+        let rec = hayat_telemetry::MemoryRecorder::new();
+        let pred =
+            ThermalPredictor::learn_with_recorded(&fp, &cfg, PredictorModel::ResponseMatrix, &rec);
+        let s = rec.summary();
+        assert_eq!(s.counter_total("thermal.predictor.steady_solves"), Some(64));
+        assert_eq!(
+            s.span("thermal.predictor.learn").map(|sp| sp.count),
+            Some(1)
+        );
+        // Telemetry must not change the learned model.
+        assert_eq!(pred, ThermalPredictor::learn(&fp, &cfg));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::config::ThermalConfig;
 use crate::profile::TemperatureMap;
 use crate::rc_model::RcNetwork;
 use hayat_floorplan::Floorplan;
+use hayat_telemetry::{Recorder, RecorderExt, NULL_RECORDER};
 use hayat_units::{Kelvin, Seconds, Watts};
 
 /// Explicit-Euler transient simulator over the RC network.
@@ -99,15 +100,32 @@ impl TransientSimulator {
     ///
     /// Panics if `core_power.len()` differs from the core count.
     pub fn step(&mut self, dt: Seconds, core_power: &[Watts]) {
+        self.step_recorded(dt, core_power, &NULL_RECORDER);
+    }
+
+    /// [`step`](Self::step) with solver telemetry: a
+    /// `thermal.transient.step` span around the solve and a
+    /// `thermal.transient.substeps` histogram of the stable sub-step count.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`step`](Self::step).
+    pub fn step_recorded(&mut self, dt: Seconds, core_power: &[Watts], recorder: &dyn Recorder) {
+        let _solve = recorder.span("thermal.transient.step");
         let injection = self.network.injection(core_power);
         let mut remaining = dt.value();
         let max_step = self.network.stable_step();
+        let mut substeps: u64 = 0;
         while remaining > 0.0 {
             let h = remaining.min(max_step);
             self.euler_step(h, &injection);
             remaining -= h;
+            substeps += 1;
         }
         self.elapsed += dt.value();
+        if recorder.enabled() {
+            recorder.histogram("thermal.transient.substeps", substeps as f64);
+        }
     }
 
     fn euler_step(&mut self, h: f64, injection: &[f64]) {
@@ -147,10 +165,33 @@ impl TransientSimulator {
         tol_kelvin: f64,
         max_time: Seconds,
     ) -> Seconds {
+        self.settle_recorded(core_power, window, tol_kelvin, max_time, &NULL_RECORDER)
+    }
+
+    /// [`settle`](Self::settle) with solver telemetry: a
+    /// `thermal.transient.settle` span, a `thermal.transient.settle_windows`
+    /// histogram of the iteration count, and a
+    /// `thermal.transient.residual` gauge holding the final per-window
+    /// worst-core temperature change (kelvin).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`settle`](Self::settle).
+    pub fn settle_recorded(
+        &mut self,
+        core_power: &[Watts],
+        window: Seconds,
+        tol_kelvin: f64,
+        max_time: Seconds,
+        recorder: &dyn Recorder,
+    ) -> Seconds {
+        let _solve = recorder.span("thermal.transient.settle");
         let start = self.elapsed;
+        let mut windows: u64 = 0;
         loop {
             let before = self.temperatures();
             self.step(window, core_power);
+            windows += 1;
             let after = self.temperatures();
             let delta = before
                 .iter()
@@ -158,6 +199,10 @@ impl TransientSimulator {
                 .map(|((_, a), (_, b))| (a - b).abs())
                 .fold(0.0f64, f64::max);
             if delta < tol_kelvin || self.elapsed - start >= max_time.value() {
+                if recorder.enabled() {
+                    recorder.histogram("thermal.transient.settle_windows", windows as f64);
+                    recorder.gauge("thermal.transient.residual", delta);
+                }
                 return Seconds::new(self.elapsed - start);
             }
         }
@@ -264,5 +309,51 @@ mod tests {
         let (fp, cfg) = setup();
         let mut sim = TransientSimulator::new(&fp, &cfg);
         sim.step(Seconds::new(0.01), &[Watts::new(1.0)]);
+    }
+
+    #[test]
+    fn recorded_step_emits_span_and_substep_histogram() {
+        let (fp, cfg) = setup();
+        let rec = hayat_telemetry::MemoryRecorder::new();
+        let mut sim = TransientSimulator::new(&fp, &cfg);
+        let power = vec![Watts::new(4.0); 64];
+        sim.step_recorded(Seconds::new(0.0066), &power, &rec);
+        let s = rec.summary();
+        assert_eq!(s.span("thermal.transient.step").map(|sp| sp.count), Some(1));
+        let h = s.histogram("thermal.transient.substeps").unwrap();
+        assert!(h.max >= 1.0, "at least one Euler sub-step per control step");
+    }
+
+    #[test]
+    fn recorded_settle_reports_residual_below_tolerance() {
+        let (fp, cfg) = setup();
+        let rec = hayat_telemetry::MemoryRecorder::new();
+        let mut sim = TransientSimulator::new(&fp, &cfg);
+        let power = vec![Watts::new(3.0); 64];
+        sim.settle_recorded(&power, Seconds::new(0.25), 1e-3, Seconds::new(200.0), &rec);
+        let s = rec.summary();
+        let residual = s.gauge("thermal.transient.residual").unwrap().last;
+        assert!(
+            residual < 1e-3,
+            "converged residual {residual} over tolerance"
+        );
+        assert!(s.histogram("thermal.transient.settle_windows").is_some());
+    }
+
+    #[test]
+    fn recorded_step_matches_unrecorded_step() {
+        let (fp, cfg) = setup();
+        let power = vec![Watts::new(5.0); 64];
+        let mut plain = TransientSimulator::new(&fp, &cfg);
+        plain.step(Seconds::new(0.05), &power);
+        let rec = hayat_telemetry::MemoryRecorder::new();
+        let mut recorded = TransientSimulator::new(&fp, &cfg);
+        recorded.step_recorded(Seconds::new(0.05), &power, &rec);
+        for core in fp.cores() {
+            assert_eq!(
+                plain.temperatures().core(core),
+                recorded.temperatures().core(core)
+            );
+        }
     }
 }

@@ -48,13 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
 
         // A critical single-threaded app arrives alongside a normal mix.
-        let mut workload = WorkloadMix::generate(config.workload_seed, system.budget().max_on() - 1);
+        let mut workload =
+            WorkloadMix::generate(config.workload_seed, system.budget().max_on() - 1);
         let critical = workload.push_critical(requirement, 99);
-        let ctx = PolicyContext {
-            system: &system,
-            horizon: Years::new(1.0),
-            elapsed: Years::new(config.years),
-        };
+        let ctx = PolicyContext::new(&system, Years::new(1.0), Years::new(config.years));
         let mapping = HayatPolicy::default().map_threads(&ctx, &workload);
         let placed = mapping
             .assignments()

@@ -32,11 +32,7 @@ fn system_on(rows: usize, cols: usize, dark: f64) -> ChipSystem {
 }
 
 fn ctx(system: &ChipSystem) -> PolicyContext<'_> {
-    PolicyContext {
-        system,
-        horizon: Years::new(1.0),
-        elapsed: Years::new(0.0),
-    }
+    PolicyContext::new(system, Years::new(1.0), Years::new(0.0))
 }
 
 #[test]
@@ -120,11 +116,7 @@ fn oversubscribed_workload_respects_the_budget_and_reports_unplaced() {
     // with an oversized mix through the policy.
     let workload = WorkloadMix::generate(9, 40);
     let mapping = HayatPolicy::default().map_threads(
-        &PolicyContext {
-            system: &system,
-            horizon: Years::new(1.0),
-            elapsed: Years::new(0.0),
-        },
+        &PolicyContext::new(&system, Years::new(1.0), Years::new(0.0)),
         &workload,
     );
     assert_eq!(mapping.active_cores(), 16);

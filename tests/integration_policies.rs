@@ -10,11 +10,7 @@ use hayat_units::Years;
 use hayat_workload::WorkloadMix;
 
 fn ctx(system: &ChipSystem) -> PolicyContext<'_> {
-    PolicyContext {
-        system,
-        horizon: Years::new(1.0),
-        elapsed: Years::new(0.0),
-    }
+    PolicyContext::new(system, Years::new(1.0), Years::new(0.0))
 }
 
 fn all_policies() -> Vec<Box<dyn Policy>> {

@@ -1,0 +1,131 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the surface this workspace's benches use: `Criterion`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple adaptive loop over
+//! `std::time::Instant` — no warm-up analysis, outlier rejection, or HTML
+//! reports — printing one `name ... mean ns/iter` line per benchmark.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+/// How long each benchmark samples for (per `bench_function` call).
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(200);
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_time: TARGET_SAMPLE_TIME,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_time: self.sample_time,
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        let mean_ns = bencher.mean_ns();
+        println!("bench: {name:<50} {mean_ns:>14.1} ns/iter ({} iters)", bencher.iterations);
+        self
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    sample_time: Duration,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly until the sampling window is
+    /// filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed call to page everything in.
+        black_box(routine());
+
+        // Calibrate: geometrically grow the batch until it is measurable.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took > Duration::from_millis(1) || batch >= 1 << 20 {
+                // Extrapolate a batch count that fills the sample window,
+                // then measure it as the real sample.
+                let per_iter = took.as_secs_f64() / batch as f64;
+                let want = (self.sample_time.as_secs_f64() / per_iter.max(1e-12)) as u64;
+                let final_batch = want.clamp(batch, 1 << 24);
+                let start = Instant::now();
+                for _ in 0..final_batch {
+                    black_box(routine());
+                }
+                self.elapsed = start.elapsed();
+                self.iterations = final_batch;
+                return;
+            }
+            batch *= 4;
+        }
+    }
+
+    /// Mean nanoseconds per iteration of the measured sample.
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.iterations == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_nanos() as f64 / self.iterations as f64
+    }
+}
+
+/// Groups benchmark functions under one entry function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            sample_time: Duration::from_millis(5),
+        };
+        c.bench_function("noop-ish", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
+    }
+}

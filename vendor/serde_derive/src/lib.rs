@@ -1,0 +1,554 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! vendored `serde` crate's `Value`-tree data model, using nothing but the
+//! compiler-provided `proc_macro` API (no `syn`/`quote`, which are
+//! unavailable offline).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * named-field structs (private fields fine; `#[serde(default)]` per field),
+//! * unit structs, newtype structs, tuple structs,
+//! * enums with unit variants and struct variants (externally tagged),
+//! * container attributes `#[serde(transparent)]` and
+//!   `#[serde(try_from = "T", into = "T")]`.
+//!
+//! Anything else (generics, tuple enum variants, unknown serde attributes)
+//! fails the build with an explicit message rather than silently producing
+//! the wrong format.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Derives `serde::Serialize` (the vendored trait: `fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    let code = item.impl_serialize();
+    code.parse()
+        .unwrap_or_else(|e| panic!("generated Serialize impl failed to parse: {e}\n{code}"))
+}
+
+/// Derives `serde::Deserialize` (the vendored trait: `fn from_value(&Value) -> Result<Self, Error>`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    let code = item.impl_deserialize();
+    code.parse()
+        .unwrap_or_else(|e| panic!("generated Deserialize impl failed to parse: {e}\n{code}"))
+}
+
+/// One named field of a struct or struct variant.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: fall back to `Default::default()` when missing.
+    default: bool,
+}
+
+/// The field layout of a struct or enum variant.
+enum Shape {
+    Unit,
+    Named(Vec<Field>),
+    /// Tuple shape with the given arity (newtype when 1).
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Body {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+/// Container-level `#[serde(...)]` attributes.
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Serde attributes collected at any level; only some apply at each site.
+#[derive(Default)]
+struct RawSerdeAttrs {
+    transparent: bool,
+    default: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let tokens: Vec<TokenTree> = input.into_iter().collect();
+        let mut pos = 0;
+        let raw = parse_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let kind = expect_ident(&tokens, &mut pos, "struct/enum keyword");
+        let name = expect_ident(&tokens, &mut pos, "type name");
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            panic!("serde derive stub does not support generic type `{name}`");
+        }
+        let body = match kind.as_str() {
+            "struct" => Body::Struct(parse_struct_shape(&tokens, &mut pos, &name)),
+            "enum" => Body::Enum(parse_variants(&tokens, &mut pos, &name)),
+            other => panic!("serde derive applied to unsupported item kind `{other}`"),
+        };
+        Item {
+            name,
+            attrs: ContainerAttrs {
+                transparent: raw.transparent,
+                try_from: raw.try_from,
+                into: raw.into,
+            },
+            body,
+        }
+    }
+}
+
+/// Consumes leading `#[...]` attributes, returning any serde directives found.
+fn parse_attrs(tokens: &[TokenTree], pos: &mut usize) -> RawSerdeAttrs {
+    let mut out = RawSerdeAttrs::default();
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) else {
+                    panic!("expected [...] after # in attribute");
+                };
+                parse_one_attr(&g.stream(), &mut out);
+                *pos += 2;
+            }
+            _ => return out,
+        }
+    }
+}
+
+/// Parses the inside of one `#[...]`; non-serde attributes are ignored.
+fn parse_one_attr(stream: &TokenStream, out: &mut RawSerdeAttrs) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return, // #[doc], #[non_exhaustive], #[default], ...
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        panic!("expected #[serde(...)] argument list");
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        let TokenTree::Ident(key) = &args[i] else {
+            panic!("expected identifier in #[serde(...)], got {}", args[i]);
+        };
+        let key = key.to_string();
+        let value = match args.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                let Some(TokenTree::Literal(lit)) = args.get(i + 2) else {
+                    panic!("expected literal after `{key} =` in #[serde(...)]");
+                };
+                i += 3;
+                Some(strip_quotes(&lit.to_string()))
+            }
+            _ => {
+                i += 1;
+                None
+            }
+        };
+        match (key.as_str(), value) {
+            ("transparent", None) => out.transparent = true,
+            ("default", None) => out.default = true,
+            ("try_from", Some(ty)) => out.try_from = Some(ty),
+            ("into", Some(ty)) => out.into = Some(ty),
+            (other, _) => panic!("serde derive stub does not support #[serde({other})]"),
+        }
+        if let Some(TokenTree::Punct(p)) = args.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)`, `pub(super)`.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize, what: &str) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("expected {what}, got {other:?}"),
+    }
+}
+
+fn parse_struct_shape(tokens: &[TokenTree], pos: &mut usize, name: &str) -> Shape {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(&g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(&g.stream()))
+        }
+        other => panic!("unexpected struct body for `{name}`: {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists (types are skipped, not recorded —
+/// generated code relies on inference against the real field types).
+fn parse_named_fields(stream: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos, "field name");
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past a type, stopping at a comma outside `<...>` nesting.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tt) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct by top-level commas.
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree], pos: &mut usize, name: &str) -> Vec<Variant> {
+    let Some(TokenTree::Group(g)) = tokens.get(*pos) else {
+        panic!("expected enum body for `{name}`");
+    };
+    assert_eq!(g.delimiter(), Delimiter::Brace, "expected braced enum body");
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        let _ = parse_attrs(&tokens, &mut pos); // #[default], docs, ...
+        let vname = expect_ident(&tokens, &mut pos, "variant name");
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Shape::Named(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive stub does not support tuple variant `{name}::{vname}`");
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde derive stub does not support explicit discriminants ({name}::{vname})");
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name: vname, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+impl Item {
+    fn impl_serialize(&self) -> String {
+        let name = &self.name;
+        let body = if let Some(into_ty) = &self.attrs.into {
+            format!(
+                "let converted: {into_ty} = ::core::convert::From::from(\
+                 ::core::clone::Clone::clone(self));\n\
+                 serde::Serialize::to_value(&converted)"
+            )
+        } else {
+            match &self.body {
+                Body::Struct(shape) => serialize_struct_body(shape, self.attrs.transparent),
+                Body::Enum(variants) => serialize_enum_body(variants, name),
+            }
+        };
+        format!(
+            "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+        )
+    }
+
+    fn impl_deserialize(&self) -> String {
+        let name = &self.name;
+        let body = if let Some(from_ty) = &self.attrs.try_from {
+            format!(
+                "let raw: {from_ty} = serde::Deserialize::from_value(value)?;\n\
+                 ::core::convert::TryFrom::try_from(raw).map_err(serde::Error::custom)"
+            )
+        } else {
+            match &self.body {
+                Body::Struct(shape) => {
+                    deserialize_struct_body(shape, name, self.attrs.transparent)
+                }
+                Body::Enum(variants) => deserialize_enum_body(variants, name),
+            }
+        };
+        format!(
+            "impl serde::Deserialize for {name} {{\n\
+             fn from_value(value: &serde::Value) -> ::core::result::Result<Self, serde::Error> \
+             {{\n{body}\n}}\n}}\n"
+        )
+    }
+}
+
+fn serialize_struct_body(shape: &Shape, transparent: bool) -> String {
+    match shape {
+        Shape::Unit => "serde::Value::Null".to_string(),
+        // Newtype structs always serialize as their inner value; a named
+        // single-field struct does so only under #[serde(transparent)].
+        Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Named(fields) if transparent && fields.len() == 1 => {
+            format!("serde::Serialize::to_value(&self.{})", fields[0].name)
+        }
+        Shape::Named(fields) => {
+            let mut out = String::from("serde::Value::Map(::std::vec![\n");
+            for f in fields {
+                let _ = writeln!(
+                    out,
+                    "(::std::string::String::from(\"{0}\"), serde::Serialize::to_value(&self.{0})),",
+                    f.name
+                );
+            }
+            out.push_str("])");
+            out
+        }
+        Shape::Tuple(n) => {
+            let mut out = String::from("serde::Value::Seq(::std::vec![\n");
+            for i in 0..*n {
+                let _ = writeln!(out, "serde::Serialize::to_value(&self.{i}),");
+            }
+            out.push_str("])");
+            out
+        }
+    }
+}
+
+fn deserialize_struct_body(shape: &Shape, name: &str, transparent: bool) -> String {
+    match shape {
+        Shape::Unit => format!(
+            "match value {{\n\
+             serde::Value::Null => ::core::result::Result::Ok({name}),\n\
+             _ => ::core::result::Result::Err(serde::Error::custom(\
+             \"expected null for unit struct {name}\")),\n}}"
+        ),
+        Shape::Tuple(1) => format!(
+            "::core::result::Result::Ok({name}(serde::Deserialize::from_value(value)?))"
+        ),
+        Shape::Named(fields) if transparent && fields.len() == 1 => format!(
+            "::core::result::Result::Ok({name} {{ {}: serde::Deserialize::from_value(value)? }})",
+            fields[0].name
+        ),
+        Shape::Named(fields) => {
+            let mut out = format!(
+                "let map = value.as_map().ok_or_else(|| \
+                 serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                out.push_str(&field_from_map(&f.name, f.default, name));
+            }
+            out.push_str("})");
+            out
+        }
+        Shape::Tuple(n) => {
+            let mut out = format!(
+                "let seq = value.as_seq().ok_or_else(|| \
+                 serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if seq.len() != {n} {{\n\
+                 return ::core::result::Result::Err(serde::Error::custom(\
+                 \"expected {n} elements for {name}\"));\n}}\n\
+                 ::core::result::Result::Ok({name}(\n"
+            );
+            for i in 0..*n {
+                let _ = writeln!(out, "serde::Deserialize::from_value(&seq[{i}])?,");
+            }
+            out.push_str("))");
+            out
+        }
+    }
+}
+
+/// One `field: <parse from map>,` line of a braced constructor.
+fn field_from_map(field: &str, default: bool, container: &str) -> String {
+    let missing = if default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::core::result::Result::Err(serde::Error::custom(\
+             \"missing field `{field}` in {container}\"))"
+        )
+    };
+    format!(
+        "{field}: match serde::find_key(map, \"{field}\") {{\n\
+         ::core::option::Option::Some(v) => serde::Deserialize::from_value(v)?,\n\
+         ::core::option::Option::None => {missing},\n}},\n"
+    )
+}
+
+fn serialize_enum_body(variants: &[Variant], name: &str) -> String {
+    let mut out = String::from("match self {\n");
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                let _ = writeln!(
+                    out,
+                    "{name}::{vname} => serde::Value::Str(\
+                     ::std::string::String::from(\"{vname}\")),"
+                );
+            }
+            Shape::Named(fields) => {
+                let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let _ = writeln!(
+                    out,
+                    "{name}::{vname} {{ {} }} => serde::Value::Map(::std::vec![(\n\
+                     ::std::string::String::from(\"{vname}\"),\n\
+                     serde::Value::Map(::std::vec![",
+                    bindings.join(", ")
+                );
+                for f in fields {
+                    let _ = writeln!(
+                        out,
+                        "(::std::string::String::from(\"{0}\"), serde::Serialize::to_value({0})),",
+                        f.name
+                    );
+                }
+                out.push_str("]),\n)]),\n");
+            }
+            Shape::Tuple(_) => unreachable!("tuple variants rejected at parse time"),
+        }
+    }
+    out.push_str("}");
+    out
+}
+
+fn deserialize_enum_body(variants: &[Variant], name: &str) -> String {
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .collect();
+    let named: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Named(_)))
+        .collect();
+
+    let mut out = String::from("match value {\n");
+
+    if !unit.is_empty() {
+        out.push_str("serde::Value::Str(s) => match s.as_str() {\n");
+        for v in &unit {
+            let _ = writeln!(
+                out,
+                "\"{0}\" => ::core::result::Result::Ok({name}::{0}),",
+                v.name
+            );
+        }
+        let _ = writeln!(
+            out,
+            "other => ::core::result::Result::Err(serde::Error::custom(\
+             ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n}},"
+        );
+    }
+
+    if !named.is_empty() {
+        out.push_str(
+            "serde::Value::Map(entries) if entries.len() == 1 => {\n\
+             let (tag, payload) = &entries[0];\n\
+             match tag.as_str() {\n",
+        );
+        for v in &named {
+            let vname = &v.name;
+            let Shape::Named(fields) = &v.shape else {
+                unreachable!()
+            };
+            let _ = writeln!(
+                out,
+                "\"{vname}\" => {{\nlet map = payload.as_map().ok_or_else(|| \
+                 serde::Error::custom(\"expected object payload for {name}::{vname}\"))?;\n\
+                 ::core::result::Result::Ok({name}::{vname} {{"
+            );
+            for f in fields {
+                out.push_str(&field_from_map(&f.name, f.default, name));
+            }
+            out.push_str("})\n}\n");
+        }
+        let _ = writeln!(
+            out,
+            "other => ::core::result::Result::Err(serde::Error::custom(\
+             ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n}}\n}},"
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "_ => ::core::result::Result::Err(serde::Error::custom(\
+         \"unexpected value shape for enum {name}\")),\n}}"
+    );
+    out
+}
