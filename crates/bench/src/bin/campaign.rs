@@ -10,11 +10,18 @@
 //!
 //! Defaults reproduce the paper campaign at 50% dark. Unknown flags abort
 //! with usage.
+//!
+//! Long campaigns can run crash-safe: `--checkpoint FILE` persists progress
+//! atomically (every `--every EPOCHS` epochs, default 8, plus every chip-run
+//! boundary), and `--resume FILE` continues an interrupted campaign — with
+//! the *same* config flags — skipping all completed work. A resumed campaign
+//! is bit-identical to an uninterrupted one.
 
 use std::sync::Arc;
 
 use hayat::sim::campaign::PolicyKind;
 use hayat::{Campaign, SimulationConfig};
+use hayat_checkpoint::{Checkpointer, FailPoint};
 use hayat_telemetry::{JsonlRecorder, Recorder};
 
 struct Args {
@@ -29,6 +36,9 @@ struct Args {
     csv_dir: Option<String>,
     json_path: Option<String>,
     telemetry_path: Option<String>,
+    checkpoint_path: Option<String>,
+    every: Option<usize>,
+    resume_path: Option<String>,
 }
 
 fn usage() -> ! {
@@ -36,7 +46,14 @@ fn usage() -> ! {
         "usage: campaign [--dark F] [--chips N] [--years Y] [--epoch Y] \
          [--window S] [--seed N] [--mesh N] \
          [--policies vaa,hayat,coolest,random] [--csv DIR] [--json FILE] \
-         [--telemetry FILE.jsonl]"
+         [--telemetry FILE.jsonl] \
+         [--checkpoint FILE [--every EPOCHS] | --resume FILE]\n\
+         \n\
+         --checkpoint runs the campaign with durable progress (written \
+         atomically every EPOCHS epochs and at chip boundaries); --resume \
+         continues from such a file, skipping completed work. Checkpointed \
+         runs execute the chip runs sequentially; the result is bit-identical \
+         to the parallel path."
     );
     std::process::exit(2);
 }
@@ -67,6 +84,9 @@ fn parse_args() -> Args {
         csv_dir: None,
         json_path: None,
         telemetry_path: None,
+        checkpoint_path: None,
+        every: None,
+        resume_path: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -90,12 +110,23 @@ fn parse_args() -> Args {
             "--csv" => args.csv_dir = Some(value("--csv")),
             "--json" => args.json_path = Some(value("--json")),
             "--telemetry" => args.telemetry_path = Some(value("--telemetry")),
+            "--checkpoint" => args.checkpoint_path = Some(value("--checkpoint")),
+            "--every" => args.every = Some(value("--every").parse().unwrap_or_else(|_| usage())),
+            "--resume" => args.resume_path = Some(value("--resume")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
                 usage()
             }
         }
+    }
+    if args.checkpoint_path.is_some() && args.resume_path.is_some() {
+        eprintln!("--checkpoint and --resume are mutually exclusive");
+        usage()
+    }
+    if args.every.is_some() && args.checkpoint_path.is_none() && args.resume_path.is_none() {
+        eprintln!("--every requires --checkpoint or --resume");
+        usage()
     }
     args
 }
@@ -129,18 +160,62 @@ fn main() {
         .telemetry_path
         .as_deref()
         .map(|path| Arc::new(JsonlRecorder::create(path).expect("create telemetry stream")));
-    let result = match &recorder {
-        Some(rec) => {
-            campaign.run_with_recorder(&args.policies, Arc::clone(rec) as Arc<dyn Recorder>)
+    let result = if let Some(path) = args
+        .checkpoint_path
+        .as_deref()
+        .or(args.resume_path.as_deref())
+    {
+        let failpoint = FailPoint::from_env().unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            std::process::exit(2)
+        });
+        let mut runner = Checkpointer::new(path).with_failpoint(failpoint);
+        if let Some(every) = args.every {
+            runner = runner.every(every);
         }
-        None => campaign.run(&args.policies),
+        if let Some(rec) = &recorder {
+            runner = runner.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
+        }
+        let outcome = if args.resume_path.is_some() {
+            println!("resuming from checkpoint {path}");
+            runner.resume(&campaign)
+        } else {
+            runner.run(&campaign, &args.policies)
+        };
+        outcome.unwrap_or_else(|err| {
+            eprintln!("campaign aborted: {err}");
+            eprintln!("progress is saved; rerun with --resume {path}");
+            std::process::exit(1)
+        })
+    } else {
+        match &recorder {
+            Some(rec) => {
+                campaign.run_with_recorder(&args.policies, Arc::clone(rec) as Arc<dyn Recorder>)
+            }
+            None => campaign.run(&args.policies),
+        }
     };
 
     println!(
         "\n{:<14} {:>7} {:>9} {:>11} {:>11} {:>11} {:>12}",
         "policy", "chips", "DTM mig.", "Tavg-amb K", "chip aging", "avg aging", "throughput"
     );
-    for &kind in &args.policies {
+    // On resume the policy list comes from the checkpoint, so print every
+    // policy that actually has runs.
+    let shown: Vec<PolicyKind> = if args.resume_path.is_some() {
+        [
+            PolicyKind::Vaa,
+            PolicyKind::Hayat,
+            PolicyKind::CoolestFirst,
+            PolicyKind::Random,
+        ]
+        .into_iter()
+        .filter(|&k| !result.runs_of(k).is_empty())
+        .collect()
+    } else {
+        args.policies.clone()
+    };
+    for &kind in &shown {
         if let Some(s) = result.summary(kind) {
             println!(
                 "{:<14} {:>7} {:>9.1} {:>11.2} {:>11.4} {:>11.4} {:>11.2}%",

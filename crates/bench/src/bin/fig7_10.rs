@@ -14,12 +14,20 @@
 //! Usage: `cargo run --release -p hayat-bench --bin fig7_10 [--quick]`
 //! (`--quick` runs 5 chips with 6-month epochs; the default is the paper's
 //! 25 chips with 3-month epochs and takes several minutes).
+//!
+//! The default run is long enough to be worth protecting: `--checkpoint
+//! STEM` persists each dark-fraction campaign to `STEM.dark25` /
+//! `STEM.dark50` (atomic writes, every `--every EPOCHS` epochs), and
+//! `--resume STEM` picks the experiment back up — completed campaigns load
+//! instantly, an interrupted one re-enters mid-chip, and a missing file
+//! starts that campaign fresh (still checkpointed).
 
 use std::sync::Arc;
 
 use hayat::sim::campaign::PolicyKind;
 use hayat::{Campaign, CampaignSummary, SimulationConfig};
 use hayat_bench::{bar_row, section};
+use hayat_checkpoint::{Checkpointer, FailPoint};
 use hayat_telemetry::{JsonlRecorder, Recorder};
 
 fn main() {
@@ -42,6 +50,33 @@ fn main() {
     let recorder = telemetry_path
         .as_deref()
         .map(|path| Arc::new(JsonlRecorder::create(path).expect("create telemetry stream")));
+    // Crash safety: `--checkpoint STEM` / `--resume STEM` persist each
+    // dark-fraction campaign to its own derived file (STEM.dark25, ...).
+    let checkpoint_stem = args
+        .iter()
+        .position(|a| a == "--checkpoint")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let resume_stem = args
+        .iter()
+        .position(|a| a == "--resume")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    assert!(
+        checkpoint_stem.is_none() || resume_stem.is_none(),
+        "--checkpoint and --resume are mutually exclusive"
+    );
+    let every = args
+        .iter()
+        .position(|a| a == "--every")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--every takes a positive epoch count"));
+    // One shared fail point: HAYAT_FAILPOINT hits count across BOTH
+    // dark-fraction campaigns, so any point of the experiment is killable.
+    let failpoint = Arc::new(FailPoint::from_env().unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        std::process::exit(2)
+    }));
     for dark in [0.25, 0.5] {
         let mut config = SimulationConfig::paper(dark);
         if quick {
@@ -51,11 +86,35 @@ fn main() {
         }
         let campaign = Campaign::new(config).expect("paper configuration is valid");
         let policies = [PolicyKind::Vaa, PolicyKind::Hayat];
-        let result = match &recorder {
-            Some(rec) => {
-                campaign.run_with_recorder(&policies, Arc::clone(rec) as Arc<dyn Recorder>)
+        let stem = checkpoint_stem.as_deref().or(resume_stem.as_deref());
+        let result = if let Some(stem) = stem {
+            let path = format!("{stem}.dark{}", (dark * 100.0) as u32);
+            let mut runner = Checkpointer::new(&path).with_failpoint(Arc::clone(&failpoint));
+            if let Some(every) = every {
+                runner = runner.every(every);
             }
-            None => campaign.run(&policies),
+            if let Some(rec) = &recorder {
+                runner = runner.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
+            }
+            let resumable = resume_stem.is_some() && std::path::Path::new(&path).exists();
+            let outcome = if resumable {
+                println!("(resuming {:.0}% dark campaign from {path})", dark * 100.0);
+                runner.resume(&campaign)
+            } else {
+                runner.run(&campaign, &policies)
+            };
+            outcome.unwrap_or_else(|err| {
+                eprintln!("campaign aborted: {err}");
+                eprintln!("progress is saved; rerun with --resume {stem}");
+                std::process::exit(1)
+            })
+        } else {
+            match &recorder {
+                Some(rec) => {
+                    campaign.run_with_recorder(&policies, Arc::clone(rec) as Arc<dyn Recorder>)
+                }
+                None => campaign.run(&policies),
+            }
         };
         let vaa = result.summary(PolicyKind::Vaa).expect("VAA ran");
         let hayat = result.summary(PolicyKind::Hayat).expect("Hayat ran");

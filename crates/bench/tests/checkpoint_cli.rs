@@ -1,0 +1,108 @@
+//! Kill-mode crash test for the `campaign` binary: a run hard-killed by a
+//! `HAYAT_FAILPOINT=...:kill` fault (process exits with no unwinding, like
+//! an OOM kill) must resume from its checkpoint to a result byte-identical
+//! to an uninterrupted run's JSON export.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("hayat_cli_{name}_{}", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+/// Shared tiny-campaign flags: 2 chips × 4 epochs on a 4×4 mesh.
+const FLAGS: &[&str] = &[
+    "--chips",
+    "2",
+    "--years",
+    "1",
+    "--epoch",
+    "0.25",
+    "--window",
+    "0.1",
+    "--mesh",
+    "4",
+    "--policies",
+    "hayat",
+];
+
+fn campaign_cmd() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_campaign"));
+    cmd.args(FLAGS).env_remove("HAYAT_FAILPOINT");
+    cmd
+}
+
+#[test]
+fn hard_killed_campaign_resumes_to_an_identical_result() {
+    let reference_json = scratch("reference.json");
+    let resumed_json = scratch("resumed.json");
+    let checkpoint = scratch("cli.ckpt");
+
+    let reference = campaign_cmd()
+        .args(["--json", reference_json.to_str().unwrap()])
+        .output()
+        .expect("run campaign binary");
+    assert!(
+        reference.status.success(),
+        "uninterrupted run failed: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+
+    // Kill the process outright at the 6th epoch (mid chip 1 of 2).
+    let killed = campaign_cmd()
+        .args(["--checkpoint", checkpoint.to_str().unwrap(), "--every", "1"])
+        .env("HAYAT_FAILPOINT", "campaign.epoch:6:kill")
+        .output()
+        .expect("run campaign binary");
+    assert_eq!(
+        killed.status.code(),
+        Some(137),
+        "kill mode must exit with the SIGKILL convention code; stderr: {}",
+        String::from_utf8_lossy(&killed.stderr)
+    );
+    assert!(checkpoint.exists(), "the checkpoint must survive the kill");
+
+    let resumed = campaign_cmd()
+        .args(["--resume", checkpoint.to_str().unwrap()])
+        .args(["--json", resumed_json.to_str().unwrap()])
+        .output()
+        .expect("run campaign binary");
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&resumed.stdout).contains("resuming from checkpoint"),
+        "resume must announce itself"
+    );
+
+    let expected = std::fs::read(&reference_json).expect("reference JSON written");
+    let actual = std::fs::read(&resumed_json).expect("resumed JSON written");
+    assert!(
+        expected == actual,
+        "resumed campaign JSON must be byte-identical to the uninterrupted run"
+    );
+
+    for path in [&reference_json, &resumed_json, &checkpoint] {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn malformed_failpoint_spec_aborts_instead_of_running_vacuously() {
+    let checkpoint = scratch("badspec.ckpt");
+    let out = campaign_cmd()
+        .args(["--checkpoint", checkpoint.to_str().unwrap()])
+        .env("HAYAT_FAILPOINT", "not-a-spec")
+        .output()
+        .expect("run campaign binary");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("site:hit:mode"),
+        "the error must explain the expected format"
+    );
+    std::fs::remove_file(&checkpoint).ok();
+}

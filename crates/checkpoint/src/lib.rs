@@ -1,0 +1,43 @@
+//! Crash-safe checkpoint/resume for Hayat aging campaigns.
+//!
+//! A decade-scale campaign (Figs. 7–11 of the paper) multiplies chips ×
+//! policies × 40 epochs of RC-thermal transients; on a shared machine
+//! that is hours of work an OOM kill can erase. This crate makes the
+//! campaign durable without touching the simulation math:
+//!
+//! * [`CampaignCheckpoint`] — a versioned serde snapshot of campaign
+//!   progress: the config fingerprint, every completed run's metrics,
+//!   and (mid-chip) the engine's full mutable state — core healths and
+//!   ages, thermal node temperatures, duty-cycle accumulators, DTM
+//!   throttle state, and the exact RNG streams. Written atomically
+//!   (tmp file + rename) so a crash never leaves a torn file.
+//! * [`Checkpointer`] — drives a [`hayat::Campaign`] with a durable
+//!   write every N epochs and at every chip-run boundary, and resumes
+//!   one from disk, skipping completed runs and re-entering a partially
+//!   aged chip mid-decade. [`CampaignCheckpointExt`] hangs
+//!   `run_checkpointed` / `resume` directly off `Campaign`.
+//! * [`FailPoint`] — a fault-injection hook (armed in code or via the
+//!   `HAYAT_FAILPOINT` env var) that errors, panics, or hard-kills the
+//!   process at a chosen epoch or chip boundary; the integration tests
+//!   use it to prove a killed-and-resumed campaign is bit-identical to
+//!   an uninterrupted one under every policy.
+//!
+//! The vendored `serde_json` prints floats with shortest-round-trip
+//! digits and parses them correctly rounded, so a JSON checkpoint loses
+//! no bits — which is what makes the bit-identical resume guarantee
+//! testable rather than approximate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod failpoint;
+mod runner;
+
+pub use crate::checkpoint::{
+    config_hash, CampaignCheckpoint, CheckpointError, InFlightRun, FORMAT_VERSION,
+};
+pub use crate::failpoint::{FailMode, FailPoint, InjectedFailure};
+pub use crate::runner::{
+    CampaignCheckpointExt, Checkpointer, DEFAULT_EVERY_EPOCHS, FAILPOINT_CHIP, FAILPOINT_EPOCH,
+};

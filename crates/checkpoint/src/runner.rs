@@ -1,0 +1,318 @@
+//! The checkpointed campaign driver.
+
+use crate::checkpoint::{CampaignCheckpoint, CheckpointError, InFlightRun};
+use crate::failpoint::FailPoint;
+use hayat::{Campaign, CampaignResult, PolicyKind, SimulationEngine};
+use hayat_telemetry::{NullRecorder, Recorder, RecorderExt};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Default checkpoint cadence: one durable write per this many epochs
+/// (2 simulated years at the paper's 3-month epochs), in addition to the
+/// unconditional write at every chip-run boundary.
+pub const DEFAULT_EVERY_EPOCHS: usize = 8;
+
+/// Fail-point site checked once per chip×policy job, before the run
+/// starts (arm with `HAYAT_FAILPOINT=campaign.chip:<n>:<mode>`).
+pub const FAILPOINT_CHIP: &str = "campaign.chip";
+
+/// Fail-point site checked once per aging epoch across the whole
+/// campaign, before the epoch runs (arm with
+/// `HAYAT_FAILPOINT=campaign.epoch:<n>:<mode>`).
+pub const FAILPOINT_EPOCH: &str = "campaign.epoch";
+
+/// Drives a [`Campaign`] with durable progress: a [`CampaignCheckpoint`]
+/// is written atomically every N epochs and at every chip-run boundary,
+/// so a crash — at *any* instant, thanks to the tmp-file + rename
+/// protocol — loses at most the epochs since the last write, and
+/// [`Checkpointer::resume`] replays none of the completed work.
+///
+/// Jobs run sequentially in deterministic order (policy-major, then chip
+/// index) — the same order [`Campaign::run`] reports — and each run is
+/// bit-identical to its uninterrupted counterpart, resumed or not.
+///
+/// # Example
+///
+/// A campaign interrupted by an injected fault and resumed from its
+/// checkpoint produces exactly the result of an uninterrupted run:
+///
+/// ```
+/// use hayat::sim::campaign::PolicyKind;
+/// use hayat::{Campaign, SimulationConfig};
+/// use hayat_checkpoint::{Checkpointer, FailMode, FailPoint};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut config = SimulationConfig::quick_demo();
+/// config.chip_count = 1;
+/// config.transient_window_seconds = 0.05;
+/// let campaign = Campaign::new(config)?;
+/// let path = std::env::temp_dir().join("doctest_checkpointer.ckpt");
+///
+/// let interrupted = Checkpointer::new(&path)
+///     .every(1)
+///     .with_failpoint(FailPoint::armed("campaign.epoch", 3, FailMode::Error))
+///     .run(&campaign, &[PolicyKind::Hayat]);
+/// assert!(interrupted.is_err(), "the fault fired mid-campaign");
+///
+/// let resumed = Checkpointer::new(&path).resume(&campaign)?;
+/// assert_eq!(resumed, campaign.run(&[PolicyKind::Hayat]));
+/// # std::fs::remove_file(&path).ok();
+/// # Ok(())
+/// # }
+/// ```
+pub struct Checkpointer {
+    path: PathBuf,
+    every_epochs: Option<usize>,
+    recorder: Arc<dyn Recorder>,
+    failpoint: Arc<FailPoint>,
+}
+
+impl Checkpointer {
+    /// A checkpointer writing to `path` with the default cadence, no
+    /// telemetry, and fault injection disarmed.
+    #[must_use]
+    pub fn new(path: impl AsRef<Path>) -> Self {
+        Checkpointer {
+            path: path.as_ref().to_path_buf(),
+            every_epochs: None,
+            recorder: Arc::new(NullRecorder),
+            failpoint: Arc::new(FailPoint::disarmed()),
+        }
+    }
+
+    /// Sets the checkpoint cadence in epochs (plus the unconditional
+    /// write at chip-run boundaries). On [`resume`](Self::resume) an
+    /// explicit cadence overrides the one stored in the checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is zero.
+    #[must_use]
+    pub fn every(mut self, epochs: usize) -> Self {
+        assert!(epochs > 0, "checkpoint cadence must be at least one epoch");
+        self.every_epochs = Some(epochs);
+        self
+    }
+
+    /// Attaches a telemetry sink. The checkpointer emits
+    /// `checkpoint.write` spans, `checkpoint.writes` /
+    /// `checkpoint.bytes_written` counters, a `campaign.resume` span, and
+    /// `campaign.runs_skipped` / `campaign.epochs_skipped` counters on
+    /// resume — on top of everything the engines and policies emit.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Arms fault injection (see [`FailPoint`]): the runner consults the
+    /// point at the [`FAILPOINT_CHIP`] and [`FAILPOINT_EPOCH`] sites.
+    /// Accepts a bare [`FailPoint`] or an `Arc<FailPoint>` — pass a shared
+    /// `Arc` to keep one global hit count across several checkpointers
+    /// (e.g. `fig7_10`'s two dark-fraction campaigns).
+    #[must_use]
+    pub fn with_failpoint(mut self, failpoint: impl Into<Arc<FailPoint>>) -> Self {
+        self.failpoint = failpoint.into();
+        self
+    }
+
+    /// Runs the campaign from scratch with durable progress. The
+    /// checkpoint file is created immediately (so even a crash in the
+    /// first epoch leaves a resumable file) and updated every N epochs
+    /// and at every chip-run boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when a write fails, or
+    /// [`CheckpointError::Injected`] when an armed [`FailPoint`] fires in
+    /// error mode. In both cases the file holds the last durable state
+    /// and [`resume`](Self::resume) continues from it.
+    pub fn run(
+        &self,
+        campaign: &Campaign,
+        policies: &[PolicyKind],
+    ) -> Result<CampaignResult, CheckpointError> {
+        let every = self.every_epochs.unwrap_or(DEFAULT_EVERY_EPOCHS);
+        let checkpoint = CampaignCheckpoint::fresh(campaign.config(), policies, every);
+        self.save(&checkpoint)?;
+        self.drive(campaign, checkpoint)
+    }
+
+    /// Resumes a campaign from the checkpoint at this checkpointer's
+    /// path: completed runs are taken from the file verbatim, an
+    /// interrupted mid-chip run re-enters its partially-aged engine at
+    /// the recorded epoch, and the rest of the campaign runs normally —
+    /// with checkpointing still active, so repeated crash/resume cycles
+    /// compose.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`CampaignCheckpoint::load`] reports (missing file,
+    /// corrupt JSON, forward version), [`CheckpointError::ConfigMismatch`]
+    /// when the campaign's config differs from the checkpointed one, and
+    /// the same runtime errors as [`run`](Self::run).
+    pub fn resume(&self, campaign: &Campaign) -> Result<CampaignResult, CheckpointError> {
+        let _resume_span = self.recorder.span("campaign.resume");
+        let mut checkpoint = CampaignCheckpoint::load(&self.path)?;
+        checkpoint.validate_config(campaign.config())?;
+        if let Some(every) = self.every_epochs {
+            checkpoint.every_epochs = every;
+        }
+        self.recorder
+            .counter("campaign.runs_skipped", checkpoint.completed.len() as u64);
+        if let Some(in_flight) = &checkpoint.in_flight {
+            self.recorder.counter(
+                "campaign.epochs_skipped",
+                in_flight.engine.next_epoch as u64,
+            );
+        }
+        self.drive(campaign, checkpoint)
+    }
+
+    /// The shared fresh/resume loop: runs every job not yet recorded as
+    /// completed, checkpointing as it goes.
+    fn drive(
+        &self,
+        campaign: &Campaign,
+        mut checkpoint: CampaignCheckpoint,
+    ) -> Result<CampaignResult, CheckpointError> {
+        let config = campaign.config();
+        let epoch_count = config.epoch_count();
+        let every = checkpoint.every_epochs.max(1);
+        let jobs: Vec<(PolicyKind, usize)> = checkpoint
+            .policies
+            .iter()
+            .flat_map(|&kind| (0..campaign.chip_count()).map(move |chip| (kind, chip)))
+            .collect();
+        if checkpoint.completed.len() > jobs.len() {
+            return Err(CheckpointError::ProgressOutOfRange {
+                jobs: jobs.len(),
+                completed: checkpoint.completed.len(),
+            });
+        }
+        let start_job = checkpoint.completed.len();
+        let mut in_flight = checkpoint.in_flight.take();
+        if let Some(state) = &in_flight {
+            if jobs.get(start_job) != Some(&(state.policy, state.chip))
+                || state.engine.next_epoch > epoch_count
+            {
+                return Err(CheckpointError::Corrupt(format!(
+                    "in-flight run ({:?}, chip {}) at epoch {} does not \
+                     match the campaign's job order",
+                    state.policy, state.chip, state.engine.next_epoch
+                )));
+            }
+        }
+
+        for &(kind, chip) in &jobs[start_job..] {
+            self.failpoint.check(FAILPOINT_CHIP)?;
+            let chip_span = self.recorder.span("campaign.chip");
+            let system = campaign.system_for(chip);
+            let policy = kind.instantiate(config.workload_seed ^ chip as u64);
+            let mut engine = SimulationEngine::new(system, policy, config)
+                .with_recorder(Arc::clone(&self.recorder));
+            let (mut metrics, start_epoch) = match in_flight.take() {
+                Some(state) => {
+                    engine.restore(&state.engine)?;
+                    (state.partial, state.engine.next_epoch)
+                }
+                None => (engine.start_metrics(), 0),
+            };
+            for epoch in start_epoch..epoch_count {
+                self.failpoint.check(FAILPOINT_EPOCH)?;
+                metrics.epochs.push(engine.run_epoch(epoch));
+                let done = epoch + 1;
+                if done < epoch_count && done % every == 0 {
+                    checkpoint.in_flight = Some(InFlightRun {
+                        policy: kind,
+                        chip,
+                        partial: metrics.clone(),
+                        engine: engine.snapshot(done),
+                    });
+                    self.save(&checkpoint)?;
+                }
+            }
+            engine.finalize_metrics(&mut metrics);
+            drop(chip_span);
+            self.recorder.counter("campaign.runs_completed", 1);
+            checkpoint.completed.push(metrics);
+            checkpoint.in_flight = None;
+            self.save(&checkpoint)?;
+        }
+
+        Ok(CampaignResult {
+            runs: checkpoint.completed,
+            dark_fraction: config.dark_fraction,
+        })
+    }
+
+    fn save(&self, checkpoint: &CampaignCheckpoint) -> Result<(), CheckpointError> {
+        let _write_span = self.recorder.span("checkpoint.write");
+        let bytes = checkpoint.save(&self.path)?;
+        self.recorder.counter("checkpoint.writes", 1);
+        self.recorder.counter("checkpoint.bytes_written", bytes);
+        Ok(())
+    }
+}
+
+/// Checkpoint-aware convenience methods on [`Campaign`] itself.
+pub trait CampaignCheckpointExt {
+    /// [`Campaign::run`] with durable progress written to `path` at the
+    /// default cadence; see [`Checkpointer::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Checkpointer::run`].
+    fn run_checkpointed(
+        &self,
+        policies: &[PolicyKind],
+        path: impl AsRef<Path>,
+    ) -> Result<CampaignResult, CheckpointError>;
+
+    /// Resumes this campaign from a checkpoint file, skipping completed
+    /// runs and re-entering a partially-aged chip mid-decade; see
+    /// [`Checkpointer::resume`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hayat::sim::campaign::PolicyKind;
+    /// use hayat::{Campaign, SimulationConfig};
+    /// use hayat_checkpoint::CampaignCheckpointExt;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut config = SimulationConfig::quick_demo();
+    /// config.chip_count = 1;
+    /// config.transient_window_seconds = 0.05;
+    /// let campaign = Campaign::new(config)?;
+    /// let path = std::env::temp_dir().join("doctest_resume.ckpt");
+    ///
+    /// // A completed (or interrupted) checkpointed campaign...
+    /// let first = campaign.run_checkpointed(&[PolicyKind::Vaa], &path)?;
+    /// // ...resumes instantly: all recorded progress is reused verbatim.
+    /// let resumed = campaign.resume(&path)?;
+    /// assert_eq!(first, resumed);
+    /// # std::fs::remove_file(&path).ok();
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// See [`Checkpointer::resume`].
+    fn resume(&self, path: impl AsRef<Path>) -> Result<CampaignResult, CheckpointError>;
+}
+
+impl CampaignCheckpointExt for Campaign {
+    fn run_checkpointed(
+        &self,
+        policies: &[PolicyKind],
+        path: impl AsRef<Path>,
+    ) -> Result<CampaignResult, CheckpointError> {
+        Checkpointer::new(path).run(self, policies)
+    }
+
+    fn resume(&self, path: impl AsRef<Path>) -> Result<CampaignResult, CheckpointError> {
+        Checkpointer::new(path).resume(self)
+    }
+}

@@ -68,4 +68,5 @@ pub use crate::policy::{power_vector, predict_mapping_temperatures, Policy, Poli
 pub use crate::sim::campaign::{Campaign, CampaignResult, CampaignSummary, PolicyKind};
 pub use crate::sim::config::SimulationConfig;
 pub use crate::sim::engine::SimulationEngine;
+pub use crate::sim::snapshot::{EngineSnapshot, RestoreError};
 pub use crate::system::{BuildSystemError, ChipSystem};

@@ -79,6 +79,17 @@ pub trait Policy {
     /// within the budget) are dropped from the mapping; the engine counts
     /// them as unplaced and the metrics report them.
     fn map_threads(&mut self, ctx: &PolicyContext<'_>, workload: &WorkloadMix) -> ThreadMapping;
+
+    /// The policy's internal RNG state, if it has one (`None` for the
+    /// stateless policies). Checkpointing captures this so a resumed run
+    /// continues the exact random sequence of the uninterrupted run.
+    fn rng_state(&self) -> Option<u64> {
+        None
+    }
+
+    /// Restores state captured by [`Policy::rng_state`]. The default
+    /// implementation is a no-op for stateless policies.
+    fn restore_rng_state(&mut self, _state: u64) {}
 }
 
 /// Builds the per-core power vector implied by a mapping: mapped cores run

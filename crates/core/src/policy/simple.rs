@@ -65,6 +65,14 @@ impl Policy for RandomPolicy {
         }
         mapping
     }
+
+    fn rng_state(&self) -> Option<u64> {
+        Some(self.rng.state())
+    }
+
+    fn restore_rng_state(&mut self, state: u64) {
+        self.rng = StdRng::from_state(state);
+    }
 }
 
 /// Maps each thread to the feasible core with the lowest *predicted*

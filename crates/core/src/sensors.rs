@@ -97,6 +97,20 @@ impl SensorSuite {
         &self.config
     }
 
+    /// The noise generator's exact mid-stream state, for checkpointing.
+    /// Restoring it with [`SensorSuite::restore_rng_state`] makes every
+    /// subsequent reading identical to an uninterrupted run's.
+    #[must_use]
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Rewinds (or fast-forwards) the noise generator to a state captured
+    /// with [`SensorSuite::rng_state`].
+    pub fn restore_rng_state(&mut self, state: u64) {
+        self.rng = StdRng::from_state(state);
+    }
+
     /// One thermal-sensor reading of the whole chip: ground truth plus
     /// Gaussian noise, quantized to the sensor step.
     pub fn read_temperatures(&mut self, truth: &TemperatureMap) -> TemperatureMap {

@@ -41,6 +41,17 @@ impl PolicyKind {
             PolicyKind::CoolestFirst => Box::new(CoolestFirstPolicy),
         }
     }
+
+    /// The name the instantiated policy reports in [`RunMetrics::policy`].
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Hayat => "Hayat",
+            PolicyKind::Vaa => "VAA",
+            PolicyKind::Random => "Random",
+            PolicyKind::CoolestFirst => "CoolestFirst",
+        }
+    }
 }
 
 /// A campaign: one configuration evaluated for every chip of the population
@@ -225,13 +236,10 @@ impl CampaignResult {
     /// The runs of one policy.
     #[must_use]
     pub fn runs_of(&self, kind: PolicyKind) -> Vec<&RunMetrics> {
-        let name = match kind {
-            PolicyKind::Hayat => "Hayat",
-            PolicyKind::Vaa => "VAA",
-            PolicyKind::Random => "Random",
-            PolicyKind::CoolestFirst => "CoolestFirst",
-        };
-        self.runs.iter().filter(|r| r.policy == name).collect()
+        self.runs
+            .iter()
+            .filter(|r| r.policy == kind.name())
+            .collect()
     }
 
     /// Aggregates one policy's runs; `None` if the policy has no runs.

@@ -6,6 +6,7 @@ use crate::metrics::{EpochRecord, RunMetrics};
 use crate::policy::{Policy, PolicyContext};
 use crate::sensors::SensorSuite;
 use crate::sim::config::SimulationConfig;
+use crate::sim::snapshot::{EngineSnapshot, RestoreError};
 use crate::system::ChipSystem;
 use hayat_power::PowerState;
 use hayat_telemetry::{NullRecorder, Recorder, RecorderExt};
@@ -126,7 +127,23 @@ impl SimulationEngine {
 
     /// Runs the full configured lifetime and returns the metrics.
     pub fn run(&mut self) -> RunMetrics {
-        let mut metrics = RunMetrics {
+        let mut metrics = self.start_metrics();
+        for epoch in 0..self.config.epoch_count() {
+            let record = self.run_epoch(epoch);
+            metrics.epochs.push(record);
+        }
+        self.finalize_metrics(&mut metrics);
+        metrics
+    }
+
+    /// The run-level [`RunMetrics`] header (no epochs yet) for a run that
+    /// starts now. The `initial_*` frequencies read the system's *current*
+    /// state, so call this on a fresh engine — a checkpointed run stores
+    /// the header at epoch 0 and reuses it on resume rather than calling
+    /// this on the re-aged system.
+    #[must_use]
+    pub fn start_metrics(&self) -> RunMetrics {
+        RunMetrics {
             policy: self.policy.name().to_owned(),
             chip_id: self.system.chip().id(),
             dark_fraction: self.config.dark_fraction,
@@ -135,13 +152,76 @@ impl SimulationEngine {
             initial_chip_fmax_ghz: self.system.chip_fmax().value(),
             final_health_std: 0.0,
             epochs: Vec::with_capacity(self.config.epoch_count()),
-        };
-        for epoch in 0..self.config.epoch_count() {
-            let record = self.run_epoch(epoch);
-            metrics.epochs.push(record);
         }
+    }
+
+    /// Fills in the end-of-run fields computed from the engine's final
+    /// state ([`RunMetrics::final_health_std`]).
+    pub fn finalize_metrics(&self, metrics: &mut RunMetrics) {
         metrics.final_health_std = self.system.health().std_dev();
-        metrics
+    }
+
+    /// Captures the engine's complete mutable state at an epoch boundary:
+    /// epochs `0..next_epoch` have run, `next_epoch` has not started.
+    ///
+    /// Restoring the snapshot into a fresh engine built from the same
+    /// config and chip ([`SimulationEngine::restore`]) and running the
+    /// remaining epochs reproduces the uninterrupted run bit for bit; the
+    /// `snapshot_restore_resumes_exactly` test and the property tests in
+    /// `integration_checkpoint` hold this contract.
+    #[must_use]
+    pub fn snapshot(&self, next_epoch: usize) -> EngineSnapshot {
+        EngineSnapshot {
+            next_epoch,
+            health: self.system.health().clone(),
+            transient: self.system.transient().snapshot(),
+            dtm: self.dtm.clone(),
+            sensor_rng: self.sensors.as_ref().map(SensorSuite::rng_state),
+            policy_rng: self.policy.rng_state(),
+        }
+    }
+
+    /// Restores state captured with [`SimulationEngine::snapshot`] on an
+    /// engine built from the same configuration and chip. After a
+    /// successful restore, continue with
+    /// `run_epoch(snapshot.next_epoch)` onward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RestoreError`] when the snapshot's shape does not match
+    /// this engine (different core count, RC network, sensor configuration,
+    /// or policy statefulness); the engine is left unchanged in that case.
+    pub fn restore(&mut self, snapshot: &EngineSnapshot) -> Result<(), RestoreError> {
+        let cores = self.system.floorplan().core_count();
+        if snapshot.health.len() != cores {
+            return Err(RestoreError::CoreCountMismatch {
+                expected: cores,
+                got: snapshot.health.len(),
+            });
+        }
+        let nodes = self.system.transient().node_count();
+        if snapshot.transient.node_temps.len() != nodes {
+            return Err(RestoreError::NodeCountMismatch {
+                expected: nodes,
+                got: snapshot.transient.node_temps.len(),
+            });
+        }
+        if snapshot.sensor_rng.is_some() != self.sensors.is_some() {
+            return Err(RestoreError::SensorStateMismatch);
+        }
+        if snapshot.policy_rng.is_some() != self.policy.rng_state().is_some() {
+            return Err(RestoreError::PolicyStateMismatch);
+        }
+        *self.system.health_mut() = snapshot.health.clone();
+        self.system.transient_mut().restore(&snapshot.transient);
+        self.dtm = snapshot.dtm.clone();
+        if let (Some(sensors), Some(state)) = (self.sensors.as_mut(), snapshot.sensor_rng) {
+            sensors.restore_rng_state(state);
+        }
+        if let Some(state) = snapshot.policy_rng {
+            self.policy.restore_rng_state(state);
+        }
+        Ok(())
     }
 
     /// Runs a single epoch (public so benches can time one decision+window).
@@ -444,6 +524,71 @@ mod tests {
             Some(epochs)
         );
         assert!(s.span("thermal.transient.step").map_or(0, |sp| sp.count) > 0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_exactly() {
+        // A run interrupted at every possible epoch boundary and resumed in
+        // a fresh engine must match the uninterrupted run bit for bit —
+        // including with sensor noise and a stateful (Random) policy, the
+        // two RNG streams a snapshot has to carry.
+        let mut config = SimulationConfig::quick_demo();
+        config.sensors = Some(crate::sensors::SensorConfig::typical());
+        let build = |config: &SimulationConfig| {
+            let system = ChipSystem::paper_chip(0, config).unwrap();
+            SimulationEngine::new(
+                system,
+                Box::new(crate::policy::simple::RandomPolicy::new(7)),
+                config,
+            )
+        };
+        let reference = {
+            let mut e = build(&config);
+            e.run()
+        };
+        for cut in 0..config.epoch_count() {
+            let mut first = build(&config);
+            let mut metrics = first.start_metrics();
+            for epoch in 0..cut {
+                metrics.epochs.push(first.run_epoch(epoch));
+            }
+            let snap = first.snapshot(cut);
+            drop(first);
+            let mut resumed = build(&config);
+            resumed.restore(&snap).unwrap();
+            for epoch in snap.next_epoch..config.epoch_count() {
+                metrics.epochs.push(resumed.run_epoch(epoch));
+            }
+            resumed.finalize_metrics(&mut metrics);
+            assert_eq!(metrics, reference, "divergence when cut at epoch {cut}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shapes() {
+        let config = SimulationConfig::quick_demo();
+        let mut e = engine(Box::<HayatPolicy>::default());
+        let mut snap = e.snapshot(0);
+        snap.sensor_rng = Some(1); // engine has no sensors configured
+        assert_eq!(
+            e.restore(&snap),
+            Err(crate::sim::snapshot::RestoreError::SensorStateMismatch)
+        );
+        let mut small = config.clone();
+        small.mesh = (2, 2);
+        let other = SimulationEngine::new(
+            ChipSystem::paper_chip(0, &small).unwrap(),
+            Box::<HayatPolicy>::default(),
+            &small,
+        );
+        let foreign = other.snapshot(0);
+        assert!(matches!(
+            e.restore(&foreign),
+            Err(crate::sim::snapshot::RestoreError::CoreCountMismatch { .. })
+        ));
+        // A failed restore leaves the engine able to run normally.
+        let m = e.run();
+        assert_eq!(m.epochs.len(), config.epoch_count());
     }
 
     #[test]

@@ -3,3 +3,4 @@
 pub mod campaign;
 pub mod config;
 pub mod engine;
+pub mod snapshot;

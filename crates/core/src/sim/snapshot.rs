@@ -1,0 +1,108 @@
+//! Snapshot/restore of a [`SimulationEngine`](crate::SimulationEngine)'s
+//! mutable state.
+//!
+//! An engine is mostly immutable machinery (floorplan, variation profile,
+//! thermal predictor, aging table, workload mixes — all reproducible from
+//! the [`SimulationConfig`](crate::SimulationConfig)) wrapped around a small
+//! mutable core: the health map, the RC thermal state, the DTM controller,
+//! and up to two RNG streams (sensor noise, the `Random` ablation policy).
+//! [`EngineSnapshot`] captures exactly that mutable core, so that
+//!
+//! ```text
+//! snapshot at epoch k  +  restore into a fresh engine  +  run epochs k..N
+//! ```
+//!
+//! reproduces the uninterrupted run bit for bit. This is the foundation the
+//! `hayat-checkpoint` crate builds campaign-level crash recovery on.
+
+use crate::dtm::DtmController;
+use hayat_aging::HealthMap;
+use hayat_thermal::TransientSnapshot;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// The complete mutable state of a [`SimulationEngine`](crate::SimulationEngine)
+/// at an aging-epoch boundary.
+///
+/// Everything else an engine holds is deterministically rebuilt from the
+/// [`SimulationConfig`](crate::SimulationConfig), so this struct — restored
+/// into an engine built from the *same* config and chip — is sufficient to
+/// continue a run exactly where it stopped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// The next epoch the engine would run (epochs `0..next_epoch` are
+    /// complete and their [`EpochRecord`](crate::EpochRecord)s emitted).
+    pub next_epoch: usize,
+    /// Per-core health at the snapshot point.
+    pub health: HealthMap,
+    /// The RC thermal state (every node temperature plus elapsed time).
+    pub transient: TransientSnapshot,
+    /// The DTM controller: throttle ladder positions and event counters.
+    pub dtm: DtmController,
+    /// Mid-stream state of the sensor-noise RNG, when sensors are
+    /// configured.
+    pub sensor_rng: Option<u64>,
+    /// Mid-stream state of the policy's internal RNG, for stateful
+    /// policies (the `Random` ablation).
+    pub policy_rng: Option<u64>,
+}
+
+/// Why an [`EngineSnapshot`] could not be restored into an engine.
+///
+/// Every variant means the snapshot was taken on a *differently configured*
+/// engine; restoring it would silently corrupt the simulation, so the
+/// mismatch is reported instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RestoreError {
+    /// The snapshot's health map covers a different number of cores.
+    CoreCountMismatch {
+        /// Cores in the engine's floorplan.
+        expected: usize,
+        /// Cores in the snapshot.
+        got: usize,
+    },
+    /// The snapshot's thermal state covers a different RC network.
+    NodeCountMismatch {
+        /// RC nodes in the engine's network.
+        expected: usize,
+        /// Nodes in the snapshot.
+        got: usize,
+    },
+    /// The snapshot was taken with a different sensor configuration
+    /// (sensor RNG state present on exactly one side).
+    SensorStateMismatch,
+    /// The snapshot was taken under a policy with different RNG
+    /// statefulness (policy RNG state present on exactly one side).
+    PolicyStateMismatch,
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::CoreCountMismatch { expected, got } => {
+                write!(f, "snapshot covers {got} cores, engine has {expected}")
+            }
+            RestoreError::NodeCountMismatch { expected, got } => {
+                write!(f, "snapshot covers {got} RC nodes, engine has {expected}")
+            }
+            RestoreError::SensorStateMismatch => {
+                write!(
+                    f,
+                    "sensor RNG state present on exactly one side: the \
+                     snapshot was taken with a different sensor configuration"
+                )
+            }
+            RestoreError::PolicyStateMismatch => {
+                write!(
+                    f,
+                    "policy RNG state present on exactly one side: the \
+                     snapshot was taken under a different policy"
+                )
+            }
+        }
+    }
+}
+
+impl Error for RestoreError {}

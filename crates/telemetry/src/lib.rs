@@ -38,6 +38,9 @@
 //! println!("{}", summary.render_table());
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod event;
 mod histogram;
 mod jsonl;

@@ -56,4 +56,4 @@ pub use crate::predictor::{PredictorModel, ThermalPredictor, ThreadFootprint};
 pub use crate::profile::TemperatureMap;
 pub use crate::rc_model::RcNetwork;
 pub use crate::steady::{steady_state, steady_state_on};
-pub use crate::transient::TransientSimulator;
+pub use crate::transient::{TransientSimulator, TransientSnapshot};

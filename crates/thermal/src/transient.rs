@@ -6,6 +6,21 @@ use crate::rc_model::RcNetwork;
 use hayat_floorplan::Floorplan;
 use hayat_telemetry::{Recorder, RecorderExt, NULL_RECORDER};
 use hayat_units::{Kelvin, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// The complete mutable state of a [`TransientSimulator`], detached from
+/// the (immutable, config-derived) RC network: every node temperature —
+/// silicon, spreader, and sink nodes alike — plus the simulated time
+/// elapsed. Restoring a snapshot into a simulator built from the same
+/// floorplan and [`ThermalConfig`] reproduces the original trajectory
+/// bit for bit, which is what campaign checkpoint/resume relies on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientSnapshot {
+    /// Per-node temperatures in network order (cores first), kelvin.
+    pub node_temps: Vec<f64>,
+    /// Simulated seconds advanced so far.
+    pub elapsed_seconds: f64,
+}
 
 /// Explicit-Euler transient simulator over the RC network.
 ///
@@ -87,6 +102,13 @@ impl TransientSimulator {
         self.network.ambient()
     }
 
+    /// Number of RC nodes in the network (cores + spreader + sink nodes) —
+    /// the length a restorable [`TransientSnapshot`] must have.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_temps.len()
+    }
+
     /// Simulated time advanced so far.
     #[must_use]
     pub fn elapsed(&self) -> Seconds {
@@ -128,6 +150,9 @@ impl TransientSimulator {
         }
     }
 
+    /// One forward-Euler sub-step of size `h`: explicit integration is
+    /// adequate because `step` subdivides every request below the stability
+    /// bound derived from the fastest RC time constant in the network.
     fn euler_step(&mut self, h: f64, injection: &[f64]) {
         let n = self.network.node_count();
         let mut next = self.node_temps.clone();
@@ -136,6 +161,50 @@ impl TransientSimulator {
             *next_t += h * flow / self.network.capacity(i);
         }
         self.node_temps = next;
+    }
+
+    /// Captures the simulator's complete mutable state for checkpointing.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hayat_floorplan::Floorplan;
+    /// use hayat_thermal::{ThermalConfig, TransientSimulator};
+    /// use hayat_units::{Seconds, Watts};
+    ///
+    /// let fp = Floorplan::paper_8x8();
+    /// let cfg = ThermalConfig::paper();
+    /// let mut sim = TransientSimulator::new(&fp, &cfg);
+    /// sim.step(Seconds::new(0.05), &vec![Watts::new(4.0); fp.core_count()]);
+    /// let snap = sim.snapshot();
+    /// let mut restored = TransientSimulator::new(&fp, &cfg);
+    /// restored.restore(&snap);
+    /// assert_eq!(restored.temperatures(), sim.temperatures());
+    /// ```
+    #[must_use]
+    pub fn snapshot(&self) -> TransientSnapshot {
+        TransientSnapshot {
+            node_temps: self.node_temps.clone(),
+            elapsed_seconds: self.elapsed,
+        }
+    }
+
+    /// Restores state previously captured with
+    /// [`snapshot`](Self::snapshot) on a simulator built from the same
+    /// floorplan and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's node count differs from this simulator's
+    /// network (i.e. it was taken on a different floorplan).
+    pub fn restore(&mut self, snapshot: &TransientSnapshot) {
+        assert_eq!(
+            snapshot.node_temps.len(),
+            self.node_temps.len(),
+            "snapshot must cover every RC node of this network"
+        );
+        self.node_temps.clone_from(&snapshot.node_temps);
+        self.elapsed = snapshot.elapsed_seconds;
     }
 
     /// Current per-core (silicon-node) temperatures.
@@ -309,6 +378,39 @@ mod tests {
         let (fp, cfg) = setup();
         let mut sim = TransientSimulator::new(&fp, &cfg);
         sim.step(Seconds::new(0.01), &[Watts::new(1.0)]);
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_trajectory_exactly() {
+        let (fp, cfg) = setup();
+        let power = vec![Watts::new(5.5); 64];
+        let mut reference = TransientSimulator::new(&fp, &cfg);
+        reference.step(Seconds::new(0.1), &power);
+        let snap = reference.snapshot();
+        // JSON round-trip must not perturb a single bit.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TransientSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+        let mut resumed = TransientSimulator::new(&fp, &cfg);
+        resumed.restore(&back);
+        assert_eq!(resumed.elapsed(), reference.elapsed());
+        reference.step(Seconds::new(0.1), &power);
+        resumed.step(Seconds::new(0.1), &power);
+        assert_eq!(resumed.temperatures(), reference.temperatures());
+    }
+
+    #[test]
+    #[should_panic(expected = "every RC node")]
+    fn restore_rejects_foreign_floorplans() {
+        let (fp, cfg) = setup();
+        let snap = TransientSimulator::new(&fp, &cfg).snapshot();
+        let mut other = TransientSimulator::new(
+            &hayat_floorplan::FloorplanBuilder::new(2, 2)
+                .build()
+                .unwrap(),
+            &cfg,
+        );
+        other.restore(&snap);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 /// Shape of the spatial correlation `ρ(d)` between grid points.
 ///
-/// The paper's model ([25]) only requires a valid (positive-definite)
+/// The paper's model (reference \[25\]) only requires a valid (positive-definite)
 /// spatial correlation; two standard kernels are provided. The exponential
 /// kernel (paper default) produces rougher fields with more short-range
 /// contrast; the Gaussian (squared-exponential) kernel produces smoother

@@ -1,0 +1,232 @@
+//! End-to-end crash/resume tests: a campaign killed by an injected fault
+//! and resumed from its checkpoint must be **bit-identical** to an
+//! uninterrupted one — across policies, dark fractions, fault sites, and
+//! repeated crash/resume cycles.
+
+use hayat::sim::campaign::PolicyKind;
+use hayat::{Campaign, SimulationConfig, SimulationEngine};
+use hayat_checkpoint::{
+    CampaignCheckpointExt, CheckpointError, Checkpointer, FailMode, FailPoint, FAILPOINT_CHIP,
+    FAILPOINT_EPOCH,
+};
+use hayat_telemetry::MemoryRecorder;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+/// A small but non-trivial campaign: 2 chips × 4 epochs on a 4×4 mesh.
+fn tiny_config(dark_fraction: f64) -> SimulationConfig {
+    let mut config = SimulationConfig::quick_demo();
+    config.dark_fraction = dark_fraction;
+    config.mesh = (4, 4);
+    config.transient_window_seconds = 0.1;
+    config
+}
+
+/// A unique scratch path per test (the OS temp dir survives sandboxes).
+fn scratch(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("hayat_ckpt_{name}_{}", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+#[test]
+fn killed_and_resumed_matches_uninterrupted_for_all_policies_and_dark_fractions() {
+    for dark in [0.25, 0.5] {
+        let campaign = Campaign::new(tiny_config(dark)).unwrap();
+        for kind in [PolicyKind::Hayat, PolicyKind::Vaa] {
+            let uninterrupted = campaign.run(&[kind]);
+            let path = scratch(&format!("kill_{dark}_{}", kind.name()));
+
+            // Fault mid-chip: epoch 3 of 8 total (chip 0's fourth epoch).
+            let interrupted = Checkpointer::new(&path)
+                .every(1)
+                .with_failpoint(FailPoint::armed(FAILPOINT_EPOCH, 3, FailMode::Error))
+                .run(&campaign, &[kind]);
+            assert!(
+                matches!(interrupted, Err(CheckpointError::Injected(_))),
+                "the armed fail point must abort the campaign"
+            );
+
+            let resumed = Checkpointer::new(&path).resume(&campaign).unwrap();
+            assert_eq!(
+                resumed,
+                uninterrupted,
+                "resumed campaign must be bit-identical ({} at dark {dark})",
+                kind.name()
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+#[test]
+fn crash_at_chip_boundary_skips_completed_runs_verbatim() {
+    let campaign = Campaign::new(tiny_config(0.5)).unwrap();
+    let policies = [PolicyKind::Hayat, PolicyKind::Vaa];
+    let uninterrupted = campaign.run(&policies);
+    let path = scratch("chip_boundary");
+
+    // Fault at the third job: both Hayat chips are already durable.
+    let interrupted = Checkpointer::new(&path)
+        .with_failpoint(FailPoint::armed(FAILPOINT_CHIP, 3, FailMode::Error))
+        .run(&campaign, &policies);
+    assert!(interrupted.is_err());
+
+    let recorder = Arc::new(MemoryRecorder::new());
+    let resumed = Checkpointer::new(&path)
+        .with_recorder(recorder.clone())
+        .resume(&campaign)
+        .unwrap();
+    assert_eq!(resumed, uninterrupted);
+
+    let summary = recorder.summary();
+    assert_eq!(
+        summary.counter_total("campaign.runs_skipped"),
+        Some(2),
+        "both completed Hayat runs must be taken from the checkpoint"
+    );
+    assert_eq!(summary.counter_total("campaign.runs_completed"), Some(2));
+    assert_eq!(summary.span("campaign.resume").map(|s| s.count), Some(1));
+    assert!(summary.counter_total("checkpoint.writes").unwrap_or(0) >= 2);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn repeated_crash_resume_cycles_compose() {
+    let campaign = Campaign::new(tiny_config(0.25)).unwrap();
+    let policies = [PolicyKind::Vaa, PolicyKind::Hayat];
+    let uninterrupted = campaign.run(&policies);
+    let path = scratch("repeated");
+
+    // Crash twice at different points, resuming in between; hit counters
+    // are per-Checkpointer, so each cycle's fault lands further along.
+    assert!(Checkpointer::new(&path)
+        .every(1)
+        .with_failpoint(FailPoint::armed(FAILPOINT_EPOCH, 2, FailMode::Error))
+        .run(&campaign, &policies)
+        .is_err());
+    assert!(Checkpointer::new(&path)
+        .every(1)
+        .with_failpoint(FailPoint::armed(FAILPOINT_EPOCH, 4, FailMode::Error))
+        .resume(&campaign)
+        .is_err());
+    let resumed = campaign.resume(&path).unwrap();
+    assert_eq!(resumed, uninterrupted);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn panic_mid_campaign_leaves_a_resumable_checkpoint() {
+    let campaign = Campaign::new(tiny_config(0.5)).unwrap();
+    let uninterrupted = campaign.run(&[PolicyKind::Hayat]);
+    let path = scratch("panic");
+
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Checkpointer::new(&path)
+            .every(1)
+            .with_failpoint(FailPoint::armed(FAILPOINT_EPOCH, 5, FailMode::Panic))
+            .run(&campaign, &[PolicyKind::Hayat])
+    }));
+    assert!(
+        panicked.is_err(),
+        "panic mode must unwind out of the runner"
+    );
+
+    let resumed = campaign.resume(&path).unwrap();
+    assert_eq!(resumed, uninterrupted);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_rejects_a_checkpoint_from_a_different_config() {
+    let quarter = Campaign::new(tiny_config(0.25)).unwrap();
+    let half = Campaign::new(tiny_config(0.5)).unwrap();
+    let path = scratch("mismatch");
+
+    quarter
+        .run_checkpointed(&[PolicyKind::Hayat], &path)
+        .unwrap();
+    let err = half.resume(&path).unwrap_err();
+    assert!(
+        matches!(err, CheckpointError::ConfigMismatch { .. }),
+        "got {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn completed_checkpoint_resumes_instantly_without_rerunning() {
+    let campaign = Campaign::new(tiny_config(0.5)).unwrap();
+    let path = scratch("instant");
+    let first = campaign
+        .run_checkpointed(&[PolicyKind::CoolestFirst], &path)
+        .unwrap();
+
+    let recorder = Arc::new(MemoryRecorder::new());
+    let resumed = Checkpointer::new(&path)
+        .with_recorder(recorder.clone())
+        .resume(&campaign)
+        .unwrap();
+    assert_eq!(first, resumed);
+    assert_eq!(
+        recorder.summary().counter_total("campaign.runs_completed"),
+        None,
+        "a finished campaign must not re-run anything"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// The engine-level property behind all of the above: snapshotting at an
+/// arbitrary epoch and restoring into a *fresh* engine reproduces the
+/// original trajectory bit-for-bit. Shared campaign so the expensive
+/// offline artifacts are built once.
+fn shared_campaign() -> &'static Campaign {
+    static CAMPAIGN: OnceLock<Campaign> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| Campaign::new(tiny_config(0.5)).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn snapshot_restore_at_random_epoch_reproduces_trajectory(
+        cut in 0usize..4,
+        chip in 0usize..2,
+        policy_pick in 0usize..3,
+    ) {
+        let campaign = shared_campaign();
+        let config = campaign.config();
+        let kind = [PolicyKind::Hayat, PolicyKind::Vaa, PolicyKind::Random][policy_pick];
+        let seed = config.workload_seed ^ chip as u64;
+
+        let build = || {
+            SimulationEngine::new(campaign.system_for(chip), kind.instantiate(seed), config)
+        };
+
+        let mut reference = build();
+        let mut expected = reference.start_metrics();
+        for epoch in 0..config.epoch_count() {
+            expected.epochs.push(reference.run_epoch(epoch));
+        }
+        reference.finalize_metrics(&mut expected);
+
+        // Run to the cut, snapshot, and hand the state to a fresh engine.
+        let mut first_half = build();
+        let mut metrics = first_half.start_metrics();
+        for epoch in 0..cut {
+            metrics.epochs.push(first_half.run_epoch(epoch));
+        }
+        let snapshot = first_half.snapshot(cut);
+        drop(first_half);
+
+        let mut second_half = build();
+        second_half.restore(&snapshot).expect("shapes match");
+        for epoch in cut..config.epoch_count() {
+            metrics.epochs.push(second_half.run_epoch(epoch));
+        }
+        second_half.finalize_metrics(&mut metrics);
+
+        prop_assert_eq!(metrics, expected);
+    }
+}

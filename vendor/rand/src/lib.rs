@@ -64,6 +64,25 @@ pub mod rngs {
             rng
         }
     }
+
+    impl StdRng {
+        /// The generator's full internal state. SplitMix64's state is a
+        /// single 64-bit word, so this — together with
+        /// [`StdRng::from_state`] — allows exact checkpoint/resume of any
+        /// seeded stream mid-sequence.
+        #[must_use]
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Reconstructs a generator at an exact mid-stream position
+        /// previously captured with [`StdRng::state`]. Unlike
+        /// [`SeedableRng::seed_from_u64`], no warm-up scramble is applied.
+        #[must_use]
+        pub fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
 }
 
 /// Types that `Rng::gen` can produce from raw bits.
