@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use hayat_floorplan::Floorplan;
 use hayat_thermal::{
-    steady_state_on, RcNetwork, ThermalConfig, ThermalPredictor, TransientSimulator,
+    steady_state_on, Integrator, RcNetwork, ThermalConfig, ThermalPredictor, TransientSimulator,
 };
 use hayat_units::{Seconds, Watts};
 use std::hint::black_box;
@@ -34,6 +34,14 @@ fn bench_thermal(c: &mut Criterion) {
 
     c.bench_function("transient_step_6_6ms", |b| {
         let mut sim = TransientSimulator::new(&fp, &cfg);
+        b.iter(|| {
+            sim.step(Seconds::new(0.0066), black_box(&power));
+            black_box(sim.temperatures().max())
+        });
+    });
+
+    c.bench_function("transient_step_6_6ms_implicit", |b| {
+        let mut sim = TransientSimulator::with_integrator(&fp, &cfg, Integrator::BackwardEuler);
         b.iter(|| {
             sim.step(Seconds::new(0.0066), black_box(&power));
             black_box(sim.temperatures().max())

@@ -1,0 +1,292 @@
+//! Perf-trajectory benchmark: emits `BENCH_3.json` at the repo root with
+//! wall-times for the three kernels that bound the decade-scale evaluation
+//! — a **transient window** (2 s of 6.6 ms control periods on the bare
+//! thermal simulator), a **single epoch**, and a **single-chip decade**
+//! (the end-to-end campaign unit: 10 years, 40 epochs, one chip, the Hayat
+//! policy) — each under both time integrators.
+//!
+//! Two thermal configurations are measured:
+//!
+//! * `paper` — the calibrated constants every figure uses. Its silicon
+//!   capacitance (0.008 J/K) is lumped large enough that explicit forward
+//!   Euler needs only ~4 sub-steps per control period, so the implicit
+//!   win is the sub-step count divided by one (slightly dearer) solve.
+//! * `stiff_silicon` — identical except `c_silicon` is set to the
+//!   *physical* sheet capacitance of a 2.25 mm² × 0.15 mm die slice
+//!   (≈ 5.9e-4 J/K). Thin silicon is the stiff regime the implicit
+//!   integrator exists for: the explicit stable step collapses to ~150 µs
+//!   (~43 sub-steps per period) while backward Euler still takes one solve.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p hayat-bench --bin bench            # fast mode
+//! cargo run --release -p hayat-bench --bin bench -- --full  # more reps
+//! cargo run --release -p hayat-bench --bin bench -- --out PATH.json
+//! ```
+//!
+//! Fast mode (the default, used by the CI smoke) runs each kernel a
+//! handful of times and reports the best wall-time; `--full` adds
+//! repetitions for quieter numbers. The JSON format is documented in
+//! `EXPERIMENTS.md`.
+
+use hayat::{ChipSystem, HayatPolicy, SimulationConfig, SimulationEngine};
+use hayat_floorplan::Floorplan;
+use hayat_thermal::{Integrator, RcNetwork, ThermalConfig, TransientSimulator};
+use hayat_units::{Seconds, Watts};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Paper control period inside the transient window, seconds.
+const CONTROL_PERIOD: f64 = 0.0066;
+/// Paper transient window length, seconds (=> 303 control periods).
+const WINDOW_SECONDS: f64 = 2.0;
+
+/// Physical silicon sheet capacitance of one core: volumetric heat capacity
+/// 1.75e6 J/(K·m³) × 1.5 mm × 1.5 mm die area × 0.15 mm thickness.
+const C_SILICON_PHYSICAL: f64 = 5.9e-4;
+
+#[derive(Serialize)]
+struct Kernel {
+    forward_euler_seconds: f64,
+    backward_euler_seconds: f64,
+    /// `forward / backward`: how much the implicit integrator saves.
+    speedup: f64,
+}
+
+impl Kernel {
+    fn new(forward: f64, backward: f64) -> Self {
+        Kernel {
+            forward_euler_seconds: forward,
+            backward_euler_seconds: backward,
+            speedup: forward / backward,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct ConfigReport {
+    name: String,
+    c_silicon_joules_per_kelvin: f64,
+    explicit_stable_step_seconds: f64,
+    explicit_substeps_per_control_period: f64,
+    transient_window: Kernel,
+    single_epoch: Kernel,
+    single_chip_decade: Kernel,
+}
+
+#[derive(Serialize)]
+struct Headline {
+    /// The transient-window speedup in the stiff regime the implicit
+    /// integrator targets.
+    transient_window_speedup: f64,
+    config: String,
+    /// End-to-end campaign unit (one chip, full decade, Hayat policy).
+    end_to_end_campaign_forward_seconds: f64,
+    end_to_end_campaign_backward_seconds: f64,
+    campaign_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Bench3 {
+    bench: String,
+    mode: String,
+    control_period_seconds: f64,
+    window_steps: usize,
+    configs: Vec<ConfigReport>,
+    headline: Headline,
+}
+
+/// Best-of-`reps` wall time of `f`, after one warm-up call.
+fn time_best<F: FnMut()>(mut f: F, reps: u32) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// A representative half-dark power vector (active cores at 6 W, dark cores
+/// at gated leakage).
+fn window_power(cores: usize) -> Vec<Watts> {
+    (0..cores)
+        .map(|i| {
+            if i % 2 == 0 {
+                Watts::new(6.0)
+            } else {
+                Watts::new(0.019)
+            }
+        })
+        .collect()
+}
+
+/// One transient window on the bare simulator: construction (factorization)
+/// plus every control-period step with a peak-temperature readout, exactly
+/// the per-window work the engine performs.
+fn transient_window_seconds(thermal: &ThermalConfig, integrator: Integrator, reps: u32) -> f64 {
+    let fp = Floorplan::paper_8x8();
+    let steps = (WINDOW_SECONDS / CONTROL_PERIOD).round() as usize;
+    let power = window_power(fp.core_count());
+    time_best(
+        || {
+            let mut sim = TransientSimulator::with_integrator(&fp, thermal, integrator);
+            for _ in 0..steps {
+                sim.step(Seconds::new(CONTROL_PERIOD), &power);
+                std::hint::black_box(sim.temperatures().max());
+            }
+        },
+        reps,
+    )
+}
+
+/// The paper campaign configuration with the given thermal constants and
+/// integrator.
+fn campaign_config(thermal: &ThermalConfig, integrator: Integrator) -> SimulationConfig {
+    let mut config = SimulationConfig::paper(0.5);
+    config.thermal = thermal.clone();
+    config.integrator = integrator;
+    config
+}
+
+/// One aging epoch (policy decision + transient window + health update) on a
+/// prebuilt chip; engine construction is cheap and re-done per rep so every
+/// rep starts from fresh health.
+fn single_epoch_seconds(system: &ChipSystem, config: &SimulationConfig, reps: u32) -> f64 {
+    time_best(
+        || {
+            let mut engine =
+                SimulationEngine::new(system.clone(), Box::new(HayatPolicy::default()), config);
+            std::hint::black_box(engine.run_epoch(0).peak_temp_kelvin);
+        },
+        reps,
+    )
+}
+
+/// The full 10-year, 40-epoch single-chip run — the unit the 25-chip ×
+/// 2-policy × 2-dark-fraction campaign repeats 100 times.
+fn single_chip_decade_seconds(system: &ChipSystem, config: &SimulationConfig, reps: u32) -> f64 {
+    time_best(
+        || {
+            let mut engine =
+                SimulationEngine::new(system.clone(), Box::new(HayatPolicy::default()), config);
+            std::hint::black_box(engine.run().final_health_mean());
+        },
+        reps,
+    )
+}
+
+fn report_config(name: &str, thermal: &ThermalConfig, fast: bool) -> ConfigReport {
+    let fp = Floorplan::paper_8x8();
+    let stable = RcNetwork::new(&fp, thermal).stable_step();
+    let (window_reps, epoch_reps, decade_reps) = if fast { (5, 2, 1) } else { (20, 5, 3) };
+
+    let window = Kernel::new(
+        transient_window_seconds(thermal, Integrator::ForwardEuler, window_reps),
+        transient_window_seconds(thermal, Integrator::BackwardEuler, window_reps),
+    );
+
+    // The population, predictor, and aging table are shared setup in a real
+    // campaign, so build them outside the timed kernels. The integrator is
+    // baked into the system's transient simulator at build time, so each
+    // integrator gets its own system.
+    let fwd_config = campaign_config(thermal, Integrator::ForwardEuler);
+    let bwd_config = campaign_config(thermal, Integrator::BackwardEuler);
+    let fwd_system = ChipSystem::paper_chip(0, &fwd_config).expect("paper chip builds");
+    let bwd_system = ChipSystem::paper_chip(0, &bwd_config).expect("paper chip builds");
+
+    let epoch = Kernel::new(
+        single_epoch_seconds(&fwd_system, &fwd_config, epoch_reps),
+        single_epoch_seconds(&bwd_system, &bwd_config, epoch_reps),
+    );
+    let decade = Kernel::new(
+        single_chip_decade_seconds(&fwd_system, &fwd_config, decade_reps),
+        single_chip_decade_seconds(&bwd_system, &bwd_config, decade_reps),
+    );
+
+    println!(
+        "  {name}: stable step {:.3e} s ({:.0} substeps/period)",
+        stable,
+        (CONTROL_PERIOD / stable).ceil()
+    );
+    println!(
+        "    window {:9.3} ms -> {:9.3} ms  ({:.2}x)",
+        window.forward_euler_seconds * 1e3,
+        window.backward_euler_seconds * 1e3,
+        window.speedup
+    );
+    println!(
+        "    epoch  {:9.3} ms -> {:9.3} ms  ({:.2}x)",
+        epoch.forward_euler_seconds * 1e3,
+        epoch.backward_euler_seconds * 1e3,
+        epoch.speedup
+    );
+    println!(
+        "    decade {:9.3} s  -> {:9.3} s   ({:.2}x)",
+        decade.forward_euler_seconds, decade.backward_euler_seconds, decade.speedup
+    );
+
+    ConfigReport {
+        name: name.to_owned(),
+        c_silicon_joules_per_kelvin: thermal.c_silicon,
+        explicit_stable_step_seconds: stable,
+        explicit_substeps_per_control_period: (CONTROL_PERIOD / stable).ceil(),
+        transient_window: window,
+        single_epoch: epoch,
+        single_chip_decade: decade,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fast = !args.iter().any(|a| a == "--full");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_3.json".to_owned());
+
+    hayat_bench::section(&format!(
+        "BENCH_3 perf trajectory ({} mode, release build)",
+        if fast { "fast" } else { "full" }
+    ));
+
+    let paper = ThermalConfig::paper();
+    let mut stiff = ThermalConfig::paper();
+    stiff.c_silicon = C_SILICON_PHYSICAL;
+
+    let configs = vec![
+        report_config("paper", &paper, fast),
+        report_config("stiff_silicon", &stiff, fast),
+    ];
+
+    let stiff_report = &configs[1];
+    let headline = Headline {
+        transient_window_speedup: stiff_report.transient_window.speedup,
+        config: stiff_report.name.clone(),
+        end_to_end_campaign_forward_seconds: stiff_report.single_chip_decade.forward_euler_seconds,
+        end_to_end_campaign_backward_seconds: stiff_report
+            .single_chip_decade
+            .backward_euler_seconds,
+        campaign_speedup: stiff_report.single_chip_decade.speedup,
+    };
+    println!(
+        "\n  headline: {:.2}x transient window, {:.2}x campaign ({})",
+        headline.transient_window_speedup, headline.campaign_speedup, headline.config
+    );
+
+    let report = Bench3 {
+        bench: "BENCH_3".to_owned(),
+        mode: if fast { "fast" } else { "full" }.to_owned(),
+        control_period_seconds: CONTROL_PERIOD,
+        window_steps: (WINDOW_SECONDS / CONTROL_PERIOD).round() as usize,
+        configs,
+        headline,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write benchmark report");
+    println!("  wrote {out}");
+}

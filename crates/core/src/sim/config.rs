@@ -2,7 +2,7 @@
 
 use hayat_aging::TableAxes;
 use hayat_power::PowerConfig;
-use hayat_thermal::ThermalConfig;
+use hayat_thermal::{Integrator, ThermalConfig};
 use hayat_units::{Seconds, Years};
 use hayat_variation::VariationParams;
 use serde::{Deserialize, Serialize};
@@ -70,6 +70,13 @@ pub struct SimulationConfig {
     pub variation: VariationParams,
     /// Thermal model parameters.
     pub thermal: ThermalConfig,
+    /// Time-integration scheme for the transient windows: unconditionally
+    /// stable backward Euler (the default — one cached banded-Cholesky
+    /// solve per control period) or the explicit forward-Euler oracle used
+    /// for cross-validation. Defaults on deserialization too, so configs
+    /// and checkpoints written before this field existed load unchanged.
+    #[serde(default)]
+    pub integrator: Integrator,
     /// Power model parameters.
     pub power: PowerConfig,
     /// Aging-table sampling axes.
@@ -102,6 +109,7 @@ impl SimulationConfig {
             dtm_hysteresis_kelvin: 10.0,
             variation: VariationParams::paper(),
             thermal: ThermalConfig::paper(),
+            integrator: Integrator::BackwardEuler,
             power: PowerConfig::paper(),
             table_axes: TableAxes::paper(),
             sensors: None,
@@ -248,6 +256,39 @@ mod tests {
         c.mesh = (40, 40);
         assert_eq!(c.floorplan().core_count(), 1600); // 1 cell per core
         assert_eq!(c.floorplan().grid().cells_per_core(), 1);
+    }
+
+    #[test]
+    fn presets_default_to_backward_euler() {
+        assert_eq!(
+            SimulationConfig::paper(0.5).integrator,
+            Integrator::BackwardEuler
+        );
+        assert_eq!(
+            SimulationConfig::quick_demo().integrator,
+            Integrator::BackwardEuler
+        );
+    }
+
+    #[test]
+    fn configs_written_before_the_integrator_field_still_load() {
+        // Checkpoints and config files from older runs carry no
+        // `integrator` key; deserialization must default it.
+        let json = serde_json::to_string(&SimulationConfig::quick_demo()).unwrap();
+        let stripped = json.replace("\"integrator\":\"BackwardEuler\",", "");
+        assert_ne!(stripped, json, "the field must actually be stripped");
+        let restored: SimulationConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(restored.integrator, Integrator::BackwardEuler);
+        restored.assert_valid();
+    }
+
+    #[test]
+    fn integrator_round_trips_through_serde() {
+        let mut c = SimulationConfig::quick_demo();
+        c.integrator = Integrator::ForwardEuler;
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SimulationConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
     }
 
     #[test]

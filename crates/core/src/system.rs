@@ -137,7 +137,8 @@ impl ChipSystem {
         predictor: Arc<ThermalPredictor>,
         aging_table: Arc<AgingTable>,
     ) -> Self {
-        let transient = TransientSimulator::new(&floorplan, &config.thermal);
+        let transient =
+            TransientSimulator::with_integrator(&floorplan, &config.thermal, config.integrator);
         let health = HealthMap::fresh(floorplan.core_count());
         let budget = DarkSiliconBudget::new(floorplan.core_count(), config.dark_fraction);
         ChipSystem {

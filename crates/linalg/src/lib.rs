@@ -1,4 +1,4 @@
-//! Minimal dense linear algebra shared by the Hayat substrates.
+//! Minimal dense and banded linear algebra shared by the Hayat substrates.
 //!
 //! Two consumers drive the contents:
 //!
@@ -6,15 +6,23 @@
 //!   (≈ 1024 × 1024 for the paper's 8×8 chip with a 4×4 grid per core) and
 //!   multiplies the factor with Gaussian vectors ([`lower_mul_vec`]);
 //! * the **thermal** crate solves conductance systems `G·T = P`
-//!   ([`cholesky_solve`]) for exact steady-state temperature maps.
+//!   ([`cholesky_solve`]) for exact steady-state temperature maps, and
+//!   factorizes the backward-Euler system `(C/h + G)` of its implicit
+//!   transient integrator as a **banded** Cholesky ([`BandedSpdMatrix`],
+//!   [`BandedCholeskyFactor`]) so one transient step costs `O(n·b)` instead
+//!   of `O(n²)`.
 //!
 //! Only what those two need is provided; this is not a general-purpose
-//! linear-algebra library.
+//! linear-algebra library. The solver entry points come in an allocating
+//! flavor for one-off use and an `_into`/`_in_place` flavor
+//! ([`cholesky_solve_into`], [`BandedCholeskyFactor::solve_in_place`]) for
+//! hot loops that must not touch the allocator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::ops::Neg;
 
 /// Dense square matrix in row-major storage.
 ///
@@ -291,30 +299,409 @@ pub fn lower_mul_vec(l: &SquareMatrix, z: &[f64]) -> Vec<f64> {
 /// ```
 #[must_use]
 pub fn cholesky_solve(l: &SquareMatrix, b: &[f64]) -> Vec<f64> {
+    let mut x = vec![0.0; l.n()];
+    cholesky_solve_into(l, b, &mut x);
+    x
+}
+
+/// Allocation-free [`cholesky_solve`]: solves `L·Lᵀ·x = b` into a
+/// caller-owned buffer.
+///
+/// The intermediate forward-substitution result lives in `x` itself (the
+/// backward pass at row `i` only reads `x[i..]`, where `x[i]` still holds
+/// the forward result and `x[i+1..]` are final), so no scratch buffer is
+/// needed and the result is bit-identical to [`cholesky_solve`].
+///
+/// # Panics
+///
+/// Panics if `b.len()` or `x.len()` differ from `l.n()`, or if a diagonal
+/// entry of `l` is zero.
+pub fn cholesky_solve_into(l: &SquareMatrix, b: &[f64], x: &mut [f64]) {
     let n = l.n();
     assert_eq!(b.len(), n, "rhs length must match matrix size");
-    // Forward substitution: L·y = b.
-    let mut y = vec![0.0; n];
+    assert_eq!(x.len(), n, "solution buffer must match matrix size");
+    // Forward substitution: L·y = b, with y stored in x.
     for i in 0..n {
         let mut sum = b[i];
         let row = l.row(i);
         for k in 0..i {
-            sum -= row[k] * y[k];
+            sum -= row[k] * x[k];
         }
         let d = row[i];
         assert!(d != 0.0, "zero diagonal in Cholesky factor at {i}");
-        y[i] = sum / d;
+        x[i] = sum / d;
     }
-    // Backward substitution: Lᵀ·x = y.
-    let mut x = vec![0.0; n];
+    // Backward substitution: Lᵀ·x = y, in place.
     for i in (0..n).rev() {
-        let mut sum = y[i];
-        for (k, xk) in x.iter().enumerate().skip(i + 1) {
+        let mut sum = x[i];
+        for (k, &xk) in x.iter().enumerate().skip(i + 1) {
             sum -= l.get(k, i) * xk;
         }
         x[i] = sum / l.get(i, i);
     }
-    x
+}
+
+/// Fully in-place [`cholesky_solve`]: `x` holds the right-hand side on
+/// entry and the solution on return.
+///
+/// The forward pass at row `i` reads `x[i]` (still the untouched rhs entry)
+/// and `x[..i]` (already-computed forward results), so aliasing the rhs and
+/// solution buffers is sound and the result stays bit-identical to
+/// [`cholesky_solve`]. This is the zero-allocation primitive behind
+/// `RcNetwork::solve_steady_into` in the thermal crate.
+///
+/// # Panics
+///
+/// Panics if `x.len() != l.n()` or a diagonal entry of `l` is zero.
+pub fn cholesky_solve_in_place(l: &SquareMatrix, x: &mut [f64]) {
+    let n = l.n();
+    assert_eq!(x.len(), n, "rhs length must match matrix size");
+    // Forward substitution: L·y = b, overwriting b with y.
+    for i in 0..n {
+        let mut sum = x[i];
+        let row = l.row(i);
+        for k in 0..i {
+            sum -= row[k] * x[k];
+        }
+        let d = row[i];
+        assert!(d != 0.0, "zero diagonal in Cholesky factor at {i}");
+        x[i] = sum / d;
+    }
+    // Backward substitution: Lᵀ·x = y, in place.
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+            sum -= l.get(k, i) * xk;
+        }
+        x[i] = sum / l.get(i, i);
+    }
+}
+
+/// Symmetric positive-definite matrix with entries only within
+/// `half_bandwidth` of the diagonal, storing the lower band row by row.
+///
+/// Row `i` occupies `half_bandwidth + 1` contiguous slots holding
+/// `A[i][i-hb..=i]` (leading slots of the first rows are unused zeros), so
+/// factorization and substitution stream cache-contiguous row slices.
+///
+/// This is the shape of the thermal crate's backward-Euler system
+/// `(C/h + G)`: under a layer-interleaved node ordering the RC network's
+/// couplings stay within a band of three times the mesh column count.
+///
+/// # Example
+///
+/// ```
+/// use hayat_linalg::{BandedCholeskyFactor, BandedSpdMatrix};
+///
+/// let mut a = BandedSpdMatrix::zeros(3, 1);
+/// for i in 0..3 {
+///     a.set(i, i, 4.0);
+/// }
+/// a.set(1, 0, 1.0);
+/// a.set(2, 1, 1.0);
+/// let f = BandedCholeskyFactor::factorize(&a).unwrap();
+/// let mut x = [6.0, 6.0, 5.0];
+/// f.solve_in_place(&mut x);
+/// assert!((x[0] - 71.0 / 56.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandedSpdMatrix {
+    n: usize,
+    hb: usize,
+    /// Lower band, row-major: `rows[i*(hb+1) + (j + hb - i)] = A[i][j]`.
+    rows: Vec<f64>,
+}
+
+impl BandedSpdMatrix {
+    /// Creates an `n × n` zero matrix with the given half-bandwidth.
+    #[must_use]
+    pub fn zeros(n: usize, half_bandwidth: usize) -> Self {
+        BandedSpdMatrix {
+            n,
+            hb: half_bandwidth,
+            rows: vec![0.0; n * (half_bandwidth + 1)],
+        }
+    }
+
+    /// Side length of the matrix.
+    #[must_use]
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of sub-diagonals stored (equals the super-diagonal count by
+    /// symmetry).
+    #[must_use]
+    pub const fn half_bandwidth(&self) -> usize {
+        self.hb
+    }
+
+    fn slot(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.n && col <= row, "need col <= row < n");
+        assert!(
+            row - col <= self.hb,
+            "entry ({row},{col}) outside half-bandwidth {}",
+            self.hb
+        );
+        row * (self.hb + 1) + (col + self.hb - row)
+    }
+
+    /// Writes the lower-triangle entry `(row, col)` (and, implicitly, its
+    /// symmetric mirror).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `col <= row < n` and `row - col <= half_bandwidth`.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        let s = self.slot(row, col);
+        self.rows[s] = value;
+    }
+
+    /// Reads the lower-triangle entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`set`](Self::set).
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.rows[self.slot(row, col)]
+    }
+}
+
+/// Cholesky factor of a [`BandedSpdMatrix`], with both the lower band and
+/// its transpose stored row-major so forward *and* backward substitution
+/// stream contiguous memory.
+///
+/// A banded SPD matrix factorizes without fill outside the band, so the
+/// factor costs `O(n·b²)` to compute and `O(n·b)` per solve — the property
+/// the implicit thermal stepper's per-control-period solve relies on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandedCholeskyFactor {
+    n: usize,
+    hb: usize,
+    /// `lower[i*(hb+1) + (k + hb - i)] = L[i][k]` for `k` in `[i-hb, i]` —
+    /// the canonical factor.
+    lower: Vec<f64>,
+    /// Forward-pass operand: the transpose layout with every column scaled
+    /// by its pivot, `fwd[j*(hb+1) + (k - j)] = L[k][j]/L[j][j]`. Scaling
+    /// makes the substitution unit-diagonal, so the serial dependency chain
+    /// through the solve is one fused multiply-add per column instead of
+    /// multiply-add *plus* a pivot multiply.
+    fwd: Vec<f64>,
+    /// Backward-pass operand: `bwd[i*(hb+1) + (k + hb - i)] =
+    /// L[i][k]/L[k][k]` for `k < i` (unit-diagonal transposed rows).
+    bwd: Vec<f64>,
+    /// `1/L[i][i]²` — the LDLᵀ pivot reciprocal applied elementwise between
+    /// the two unit-diagonal passes.
+    inv_diag2: Vec<f64>,
+}
+
+impl BandedCholeskyFactor {
+    /// Factorizes `a = L·Lᵀ` within the band.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPositiveDefiniteError`] if a pivot is non-positive. No
+    /// diagonal jitter is attempted: the backward-Euler systems this serves
+    /// are strongly positive definite by construction (`C/h` adds to every
+    /// diagonal), so a breakdown indicates a caller bug, not conditioning.
+    pub fn factorize(a: &BandedSpdMatrix) -> Result<Self, NotPositiveDefiniteError> {
+        let (n, hb) = (a.n, a.hb);
+        let stride = hb + 1;
+        let mut lower = vec![0.0; n * stride];
+        for i in 0..n {
+            let j_lo = i.saturating_sub(hb);
+            for j in j_lo..=i {
+                let k_lo = j.saturating_sub(hb).max(j_lo);
+                let mut sum = a.rows[i * stride + (j + hb - i)];
+                // Dot product of two contiguous band-row slices.
+                let len = j - k_lo;
+                let ri = &lower[i * stride + (k_lo + hb - i)..][..len];
+                let rj = &lower[j * stride + (k_lo + hb - j)..][..len];
+                for (x, y) in ri.iter().zip(rj) {
+                    sum -= x * y;
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(NotPositiveDefiniteError { pivot: i });
+                    }
+                    lower[i * stride + hb] = sum.sqrt();
+                } else {
+                    lower[i * stride + (j + hb - i)] = sum / lower[j * stride + hb];
+                }
+            }
+        }
+        // Solve-path operands, derived from the canonical factor: the
+        // unit-diagonal (LDLᵀ-style) split `L·Lᵀ = L̃·D·L̃ᵀ` with
+        // `L̃[k][j] = L[k][j]/L[j][j]` and `D[j] = L[j][j]²` keeps pivot
+        // scalings out of the substitutions' serial dependency chains.
+        let inv_diag: Vec<f64> = (0..n).map(|i| 1.0 / lower[i * stride + hb]).collect();
+        let mut fwd = vec![0.0; n * stride];
+        for j in 0..n {
+            for k in j..(j + hb + 1).min(n) {
+                fwd[j * stride + (k - j)] = lower[k * stride + (j + hb - k)] * inv_diag[j];
+            }
+        }
+        let mut bwd = vec![0.0; n * stride];
+        for i in 0..n {
+            for k in i.saturating_sub(hb)..i {
+                bwd[i * stride + (k + hb - i)] = lower[i * stride + (k + hb - i)] * inv_diag[k];
+            }
+        }
+        let inv_diag2 = inv_diag.iter().map(|d| d * d).collect();
+        Ok(BandedCholeskyFactor {
+            n,
+            hb,
+            lower,
+            fwd,
+            bwd,
+            inv_diag2,
+        })
+    }
+
+    /// Side length of the factored matrix.
+    #[must_use]
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Half-bandwidth of the factored matrix.
+    #[must_use]
+    pub const fn half_bandwidth(&self) -> usize {
+        self.hb
+    }
+
+    /// Solves `L·Lᵀ·x = b` in place (`x` holds `b` on entry and the
+    /// solution on return), allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    pub fn solve_in_place(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "rhs length must match matrix size");
+        let hb = self.hb;
+        let stride = hb + 1;
+        // The solve runs as the unit-diagonal split U·D·Uᵀ (U unit lower): a forward
+        // scatter pass with pivot-scaled columns, one vectorized elementwise
+        // multiply by 1/L[i][i]², and a backward scatter pass. Scattering
+        // (column-oriented axpy) instead of row dot products keeps each
+        // update free of serial FP reduction chains, unit diagonals keep
+        // pivot multiplies off the cross-column dependency chain, and
+        // 4-column register blocking amortizes loop overhead and x traffic
+        // across four fused multiply-adds per pending entry. Remainder and
+        // boundary columns fall through to simple one-column loops.
+        //
+        // Forward: U·w = b, scaled columns stream from `fwd`.
+        let bulk = self.n.saturating_sub(hb);
+        let mut j = 0;
+        if hb >= 4 {
+            while j + 4 <= bulk {
+                let rows = &self.fwd[j * stride..][..4 * stride];
+                let (u0, rest) = rows.split_at(stride);
+                let (u1, rest) = rest.split_at(stride);
+                let (u2, u3) = rest.split_at(stride);
+                let nx0 = -x[j];
+                let nx1 = u0[1].mul_add(nx0, x[j + 1]).neg();
+                let nx2 = u1[1].mul_add(nx1, u0[2].mul_add(nx0, x[j + 2])).neg();
+                let nx3 = u2[1]
+                    .mul_add(nx2, u1[2].mul_add(nx1, u0[3].mul_add(nx0, x[j + 3])))
+                    .neg();
+                x[j + 1] = -nx1;
+                x[j + 2] = -nx2;
+                x[j + 3] = -nx3;
+                // Pending entries k = j+4 ..= j+hb see all four columns;
+                // the last three see a shrinking subset.
+                let (fused, bnd) = x[j + 4..j + hb + 4].split_at_mut(hb - 3);
+                for ((((x_k, a0), a1), a2), a3) in fused
+                    .iter_mut()
+                    .zip(&u0[4..])
+                    .zip(&u1[3..hb])
+                    .zip(&u2[2..hb - 1])
+                    .zip(&u3[1..hb - 2])
+                {
+                    *x_k = a3.mul_add(nx3, a2.mul_add(nx2, a1.mul_add(nx1, a0.mul_add(nx0, *x_k))));
+                }
+                bnd[0] =
+                    u3[hb - 2].mul_add(nx3, u2[hb - 1].mul_add(nx2, u1[hb].mul_add(nx1, bnd[0])));
+                bnd[1] = u3[hb - 1].mul_add(nx3, u2[hb].mul_add(nx2, bnd[1]));
+                bnd[2] = u3[hb].mul_add(nx3, bnd[2]);
+                j += 4;
+            }
+        }
+        for j in j..bulk {
+            let nxj = -x[j];
+            let col = &self.fwd[j * stride + 1..][..hb];
+            for (l_kj, x_k) in col.iter().zip(&mut x[j + 1..j + 1 + hb]) {
+                *x_k = l_kj.mul_add(nxj, *x_k);
+            }
+        }
+        for j in bulk..self.n {
+            let nxj = -x[j];
+            let col = &self.fwd[j * stride + 1..][..self.n - j - 1];
+            for (l_kj, x_k) in col.iter().zip(&mut x[j + 1..]) {
+                *x_k = l_kj.mul_add(nxj, *x_k);
+            }
+        }
+        // Diagonal: v = D⁻¹·w.
+        for (x_i, s) in x.iter_mut().zip(&self.inv_diag2) {
+            *x_i *= s;
+        }
+        // Backward: Uᵀ·x = v, scaled transposed rows stream from `bwd`.
+        let mut rows_left = self.n;
+        if hb >= 4 {
+            while rows_left >= hb + 4 {
+                let r = rows_left - 1;
+                let rows = &self.bwd[(r - 3) * stride..][..4 * stride];
+                let (l3, rest) = rows.split_at(stride);
+                let (l2, rest) = rest.split_at(stride);
+                let (l1, l0) = rest.split_at(stride);
+                let nx0 = -x[r];
+                let nx1 = l0[hb - 1].mul_add(nx0, x[r - 1]).neg();
+                let nx2 = l1[hb - 1]
+                    .mul_add(nx1, l0[hb - 2].mul_add(nx0, x[r - 2]))
+                    .neg();
+                let nx3 = l2[hb - 1]
+                    .mul_add(
+                        nx2,
+                        l1[hb - 2].mul_add(nx1, l0[hb - 3].mul_add(nx0, x[r - 3])),
+                    )
+                    .neg();
+                x[r - 1] = -nx1;
+                x[r - 2] = -nx2;
+                x[r - 3] = -nx3;
+                // Pending entries k = r-hb ..= r-4 see all four rows; the
+                // first three see a shrinking subset.
+                let (bnd, fused) = x[r - hb - 3..r - 3].split_at_mut(3);
+                for ((((x_k, a0), a1), a2), a3) in fused
+                    .iter_mut()
+                    .zip(&l0[..hb - 3])
+                    .zip(&l1[1..hb - 2])
+                    .zip(&l2[2..hb - 1])
+                    .zip(&l3[3..hb])
+                {
+                    *x_k = a3.mul_add(nx3, a2.mul_add(nx2, a1.mul_add(nx1, a0.mul_add(nx0, *x_k))));
+                }
+                bnd[2] = l3[2].mul_add(nx3, l2[1].mul_add(nx2, l1[0].mul_add(nx1, bnd[2])));
+                bnd[1] = l3[1].mul_add(nx3, l2[0].mul_add(nx2, bnd[1]));
+                bnd[0] = l3[0].mul_add(nx3, bnd[0]);
+                rows_left -= 4;
+            }
+        }
+        for i in (hb.min(rows_left)..rows_left).rev() {
+            let nxi = -x[i];
+            let row = &self.bwd[i * stride..][..hb];
+            for (l_ik, x_k) in row.iter().zip(&mut x[i - hb..i]) {
+                *x_k = l_ik.mul_add(nxi, *x_k);
+            }
+        }
+        for i in (0..hb.min(rows_left)).rev() {
+            let nxi = -x[i];
+            let row = &self.bwd[i * stride + (hb - i)..][..i];
+            for (l_ik, x_k) in row.iter().zip(&mut x[..i]) {
+                *x_k = l_ik.mul_add(nxi, *x_k);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -456,5 +843,148 @@ mod tests {
     fn cholesky_solve_checks_length() {
         let l = cholesky(&SquareMatrix::identity(3)).unwrap();
         let _ = cholesky_solve(&l, &[1.0]);
+    }
+
+    #[test]
+    fn solve_into_is_bit_identical_to_solve() {
+        let a = spd3();
+        let l = cholesky(&a).unwrap();
+        let b = [3.5, -1.25, 7.0];
+        let reference = cholesky_solve(&l, &b);
+        let mut x = vec![0.0; 3];
+        cholesky_solve_into(&l, &b, &mut x);
+        assert_eq!(x, reference, "in-place solve must not perturb a bit");
+    }
+
+    #[test]
+    fn solve_in_place_is_bit_identical_to_solve() {
+        let a = spd3();
+        let l = cholesky(&a).unwrap();
+        let b = [3.5, -1.25, 7.0];
+        let reference = cholesky_solve(&l, &b);
+        let mut x = b.to_vec();
+        cholesky_solve_in_place(&l, &mut x);
+        assert_eq!(x, reference, "aliased solve must not perturb a bit");
+    }
+
+    #[test]
+    #[should_panic(expected = "solution buffer")]
+    fn solve_into_checks_output_length() {
+        let l = cholesky(&SquareMatrix::identity(3)).unwrap();
+        let mut x = vec![0.0; 2];
+        cholesky_solve_into(&l, &[1.0, 2.0, 3.0], &mut x);
+    }
+
+    /// A deterministic diagonally dominant banded SPD test matrix.
+    fn banded_case(n: usize, hb: usize) -> (BandedSpdMatrix, SquareMatrix) {
+        let mut banded = BandedSpdMatrix::zeros(n, hb);
+        let mut dense = SquareMatrix::zeros(n);
+        for i in 0..n {
+            let mut diag = 1.0;
+            for j in i.saturating_sub(hb)..i {
+                let v = 0.3 / (1.0 + (i - j) as f64) * ((i * 7 + j * 3) % 5 + 1) as f64 * 0.2;
+                banded.set(i, j, v);
+                dense.set(i, j, v);
+                dense.set(j, i, v);
+                diag += v.abs();
+            }
+            // Make strictly diagonally dominant (counting upper couplings too).
+            diag += hb as f64;
+            banded.set(i, i, diag);
+            dense.set(i, i, diag);
+        }
+        (banded, dense)
+    }
+
+    #[test]
+    fn banded_factor_matches_dense_factor() {
+        let (banded, dense) = banded_case(17, 3);
+        let bf = BandedCholeskyFactor::factorize(&banded).unwrap();
+        let df = cholesky(&dense).unwrap();
+        assert_eq!(bf.n(), 17);
+        assert_eq!(bf.half_bandwidth(), 3);
+        for i in 0usize..17 {
+            for j in i.saturating_sub(3)..=i {
+                assert!(
+                    (banded.get(i, j) - dense.get(i, j)).abs() < 1e-15,
+                    "storage mismatch at ({i},{j})"
+                );
+                let got = bf.lower[i * 4 + (j + 3 - i)];
+                assert!(
+                    (got - df.get(i, j)).abs() < 1e-12,
+                    "L[{i}][{j}]: banded {got} vs dense {}",
+                    df.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn banded_solve_matches_dense_solve() {
+        let (banded, dense) = banded_case(31, 5);
+        let bf = BandedCholeskyFactor::factorize(&banded).unwrap();
+        let df = cholesky(&dense).unwrap();
+        let b: Vec<f64> = (0..31).map(|i| (i as f64 * 0.7).sin() * 4.0).collect();
+        let reference = cholesky_solve(&df, &b);
+        let mut x = b.clone();
+        bf.solve_in_place(&mut x);
+        for (got, want) in x.iter().zip(&reference) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn banded_solve_recovers_known_solution() {
+        let (banded, dense) = banded_case(24, 4);
+        let x_true: Vec<f64> = (0..24).map(|i| (i as f64) - 11.5).collect();
+        let b = dense.mul_vec(&x_true);
+        let bf = BandedCholeskyFactor::factorize(&banded).unwrap();
+        let mut x = b;
+        bf.solve_in_place(&mut x);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn banded_zero_half_bandwidth_is_diagonal_solve() {
+        let mut a = BandedSpdMatrix::zeros(4, 0);
+        for i in 0..4 {
+            a.set(i, i, (i + 1) as f64);
+        }
+        let f = BandedCholeskyFactor::factorize(&a).unwrap();
+        let mut x = [2.0, 2.0, 3.0, 8.0];
+        f.solve_in_place(&mut x);
+        for (got, want) in x.iter().zip(&[2.0, 1.0, 1.0, 2.0]) {
+            assert!((got - want).abs() < 1e-15, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn banded_rejects_indefinite() {
+        let mut a = BandedSpdMatrix::zeros(2, 1);
+        a.set(0, 0, 1.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 1.0); // eigenvalues 3 and -1
+        let err = BandedCholeskyFactor::factorize(&a).unwrap_err();
+        assert_eq!(err.pivot, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside half-bandwidth")]
+    fn banded_set_rejects_out_of_band() {
+        let mut a = BandedSpdMatrix::zeros(4, 1);
+        a.set(3, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length")]
+    fn banded_solve_checks_length() {
+        let mut a = BandedSpdMatrix::zeros(2, 0);
+        a.set(0, 0, 1.0);
+        a.set(1, 1, 1.0);
+        let f = BandedCholeskyFactor::factorize(&a).unwrap();
+        let mut x = [1.0];
+        f.solve_in_place(&mut x);
     }
 }

@@ -19,8 +19,11 @@
 //!
 //! * [`steady_state`] — the equilibrium temperature map for a constant power
 //!   vector (Fig. 2 d/g/k/n of the paper),
-//! * [`TransientSimulator`] — explicit time integration for the closed-loop
-//!   fine-grained simulation inside an aging epoch (Fig. 4),
+//! * [`TransientSimulator`] — time integration for the closed-loop
+//!   fine-grained simulation inside an aging epoch (Fig. 4), with a
+//!   selectable [`Integrator`]: unconditionally stable backward Euler
+//!   (one cached banded Cholesky solve per control period) or the
+//!   explicit forward-Euler oracle,
 //! * [`ThermalPredictor`] — the paper's lightweight online predictor (\[27\]):
 //!   offline-learned per-thread spatial thermal footprints, superposed at
 //!   run time with a temperature-dependent-leakage correction.
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod integrator;
 mod predictor;
 mod profile;
 mod rc_model;
@@ -52,6 +56,7 @@ mod steady;
 mod transient;
 
 pub use crate::config::ThermalConfig;
+pub use crate::integrator::Integrator;
 pub use crate::predictor::{PredictorModel, ThermalPredictor, ThreadFootprint};
 pub use crate::profile::TemperatureMap;
 pub use crate::rc_model::RcNetwork;

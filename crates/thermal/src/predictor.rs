@@ -169,15 +169,18 @@ impl ThermalPredictor {
         let rises = match model {
             PredictorModel::ResponseMatrix => {
                 let network = crate::rc_model::RcNetwork::new(floorplan, config);
+                // One injection buffer and one solution buffer serve all `n`
+                // unit-power solves: after the first source the learning loop
+                // never touches the allocator except to store the rise rows.
+                let mut injection = vec![0.0; network.node_count()];
+                let mut temps = Vec::new();
+                let ambient = config.ambient.value();
                 (0..n)
                     .map(|src| {
-                        let mut power = vec![Watts::new(0.0); n];
-                        power[src] = Watts::new(1.0);
-                        let temps = crate::steady::steady_state_on(&network, &power);
-                        floorplan
-                            .cores()
-                            .map(|c| temps.core(c) - config.ambient)
-                            .collect()
+                        injection[src] = 1.0;
+                        network.solve_steady_into(&injection, &mut temps);
+                        injection[src] = 0.0;
+                        temps[..n].iter().map(|&t| t - ambient).collect()
                     })
                     .collect()
             }
@@ -249,6 +252,12 @@ impl ThermalPredictor {
             "floorplan must match learned predictor"
         );
         let mut temps = vec![self.ambient.value(); n];
+        self.superpose(core_power, &mut temps);
+        TemperatureMap::new(temps.into_iter().map(Kelvin::new).collect())
+    }
+
+    /// Adds `Σ power[src] · rises[src]` onto `temps`, skipping zero sources.
+    fn superpose(&self, core_power: &[Watts], temps: &mut [f64]) {
         for (src, p) in core_power.iter().enumerate() {
             let w = p.value();
             if w == 0.0 {
@@ -259,16 +268,21 @@ impl ThermalPredictor {
                 *t += w * r;
             }
         }
-        TemperatureMap::new(temps.into_iter().map(Kelvin::new).collect())
     }
 
     /// Predicts with a one-shot temperature-dependent-leakage correction:
-    /// first superposes the supplied power, then asks `leakage_at` for the
-    /// extra leakage each core dissipates at the predicted temperature and
-    /// superposes that too.
+    /// superposes the supplied power, asks `leakage_at` for the extra
+    /// leakage each core dissipates at the predicted temperature, and
+    /// superposes only the non-zero leakage *deltas* onto the base map.
     ///
     /// `leakage_at(core, predicted_t)` must return only the *additional*
-    /// leakage relative to what `core_power` already contains.
+    /// leakage relative to what `core_power` already contains. It is called
+    /// exactly once per core, in core order.
+    ///
+    /// Superposing the deltas instead of re-predicting from the corrected
+    /// power vector halves the online cost (the base sources are walked
+    /// once, not twice); by linearity the result differs from the
+    /// two-superposition form only by floating-point regrouping (≲ 1e-12 K).
     ///
     /// # Panics
     ///
@@ -283,16 +297,24 @@ impl ThermalPredictor {
     where
         F: FnMut(CoreId, Kelvin) -> Watts,
     {
-        let base = self.predict(floorplan, core_power);
-        let corrected: Vec<Watts> = core_power
+        let n = self.rises.len();
+        assert_eq!(core_power.len(), n, "power vector must cover every core");
+        assert_eq!(
+            floorplan.core_count(),
+            n,
+            "floorplan must match learned predictor"
+        );
+        let mut temps = vec![self.ambient.value(); n];
+        self.superpose(core_power, &mut temps);
+        // Gather every delta first so `leakage_at` observes the *base*
+        // prediction at every core (not one partially corrected in place).
+        let deltas: Vec<Watts> = temps
             .iter()
             .enumerate()
-            .map(|(i, &p)| {
-                let core = CoreId::new(i);
-                p + leakage_at(core, base.core(core))
-            })
+            .map(|(i, &t)| leakage_at(CoreId::new(i), Kelvin::new(t)))
             .collect();
-        self.predict(floorplan, &corrected)
+        self.superpose(&deltas, &mut temps);
+        TemperatureMap::new(temps.into_iter().map(Kelvin::new).collect())
     }
 }
 
@@ -408,6 +430,74 @@ mod tests {
         });
         for core in fp.cores() {
             assert!(corrected.core(core) >= base.core(core));
+        }
+    }
+
+    #[test]
+    fn delta_superposition_matches_the_two_pass_form() {
+        // The optimised path (base map + nonzero leakage deltas) must agree
+        // with the original semantics — re-predicting from the corrected
+        // power vector — up to floating-point regrouping.
+        let (fp, _, pred) = setup();
+        let mut power = vec![Watts::new(0.019); 64];
+        for i in (0..64).step_by(3) {
+            power[i] = Watts::new(6.5);
+        }
+        let leak = |_: CoreId, t: Kelvin| Watts::new(0.012 * (t - pred.ambient).max(0.0));
+        let fast = pred.predict_with_leakage(&fp, &power, leak);
+        // Reference: the two-superposition form, built by hand.
+        let base = pred.predict(&fp, &power);
+        let corrected: Vec<Watts> = power
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let core = CoreId::new(i);
+                p + leak(core, base.core(core))
+            })
+            .collect();
+        let reference = pred.predict(&fp, &corrected);
+        for core in fp.cores() {
+            let err = (fast.core(core) - reference.core(core)).abs();
+            assert!(
+                err < 1e-12,
+                "core {core}: fast {} vs reference {}",
+                fast.core(core),
+                reference.core(core)
+            );
+        }
+    }
+
+    #[test]
+    fn leakage_callback_sees_the_base_prediction_once_per_core() {
+        let (fp, _, pred) = setup();
+        let mut power = vec![Watts::new(0.0); 64];
+        power[20] = Watts::new(6.0);
+        let base = pred.predict(&fp, &power);
+        let mut calls = Vec::new();
+        let _ = pred.predict_with_leakage(&fp, &power, |core, t| {
+            calls.push((core, t));
+            Watts::new(0.5)
+        });
+        assert_eq!(calls.len(), 64, "exactly one call per core");
+        for (i, &(core, t)) in calls.iter().enumerate() {
+            assert_eq!(core, CoreId::new(i), "calls arrive in core order");
+            assert_eq!(t, base.core(core), "callback sees the base map");
+        }
+    }
+
+    #[test]
+    fn zero_leakage_deltas_leave_the_base_map_bit_identical() {
+        let (fp, _, pred) = setup();
+        let mut power = vec![Watts::new(0.019); 64];
+        power[33] = Watts::new(7.0);
+        let base = pred.predict(&fp, &power);
+        let with = pred.predict_with_leakage(&fp, &power, |_, _| Watts::new(0.0));
+        for core in fp.cores() {
+            assert_eq!(
+                with.core(core),
+                base.core(core),
+                "zero deltas must not perturb core {core}"
+            );
         }
     }
 

@@ -2,7 +2,7 @@
 
 use crate::config::ThermalConfig;
 use hayat_floorplan::Floorplan;
-use hayat_linalg::{cholesky, SquareMatrix};
+use hayat_linalg::{cholesky, BandedSpdMatrix, SquareMatrix};
 use hayat_units::{Kelvin, Watts};
 
 /// One edge of the conductance graph.
@@ -165,12 +165,82 @@ impl RcNetwork {
     /// Exact steady-state node temperatures for a per-node injection vector:
     /// solves `G·T = P + G_amb·T_amb` through the cached factorization.
     pub fn solve_steady(&self, injection: &[f64]) -> Vec<f64> {
-        let rhs: Vec<f64> = injection
+        let mut out = Vec::new();
+        self.solve_steady_into(injection, &mut out);
+        out
+    }
+
+    /// Allocation-free [`solve_steady`](Self::solve_steady): the right-hand
+    /// side is assembled directly into `out` and solved in place, so a
+    /// caller that reuses `out` (predictor learning does one solve per
+    /// source core) never touches the allocator after the first call.
+    /// Results are bit-identical to [`solve_steady`](Self::solve_steady).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `injection.len() != node_count()`.
+    pub fn solve_steady_into(&self, injection: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(
+            injection.len(),
+            self.node_count(),
+            "injection must cover every RC node"
+        );
+        out.clear();
+        out.extend(
+            injection
+                .iter()
+                .zip(&self.g_ambient)
+                .map(|(&p, &ga)| p + ga * self.ambient.value()),
+        );
+        hayat_linalg::cholesky_solve_in_place(&self.factor, out);
+    }
+
+    /// Conductance to ambient of node `i`, W/K (non-zero only for sink
+    /// cells).
+    pub(crate) fn g_ambient(&self, i: usize) -> f64 {
+        self.g_ambient[i]
+    }
+
+    /// Banded (layer-interleaved) index of RC node `i`: node `layer·N +
+    /// core` maps to `3·core + layer`, which keeps every coupling of the
+    /// three stacked core meshes within `3·mesh-neighbour-stride` of the
+    /// diagonal — the ordering that makes the backward-Euler system banded.
+    pub(crate) fn banded_index(&self, node: usize) -> usize {
+        (node % self.cores) * 3 + node / self.cores
+    }
+
+    /// Assembles the backward-Euler system `(C/h + G)` of one implicit
+    /// step of size `h`, in banded layer-interleaved ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `h` is positive and finite.
+    pub(crate) fn implicit_system(&self, h: f64) -> BandedSpdMatrix {
+        assert!(h.is_finite() && h > 0.0, "step size must be positive");
+        let hb = self
+            .edges
             .iter()
-            .zip(&self.g_ambient)
-            .map(|(&p, &ga)| p + ga * self.ambient.value())
-            .collect();
-        hayat_linalg::cholesky_solve(&self.factor, &rhs)
+            .enumerate()
+            .flat_map(|(i, es)| {
+                es.iter()
+                    .map(move |e| self.banded_index(i).abs_diff(self.banded_index(e.other)))
+            })
+            .max()
+            .unwrap_or(0);
+        let mut m = BandedSpdMatrix::zeros(self.node_count(), hb);
+        for (i, node_edges) in self.edges.iter().enumerate() {
+            let bi = self.banded_index(i);
+            let mut diag = self.g_ambient[i] + self.capacitance[i] / h;
+            for e in node_edges {
+                diag += e.g;
+                let bj = self.banded_index(e.other);
+                if bj < bi {
+                    m.set(bi, bj, -e.g);
+                }
+            }
+            m.set(bi, bi, diag);
+        }
+        m
     }
 
     /// Net heat flow into node `i` at the given node temperatures, W.
@@ -299,5 +369,62 @@ mod tests {
     #[should_panic(expected = "every core")]
     fn injection_checks_length() {
         let _ = net().injection(&[Watts::new(1.0)]);
+    }
+
+    #[test]
+    fn solve_steady_into_is_bit_identical_and_reusable() {
+        let n = net();
+        let mut power = vec![Watts::new(0.019); 64];
+        power[9] = Watts::new(7.0);
+        let injection = n.injection(&power);
+        let reference = n.solve_steady(&injection);
+        let mut buf = vec![999.0; 7]; // wrong size and stale contents
+        n.solve_steady_into(&injection, &mut buf);
+        assert_eq!(buf, reference);
+        // Reuse with a different load must fully overwrite the buffer.
+        let idle = n.injection(&vec![Watts::new(0.0); 64]);
+        n.solve_steady_into(&idle, &mut buf);
+        assert_eq!(buf, n.solve_steady(&idle));
+    }
+
+    #[test]
+    fn banded_index_is_a_permutation() {
+        let n = net();
+        let mut seen = vec![false; n.node_count()];
+        for i in 0..n.node_count() {
+            let b = n.banded_index(i);
+            assert!(!seen[b], "banded index {b} hit twice");
+            seen[b] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn implicit_system_bandwidth_is_three_times_the_mesh_stride() {
+        // 8×8 mesh: column neighbours are 8 cores apart, so the interleaved
+        // ordering puts every coupling within 3·8 = 24 of the diagonal.
+        let m = net().implicit_system(0.0066);
+        assert_eq!(m.n(), 192);
+        assert_eq!(m.half_bandwidth(), 24);
+    }
+
+    #[test]
+    fn implicit_system_diagonal_exceeds_conductance_by_c_over_h() {
+        let n = net();
+        let h = 0.01;
+        let m = n.implicit_system(h);
+        // Silicon node 0 (banded index 0): diag = ΣG + g_amb + C/h.
+        let g_total: f64 = n.edges[0].iter().map(|e| e.g).sum();
+        let expect = g_total + n.g_ambient(0) + n.capacity(0) / h;
+        assert!((m.get(0, 0) - expect).abs() < 1e-12);
+        // Off-diagonal: silicon 0 ↔ spreader 64 are banded 0 and 1.
+        let g_vert = 1.0 / ThermalConfig::paper().r_si_spreader;
+        assert!((m.get(1, 0) + g_vert).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "step size")]
+    fn implicit_system_rejects_zero_step() {
+        let _ = net().implicit_system(0.0);
     }
 }

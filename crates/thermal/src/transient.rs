@@ -1,12 +1,31 @@
 //! Transient (time-domain) thermal integration.
 
 use crate::config::ThermalConfig;
+use crate::integrator::Integrator;
 use crate::profile::TemperatureMap;
 use crate::rc_model::RcNetwork;
 use hayat_floorplan::Floorplan;
+use hayat_linalg::BandedCholeskyFactor;
 use hayat_telemetry::{Recorder, RecorderExt, NULL_RECORDER};
 use hayat_units::{Kelvin, Seconds, Watts};
 use serde::{Deserialize, Serialize};
+
+/// Upper bound on cached backward-Euler factorizations. Real workloads use
+/// one or two distinct step sizes (the control period, plus possibly a
+/// settle window); the cap only guards against a caller sweeping step sizes.
+const MAX_CACHED_FACTORS: usize = 8;
+
+/// One cached backward-Euler factorization, keyed by the exact bit pattern
+/// of the step size it was assembled for.
+#[derive(Debug, Clone)]
+struct ImplicitFactor {
+    /// `f64::to_bits` of the step size `h`.
+    h_bits: u64,
+    /// Banded Cholesky factor of `(C/h + G)` in layer-interleaved order.
+    factor: BandedCholeskyFactor,
+    /// `C_i/h` per node, banded order (precomputed rhs coefficients).
+    c_over_h: Vec<f64>,
+}
 
 /// The complete mutable state of a [`TransientSimulator`], detached from
 /// the (immutable, config-derived) RC network: every node temperature —
@@ -22,7 +41,8 @@ pub struct TransientSnapshot {
     pub elapsed_seconds: f64,
 }
 
-/// Explicit-Euler transient simulator over the RC network.
+/// Transient simulator over the RC network with a selectable
+/// [`Integrator`].
 ///
 /// This is the "fine-grained thermal simulation cycle" of the paper's
 /// accelerated-aging loop (Fig. 4): within an aging epoch the run-time
@@ -30,19 +50,28 @@ pub struct TransientSnapshot {
 /// checks DTM triggers, and records worst-case temperatures for the aging
 /// upscale.
 ///
-/// Requested steps are internally subdivided into numerically stable
-/// sub-steps, so callers can simply advance by their control period (the
-/// paper's temperature-dependent-leakage update period is 6.6 ms).
+/// Under [`Integrator::ForwardEuler`] requested steps are internally
+/// subdivided into numerically stable sub-steps; under
+/// [`Integrator::BackwardEuler`] each requested step is one banded
+/// Cholesky solve of `(C/h + G)` whose factorization is cached per step
+/// size, so advancing by the paper's 6.6 ms control period costs a single
+/// `O(n·b)` substitution regardless of the network's stiffness.
+///
+/// [`TransientSimulator::new`] builds the **explicit** oracle (preserving
+/// the original scheme for cross-validation); production callers select
+/// the integrator with [`TransientSimulator::with_integrator`] — the
+/// engine's `SimulationConfig` defaults to backward Euler.
 ///
 /// # Example
 ///
 /// ```
 /// use hayat_floorplan::Floorplan;
-/// use hayat_thermal::{ThermalConfig, TransientSimulator};
+/// use hayat_thermal::{Integrator, ThermalConfig, TransientSimulator};
 /// use hayat_units::{Seconds, Watts};
 ///
 /// let fp = Floorplan::paper_8x8();
-/// let mut sim = TransientSimulator::new(&fp, &ThermalConfig::paper());
+/// let cfg = ThermalConfig::paper();
+/// let mut sim = TransientSimulator::with_integrator(&fp, &cfg, Integrator::BackwardEuler);
 /// let power = vec![Watts::new(4.0); fp.core_count()];
 /// sim.step(Seconds::new(0.0066), &power);
 /// assert!(sim.temperatures().mean() > sim.ambient());
@@ -53,23 +82,70 @@ pub struct TransientSimulator {
     /// Per-node temperatures (silicon, spreader, sink), kelvin.
     node_temps: Vec<f64>,
     elapsed: f64,
+    integrator: Integrator,
+    /// RC node index per banded (layer-interleaved) position.
+    node_of_banded: Vec<usize>,
+    /// `G_amb·T_amb` per node, banded order (h-independent rhs part).
+    ambient_rhs: Vec<f64>,
+    /// Cached backward-Euler factorizations, one per step size seen.
+    factors: Vec<ImplicitFactor>,
+    /// Reusable rhs/solution buffer for the implicit solve, banded order.
+    scratch: Vec<f64>,
 }
 
 impl TransientSimulator {
-    /// Creates a simulator with every node at ambient temperature.
+    /// Creates a simulator with every node at ambient temperature, using
+    /// the **explicit forward-Euler oracle**. Production callers should
+    /// prefer [`with_integrator`](Self::with_integrator) with
+    /// [`Integrator::BackwardEuler`].
     ///
     /// # Panics
     ///
     /// Panics if `config` is invalid (see [`ThermalConfig::assert_valid`]).
     #[must_use]
     pub fn new(floorplan: &Floorplan, config: &ThermalConfig) -> Self {
+        TransientSimulator::with_integrator(floorplan, config, Integrator::ForwardEuler)
+    }
+
+    /// Creates a simulator with every node at ambient temperature, stepping
+    /// with the given integrator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`ThermalConfig::assert_valid`]).
+    #[must_use]
+    pub fn with_integrator(
+        floorplan: &Floorplan,
+        config: &ThermalConfig,
+        integrator: Integrator,
+    ) -> Self {
         let network = RcNetwork::new(floorplan, config);
-        let node_temps = vec![network.ambient().value(); network.node_count()];
+        let node_count = network.node_count();
+        let node_temps = vec![network.ambient().value(); node_count];
+        let mut node_of_banded = vec![0usize; node_count];
+        for node in 0..node_count {
+            node_of_banded[network.banded_index(node)] = node;
+        }
+        let ambient_rhs = node_of_banded
+            .iter()
+            .map(|&node| network.g_ambient(node) * network.ambient().value())
+            .collect();
         TransientSimulator {
             network,
             node_temps,
             elapsed: 0.0,
+            integrator,
+            node_of_banded,
+            ambient_rhs,
+            factors: Vec::new(),
+            scratch: vec![0.0; node_count],
         }
+    }
+
+    /// The integration scheme this simulator steps with.
+    #[must_use]
+    pub const fn integrator(&self) -> Integrator {
+        self.integrator
     }
 
     /// Creates a simulator starting from a given per-core temperature map
@@ -116,7 +192,9 @@ impl TransientSimulator {
     }
 
     /// Advances the thermal state by `dt` under a constant per-core power
-    /// vector, subdividing into stable sub-steps internally.
+    /// vector: one backward-Euler solve under [`Integrator::BackwardEuler`],
+    /// or internal subdivision into stable sub-steps under
+    /// [`Integrator::ForwardEuler`].
     ///
     /// # Panics
     ///
@@ -127,23 +205,43 @@ impl TransientSimulator {
 
     /// [`step`](Self::step) with solver telemetry: a
     /// `thermal.transient.step` span around the solve and a
-    /// `thermal.transient.substeps` histogram of the stable sub-step count.
+    /// `thermal.transient.substeps` histogram of the linear-solve /
+    /// sub-step count (always 1 per non-empty step under backward Euler;
+    /// the stability-bounded subdivision count under forward Euler).
     ///
     /// # Panics
     ///
     /// Same conditions as [`step`](Self::step).
     pub fn step_recorded(&mut self, dt: Seconds, core_power: &[Watts], recorder: &dyn Recorder) {
         let _solve = recorder.span("thermal.transient.step");
-        let injection = self.network.injection(core_power);
-        let mut remaining = dt.value();
-        let max_step = self.network.stable_step();
-        let mut substeps: u64 = 0;
-        while remaining > 0.0 {
-            let h = remaining.min(max_step);
-            self.euler_step(h, &injection);
-            remaining -= h;
-            substeps += 1;
-        }
+        let substeps = match self.integrator {
+            Integrator::ForwardEuler => {
+                let injection = self.network.injection(core_power);
+                let mut remaining = dt.value();
+                let max_step = self.network.stable_step();
+                let mut substeps: u64 = 0;
+                while remaining > 0.0 {
+                    let h = remaining.min(max_step);
+                    self.euler_step(h, &injection);
+                    remaining -= h;
+                    substeps += 1;
+                }
+                substeps
+            }
+            Integrator::BackwardEuler => {
+                assert_eq!(
+                    core_power.len(),
+                    self.network.core_count(),
+                    "power vector must cover every core"
+                );
+                if dt.value() > 0.0 {
+                    self.implicit_step(dt.value(), core_power);
+                    1
+                } else {
+                    0
+                }
+            }
+        };
         self.elapsed += dt.value();
         if recorder.enabled() {
             recorder.histogram("thermal.transient.substeps", substeps as f64);
@@ -161,6 +259,56 @@ impl TransientSimulator {
             *next_t += h * flow / self.network.capacity(i);
         }
         self.node_temps = next;
+    }
+
+    /// One backward-Euler step of size `h`: solves
+    /// `(C/h + G)·T' = (C/h)·T + P + G_amb·T_amb` through the cached banded
+    /// factorization for `h`. Unconditionally stable, allocation-free after
+    /// the first step at a given `h`.
+    fn implicit_step(&mut self, h: f64, core_power: &[Watts]) {
+        let idx = self.ensure_factor(h);
+        let cores = self.network.core_count();
+        let entry = &self.factors[idx];
+        for (k, &node) in self.node_of_banded.iter().enumerate() {
+            let injection = if node < cores {
+                core_power[node].value()
+            } else {
+                0.0
+            };
+            self.scratch[k] =
+                entry.c_over_h[k] * self.node_temps[node] + self.ambient_rhs[k] + injection;
+        }
+        entry.factor.solve_in_place(&mut self.scratch);
+        for (k, &node) in self.node_of_banded.iter().enumerate() {
+            self.node_temps[node] = self.scratch[k];
+        }
+    }
+
+    /// Index of the cached factorization for step size `h`, assembling and
+    /// factorizing `(C/h + G)` on first use (cache keyed by the exact bit
+    /// pattern of `h`, bounded by [`MAX_CACHED_FACTORS`]).
+    fn ensure_factor(&mut self, h: f64) -> usize {
+        let h_bits = h.to_bits();
+        if let Some(i) = self.factors.iter().position(|f| f.h_bits == h_bits) {
+            return i;
+        }
+        let system = self.network.implicit_system(h);
+        let factor = BandedCholeskyFactor::factorize(&system)
+            .expect("backward-Euler system (C/h + G) is positive definite");
+        let c_over_h = self
+            .node_of_banded
+            .iter()
+            .map(|&node| self.network.capacity(node) / h)
+            .collect();
+        if self.factors.len() >= MAX_CACHED_FACTORS {
+            self.factors.remove(0);
+        }
+        self.factors.push(ImplicitFactor {
+            h_bits,
+            factor,
+            c_over_h,
+        });
+        self.factors.len() - 1
     }
 
     /// Captures the simulator's complete mutable state for checkpointing.
@@ -440,6 +588,125 @@ mod tests {
             "converged residual {residual} over tolerance"
         );
         assert!(s.histogram("thermal.transient.settle_windows").is_some());
+    }
+
+    #[test]
+    fn implicit_converges_to_the_steady_state_fixed_point() {
+        let (fp, cfg) = setup();
+        let mut power = vec![Watts::new(0.019); 64];
+        for i in (0..64).step_by(3) {
+            power[i] = Watts::new(6.5);
+        }
+        let target = steady_state(&fp, &cfg, &power);
+        let mut sim = TransientSimulator::with_integrator(&fp, &cfg, Integrator::BackwardEuler);
+        sim.settle(&power, Seconds::new(0.25), 1e-4, Seconds::new(200.0));
+        let got = sim.temperatures();
+        for core in fp.cores() {
+            let err = (got.core(core) - target.core(core)).abs();
+            assert!(
+                err < 0.05,
+                "core {core}: implicit {} vs steady {}",
+                got.core(core),
+                target.core(core)
+            );
+        }
+    }
+
+    #[test]
+    fn implicit_tracks_the_explicit_oracle() {
+        // Over a full transient window at the paper's control period the
+        // two first-order schemes bracket the true trajectory; they must
+        // stay within a small fraction of the total temperature rise.
+        let (fp, cfg) = setup();
+        let mut power = vec![Watts::new(0.019); 64];
+        for i in (0..64).step_by(5) {
+            power[i] = Watts::new(7.0);
+        }
+        let mut explicit = TransientSimulator::new(&fp, &cfg);
+        let mut implicit =
+            TransientSimulator::with_integrator(&fp, &cfg, Integrator::BackwardEuler);
+        for _ in 0..303 {
+            explicit.step(Seconds::new(0.0066), &power);
+            implicit.step(Seconds::new(0.0066), &power);
+        }
+        for core in fp.cores() {
+            let a = explicit.temperatures().core(core).value();
+            let b = implicit.temperatures().core(core).value();
+            assert!(
+                (a - b).abs() < 0.25,
+                "core {core}: explicit {a} vs implicit {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn implicit_step_is_a_single_solve() {
+        let (fp, cfg) = setup();
+        let rec = hayat_telemetry::MemoryRecorder::new();
+        let mut sim = TransientSimulator::with_integrator(&fp, &cfg, Integrator::BackwardEuler);
+        let power = vec![Watts::new(4.0); 64];
+        for _ in 0..5 {
+            sim.step_recorded(Seconds::new(0.0066), &power, &rec);
+        }
+        let summary = rec.summary();
+        let h = summary.histogram("thermal.transient.substeps").unwrap();
+        assert_eq!(h.max, 1.0, "backward Euler must never sub-step");
+        assert_eq!(h.sum, 5.0, "one solve per recorded step");
+        // The explicit oracle, by contrast, is forced to subdivide here.
+        let rec = hayat_telemetry::MemoryRecorder::new();
+        let mut oracle = TransientSimulator::new(&fp, &cfg);
+        oracle.step_recorded(Seconds::new(0.0066), &power, &rec);
+        let summary = rec.summary();
+        let h = summary.histogram("thermal.transient.substeps").unwrap();
+        assert!(h.max >= 2.0, "stability bound should force sub-steps");
+    }
+
+    #[test]
+    fn implicit_factor_cache_reuses_and_stays_bounded() {
+        let (fp, cfg) = setup();
+        let mut sim = TransientSimulator::with_integrator(&fp, &cfg, Integrator::BackwardEuler);
+        let power = vec![Watts::new(2.0); 64];
+        for _ in 0..10 {
+            sim.step(Seconds::new(0.0066), &power);
+        }
+        assert_eq!(sim.factors.len(), 1, "one step size, one factorization");
+        for i in 1..=20u32 {
+            sim.step(Seconds::new(0.001 * f64::from(i)), &power);
+        }
+        assert!(
+            sim.factors.len() <= MAX_CACHED_FACTORS,
+            "cache grew to {} entries",
+            sim.factors.len()
+        );
+    }
+
+    #[test]
+    fn implicit_snapshot_restore_reproduces_trajectory_exactly() {
+        let (fp, cfg) = setup();
+        let power = vec![Watts::new(5.5); 64];
+        let mut reference =
+            TransientSimulator::with_integrator(&fp, &cfg, Integrator::BackwardEuler);
+        reference.step(Seconds::new(0.1), &power);
+        let snap = reference.snapshot();
+        let mut resumed = TransientSimulator::with_integrator(&fp, &cfg, Integrator::BackwardEuler);
+        resumed.restore(&snap);
+        reference.step(Seconds::new(0.0066), &power);
+        resumed.step(Seconds::new(0.0066), &power);
+        assert_eq!(resumed.temperatures(), reference.temperatures());
+        assert_eq!(resumed.elapsed(), reference.elapsed());
+    }
+
+    #[test]
+    fn integrator_accessor_reports_scheme() {
+        let (fp, cfg) = setup();
+        assert_eq!(
+            TransientSimulator::new(&fp, &cfg).integrator(),
+            Integrator::ForwardEuler
+        );
+        assert_eq!(
+            TransientSimulator::with_integrator(&fp, &cfg, Integrator::BackwardEuler).integrator(),
+            Integrator::BackwardEuler
+        );
     }
 
     #[test]

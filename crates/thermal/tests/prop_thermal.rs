@@ -2,8 +2,10 @@
 //! network that must hold for *any* (bounded) load, plus serde round-trips.
 
 use hayat_floorplan::{CoreId, Floorplan, FloorplanBuilder};
-use hayat_thermal::{steady_state, TemperatureMap, ThermalConfig, ThermalPredictor};
-use hayat_units::{Kelvin, Watts};
+use hayat_thermal::{
+    steady_state, Integrator, TemperatureMap, ThermalConfig, ThermalPredictor, TransientSimulator,
+};
+use hayat_units::{Kelvin, Seconds, Watts};
 use proptest::prelude::*;
 
 fn small_fp() -> Floorplan {
@@ -85,6 +87,68 @@ proptest! {
         let rise1 = t1.mean().value() - amb;
         let rise2 = t2.mean().value() - amb;
         prop_assert!((rise2 - 2.0 * rise1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integrators_agree_for_any_load_and_step(
+        power in arb_power(),
+        h in 2e-4f64..8e-3,
+        steps in 5usize..40,
+    ) {
+        // Backward Euler (one solve per step) and forward Euler (internally
+        // sub-stepped to its stability limit) are both first-order schemes
+        // integrating the same RC network; their trajectories must stay
+        // close for any bounded load and control-period-scale step. An
+        // empirical worst case over 400 random (load, h, steps) draws is
+        // ~0.64 K, peaking when h sits near the silicon time constant.
+        let fp = small_fp();
+        let cfg = ThermalConfig::paper();
+        let mut explicit = TransientSimulator::with_integrator(&fp, &cfg, Integrator::ForwardEuler);
+        let mut implicit = TransientSimulator::with_integrator(&fp, &cfg, Integrator::BackwardEuler);
+        for _ in 0..steps {
+            explicit.step(Seconds::new(h), &power);
+            implicit.step(Seconds::new(h), &power);
+        }
+        let te = explicit.temperatures();
+        let ti = implicit.temperatures();
+        for core in fp.cores() {
+            let diff = (te.core(core).value() - ti.core(core).value()).abs();
+            prop_assert!(
+                diff < 1.5,
+                "core {core}: explicit {} vs implicit {} after {steps} steps of {h:.2e} s",
+                te.core(core),
+                ti.core(core)
+            );
+        }
+        // Unconditional stability must not manufacture heat: the implicit
+        // trajectory stays at or above ambient like the explicit one.
+        for (_, t) in ti.iter() {
+            prop_assert!(t.value() >= cfg.ambient.value() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn implicit_converges_to_the_steady_state_fixed_point(power in arb_power()) {
+        // The fixed point of the backward-Euler iteration is exactly the
+        // solution of `G·T = P + G_amb·T_amb`, independent of `h` — so
+        // settling with large steps must land on `solve_steady`'s answer.
+        let fp = small_fp();
+        let cfg = ThermalConfig::paper();
+        let mut sim = TransientSimulator::with_integrator(&fp, &cfg, Integrator::BackwardEuler);
+        for _ in 0..80 {
+            sim.step(Seconds::new(0.5), &power);
+        }
+        let settled = sim.temperatures();
+        let steady = steady_state(&fp, &cfg, &power);
+        for core in fp.cores() {
+            let diff = (settled.core(core).value() - steady.core(core).value()).abs();
+            prop_assert!(
+                diff < 1e-6,
+                "core {core}: settled {} vs steady {}",
+                settled.core(core),
+                steady.core(core)
+            );
+        }
     }
 
     #[test]

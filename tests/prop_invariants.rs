@@ -2,10 +2,12 @@
 //! proptest: mapping bookkeeping, DCM construction, aging monotonicity and
 //! thermal sanity under arbitrary (bounded) inputs.
 
-use hayat::{DarkCoreMap, ThreadMapping};
+use hayat::{
+    ChipSystem, DarkCoreMap, HayatPolicy, SimulationConfig, SimulationEngine, ThreadMapping,
+};
 use hayat_aging::{AgingModel, AgingTable, Health, TableAxes};
 use hayat_floorplan::{CoreId, Floorplan, FloorplanBuilder};
-use hayat_thermal::{steady_state, ThermalConfig};
+use hayat_thermal::{steady_state, Integrator, ThermalConfig};
 use hayat_units::{DutyCycle, Kelvin, Watts, Years};
 use hayat_workload::ThreadId;
 use proptest::prelude::*;
@@ -160,6 +162,47 @@ proptest! {
         prop_assert!(
             fp.mesh_distance(a, c) <= fp.mesh_distance(a, b) + fp.mesh_distance(b, c)
         );
+    }
+}
+
+// The checkpoint/resume contract under the implicit integrator: a run cut
+// at any epoch boundary, snapshotted, and resumed in a fresh engine must be
+// bit-identical to the uninterrupted run. Few cases — each builds a chip
+// system — but randomized over the cut point, dark fraction, and workload.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn implicit_snapshot_restore_is_bit_identical_mid_run(
+        cut in 1usize..4,
+        dark in 0.25f64..0.75,
+        seed in 0u64..1_000,
+    ) {
+        let mut config = SimulationConfig::quick_demo();
+        config.mesh = (4, 4);
+        config.transient_window_seconds = 0.1;
+        config.dark_fraction = dark;
+        config.workload_seed = seed;
+        config.integrator = Integrator::BackwardEuler;
+        let build = || {
+            let system = ChipSystem::paper_chip(0, &config).expect("chip builds");
+            SimulationEngine::new(system, Box::new(HayatPolicy::default()), &config)
+        };
+        let reference = build().run();
+        let mut first = build();
+        let mut metrics = first.start_metrics();
+        for epoch in 0..cut {
+            metrics.epochs.push(first.run_epoch(epoch));
+        }
+        let snap = first.snapshot(cut);
+        drop(first);
+        let mut resumed = build();
+        resumed.restore(&snap).expect("snapshot shape matches");
+        for epoch in cut..config.epoch_count() {
+            metrics.epochs.push(resumed.run_epoch(epoch));
+        }
+        resumed.finalize_metrics(&mut metrics);
+        prop_assert_eq!(metrics, reference);
     }
 }
 
