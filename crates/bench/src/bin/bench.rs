@@ -1,9 +1,10 @@
-//! Perf-trajectory benchmark: emits `BENCH_3.json` at the repo root with
+//! Perf-trajectory benchmark: emits `BENCH_4.json` at the repo root with
 //! wall-times for the three kernels that bound the decade-scale evaluation
 //! — a **transient window** (2 s of 6.6 ms control periods on the bare
 //! thermal simulator), a **single epoch**, and a **single-chip decade**
 //! (the end-to-end campaign unit: 10 years, 40 epochs, one chip, the Hayat
-//! policy) — each under both time integrators.
+//! policy) — each under both time integrators, plus a **campaign scaling**
+//! section measuring the parallel executor at `--jobs 1/2/4`.
 //!
 //! Two thermal configurations are measured:
 //!
@@ -23,14 +24,23 @@
 //! cargo run --release -p hayat-bench --bin bench            # fast mode
 //! cargo run --release -p hayat-bench --bin bench -- --full  # more reps
 //! cargo run --release -p hayat-bench --bin bench -- --out PATH.json
+//! cargo run --release -p hayat-bench --bin bench -- --jobs 8
 //! ```
 //!
 //! Fast mode (the default, used by the CI smoke) runs each kernel a
 //! handful of times and reports the best wall-time; `--full` adds
 //! repetitions for quieter numbers. The JSON format is documented in
 //! `EXPERIMENTS.md`.
+//!
+//! The scaling section always sweeps `jobs ∈ {1, 2, 4}` over a fixed
+//! 8-chip Hayat campaign — `--jobs N|auto` (default `auto` = available
+//! parallelism) adds one extra sweep point — and records the host's
+//! available parallelism alongside the timings: on a 1- or 2-CPU host the
+//! 4-job point cannot speed up, and the report says so instead of hiding
+//! it. Before timing, the sweep asserts the 4-job result is
+//! byte-identical to serial.
 
-use hayat::{ChipSystem, HayatPolicy, SimulationConfig, SimulationEngine};
+use hayat::{Campaign, ChipSystem, HayatPolicy, Jobs, SimulationConfig, SimulationEngine};
 use hayat_floorplan::Floorplan;
 use hayat_thermal::{Integrator, RcNetwork, ThermalConfig, TransientSimulator};
 use hayat_units::{Seconds, Watts};
@@ -88,12 +98,37 @@ struct Headline {
 }
 
 #[derive(Serialize)]
-struct Bench3 {
+struct ScalingPoint {
+    jobs: usize,
+    wall_seconds: f64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Serialize)]
+struct CampaignScaling {
+    /// What the sweep runs: a fixed small campaign, not the paper grid.
+    config: String,
+    chips: usize,
+    policies: Vec<String>,
+    epochs_per_run: usize,
+    /// `std::thread::available_parallelism()` on the measuring host. A
+    /// 4-job point can only beat serial when this is at least 2.
+    host_parallelism: usize,
+    /// Byte-level equality of the 4-job and serial campaign JSON, checked
+    /// before timing (the same property the CI determinism gate enforces).
+    deterministic_across_jobs: bool,
+    points: Vec<ScalingPoint>,
+    speedup_at_4_jobs: f64,
+}
+
+#[derive(Serialize)]
+struct Bench4 {
     bench: String,
     mode: String,
     control_period_seconds: f64,
     window_steps: usize,
     configs: Vec<ConfigReport>,
+    campaign_scaling: CampaignScaling,
     headline: Headline,
 }
 
@@ -239,6 +274,95 @@ fn report_config(name: &str, thermal: &ThermalConfig, fast: bool) -> ConfigRepor
     }
 }
 
+/// The fixed campaign the scaling sweep runs: 8 independent chips × the
+/// Hayat policy × 40 quarter-year epochs with a shortened transient
+/// window. Each run takes tens of milliseconds, so the pool's spawn and
+/// merge overhead is noise, while the whole sweep still finishes in a few
+/// seconds in fast mode.
+fn scaling_config() -> SimulationConfig {
+    let mut config = SimulationConfig::quick_demo();
+    config.chip_count = 8;
+    config.years = 10.0;
+    config.epoch_years = 0.25;
+    config.transient_window_seconds = 1.0;
+    config
+}
+
+/// Times the parallel campaign executor at `jobs ∈ {1, 2, 4}` (plus the
+/// `--jobs` point when it differs) and checks the determinism contract
+/// (4-job JSON byte-identical to serial) before trusting any of the
+/// numbers.
+fn campaign_scaling(fast: bool, extra_jobs: Jobs) -> CampaignScaling {
+    let config = scaling_config();
+    let campaign = Campaign::new(config.clone()).expect("scaling configuration is valid");
+    let policies = [hayat::sim::campaign::PolicyKind::Hayat];
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let serial = campaign.run_with_jobs(&policies, Jobs::serial());
+    let four = campaign.run_with_jobs(&policies, Jobs::new(4).expect("4 is positive"));
+    let deterministic = serde_json::to_string(&serial).expect("serializable")
+        == serde_json::to_string(&four).expect("serializable");
+    assert!(
+        deterministic,
+        "4-job campaign diverged from serial — the executor merge is broken"
+    );
+
+    let reps = if fast { 2 } else { 5 };
+    let mut sweep = vec![1usize, 2, 4];
+    if !sweep.contains(&extra_jobs.get()) {
+        sweep.push(extra_jobs.get());
+        sweep.sort_unstable();
+    }
+    let mut points = Vec::new();
+    for jobs in sweep {
+        let jobs_v = Jobs::new(jobs).expect("positive");
+        let wall = time_best(
+            || {
+                std::hint::black_box(campaign.run_with_jobs(&policies, jobs_v));
+            },
+            reps,
+        );
+        points.push(ScalingPoint {
+            jobs,
+            wall_seconds: wall,
+            speedup_vs_serial: 0.0, // filled below once the serial point is known
+        });
+    }
+    let serial_wall = points[0].wall_seconds;
+    for p in &mut points {
+        p.speedup_vs_serial = serial_wall / p.wall_seconds;
+    }
+    let speedup_at_4_jobs = points
+        .iter()
+        .find(|p| p.jobs == 4)
+        .map_or(1.0, |p| p.speedup_vs_serial);
+
+    println!(
+        "  campaign scaling ({} chips x Hayat, {} epochs, host parallelism {}):",
+        config.chip_count,
+        config.epoch_count(),
+        host_parallelism
+    );
+    for p in &points {
+        println!(
+            "    jobs {}: {:7.3} s  ({:.2}x vs serial)",
+            p.jobs, p.wall_seconds, p.speedup_vs_serial
+        );
+    }
+
+    CampaignScaling {
+        config: "quick_demo, 8 chips, 10 years in 0.25-year epochs, 1 s transient window"
+            .to_owned(),
+        chips: config.chip_count,
+        policies: policies.iter().map(|p| p.name().to_owned()).collect(),
+        epochs_per_run: config.epoch_count(),
+        host_parallelism,
+        deterministic_across_jobs: deterministic,
+        points,
+        speedup_at_4_jobs,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let fast = !args.iter().any(|a| a == "--full");
@@ -247,10 +371,20 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_3.json".to_owned());
+        .unwrap_or_else(|| "BENCH_4.json".to_owned());
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map_or(Jobs::auto(), |v| {
+            v.parse().unwrap_or_else(|err| {
+                eprintln!("{err}");
+                std::process::exit(2)
+            })
+        });
 
     hayat_bench::section(&format!(
-        "BENCH_3 perf trajectory ({} mode, release build)",
+        "BENCH_4 perf trajectory ({} mode, release build)",
         if fast { "fast" } else { "full" }
     ));
 
@@ -262,6 +396,8 @@ fn main() {
         report_config("paper", &paper, fast),
         report_config("stiff_silicon", &stiff, fast),
     ];
+
+    let scaling = campaign_scaling(fast, jobs);
 
     let stiff_report = &configs[1];
     let headline = Headline {
@@ -278,12 +414,13 @@ fn main() {
         headline.transient_window_speedup, headline.campaign_speedup, headline.config
     );
 
-    let report = Bench3 {
-        bench: "BENCH_3".to_owned(),
+    let report = Bench4 {
+        bench: "BENCH_4".to_owned(),
         mode: if fast { "fast" } else { "full" }.to_owned(),
         control_period_seconds: CONTROL_PERIOD,
         window_steps: (WINDOW_SECONDS / CONTROL_PERIOD).round() as usize,
         configs,
+        campaign_scaling: scaling,
         headline,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

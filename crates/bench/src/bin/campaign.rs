@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use hayat::sim::campaign::PolicyKind;
-use hayat::{Campaign, SimulationConfig};
+use hayat::{Campaign, Jobs, SimulationConfig};
 use hayat_checkpoint::{Checkpointer, FailPoint};
 use hayat_telemetry::{JsonlRecorder, Recorder};
 
@@ -39,21 +39,23 @@ struct Args {
     checkpoint_path: Option<String>,
     every: Option<usize>,
     resume_path: Option<String>,
+    jobs: Jobs,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--dark F] [--chips N] [--years Y] [--epoch Y] \
-         [--window S] [--seed N] [--mesh N] \
+         [--window S] [--seed N] [--mesh N] [--jobs N|auto] \
          [--policies vaa,hayat,coolest,random] [--csv DIR] [--json FILE] \
          [--telemetry FILE.jsonl] \
          [--checkpoint FILE [--every EPOCHS] | --resume FILE]\n\
          \n\
+         --jobs sets the worker-thread count (default: all hardware \
+         threads); output is byte-identical for every value, including 1. \
          --checkpoint runs the campaign with durable progress (written \
          atomically every EPOCHS epochs and at chip boundaries); --resume \
-         continues from such a file, skipping completed work. Checkpointed \
-         runs execute the chip runs sequentially; the result is bit-identical \
-         to the parallel path."
+         continues from such a file, skipping completed work — a resumed \
+         run is bit-identical to an uninterrupted one, for any --jobs."
     );
     std::process::exit(2);
 }
@@ -87,6 +89,7 @@ fn parse_args() -> Args {
         checkpoint_path: None,
         every: None,
         resume_path: None,
+        jobs: Jobs::auto(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -113,6 +116,12 @@ fn parse_args() -> Args {
             "--checkpoint" => args.checkpoint_path = Some(value("--checkpoint")),
             "--every" => args.every = Some(value("--every").parse().unwrap_or_else(|_| usage())),
             "--resume" => args.resume_path = Some(value("--resume")),
+            "--jobs" => {
+                args.jobs = value("--jobs").parse().unwrap_or_else(|msg| {
+                    eprintln!("{msg}");
+                    usage()
+                });
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -146,14 +155,16 @@ fn main() {
     config.assert_valid();
 
     println!(
-        "campaign: {}x{} mesh, {} chips, {:.0}% dark, {} years in {}-year epochs, policies {:?}",
+        "campaign: {}x{} mesh, {} chips, {:.0}% dark, {} years in {}-year epochs, \
+         policies {:?}, {} jobs",
         config.mesh.0,
         config.mesh.1,
         config.chip_count,
         config.dark_fraction * 100.0,
         config.years,
         config.epoch_years,
-        args.policies
+        args.policies,
+        args.jobs
     );
     let campaign = Campaign::new(config).expect("configuration is valid");
     let recorder = args
@@ -169,7 +180,9 @@ fn main() {
             eprintln!("{msg}");
             std::process::exit(2)
         });
-        let mut runner = Checkpointer::new(path).with_failpoint(failpoint);
+        let mut runner = Checkpointer::new(path)
+            .jobs(args.jobs)
+            .with_failpoint(failpoint);
         if let Some(every) = args.every {
             runner = runner.every(every);
         }
@@ -188,12 +201,16 @@ fn main() {
             std::process::exit(1)
         })
     } else {
-        match &recorder {
-            Some(rec) => {
-                campaign.run_with_recorder(&args.policies, Arc::clone(rec) as Arc<dyn Recorder>)
-            }
-            None => campaign.run(&args.policies),
-        }
+        let recorder: Arc<dyn Recorder> = match &recorder {
+            Some(rec) => Arc::clone(rec) as Arc<dyn Recorder>,
+            None => Arc::new(hayat_telemetry::NullRecorder),
+        };
+        campaign
+            .try_run(&args.policies, args.jobs, recorder)
+            .unwrap_or_else(|err| {
+                eprintln!("campaign failed: {err}");
+                std::process::exit(1)
+            })
     };
 
     println!(

@@ -15,6 +15,9 @@
 //! (`--quick` runs 5 chips with 6-month epochs; the default is the paper's
 //! 25 chips with 3-month epochs and takes several minutes).
 //!
+//! `--jobs N|auto` (default `auto` = available parallelism) runs the
+//! campaign grid on N worker threads; output is byte-identical for any N.
+//!
 //! The default run is long enough to be worth protecting: `--checkpoint
 //! STEM` persists each dark-fraction campaign to `STEM.dark25` /
 //! `STEM.dark50` (atomic writes, every `--every EPOCHS` epochs), and
@@ -25,10 +28,10 @@
 use std::sync::Arc;
 
 use hayat::sim::campaign::PolicyKind;
-use hayat::{Campaign, CampaignSummary, SimulationConfig};
+use hayat::{Campaign, CampaignSummary, Jobs, SimulationConfig};
 use hayat_bench::{bar_row, section};
 use hayat_checkpoint::{Checkpointer, FailPoint};
-use hayat_telemetry::{JsonlRecorder, Recorder};
+use hayat_telemetry::{JsonlRecorder, NullRecorder, Recorder};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -71,6 +74,18 @@ fn main() {
         .position(|a| a == "--every")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--every takes a positive epoch count"));
+    // Worker threads for the campaign grid; results are byte-identical
+    // regardless of the count, so this only changes wall-clock time.
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map_or(Jobs::auto(), |v| {
+            v.parse().unwrap_or_else(|err| {
+                eprintln!("{err}");
+                std::process::exit(2)
+            })
+        });
     // One shared fail point: HAYAT_FAILPOINT hits count across BOTH
     // dark-fraction campaigns, so any point of the experiment is killable.
     let failpoint = Arc::new(FailPoint::from_env().unwrap_or_else(|msg| {
@@ -89,7 +104,9 @@ fn main() {
         let stem = checkpoint_stem.as_deref().or(resume_stem.as_deref());
         let result = if let Some(stem) = stem {
             let path = format!("{stem}.dark{}", (dark * 100.0) as u32);
-            let mut runner = Checkpointer::new(&path).with_failpoint(Arc::clone(&failpoint));
+            let mut runner = Checkpointer::new(&path)
+                .jobs(jobs)
+                .with_failpoint(Arc::clone(&failpoint));
             if let Some(every) = every {
                 runner = runner.every(every);
             }
@@ -109,12 +126,16 @@ fn main() {
                 std::process::exit(1)
             })
         } else {
-            match &recorder {
-                Some(rec) => {
-                    campaign.run_with_recorder(&policies, Arc::clone(rec) as Arc<dyn Recorder>)
-                }
-                None => campaign.run(&policies),
-            }
+            let rec: Arc<dyn Recorder> = match &recorder {
+                Some(rec) => Arc::clone(rec) as Arc<dyn Recorder>,
+                None => Arc::new(NullRecorder),
+            };
+            campaign
+                .try_run(&policies, jobs, rec)
+                .unwrap_or_else(|err| {
+                    eprintln!("campaign failed: {err}");
+                    std::process::exit(1)
+                })
         };
         let vaa = result.summary(PolicyKind::Vaa).expect("VAA ran");
         let hayat = result.summary(PolicyKind::Hayat).expect("Hayat ran");

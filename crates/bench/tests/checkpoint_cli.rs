@@ -50,9 +50,13 @@ fn hard_killed_campaign_resumes_to_an_identical_result() {
         String::from_utf8_lossy(&reference.stderr)
     );
 
-    // Kill the process outright at the 6th epoch (mid chip 1 of 2).
+    // Kill the process outright at the 6th epoch, with 4 workers so the
+    // crash lands mid-flight in a genuinely parallel pool. The resume below
+    // deliberately uses the default worker count: checkpoints written under
+    // any `--jobs` must resume under any other.
     let killed = campaign_cmd()
         .args(["--checkpoint", checkpoint.to_str().unwrap(), "--every", "1"])
+        .args(["--jobs", "4"])
         .env("HAYAT_FAILPOINT", "campaign.epoch:6:kill")
         .output()
         .expect("run campaign binary");

@@ -96,6 +96,17 @@ pub enum CheckpointError {
     /// A [`crate::FailPoint`] fired in error mode — the injected fault the
     /// crash-recovery tests drive.
     Injected(InjectedFailure),
+    /// A worker thread panicked mid-campaign. The pool shut down cleanly
+    /// and the checkpoint file still holds the last durable state, so the
+    /// campaign is resumable.
+    WorkerPanic {
+        /// Policy of the panicking run.
+        policy: PolicyKind,
+        /// Chip index of the panicking run.
+        chip: usize,
+        /// The panic payload, rendered to a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -122,6 +133,16 @@ impl fmt::Display for CheckpointError {
             ),
             CheckpointError::Restore(e) => write!(f, "in-flight state does not fit: {e}"),
             CheckpointError::Injected(e) => write!(f, "{e}"),
+            CheckpointError::WorkerPanic {
+                policy,
+                chip,
+                message,
+            } => write!(
+                f,
+                "worker panicked running {} on chip {chip} \
+                 (checkpoint remains resumable): {message}",
+                policy.name()
+            ),
         }
     }
 }

@@ -19,7 +19,10 @@ pub enum FailMode {
     /// Return an [`InjectedFailure`] error from the checked operation —
     /// the graceful shutdown path (and the one in-process tests use).
     Error,
-    /// `panic!` at the check site — exercises unwind behaviour.
+    /// `panic!` at the check site — exercises unwind behaviour. The
+    /// campaign executor catches worker panics, so through the
+    /// [`Checkpointer`](crate::Checkpointer) this surfaces as
+    /// [`CheckpointError::WorkerPanic`](crate::CheckpointError::WorkerPanic).
     Panic,
     /// Kill the whole process immediately with exit code 137 (the
     /// `SIGKILL` convention) — no destructors, no flushing: the closest

@@ -1,9 +1,13 @@
 //! The checkpointed campaign driver.
 
 use crate::checkpoint::{CampaignCheckpoint, CheckpointError, InFlightRun};
-use crate::failpoint::FailPoint;
-use hayat::{Campaign, CampaignResult, PolicyKind, SimulationEngine};
+use crate::failpoint::{FailPoint, InjectedFailure};
+use hayat::{
+    Campaign, CampaignResult, DynError, ExecutorError, ExecutorOptions, GateSite, InFlightState,
+    Jobs, PolicyKind, RestoreError, RunDescriptor, RunMetrics, RunUpdate,
+};
 use hayat_telemetry::{NullRecorder, Recorder, RecorderExt};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -27,9 +31,22 @@ pub const FAILPOINT_EPOCH: &str = "campaign.epoch";
 /// protocol — loses at most the epochs since the last write, and
 /// [`Checkpointer::resume`] replays none of the completed work.
 ///
-/// Jobs run sequentially in deterministic order (policy-major, then chip
-/// index) — the same order [`Campaign::run`] reports — and each run is
-/// bit-identical to its uninterrupted counterpart, resumed or not.
+/// Jobs run on the parallel campaign executor ([`Campaign::execute`];
+/// worker count via [`jobs`](Self::jobs), default all hardware threads),
+/// but the checkpointer remains the *single owner* of the checkpoint file:
+/// workers publish completed runs back to the owner thread, which merges
+/// them into the canonical order (policy-major, then chip index — the same
+/// order [`Campaign::run`] reports) and persists the contiguous completed
+/// prefix. Each run is bit-identical to its uninterrupted counterpart,
+/// resumed or not, for any worker count.
+///
+/// The checkpoint format stores completed runs as a prefix in job order
+/// plus at most one in-flight engine snapshot, so a run that finishes
+/// *ahead* of an unfinished earlier run waits in memory and is persisted
+/// only when the prefix catches up — a crash re-runs such out-of-order
+/// work on resume. That bounded re-execution (at most `jobs - 1` runs)
+/// keeps the on-disk format identical to the serial runner's, so
+/// checkpoints written with any `--jobs` value resume with any other.
 ///
 /// # Example
 ///
@@ -63,6 +80,7 @@ pub const FAILPOINT_EPOCH: &str = "campaign.epoch";
 pub struct Checkpointer {
     path: PathBuf,
     every_epochs: Option<usize>,
+    jobs: Jobs,
     recorder: Arc<dyn Recorder>,
     failpoint: Arc<FailPoint>,
 }
@@ -75,9 +93,20 @@ impl Checkpointer {
         Checkpointer {
             path: path.as_ref().to_path_buf(),
             every_epochs: None,
+            jobs: Jobs::auto(),
             recorder: Arc::new(NullRecorder),
             failpoint: Arc::new(FailPoint::disarmed()),
         }
+    }
+
+    /// Sets the worker-thread count (default: all hardware threads). The
+    /// result — and the resumability contract — is identical for every
+    /// worker count; `jobs` trades wall-clock time against the bounded
+    /// out-of-order re-execution window described on [`Checkpointer`].
+    #[must_use]
+    pub const fn jobs(mut self, jobs: Jobs) -> Self {
+        self.jobs = jobs;
+        self
     }
 
     /// Sets the checkpoint cadence in epochs (plus the unconditional
@@ -170,7 +199,9 @@ impl Checkpointer {
     }
 
     /// The shared fresh/resume loop: runs every job not yet recorded as
-    /// completed, checkpointing as it goes.
+    /// completed on the parallel executor, merging completed runs into the
+    /// checkpoint's contiguous prefix on this (owner) thread and
+    /// checkpointing as the prefix advances.
     fn drive(
         &self,
         campaign: &Campaign,
@@ -179,21 +210,21 @@ impl Checkpointer {
         let config = campaign.config();
         let epoch_count = config.epoch_count();
         let every = checkpoint.every_epochs.max(1);
-        let jobs: Vec<(PolicyKind, usize)> = checkpoint
+        let grid: Vec<(PolicyKind, usize)> = checkpoint
             .policies
             .iter()
             .flat_map(|&kind| (0..campaign.chip_count()).map(move |chip| (kind, chip)))
             .collect();
-        if checkpoint.completed.len() > jobs.len() {
+        if checkpoint.completed.len() > grid.len() {
             return Err(CheckpointError::ProgressOutOfRange {
-                jobs: jobs.len(),
+                jobs: grid.len(),
                 completed: checkpoint.completed.len(),
             });
         }
         let start_job = checkpoint.completed.len();
-        let mut in_flight = checkpoint.in_flight.take();
+        let in_flight = checkpoint.in_flight.take();
         if let Some(state) = &in_flight {
-            if jobs.get(start_job) != Some(&(state.policy, state.chip))
+            if grid.get(start_job) != Some(&(state.policy, state.chip))
                 || state.engine.next_epoch > epoch_count
             {
                 return Err(CheckpointError::Corrupt(format!(
@@ -203,43 +234,91 @@ impl Checkpointer {
                 )));
             }
         }
+        let resume_state = in_flight.map(|state| InFlightState {
+            index: start_job,
+            partial: state.partial,
+            snapshot: state.engine,
+        });
+        let descriptors: Vec<RunDescriptor> = grid
+            .iter()
+            .enumerate()
+            .skip(start_job)
+            .map(|(index, &(kind, chip))| RunDescriptor { index, kind, chip })
+            .collect();
 
-        for &(kind, chip) in &jobs[start_job..] {
-            self.failpoint.check(FAILPOINT_CHIP)?;
-            let chip_span = self.recorder.span("campaign.chip");
-            let system = campaign.system_for(chip);
-            let policy = kind.instantiate(config.workload_seed ^ chip as u64);
-            let mut engine = SimulationEngine::new(system, policy, config)
-                .with_recorder(Arc::clone(&self.recorder));
-            let (mut metrics, start_epoch) = match in_flight.take() {
-                Some(state) => {
-                    engine.restore(&state.engine)?;
-                    (state.partial, state.engine.next_epoch)
-                }
-                None => (engine.start_metrics(), 0),
+        // Fault-injection gates ride the executor's abort channel; the
+        // injected error is downcast back out of the boxed form below.
+        let failpoint = Arc::clone(&self.failpoint);
+        let gate = move |site: GateSite, _run: &RunDescriptor| -> Result<(), DynError> {
+            let site = match site {
+                GateSite::Run => FAILPOINT_CHIP,
+                GateSite::Epoch => FAILPOINT_EPOCH,
             };
-            for epoch in start_epoch..epoch_count {
-                self.failpoint.check(FAILPOINT_EPOCH)?;
-                metrics.epochs.push(engine.run_epoch(epoch));
-                let done = epoch + 1;
-                if done < epoch_count && done % every == 0 {
-                    checkpoint.in_flight = Some(InFlightRun {
-                        policy: kind,
-                        chip,
-                        partial: metrics.clone(),
-                        engine: engine.snapshot(done),
-                    });
-                    self.save(&checkpoint)?;
+            failpoint.check(site).map_err(|e| Box::new(e) as DynError)
+        };
+        let options = ExecutorOptions {
+            jobs: self.jobs,
+            snapshot_every: Some(every),
+            gate: Some(&gate),
+        };
+
+        // Owner-side merge state. `pending` holds runs that finished ahead
+        // of an unfinished earlier run; `snapshots` the latest cadence
+        // snapshot of each still-running descriptor. Only the run at the
+        // head of the completed prefix is persisted as `in_flight` — the
+        // checkpoint format (v1) stays exactly what the serial runner wrote.
+        let mut pending: BTreeMap<usize, RunMetrics> = BTreeMap::new();
+        let mut snapshots: BTreeMap<usize, InFlightRun> = BTreeMap::new();
+        let outcome = campaign.execute(
+            &descriptors,
+            resume_state,
+            &options,
+            &self.recorder,
+            |update| -> Result<(), DynError> {
+                match update {
+                    RunUpdate::Progress {
+                        index,
+                        partial,
+                        snapshot,
+                    } => {
+                        let (policy, chip) = grid[index];
+                        snapshots.insert(
+                            index,
+                            InFlightRun {
+                                policy,
+                                chip,
+                                partial,
+                                engine: *snapshot,
+                            },
+                        );
+                        if index == checkpoint.completed.len() {
+                            checkpoint.in_flight = snapshots.get(&index).cloned();
+                            self.save(&checkpoint).map_err(DynError::from)?;
+                        }
+                    }
+                    RunUpdate::Completed { index, metrics } => {
+                        snapshots.remove(&index);
+                        pending.insert(index, *metrics);
+                        let before = checkpoint.completed.len();
+                        while let Some(metrics) = pending.remove(&checkpoint.completed.len()) {
+                            checkpoint.completed.push(metrics);
+                        }
+                        if checkpoint.completed.len() != before {
+                            let head = checkpoint.completed.len();
+                            checkpoint.in_flight = snapshots.get(&head).cloned();
+                            self.save(&checkpoint).map_err(DynError::from)?;
+                        }
+                    }
                 }
-            }
-            engine.finalize_metrics(&mut metrics);
-            drop(chip_span);
-            self.recorder.counter("campaign.runs_completed", 1);
-            checkpoint.completed.push(metrics);
-            checkpoint.in_flight = None;
-            self.save(&checkpoint)?;
+                Ok(())
+            },
+        );
+        if let Err(error) = outcome {
+            return Err(checkpoint_error(error));
         }
 
+        debug_assert_eq!(checkpoint.completed.len(), grid.len());
+        debug_assert!(checkpoint.in_flight.is_none());
         Ok(CampaignResult {
             runs: checkpoint.completed,
             dark_fraction: config.dark_fraction,
@@ -252,6 +331,38 @@ impl Checkpointer {
         self.recorder.counter("checkpoint.writes", 1);
         self.recorder.counter("checkpoint.bytes_written", bytes);
         Ok(())
+    }
+}
+
+/// Translates executor failures back into checkpoint errors: worker panics
+/// map to [`CheckpointError::WorkerPanic`], and boxed gate/sink errors are
+/// downcast back to the concrete types this crate fed in (checkpoint-write,
+/// injected-fault, and in-flight-restore errors).
+fn checkpoint_error(error: ExecutorError) -> CheckpointError {
+    match error {
+        ExecutorError::WorkerPanic {
+            kind,
+            chip,
+            message,
+        } => CheckpointError::WorkerPanic {
+            policy: kind,
+            chip,
+            message,
+        },
+        ExecutorError::RunAborted { source, .. } | ExecutorError::SinkAborted { source } => {
+            let source = match source.downcast::<CheckpointError>() {
+                Ok(concrete) => return *concrete,
+                Err(source) => source,
+            };
+            let source = match source.downcast::<InjectedFailure>() {
+                Ok(concrete) => return CheckpointError::Injected(*concrete),
+                Err(source) => source,
+            };
+            match source.downcast::<RestoreError>() {
+                Ok(concrete) => CheckpointError::Restore(*concrete),
+                Err(source) => CheckpointError::Corrupt(format!("campaign aborted: {source}")),
+            }
+        }
     }
 }
 

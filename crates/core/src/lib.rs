@@ -66,7 +66,10 @@ pub use crate::policy::simple::{CoolestFirstPolicy, FixedDcmPolicy, RandomPolicy
 pub use crate::policy::vaa::VaaPolicy;
 pub use crate::policy::{power_vector, predict_mapping_temperatures, Policy, PolicyContext};
 pub use crate::sim::campaign::{Campaign, CampaignResult, CampaignSummary, PolicyKind};
-pub use crate::sim::config::SimulationConfig;
+pub use crate::sim::config::{Jobs, SimulationConfig};
 pub use crate::sim::engine::SimulationEngine;
+pub use crate::sim::executor::{
+    DynError, ExecutorError, ExecutorOptions, GateSite, InFlightState, RunDescriptor, RunUpdate,
+};
 pub use crate::sim::snapshot::{EngineSnapshot, RestoreError};
 pub use crate::system::{BuildSystemError, ChipSystem};

@@ -5,12 +5,13 @@ use crate::policy::hayat::HayatPolicy;
 use crate::policy::simple::{CoolestFirstPolicy, RandomPolicy};
 use crate::policy::vaa::VaaPolicy;
 use crate::policy::Policy;
-use crate::sim::config::SimulationConfig;
+use crate::sim::config::{Jobs, SimulationConfig};
 use crate::sim::engine::SimulationEngine;
+use crate::sim::executor::{ExecutorError, ExecutorOptions, RunDescriptor, RunUpdate};
 use crate::system::{BuildSystemError, ChipSystem};
 use hayat_aging::{AgingModel, AgingTable};
 use hayat_floorplan::Floorplan;
-use hayat_telemetry::{NullRecorder, Recorder, RecorderExt};
+use hayat_telemetry::{NullRecorder, Recorder};
 use hayat_thermal::ThermalPredictor;
 use hayat_variation::ChipPopulation;
 use serde::{Deserialize, Serialize};
@@ -136,61 +137,87 @@ impl Campaign {
         )
     }
 
-    /// Runs every chip under every requested policy, fanning the
-    /// independent chip×policy runs across OS threads. Results are ordered
-    /// deterministically (policy-major, then chip index) regardless of
-    /// scheduling.
+    /// The campaign's run grid in canonical order (policy-major, then chip
+    /// index) — the order [`CampaignResult::runs`] always comes back in,
+    /// whatever the worker count.
     #[must_use]
-    pub fn run(&self, policies: &[PolicyKind]) -> CampaignResult {
-        self.run_with_recorder(policies, Arc::new(NullRecorder))
+    pub fn grid(&self, policies: &[PolicyKind]) -> Vec<RunDescriptor> {
+        policies
+            .iter()
+            .flat_map(|&kind| (0..self.chip_count()).map(move |chip| (kind, chip)))
+            .enumerate()
+            .map(|(index, (kind, chip))| RunDescriptor { index, kind, chip })
+            .collect()
     }
 
-    /// [`run`](Self::run) with campaign telemetry: one `campaign.chip` span
-    /// per chip×policy job plus everything the per-run engines emit (epoch
-    /// spans, decision latencies, DTM counters, thermal-solver statistics).
+    /// Runs every chip under every requested policy, fanning the
+    /// independent chip×policy runs across OS threads (one worker per
+    /// available hardware thread). Results are ordered deterministically
+    /// (policy-major, then chip index) regardless of scheduling.
+    #[must_use]
+    pub fn run(&self, policies: &[PolicyKind]) -> CampaignResult {
+        self.run_with_jobs(policies, Jobs::auto())
+    }
+
+    /// [`run`](Self::run) with an explicit worker count (`--jobs`). Output
+    /// is byte-identical for every `jobs` value, including serial.
+    #[must_use]
+    pub fn run_with_jobs(&self, policies: &[PolicyKind], jobs: Jobs) -> CampaignResult {
+        unwrap_campaign(self.try_run(policies, jobs, Arc::new(NullRecorder)))
+    }
+
+    /// [`run`](Self::run) with campaign telemetry: one `campaign.worker`
+    /// span per pool thread, a `campaign.jobs` gauge, one `campaign.chip`
+    /// span per chip×policy job, plus everything the per-run engines emit
+    /// (epoch spans, decision latencies, DTM counters, thermal-solver
+    /// statistics).
     ///
-    /// The recorder is shared by all worker threads, so a locking recorder
-    /// serializes only its own bookkeeping — the simulations stay parallel.
+    /// Each worker buffers into its own recorder; the buffers are replayed
+    /// into `recorder` in worker order after the pool joins, so the recorded
+    /// stream is deterministic too and the simulations never contend on the
+    /// sink.
     #[must_use]
     pub fn run_with_recorder(
         &self,
         policies: &[PolicyKind],
         recorder: Arc<dyn Recorder>,
     ) -> CampaignResult {
-        let jobs: Vec<(PolicyKind, usize)> = policies
-            .iter()
-            .flat_map(|&kind| (0..self.chip_count()).map(move |chip| (kind, chip)))
-            .collect();
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(jobs.len().max(1));
-        let mut runs: Vec<Option<RunMetrics>> = (0..jobs.len()).map(|_| None).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots = std::sync::Mutex::new(&mut runs);
-        let recorder = &recorder;
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&(kind, chip)) = jobs.get(i) else {
-                        break;
-                    };
-                    let chip_span = recorder.span("campaign.chip");
-                    let metrics = self.run_one_with_recorder(kind, chip, Arc::clone(recorder));
-                    drop(chip_span);
-                    recorder.counter("campaign.runs_completed", 1);
-                    slots.lock().expect("no panics hold the lock")[i] = Some(metrics);
-                });
+        unwrap_campaign(self.try_run(policies, Jobs::auto(), recorder))
+    }
+
+    /// The fallible core of [`run`](Self::run): executes the campaign grid
+    /// on [`Campaign::execute`] and merges completed runs back into
+    /// canonical order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecutorError::WorkerPanic`] if a worker thread panics;
+    /// the infallible wrappers resume the panic instead.
+    pub fn try_run(
+        &self,
+        policies: &[PolicyKind],
+        jobs: Jobs,
+        recorder: Arc<dyn Recorder>,
+    ) -> Result<CampaignResult, ExecutorError> {
+        let descriptors = self.grid(policies);
+        let mut runs: Vec<Option<RunMetrics>> = (0..descriptors.len()).map(|_| None).collect();
+        let options = ExecutorOptions {
+            jobs,
+            ..ExecutorOptions::default()
+        };
+        self.execute(&descriptors, None, &options, &recorder, |update| {
+            if let RunUpdate::Completed { index, metrics } = update {
+                runs[index] = Some(*metrics);
             }
-        });
-        CampaignResult {
+            Ok(())
+        })?;
+        Ok(CampaignResult {
             runs: runs
                 .into_iter()
                 .map(|r| r.expect("every job ran"))
                 .collect(),
             dark_fraction: self.config.dark_fraction,
-        }
+        })
     }
 
     /// Runs one chip under one policy.
@@ -220,6 +247,26 @@ impl Campaign {
         let mut engine =
             SimulationEngine::new(system, policy, &self.config).with_recorder(recorder);
         engine.run()
+    }
+}
+
+/// Unwraps the infallible campaign paths: with no gates and an infallible
+/// sink the only possible failure is a worker panic, which is resumed so the
+/// panicking contract of [`Campaign::run`] predates the executor unchanged.
+fn unwrap_campaign(result: Result<CampaignResult, ExecutorError>) -> CampaignResult {
+    match result {
+        Ok(result) => result,
+        Err(ExecutorError::WorkerPanic {
+            kind,
+            chip,
+            message,
+        }) => {
+            panic!(
+                "campaign worker panicked ({} on chip {chip}): {message}",
+                kind.name()
+            )
+        }
+        Err(other) => panic!("campaign executor failed without gates or a fallible sink: {other}"),
     }
 }
 

@@ -221,6 +221,71 @@ impl SimulationConfig {
     }
 }
 
+/// Worker-thread count for parallel campaign execution (`--jobs`).
+///
+/// Deliberately *not* a field of [`SimulationConfig`]: the worker count must
+/// never influence results (parallel output is byte-identical to serial) or
+/// checkpoint compatibility (the checkpoint config hash fingerprints only
+/// physics), so a run may be started with one job count and resumed with
+/// another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Jobs(std::num::NonZeroUsize);
+
+impl Jobs {
+    /// Exactly one worker: the serial executor.
+    #[must_use]
+    pub const fn serial() -> Self {
+        Jobs(std::num::NonZeroUsize::MIN)
+    }
+
+    /// One worker per available hardware thread
+    /// ([`std::thread::available_parallelism`]), falling back to one worker
+    /// when the parallelism cannot be queried.
+    #[must_use]
+    pub fn auto() -> Self {
+        Jobs(std::thread::available_parallelism().unwrap_or(std::num::NonZeroUsize::MIN))
+    }
+
+    /// A specific worker count; `None` when `count` is zero.
+    #[must_use]
+    pub fn new(count: usize) -> Option<Self> {
+        std::num::NonZeroUsize::new(count).map(Jobs)
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub const fn get(self) -> usize {
+        self.0.get()
+    }
+}
+
+impl Default for Jobs {
+    fn default() -> Self {
+        Jobs::auto()
+    }
+}
+
+impl std::fmt::Display for Jobs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::str::FromStr for Jobs {
+    type Err = String;
+
+    /// Parses the `--jobs` flag: `auto` or a positive integer.
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        if text.eq_ignore_ascii_case("auto") {
+            return Ok(Jobs::auto());
+        }
+        text.parse::<usize>()
+            .ok()
+            .and_then(Jobs::new)
+            .ok_or_else(|| format!("--jobs wants 'auto' or a positive integer, got '{text}'"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,5 +383,19 @@ mod tests {
         let mut c = SimulationConfig::paper(0.5);
         c.transient_window_seconds = 0.001;
         c.assert_valid();
+    }
+
+    #[test]
+    fn jobs_parses_auto_and_counts() {
+        assert_eq!("4".parse::<Jobs>().unwrap().get(), 4);
+        assert_eq!("1".parse::<Jobs>(), Ok(Jobs::serial()));
+        assert_eq!("auto".parse::<Jobs>().unwrap(), Jobs::auto());
+        assert_eq!("AUTO".parse::<Jobs>().unwrap(), Jobs::auto());
+        assert!(Jobs::auto().get() >= 1);
+        assert!("0".parse::<Jobs>().is_err());
+        assert!("-2".parse::<Jobs>().is_err());
+        assert!("many".parse::<Jobs>().is_err());
+        assert_eq!(Jobs::new(0), None);
+        assert_eq!(format!("{}", Jobs::new(3).unwrap()), "3");
     }
 }

@@ -128,12 +128,19 @@ impl SimulationEngine {
     /// Runs the full configured lifetime and returns the metrics.
     pub fn run(&mut self) -> RunMetrics {
         let mut metrics = self.start_metrics();
-        for epoch in 0..self.config.epoch_count() {
+        self.run_epochs(0, self.config.epoch_count(), &mut metrics);
+        self.finalize_metrics(&mut metrics);
+        metrics
+    }
+
+    /// Runs epochs `start..end`, appending each record to `metrics` — the
+    /// building block external drivers (the parallel executor, the
+    /// checkpointer) use to advance a run in resumable slices.
+    pub fn run_epochs(&mut self, start: usize, end: usize, metrics: &mut RunMetrics) {
+        for epoch in start..end {
             let record = self.run_epoch(epoch);
             metrics.epochs.push(record);
         }
-        self.finalize_metrics(&mut metrics);
-        metrics
     }
 
     /// The run-level [`RunMetrics`] header (no epochs yet) for a run that

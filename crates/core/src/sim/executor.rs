@@ -1,0 +1,471 @@
+//! The parallel campaign executor: a scoped worker pool with a deterministic
+//! merge.
+//!
+//! Every `(chip, policy)` cell of a campaign grid is an independent
+//! simulation, so the decade-scale evaluation (Figs. 7–11: 25 chips ×
+//! 2 policies × 2 dark budgets) parallelizes perfectly. This module supplies
+//! the one shared engine for that fan-out:
+//!
+//! * **Work queue** — workers pull [`RunDescriptor`]s from a shared
+//!   [`AtomicUsize`] cursor; no descriptor is ever run twice and idle workers
+//!   steal whatever is next, so load imbalance between chips self-levels.
+//! * **Owner-thread merge** — workers publish [`RunUpdate`]s over a channel
+//!   to the *calling* thread, which owns the single mutable sink (the
+//!   in-memory result vector, or the [`Checkpointer`] in
+//!   `hayat-checkpoint`). All result mutation and checkpoint I/O stays
+//!   single-threaded by construction.
+//! * **Determinism** — each run is seeded and single-threaded internally, and
+//!   results are indexed by canonical grid position (policy-major, then chip
+//!   index), so campaign output is byte-identical for any worker count.
+//! * **Telemetry** — each worker records into its own
+//!   [`hayat_telemetry::BufferRecorder`], replayed into the
+//!   campaign's sink in worker order after the pool joins: recorded streams
+//!   are scheduling-independent too.
+//! * **Failure containment** — a panicking worker is caught
+//!   ([`std::panic::catch_unwind`]), the pool is stopped via a shared flag,
+//!   and the panic surfaces as [`ExecutorError::WorkerPanic`] instead of a
+//!   hang or abort.
+//!
+//! [`Checkpointer`]: ../../../hayat_checkpoint/struct.Checkpointer.html
+
+use crate::metrics::RunMetrics;
+use crate::sim::campaign::{Campaign, PolicyKind};
+use crate::sim::engine::SimulationEngine;
+use crate::sim::snapshot::EngineSnapshot;
+use hayat_telemetry::{BufferRecorder, NullRecorder, Recorder, RecorderExt};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+
+pub use crate::sim::config::Jobs;
+
+/// Boxed error type accepted from gates and sinks; the executor carries it
+/// through unchanged so callers can downcast their own error types back out.
+pub type DynError = Box<dyn std::error::Error + Send + Sync>;
+
+/// One cell of the campaign grid, tagged with its canonical position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunDescriptor {
+    /// Canonical grid position (policy-major, then chip index). Results are
+    /// merged by this index, which is what makes parallel output identical
+    /// to serial output.
+    pub index: usize,
+    /// Policy to instantiate for this run.
+    pub kind: PolicyKind,
+    /// Chip index within the campaign's population.
+    pub chip: usize,
+}
+
+/// Resume state for one descriptor: a partially aged engine captured at an
+/// epoch boundary. The worker that pulls the matching descriptor restores it
+/// and continues from `snapshot.next_epoch`.
+#[derive(Debug, Clone)]
+pub struct InFlightState {
+    /// Grid position of the partially completed run.
+    pub index: usize,
+    /// Metrics accumulated before the snapshot was taken.
+    pub partial: RunMetrics,
+    /// The engine state at the epoch boundary.
+    pub snapshot: EngineSnapshot,
+}
+
+/// Where a [gate](ExecutorOptions::gate) is consulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateSite {
+    /// Once before each run starts.
+    Run,
+    /// Once before each epoch of each run.
+    Epoch,
+}
+
+/// What workers publish to the owner thread, in completion order.
+#[derive(Debug)]
+pub enum RunUpdate {
+    /// A cadence snapshot of a still-running descriptor (emitted only when
+    /// [`ExecutorOptions::snapshot_every`] is set). The checkpointer
+    /// persists these for the run at the head of the completed prefix.
+    Progress {
+        /// Grid position of the run.
+        index: usize,
+        /// Metrics accumulated so far (epochs `0..snapshot.next_epoch`).
+        partial: RunMetrics,
+        /// Engine state at the epoch boundary.
+        snapshot: Box<EngineSnapshot>,
+    },
+    /// A descriptor ran to completion.
+    Completed {
+        /// Grid position of the run.
+        index: usize,
+        /// The finished run.
+        metrics: Box<RunMetrics>,
+    },
+}
+
+/// Tuning knobs for [`Campaign::execute`]. The default is a full-width
+/// pool ([`Jobs::auto`]) with no snapshots and no gate.
+#[derive(Default)]
+pub struct ExecutorOptions<'a> {
+    /// Worker-thread count (capped at the number of descriptors).
+    pub jobs: Jobs,
+    /// Emit a [`RunUpdate::Progress`] snapshot every this many epochs
+    /// (never after the final epoch — completion sends
+    /// [`RunUpdate::Completed`] instead). `None` disables snapshots.
+    pub snapshot_every: Option<usize>,
+    /// Optional abort gate consulted before each run and each epoch — the
+    /// checkpointer routes its fault-injection failpoints through this. An
+    /// `Err` stops the pool and surfaces as [`ExecutorError::RunAborted`].
+    #[allow(clippy::type_complexity)]
+    pub gate: Option<&'a (dyn Fn(GateSite, &RunDescriptor) -> Result<(), DynError> + Sync)>,
+}
+
+/// Why [`Campaign::execute`] stopped early. The pool shuts down cleanly on
+/// the first failure (workers abandon their runs at the next epoch boundary)
+/// and the error of the lowest-indexed failing descriptor is reported, so the
+/// surfaced error is deterministic even when several workers fail together.
+#[derive(Debug)]
+pub enum ExecutorError {
+    /// A worker thread panicked while running a descriptor.
+    WorkerPanic {
+        /// Policy of the panicking run.
+        kind: PolicyKind,
+        /// Chip of the panicking run.
+        chip: usize,
+        /// The panic payload, rendered to a string.
+        message: String,
+    },
+    /// A gate or engine restore refused a run.
+    RunAborted {
+        /// Policy of the aborted run.
+        kind: PolicyKind,
+        /// Chip of the aborted run.
+        chip: usize,
+        /// The underlying error (downcastable to the caller's type).
+        source: DynError,
+    },
+    /// The owner-thread sink returned an error (e.g. a checkpoint write
+    /// failed).
+    SinkAborted {
+        /// The underlying error (downcastable to the caller's type).
+        source: DynError,
+    },
+}
+
+impl std::fmt::Display for ExecutorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutorError::WorkerPanic {
+                kind,
+                chip,
+                message,
+            } => write!(
+                f,
+                "worker panicked running {} on chip {chip}: {message}",
+                kind.name()
+            ),
+            ExecutorError::RunAborted { kind, chip, source } => {
+                write!(f, "run {} on chip {chip} aborted: {source}", kind.name())
+            }
+            ExecutorError::SinkAborted { source } => {
+                write!(f, "result sink aborted the campaign: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecutorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecutorError::WorkerPanic { .. } => None,
+            ExecutorError::RunAborted { source, .. } | ExecutorError::SinkAborted { source } => {
+                Some(source.as_ref())
+            }
+        }
+    }
+}
+
+/// The first failure, keyed by descriptor index so concurrent failures
+/// resolve deterministically (`usize::MAX` marks sink failures, which only
+/// win when no worker failed).
+struct FailureSlot(Mutex<Option<(usize, ExecutorError)>>);
+
+impl FailureSlot {
+    fn record(&self, index: usize, error: ExecutorError, stop: &AtomicBool) {
+        let mut slot = self.0.lock().expect("failure slot lock");
+        if slot.as_ref().is_none_or(|(held, _)| index < *held) {
+            *slot = Some((index, error));
+        }
+        stop.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Campaign {
+    /// Runs `descriptors` on a scoped worker pool and feeds every
+    /// [`RunUpdate`] to `sink` on the calling thread, in completion order.
+    ///
+    /// This is the engine under [`Campaign::run`] and the checkpointer's
+    /// `run_checkpointed`; call it directly only to build a custom driver.
+    /// `in_flight` resumes one partially completed descriptor from an engine
+    /// snapshot. The sink may return an error to abort the campaign (workers
+    /// abandon their runs at the next epoch boundary).
+    ///
+    /// Completed descriptors always reach the sink exactly once; after a
+    /// failure, runs still in flight are abandoned without an update.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecutorError`] on the first worker panic, gate/restore refusal, or
+    /// sink error. Descriptors whose updates were already consumed by the
+    /// sink stay consumed — the checkpointer relies on this to leave a
+    /// resumable checkpoint behind.
+    pub fn execute(
+        &self,
+        descriptors: &[RunDescriptor],
+        in_flight: Option<InFlightState>,
+        options: &ExecutorOptions<'_>,
+        recorder: &Arc<dyn Recorder>,
+        mut sink: impl FnMut(RunUpdate) -> Result<(), DynError>,
+    ) -> Result<(), ExecutorError> {
+        if descriptors.is_empty() {
+            return Ok(());
+        }
+        let workers = options.jobs.get().min(descriptors.len());
+        #[allow(clippy::cast_precision_loss)]
+        recorder.gauge("campaign.jobs", workers as f64);
+
+        // Per-worker buffers keep the merged telemetry stream independent of
+        // scheduling; when telemetry is off, workers share the NullRecorder
+        // and pay nothing.
+        let buffers: Vec<Arc<BufferRecorder>> = if recorder.enabled() {
+            (0..workers)
+                .map(|_| Arc::new(BufferRecorder::new()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let null: Arc<dyn Recorder> = Arc::new(NullRecorder);
+
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let failure = FailureSlot(Mutex::new(None));
+        let in_flight = Mutex::new(in_flight);
+        let (tx, rx) = std::sync::mpsc::channel::<RunUpdate>();
+
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let tx = tx.clone();
+                let worker_recorder: Arc<dyn Recorder> = buffers
+                    .get(worker)
+                    .map_or_else(|| Arc::clone(&null), |b| Arc::clone(b) as Arc<dyn Recorder>);
+                let (next, stop, failure, in_flight) = (&next, &stop, &failure, &in_flight);
+                scope.spawn(move || {
+                    let worker_span = worker_recorder.span("campaign.worker");
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(descriptor) = descriptors.get(i) else {
+                            break;
+                        };
+                        let outcome = self.run_descriptor(
+                            descriptor,
+                            in_flight,
+                            options,
+                            &worker_recorder,
+                            stop,
+                            &tx,
+                        );
+                        if let Err(error) = outcome {
+                            failure.record(descriptor.index, error, stop);
+                            break;
+                        }
+                    }
+                    drop(worker_span);
+                });
+            }
+            drop(tx);
+            // Owner loop: the calling thread exclusively drives the sink.
+            // After a sink failure keep draining (workers notice `stop` at
+            // their next epoch boundary) but stop forwarding updates.
+            let mut sink_alive = true;
+            for update in rx {
+                if !sink_alive {
+                    continue;
+                }
+                if let Err(source) = sink(update) {
+                    failure.record(usize::MAX, ExecutorError::SinkAborted { source }, &stop);
+                    sink_alive = false;
+                }
+            }
+        });
+
+        for buffer in &buffers {
+            buffer.replay_into(recorder.as_ref());
+        }
+        match failure.0.into_inner().expect("failure slot lock") {
+            Some((_, error)) => Err(error),
+            None => Ok(()),
+        }
+    }
+
+    /// Runs one descriptor to completion (or until `stop` is raised),
+    /// translating panics and gate refusals into [`ExecutorError`]s.
+    fn run_descriptor(
+        &self,
+        descriptor: &RunDescriptor,
+        in_flight: &Mutex<Option<InFlightState>>,
+        options: &ExecutorOptions<'_>,
+        recorder: &Arc<dyn Recorder>,
+        stop: &AtomicBool,
+        tx: &Sender<RunUpdate>,
+    ) -> Result<(), ExecutorError> {
+        let gate = |site: GateSite| match options.gate {
+            Some(gate) => gate(site, descriptor).map_err(|source| ExecutorError::RunAborted {
+                kind: descriptor.kind,
+                chip: descriptor.chip,
+                source,
+            }),
+            None => Ok(()),
+        };
+        let body = catch_unwind(AssertUnwindSafe(|| -> Result<(), ExecutorError> {
+            gate(GateSite::Run)?;
+            let chip_span = recorder.span("campaign.chip");
+            let system = self.system_for(descriptor.chip);
+            let policy = descriptor
+                .kind
+                .instantiate(self.config().workload_seed ^ descriptor.chip as u64);
+            let mut engine = SimulationEngine::new(system, policy, self.config())
+                .with_recorder(Arc::clone(recorder));
+
+            let resume = {
+                let mut slot = in_flight.lock().expect("in-flight lock");
+                if slot.as_ref().is_some_and(|s| s.index == descriptor.index) {
+                    slot.take()
+                } else {
+                    None
+                }
+            };
+            let (mut metrics, start_epoch) = match resume {
+                Some(state) => {
+                    engine.restore(&state.snapshot).map_err(|source| {
+                        ExecutorError::RunAborted {
+                            kind: descriptor.kind,
+                            chip: descriptor.chip,
+                            source: Box::new(source),
+                        }
+                    })?;
+                    (state.partial, state.snapshot.next_epoch)
+                }
+                None => (engine.start_metrics(), 0),
+            };
+
+            let epoch_count = self.config().epoch_count();
+            for epoch in start_epoch..epoch_count {
+                if stop.load(Ordering::Relaxed) {
+                    chip_span.cancel(); // abandoned: someone else failed
+                    return Ok(());
+                }
+                gate(GateSite::Epoch)?;
+                metrics.epochs.push(engine.run_epoch(epoch));
+                let done = epoch + 1;
+                if let Some(every) = options.snapshot_every {
+                    if done < epoch_count && done % every.max(1) == 0 {
+                        let _ = tx.send(RunUpdate::Progress {
+                            index: descriptor.index,
+                            partial: metrics.clone(),
+                            snapshot: Box::new(engine.snapshot(done)),
+                        });
+                    }
+                }
+            }
+            engine.finalize_metrics(&mut metrics);
+            recorder.counter("campaign.runs_completed", 1);
+            let _ = tx.send(RunUpdate::Completed {
+                index: descriptor.index,
+                metrics: Box::new(metrics),
+            });
+            Ok(())
+        }));
+
+        match body {
+            Ok(run_result) => run_result,
+            Err(payload) => Err(ExecutorError::WorkerPanic {
+                kind: descriptor.kind,
+                chip: descriptor.chip,
+                // `as_ref` matters: coercing `&payload` would unsize the
+                // *Box* into `dyn Any` and every downcast would miss.
+                message: panic_message(payload.as_ref()),
+            }),
+        }
+    }
+}
+
+/// Renders a panic payload the way `std` does for unwinding threads.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_cap_at_descriptor_count() {
+        // `workers = jobs.min(len)` is internal; observe it via the gauge.
+        let mut config = crate::sim::config::SimulationConfig::quick_demo();
+        config.chip_count = 1;
+        config.years = 0.5;
+        config.epoch_years = 0.5;
+        config.transient_window_seconds = 0.1;
+        let campaign = Campaign::new(config).unwrap();
+        let recorder = Arc::new(hayat_telemetry::MemoryRecorder::new());
+        let descriptors = [RunDescriptor {
+            index: 0,
+            kind: PolicyKind::CoolestFirst,
+            chip: 0,
+        }];
+        let mut got = Vec::new();
+        campaign
+            .execute(
+                &descriptors,
+                None,
+                &ExecutorOptions {
+                    jobs: Jobs::new(8).unwrap(),
+                    ..ExecutorOptions::default()
+                },
+                &(recorder.clone() as Arc<dyn Recorder>),
+                |update| {
+                    if let RunUpdate::Completed { index, .. } = update {
+                        got.push(index);
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(got, vec![0]);
+        let summary = recorder.summary();
+        assert_eq!(summary.gauge("campaign.jobs").map(|g| g.last), Some(1.0));
+        assert_eq!(summary.span("campaign.worker").map(|s| s.count), Some(1));
+    }
+
+    #[test]
+    fn empty_grid_is_a_no_op() {
+        let mut config = crate::sim::config::SimulationConfig::quick_demo();
+        config.chip_count = 1;
+        let campaign = Campaign::new(config).unwrap();
+        let recorder: Arc<dyn Recorder> = Arc::new(NullRecorder);
+        let mut calls = 0;
+        campaign
+            .execute(&[], None, &ExecutorOptions::default(), &recorder, |_| {
+                calls += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(calls, 0);
+    }
+}

@@ -3,4 +3,5 @@
 pub mod campaign;
 pub mod config;
 pub mod engine;
+pub mod executor;
 pub mod snapshot;

@@ -1,0 +1,189 @@
+//! Ordered in-memory buffering for deterministic multi-threaded telemetry.
+//!
+//! The parallel campaign executor gives every worker thread its own
+//! [`BufferRecorder`] and, after the pool joins, replays each buffer into the
+//! campaign's real sink in worker order. Signals from different workers never
+//! interleave, so a recorded parallel campaign produces the same per-signal
+//! aggregates for any worker count — only the (meaningless) cross-worker
+//! ordering of the serial stream changes with scheduling, and buffering
+//! removes even that.
+
+use crate::event::EventKind;
+use crate::recorder::Recorder;
+use std::sync::Mutex;
+
+/// One buffered signal, in emission order.
+#[derive(Debug, Clone, PartialEq)]
+struct BufferedSignal {
+    kind: EventKind,
+    name: String,
+    value: f64,
+}
+
+/// A [`Recorder`] that stores every signal in emission order for later
+/// [`replay_into`](BufferRecorder::replay_into) a real sink.
+///
+/// Unlike [`MemoryRecorder`](crate::MemoryRecorder), which aggregates
+/// immediately and forgets ordering, this recorder keeps the exact sequence —
+/// the property the executor needs to merge per-worker streams
+/// deterministically.
+///
+/// # Example
+///
+/// ```
+/// use hayat_telemetry::{BufferRecorder, MemoryRecorder, Recorder};
+///
+/// let buffer = BufferRecorder::new();
+/// buffer.counter("campaign.runs_completed", 1);
+/// buffer.span_seconds("campaign.chip", 0.25);
+///
+/// let sink = MemoryRecorder::new();
+/// buffer.replay_into(&sink);
+/// assert_eq!(sink.summary().counter_total("campaign.runs_completed"), Some(1));
+/// ```
+#[derive(Debug, Default)]
+pub struct BufferRecorder {
+    events: Mutex<Vec<BufferedSignal>>,
+}
+
+impl BufferRecorder {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffered signals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("buffer lock").len()
+    }
+
+    /// `true` if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Re-emits every buffered signal, in original order, into `sink`.
+    ///
+    /// The buffer is left intact; call [`clear`](Self::clear) to reuse it.
+    pub fn replay_into(&self, sink: &dyn Recorder) {
+        for event in self.events.lock().expect("buffer lock").iter() {
+            match event.kind {
+                // Counter values round-trip exactly: deltas are `u64` up to
+                // 2^53, the same contract as the JSONL stream.
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                EventKind::Counter => sink.counter(&event.name, event.value as u64),
+                EventKind::Gauge => sink.gauge(&event.name, event.value),
+                EventKind::Histogram => sink.histogram(&event.name, event.value),
+                EventKind::Span => sink.span_seconds(&event.name, event.value),
+            }
+        }
+    }
+
+    /// Discards all buffered signals.
+    pub fn clear(&self) {
+        self.events.lock().expect("buffer lock").clear();
+    }
+
+    fn push(&self, kind: EventKind, name: &str, value: f64) {
+        self.events
+            .lock()
+            .expect("buffer lock")
+            .push(BufferedSignal {
+                kind,
+                name: name.to_owned(),
+                value,
+            });
+    }
+}
+
+impl Recorder for BufferRecorder {
+    fn counter(&self, name: &str, delta: u64) {
+        #[allow(clippy::cast_precision_loss)]
+        self.push(EventKind::Counter, name, delta as f64);
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.push(EventKind::Gauge, name, value);
+    }
+
+    fn histogram(&self, name: &str, value: f64) {
+        self.push(EventKind::Histogram, name, value);
+    }
+
+    fn span_seconds(&self, name: &str, seconds: f64) {
+        self.push(EventKind::Span, name, seconds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryRecorder;
+    use crate::RecorderExt;
+
+    #[test]
+    fn replay_preserves_order_and_values() {
+        let buffer = BufferRecorder::new();
+        buffer.counter("c", 2);
+        buffer.gauge("g", 4.5);
+        buffer.histogram("h", 0.125);
+        buffer.span_seconds("s", 0.25);
+        assert_eq!(buffer.len(), 4);
+
+        let events = buffer.events.lock().unwrap();
+        assert_eq!(
+            events.iter().map(|e| e.kind).collect::<Vec<_>>(),
+            vec![
+                EventKind::Counter,
+                EventKind::Gauge,
+                EventKind::Histogram,
+                EventKind::Span
+            ]
+        );
+        drop(events);
+
+        let sink = MemoryRecorder::new();
+        buffer.replay_into(&sink);
+        let summary = sink.summary();
+        assert_eq!(summary.counter_total("c"), Some(2));
+        assert_eq!(summary.span("s").map(|s| s.count), Some(1));
+    }
+
+    #[test]
+    fn replay_into_matches_direct_recording() {
+        let direct = MemoryRecorder::new();
+        let buffer = BufferRecorder::new();
+        for rec in [&direct as &dyn Recorder, &buffer as &dyn Recorder] {
+            rec.counter("runs", 3);
+            rec.gauge("jobs", 4.0);
+            rec.span_seconds("worker", 1.5);
+        }
+        let replayed = MemoryRecorder::new();
+        buffer.replay_into(&replayed);
+        assert_eq!(direct.summary(), replayed.summary());
+    }
+
+    #[test]
+    fn span_guard_works_through_buffer() {
+        let buffer = BufferRecorder::new();
+        {
+            let _g = buffer.span("timed");
+        }
+        assert_eq!(buffer.len(), 1);
+        let sink = MemoryRecorder::new();
+        buffer.replay_into(&sink);
+        assert_eq!(sink.summary().span("timed").map(|s| s.count), Some(1));
+    }
+
+    #[test]
+    fn clear_empties_the_buffer() {
+        let buffer = BufferRecorder::new();
+        buffer.counter("c", 1);
+        assert!(!buffer.is_empty());
+        buffer.clear();
+        assert!(buffer.is_empty());
+    }
+}

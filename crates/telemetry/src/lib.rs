@@ -16,6 +16,9 @@
 //! * [`JsonlRecorder`] — buffered writer streaming one JSON event per line,
 //!   aggregating a [`TelemetrySummary`] on the side.
 //! * [`MemoryRecorder`] — in-memory aggregation only, for tests and benches.
+//! * [`BufferRecorder`] — ordered in-memory capture with
+//!   [`replay_into`](BufferRecorder::replay_into), used by the parallel
+//!   campaign executor to merge per-worker streams deterministically.
 //! * [`TelemetrySummary`] — end-of-run per-span `count/total/p50/p99`,
 //!   counter totals and gauge extrema, renderable as a text table or
 //!   recovered from a JSONL stream with
@@ -41,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod buffer;
 mod event;
 mod histogram;
 mod jsonl;
@@ -48,6 +52,7 @@ mod memory;
 mod recorder;
 mod summary;
 
+pub use buffer::BufferRecorder;
 pub use event::{EventKind, TelemetryEvent};
 pub use histogram::LogHistogram;
 pub use jsonl::JsonlRecorder;

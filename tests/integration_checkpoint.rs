@@ -4,7 +4,7 @@
 //! repeated crash/resume cycles.
 
 use hayat::sim::campaign::PolicyKind;
-use hayat::{Campaign, SimulationConfig, SimulationEngine};
+use hayat::{Campaign, Jobs, SimulationConfig, SimulationEngine};
 use hayat_checkpoint::{
     CampaignCheckpointExt, CheckpointError, Checkpointer, FailMode, FailPoint, FAILPOINT_CHIP,
     FAILPOINT_EPOCH,
@@ -67,8 +67,12 @@ fn crash_at_chip_boundary_skips_completed_runs_verbatim() {
     let uninterrupted = campaign.run(&policies);
     let path = scratch("chip_boundary");
 
-    // Fault at the third job: both Hayat chips are already durable.
+    // Fault at the third job: both Hayat chips are already durable. Serial
+    // jobs pin which runs are durable when the fault fires — with more
+    // workers the later jobs would already be in flight and be abandoned,
+    // making the skipped-run count scheduling-dependent.
     let interrupted = Checkpointer::new(&path)
+        .jobs(Jobs::serial())
         .with_failpoint(FailPoint::armed(FAILPOINT_CHIP, 3, FailMode::Error))
         .run(&campaign, &policies);
     assert!(interrupted.is_err());
@@ -122,20 +126,59 @@ fn panic_mid_campaign_leaves_a_resumable_checkpoint() {
     let uninterrupted = campaign.run(&[PolicyKind::Hayat]);
     let path = scratch("panic");
 
-    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        Checkpointer::new(&path)
-            .every(1)
-            .with_failpoint(FailPoint::armed(FAILPOINT_EPOCH, 5, FailMode::Panic))
-            .run(&campaign, &[PolicyKind::Hayat])
-    }));
-    assert!(
-        panicked.is_err(),
-        "panic mode must unwind out of the runner"
-    );
+    // The executor catches the worker's panic and surfaces it as an error
+    // instead of unwinding (or hanging the pool) — the other assertion of
+    // the `worker panics are captured` contract lives in
+    // `tests/parallel_campaign.rs` at the executor level.
+    let panicked = Checkpointer::new(&path)
+        .every(1)
+        .with_failpoint(FailPoint::armed(FAILPOINT_EPOCH, 5, FailMode::Panic))
+        .run(&campaign, &[PolicyKind::Hayat]);
+    match panicked {
+        Err(CheckpointError::WorkerPanic { message, .. }) => {
+            assert!(
+                message.contains("injected"),
+                "got panic message {message:?}"
+            );
+        }
+        other => panic!("expected a captured WorkerPanic, got {other:?}"),
+    }
 
     let resumed = campaign.resume(&path).unwrap();
     assert_eq!(resumed, uninterrupted);
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn parallel_checkpointed_run_matches_serial_and_uncheckpointed() {
+    let campaign = Campaign::new(tiny_config(0.25)).unwrap();
+    let policies = [PolicyKind::Hayat, PolicyKind::Vaa];
+    let plain = campaign.run(&policies);
+
+    let serial_path = scratch("jobs_serial");
+    let serial = Checkpointer::new(&serial_path)
+        .every(1)
+        .jobs(Jobs::serial())
+        .run(&campaign, &policies)
+        .unwrap();
+
+    let parallel_path = scratch("jobs_parallel");
+    let parallel = Checkpointer::new(&parallel_path)
+        .every(1)
+        .jobs(Jobs::new(4).unwrap())
+        .run(&campaign, &policies)
+        .unwrap();
+
+    assert_eq!(serial, plain, "checkpointing must not change results");
+    assert_eq!(parallel, serial, "worker count must not change results");
+    // Byte-level equality of the exported JSON, the same property the CI
+    // determinism gate enforces through the campaign binary.
+    assert_eq!(
+        serde_json::to_string(&parallel).unwrap(),
+        serde_json::to_string(&serial).unwrap()
+    );
+    std::fs::remove_file(&serial_path).ok();
+    std::fs::remove_file(&parallel_path).ok();
 }
 
 #[test]

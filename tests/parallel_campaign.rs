@@ -1,0 +1,236 @@
+//! The parallel campaign executor's contract, end to end:
+//!
+//! * parallel and serial campaigns produce **identical** `RunMetrics`
+//!   (byte-identical JSON) for random small configs and `jobs ∈ {1..8}`;
+//! * a panicking worker surfaces as a campaign error instead of a hang;
+//! * a failing gate aborts the pool with the injected error;
+//! * merged telemetry is scheduling-independent.
+
+use hayat::sim::campaign::PolicyKind;
+use hayat::{
+    Campaign, ExecutorError, ExecutorOptions, GateSite, Jobs, RunDescriptor, RunUpdate,
+    SimulationConfig,
+};
+use hayat_telemetry::{MemoryRecorder, NullRecorder, Recorder};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The smallest non-degenerate campaign knobs that still exercise every
+/// layer (variation, thermal transient, DTM, aging table, policies).
+fn small_config(chips: usize, epochs: usize, dark: f64, seed: u64) -> SimulationConfig {
+    let mut config = SimulationConfig::quick_demo();
+    config.chip_count = chips;
+    config.years = 0.5 * epochs as f64;
+    config.epoch_years = 0.5;
+    config.mesh = (4, 4);
+    config.transient_window_seconds = 0.05;
+    config.dark_fraction = dark;
+    config.workload_seed = seed;
+    config
+}
+
+proptest! {
+    // Each case runs one serial + one parallel campaign; keep the count
+    // small because every run is a real multi-layer simulation.
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn parallel_campaign_is_byte_identical_to_serial(
+        jobs in 1usize..=8,
+        chips in 1usize..=3,
+        epochs in 1usize..=3,
+        dark_pick in 0usize..3,
+        seed in 0u64..1000,
+        policy_mask in 1usize..8,
+    ) {
+        let dark = [0.25, 0.375, 0.5][dark_pick];
+        // A non-empty, order-preserving subset of the policy grid.
+        let policies: Vec<PolicyKind> =
+            [PolicyKind::Hayat, PolicyKind::Vaa, PolicyKind::Random]
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| policy_mask & (1 << i) != 0)
+                .map(|(_, kind)| kind)
+                .collect();
+        let campaign = Campaign::new(small_config(chips, epochs, dark, seed)).unwrap();
+
+        let serial = campaign.run_with_jobs(&policies, Jobs::serial());
+        let parallel = campaign.run_with_jobs(&policies, Jobs::new(jobs).unwrap());
+
+        prop_assert_eq!(&serial, &parallel);
+        // The CI determinism gate compares exported JSON byte-for-byte;
+        // assert the same representation-level property here.
+        prop_assert_eq!(
+            serde_json::to_string_pretty(&serial).unwrap(),
+            serde_json::to_string_pretty(&parallel).unwrap()
+        );
+    }
+}
+
+#[test]
+fn worker_panic_is_captured_as_an_error_not_a_hang() {
+    let campaign = Campaign::new(small_config(1, 1, 0.5, 7)).unwrap();
+    // Descriptor 1 names a chip outside the population: the worker that
+    // pulls it panics in `system_for`. The pool must still drain, join,
+    // and report the panic as an error.
+    let descriptors = [
+        RunDescriptor {
+            index: 0,
+            kind: PolicyKind::CoolestFirst,
+            chip: 0,
+        },
+        RunDescriptor {
+            index: 1,
+            kind: PolicyKind::CoolestFirst,
+            chip: 99,
+        },
+    ];
+    let recorder: Arc<dyn Recorder> = Arc::new(NullRecorder);
+    let err = campaign
+        .execute(
+            &descriptors,
+            None,
+            &ExecutorOptions {
+                jobs: Jobs::new(2).unwrap(),
+                ..ExecutorOptions::default()
+            },
+            &recorder,
+            |_| Ok(()),
+        )
+        .unwrap_err();
+    match err {
+        ExecutorError::WorkerPanic { chip, message, .. } => {
+            assert_eq!(chip, 99);
+            assert!(!message.is_empty());
+        }
+        other => panic!("expected WorkerPanic, got {other}"),
+    }
+}
+
+#[test]
+fn infallible_campaign_wrappers_resume_worker_panics() {
+    // `Campaign::run` has always panicked when a run panics; the executor
+    // must preserve that contract rather than swallow the error.
+    let campaign = Campaign::new(small_config(1, 1, 0.5, 7)).unwrap();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        campaign.run_one(PolicyKind::Hayat, 99)
+    }));
+    assert!(result.is_err(), "out-of-range chip still panics");
+}
+
+#[test]
+fn gate_error_aborts_the_pool_with_the_injected_source() {
+    let campaign = Campaign::new(small_config(2, 2, 0.5, 3)).unwrap();
+    let descriptors = campaign.grid(&[PolicyKind::CoolestFirst]);
+    let gate = |site: GateSite, run: &RunDescriptor| -> Result<(), hayat::DynError> {
+        if site == GateSite::Run && run.chip == 1 {
+            Err("injected refusal".into())
+        } else {
+            Ok(())
+        }
+    };
+    let recorder: Arc<dyn Recorder> = Arc::new(NullRecorder);
+    let mut completed = Vec::new();
+    let err = campaign
+        .execute(
+            &descriptors,
+            None,
+            &ExecutorOptions {
+                jobs: Jobs::serial(),
+                gate: Some(&gate),
+                ..ExecutorOptions::default()
+            },
+            &recorder,
+            |update| {
+                if let RunUpdate::Completed { index, .. } = update {
+                    completed.push(index);
+                }
+                Ok(())
+            },
+        )
+        .unwrap_err();
+    match err {
+        ExecutorError::RunAborted { chip, source, .. } => {
+            assert_eq!(chip, 1);
+            assert!(source.to_string().contains("injected refusal"));
+        }
+        other => panic!("expected RunAborted, got {other}"),
+    }
+    assert_eq!(completed, vec![0], "chip 0 completed before the abort");
+}
+
+#[test]
+fn sink_error_stops_the_campaign() {
+    let campaign = Campaign::new(small_config(2, 1, 0.5, 11)).unwrap();
+    let descriptors = campaign.grid(&[PolicyKind::CoolestFirst, PolicyKind::Random]);
+    let recorder: Arc<dyn Recorder> = Arc::new(NullRecorder);
+    let mut seen = 0usize;
+    let err = campaign
+        .execute(
+            &descriptors,
+            None,
+            &ExecutorOptions {
+                jobs: Jobs::new(2).unwrap(),
+                ..ExecutorOptions::default()
+            },
+            &recorder,
+            |_| {
+                seen += 1;
+                if seen == 2 {
+                    Err("disk full".into())
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .unwrap_err();
+    match err {
+        ExecutorError::SinkAborted { source } => {
+            assert!(source.to_string().contains("disk full"));
+        }
+        other => panic!("expected SinkAborted, got {other}"),
+    }
+}
+
+#[test]
+fn recorded_parallel_campaign_telemetry_is_scheduling_independent() {
+    let campaign = Campaign::new(small_config(2, 2, 0.5, 5)).unwrap();
+    let policies = [PolicyKind::Hayat];
+
+    let serial_rec = Arc::new(MemoryRecorder::new());
+    let serial = campaign
+        .try_run(&policies, Jobs::serial(), serial_rec.clone())
+        .unwrap();
+    let parallel_rec = Arc::new(MemoryRecorder::new());
+    let parallel = campaign
+        .try_run(&policies, Jobs::new(4).unwrap(), parallel_rec.clone())
+        .unwrap();
+    assert_eq!(serial, parallel);
+
+    let s = serial_rec.summary();
+    let p = parallel_rec.summary();
+    // Counters and span *counts* are scheduling-independent (durations are
+    // wall-clock and may differ).
+    assert_eq!(
+        s.counter_total("campaign.runs_completed"),
+        p.counter_total("campaign.runs_completed")
+    );
+    assert_eq!(
+        s.counter_total("dtm.migrations"),
+        p.counter_total("dtm.migrations")
+    );
+    assert_eq!(
+        s.span("campaign.chip").map(|sp| sp.count),
+        p.span("campaign.chip").map(|sp| sp.count)
+    );
+    assert_eq!(
+        s.span("engine.epoch").map(|sp| sp.count),
+        p.span("engine.epoch").map(|sp| sp.count)
+    );
+    // One worker span per pool thread; the jobs gauge reports the pool
+    // width (capped by the grid: 2 runs here).
+    assert_eq!(s.span("campaign.worker").map(|sp| sp.count), Some(1));
+    assert_eq!(p.span("campaign.worker").map(|sp| sp.count), Some(2));
+    assert_eq!(s.gauge("campaign.jobs").map(|g| g.last), Some(1.0));
+    assert_eq!(p.gauge("campaign.jobs").map(|g| g.last), Some(2.0));
+}
