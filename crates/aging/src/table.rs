@@ -3,7 +3,7 @@
 
 use crate::model::AgingModel;
 use hayat_units::{DutyCycle, Kelvin, Years};
-use serde::{Deserialize, Serialize};
+use serde::{find_key, Deserialize, Serialize, Value};
 
 /// Sampling axes of a 3D aging table.
 ///
@@ -77,6 +77,62 @@ impl Default for TableAxes {
     }
 }
 
+/// Which health-advance implementation a decision path uses.
+///
+/// Numerically the two paths compute the same function — the collapsed
+/// [`AgeCurve`] *is* the trilinear interpolant restricted to a fixed
+/// (temperature, duty) — so they differ only in floating-point rounding
+/// (≈1e-15) and speed. The oracle is kept as the cross-validation reference;
+/// the determinism gate runs a campaign under each and compares output
+/// byte-for-byte.
+///
+/// Deliberately *not* part of `SimulationConfig`: like the worker count, the
+/// table path must never influence results or checkpoint compatibility (the
+/// checkpoint config hash fingerprints only physics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TablePath {
+    /// Collapse to a 1D age curve once per (temperature, duty) query and
+    /// invert it directly. The default.
+    #[default]
+    Fast,
+    /// The original 64-iteration bisection over trilinear lookups.
+    Oracle,
+}
+
+impl TablePath {
+    /// Human-readable name (matches the `FromStr` spelling).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            TablePath::Fast => "fast",
+            TablePath::Oracle => "oracle",
+        }
+    }
+
+    /// How many trilinear-lookup-equivalents one health advance costs:
+    /// the oracle pays up to 2 clamp probes + 64 bisection steps + 1 final
+    /// read; the fast path pays a single bilinear collapse.
+    #[must_use]
+    pub const fn lookups_per_advance(self) -> u64 {
+        match self {
+            TablePath::Fast => 1,
+            TablePath::Oracle => 67,
+        }
+    }
+}
+
+impl std::str::FromStr for TablePath {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fast" => Ok(TablePath::Fast),
+            "oracle" => Ok(TablePath::Oracle),
+            other => Err(format!("unknown table path {other:?} (fast|oracle)")),
+        }
+    }
+}
+
 /// The offline-generated 3D aging table: relative frequency (aged `fmax`
 /// over initial `fmax`, in `(0, 1]`) for every (temperature, duty, age)
 /// grid point, with trilinear interpolation in between.
@@ -86,6 +142,12 @@ impl Default for TableAxes {
 /// run-time system never touches the physics model again; every online
 /// health estimate is a table lookup, which is what makes Algorithm 1's
 /// candidate evaluation affordable.
+///
+/// Storage is one contiguous row-major `Vec<f64>` (age fastest, then duty,
+/// then temperature) so the hot collapse in [`AgingTable::age_curve`] walks
+/// four adjacent rows linearly; on the wire the table still serializes as
+/// the original nested `values[ti][di][yi]` arrays, so checkpoints and
+/// configs written before the flattening load unchanged.
 ///
 /// # Example
 ///
@@ -97,11 +159,12 @@ impl Default for TableAxes {
 /// let h = table.relative_frequency(Kelvin::new(360.0), DutyCycle::generic(), Years::new(5.0));
 /// assert!(h < 1.0 && h > 0.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AgingTable {
     axes: TableAxes,
-    /// `values[ti][di][yi]`, relative frequency in `(0, 1]`.
-    values: Vec<Vec<Vec<f64>>>,
+    /// Flat row-major values: `values[(ti * nd + di) * ny + yi]`, relative
+    /// frequency in `(0, 1]`, where `nd`/`ny` are the duty/age axis lengths.
+    values: Vec<f64>,
 }
 
 impl AgingTable {
@@ -113,28 +176,20 @@ impl AgingTable {
     #[must_use]
     pub fn generate(model: &AgingModel, axes: &TableAxes) -> Self {
         axes.assert_valid();
-        let values = axes
-            .temperatures
-            .iter()
-            .map(|&t| {
-                axes.duty_cycles
-                    .iter()
-                    .map(|&d| {
-                        axes.ages
-                            .iter()
-                            .map(|&y| {
-                                model.path().relative_frequency(
-                                    model.nbti(),
-                                    Kelvin::new(t),
-                                    DutyCycle::new(d),
-                                    Years::new(y),
-                                )
-                            })
-                            .collect()
-                    })
-                    .collect()
-            })
-            .collect();
+        let mut values =
+            Vec::with_capacity(axes.temperatures.len() * axes.duty_cycles.len() * axes.ages.len());
+        for &t in &axes.temperatures {
+            for &d in &axes.duty_cycles {
+                for &y in &axes.ages {
+                    values.push(model.path().relative_frequency(
+                        model.nbti(),
+                        Kelvin::new(t),
+                        DutyCycle::new(d),
+                        Years::new(y),
+                    ));
+                }
+            }
+        }
         AgingTable {
             axes: axes.clone(),
             values,
@@ -150,7 +205,7 @@ impl AgingTable {
     /// Total number of stored grid points.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.axes.temperatures.len() * self.axes.duty_cycles.len() * self.axes.ages.len()
+        self.values.len()
     }
 
     /// `false`: generation requires non-empty axes.
@@ -159,11 +214,32 @@ impl AgingTable {
         false
     }
 
+    /// Start of the age row at `(ti, di)` in the flat storage.
+    #[inline]
+    fn row_offset(&self, ti: usize, di: usize) -> usize {
+        (ti * self.axes.duty_cycles.len() + di) * self.axes.ages.len()
+    }
+
+    /// The stored value at grid point `(ti, di, yi)`.
+    #[inline]
+    fn at(&self, ti: usize, di: usize, yi: usize) -> f64 {
+        self.values[self.row_offset(ti, di) + yi]
+    }
+
     /// Relative frequency (aged over initial `fmax`) after `age` years of
     /// stress at temperature `t` and duty `duty`, trilinearly interpolated;
     /// queries outside the axes are clamped to the table edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is NaN (an NaN query would otherwise walk
+    /// off the grid deep inside the interpolation).
     #[must_use]
     pub fn relative_frequency(&self, t: Kelvin, duty: DutyCycle, age: Years) -> f64 {
+        assert!(
+            !t.value().is_nan() && !duty.value().is_nan() && !age.value().is_nan(),
+            "aging-table query must be finite, got (t={t:?}, duty={duty:?}, age={age:?})"
+        );
         let (ti, tf) = locate(&self.axes.temperatures, t.value());
         let (di, df) = locate(&self.axes.duty_cycles, duty.value());
         let (yi, yf) = locate(&self.axes.ages, age.value());
@@ -180,7 +256,7 @@ impl AgingTable {
                     if wk == 0.0 {
                         continue;
                     }
-                    acc += wi * wj * wk * self.values[i][j][k];
+                    acc += wi * wj * wk * self.at(i, j, k);
                 }
             }
         }
@@ -193,9 +269,14 @@ impl AgingTable {
     /// found by bisection. Healths above the un-aged value map to age 0;
     /// healths below the end-of-table value map to the table's last age.
     ///
+    /// This is the *oracle* inversion: 64 bisection steps, each a full
+    /// trilinear lookup. The decision path uses
+    /// [`AgeCurve::equivalent_age`] instead, which inverts the same
+    /// interpolant directly; this path is kept for cross-validation.
+    ///
     /// # Panics
     ///
-    /// Panics if `health` is not in `(0, 1]`.
+    /// Panics if `health` is not in `(0, 1]` (NaN included).
     #[must_use]
     pub fn equivalent_age(&self, t: Kelvin, duty: DutyCycle, health: f64) -> Years {
         assert!(
@@ -229,11 +310,21 @@ impl AgingTable {
     /// A zero duty cycle (dark core) leaves health unchanged: NBTI stress
     /// requires an active gate bias.
     ///
+    /// This is the *oracle* advance ([`TablePath::Oracle`]) — built on the
+    /// bisection of [`equivalent_age`](Self::equivalent_age). The engine's
+    /// end-of-epoch health upscale always uses it (it is the canonical path
+    /// results files are defined against); policies use
+    /// [`AgeCurve::advance`] unless cross-validating.
+    ///
     /// # Panics
     ///
-    /// Panics if `health` is not in `(0, 1]`.
+    /// Panics if `health` is not in `(0, 1]` or any coordinate is NaN.
     #[must_use]
     pub fn advance(&self, t: Kelvin, duty: DutyCycle, health: f64, epoch: Years) -> f64 {
+        assert!(
+            !t.value().is_nan() && !duty.value().is_nan() && !epoch.value().is_nan(),
+            "advance conditions must be finite, got (t={t:?}, duty={duty:?}, epoch={epoch:?})"
+        );
         if duty.value() == 0.0 || epoch.value() == 0.0 {
             return health;
         }
@@ -241,11 +332,236 @@ impl AgingTable {
         let next = self.relative_frequency(t, duty, age + epoch);
         next.min(health)
     }
+
+    /// Collapses the table at fixed `(t, duty)` into the 1D monotone curve
+    /// of relative frequency over the age axis, written into caller-owned
+    /// `scratch` (allocation-free after the first use at a given table
+    /// size).
+    ///
+    /// The collapse locates the (temperature, duty) cell once and blends
+    /// the four surrounding age rows bilinearly — after which every
+    /// operation on the returned [`AgeCurve`] (lookup, inversion, epoch
+    /// advance) is O(log n) on 1D data instead of a fresh trilinear walk.
+    /// This is the [`TablePath::Fast`] decision path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `duty` is NaN.
+    #[must_use]
+    pub fn age_curve<'a>(
+        &'a self,
+        t: Kelvin,
+        duty: DutyCycle,
+        scratch: &'a mut AgeCurveScratch,
+    ) -> AgeCurve<'a> {
+        assert!(
+            !t.value().is_nan() && !duty.value().is_nan(),
+            "age-curve conditions must be finite, got (t={t:?}, duty={duty:?})"
+        );
+        let (ti, tf) = locate(&self.axes.temperatures, t.value());
+        let (di, df) = locate(&self.axes.duty_cycles, duty.value());
+        let ny = self.axes.ages.len();
+        let r00 = &self.values[self.row_offset(ti, di)..][..ny];
+        let r01 = &self.values[self.row_offset(ti, di + 1)..][..ny];
+        let r10 = &self.values[self.row_offset(ti + 1, di)..][..ny];
+        let r11 = &self.values[self.row_offset(ti + 1, di + 1)..][..ny];
+        let (w00, w01) = ((1.0 - tf) * (1.0 - df), (1.0 - tf) * df);
+        let (w10, w11) = (tf * (1.0 - df), tf * df);
+        scratch.curve.clear();
+        scratch
+            .curve
+            .extend((0..ny).map(|k| w00 * r00[k] + w01 * r01[k] + w10 * r10[k] + w11 * r11[k]));
+        AgeCurve {
+            ages: &self.axes.ages,
+            curve: &scratch.curve,
+            zero_stress: duty.value() == 0.0,
+        }
+    }
+}
+
+// The wire format predates the flat storage: `values` serializes as the
+// nested `[[ [f64; ny]; nd ]; nt]` arrays the derive used to emit, so every
+// table written before the flattening round-trips bit-for-bit.
+impl Serialize for AgingTable {
+    fn to_value(&self) -> Value {
+        let (nt, nd, ny) = (
+            self.axes.temperatures.len(),
+            self.axes.duty_cycles.len(),
+            self.axes.ages.len(),
+        );
+        let mut t_seq = Vec::with_capacity(nt);
+        for ti in 0..nt {
+            let mut d_seq = Vec::with_capacity(nd);
+            for di in 0..nd {
+                let row = &self.values[self.row_offset(ti, di)..][..ny];
+                d_seq.push(Value::Seq(row.iter().map(|&v| Value::Float(v)).collect()));
+            }
+            t_seq.push(Value::Seq(d_seq));
+        }
+        Value::Map(vec![
+            ("axes".to_owned(), self.axes.to_value()),
+            ("values".to_owned(), Value::Seq(t_seq)),
+        ])
+    }
+}
+
+impl Deserialize for AgingTable {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let map = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected aging-table object"))?;
+        let axes = TableAxes::from_value(
+            find_key(map, "axes").ok_or_else(|| serde::Error::custom("missing field axes"))?,
+        )?;
+        let nested = find_key(map, "values")
+            .and_then(Value::as_seq)
+            .ok_or_else(|| serde::Error::custom("missing or non-array field values"))?;
+        let (nt, nd, ny) = (
+            axes.temperatures.len(),
+            axes.duty_cycles.len(),
+            axes.ages.len(),
+        );
+        if nested.len() != nt {
+            return Err(serde::Error::custom(format!(
+                "aging table has {} temperature rows, axes say {nt}",
+                nested.len()
+            )));
+        }
+        let mut values = Vec::with_capacity(nt * nd * ny);
+        for t_row in nested {
+            let d_rows = t_row
+                .as_seq()
+                .filter(|r| r.len() == nd)
+                .ok_or_else(|| serde::Error::custom("aging table duty dimension mismatch"))?;
+            for d_row in d_rows {
+                let ages = d_row
+                    .as_seq()
+                    .filter(|r| r.len() == ny)
+                    .ok_or_else(|| serde::Error::custom("aging table age dimension mismatch"))?;
+                for v in ages {
+                    values.push(f64::from_value(v)?);
+                }
+            }
+        }
+        Ok(AgingTable { axes, values })
+    }
+}
+
+/// Caller-owned scratch for [`AgingTable::age_curve`]: holds the collapsed
+/// curve so repeated collapses (one per candidate evaluation) never touch
+/// the allocator after the first.
+#[derive(Debug, Clone, Default)]
+pub struct AgeCurveScratch {
+    curve: Vec<f64>,
+}
+
+impl AgeCurveScratch {
+    /// An empty scratch; the first collapse sizes it to the age axis.
+    #[must_use]
+    pub fn new() -> Self {
+        AgeCurveScratch::default()
+    }
+}
+
+/// The aging table collapsed at one `(temperature, duty)` operating point:
+/// relative frequency sampled over the age axis, non-increasing in age.
+///
+/// Because trilinear interpolation is linear in each coordinate, this curve
+/// *is* the table's interpolant restricted to the operating point — so
+/// inverting it in one binary search plus an in-cell linear solve
+/// ([`equivalent_age`](Self::equivalent_age)) computes the same answer the
+/// oracle approximates with 64 bisection × trilinear lookups.
+#[derive(Debug, Clone, Copy)]
+pub struct AgeCurve<'a> {
+    ages: &'a [f64],
+    curve: &'a [f64],
+    zero_stress: bool,
+}
+
+impl AgeCurve<'_> {
+    /// Relative frequency at `age`, linearly interpolated on the collapsed
+    /// curve; clamped to the table edge outside the age axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `age` is NaN.
+    #[must_use]
+    pub fn relative_frequency(&self, age: Years) -> f64 {
+        assert!(!age.value().is_nan(), "age must be finite, got {age:?}");
+        let (yi, yf) = locate(self.ages, age.value());
+        (1.0 - yf) * self.curve[yi] + yf * self.curve[yi + 1]
+    }
+
+    /// The age at which the curve reaches `health` — the direct inverse of
+    /// [`relative_frequency`](Self::relative_frequency): one binary search
+    /// for the containing cell, one linear solve inside it. Healths above
+    /// the un-aged value map to age 0; healths below the end-of-curve value
+    /// map to the last tabulated age.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `health` is not in `(0, 1]` (NaN included).
+    #[must_use]
+    pub fn equivalent_age(&self, health: f64) -> Years {
+        assert!(
+            health > 0.0 && health <= 1.0,
+            "health must lie in (0, 1], got {health}"
+        );
+        // First index whose curve value has dropped to or below `health`;
+        // the curve is non-increasing, so everything before it is above.
+        let p = self.curve.partition_point(|&c| c > health);
+        if p == 0 {
+            return Years::new(self.ages[0]);
+        }
+        if p == self.curve.len() {
+            return Years::new(*self.ages.last().expect("axes are non-empty"));
+        }
+        let (k, lo, hi) = (p - 1, self.curve[p - 1], self.curve[p]);
+        // A flat cell means every age in it maps to `health`; take the left
+        // edge (the oracle's bisection converges inside the cell too, and
+        // the follow-up advance re-reads the same flat stretch).
+        let frac = if lo > hi {
+            (lo - health) / (lo - hi)
+        } else {
+            0.0
+        };
+        Years::new(self.ages[k] + frac * (self.ages[k + 1] - self.ages[k]))
+    }
+
+    /// Advances health across one epoch at this curve's operating point:
+    /// invert to the equivalent age, add the epoch, re-read the curve.
+    /// Health never increases, and a zero duty cycle (dark core) leaves it
+    /// unchanged — identical semantics to the oracle
+    /// [`AgingTable::advance`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `health` is not in `(0, 1]` or `epoch` is NaN.
+    #[must_use]
+    pub fn advance(&self, health: f64, epoch: Years) -> f64 {
+        assert!(
+            !epoch.value().is_nan(),
+            "epoch must be finite, got {epoch:?}"
+        );
+        if self.zero_stress || epoch.value() == 0.0 {
+            assert!(
+                health > 0.0 && health <= 1.0,
+                "health must lie in (0, 1], got {health}"
+            );
+            return health;
+        }
+        let age = self.equivalent_age(health);
+        let next = self.relative_frequency(age + epoch);
+        next.min(health)
+    }
 }
 
 /// Finds the cell `i` and fraction `f` so that `value` sits between
-/// `axis[i]` and `axis[i+1]`; clamps outside the axis.
+/// `axis[i]` and `axis[i+1]`; clamps outside the axis. Callers assert
+/// non-NaN at the public API boundary; internally `total_cmp` keeps the
+/// search well-defined for every bit pattern.
 fn locate(axis: &[f64], value: f64) -> (usize, f64) {
+    debug_assert!(!value.is_nan(), "locate() requires a non-NaN query");
     if value <= axis[0] || axis.len() == 1 {
         return (0, 0.0);
     }
@@ -254,7 +570,7 @@ fn locate(axis: &[f64], value: f64) -> (usize, f64) {
         return (last - 1, 1.0);
     }
     // Binary search for the containing cell.
-    let i = match axis.binary_search_by(|a| a.partial_cmp(&value).expect("axis is finite")) {
+    let i = match axis.binary_search_by(|a| a.total_cmp(&value)) {
         Ok(exact) => exact.min(last - 1),
         Err(ins) => ins - 1,
     };
@@ -427,5 +743,135 @@ mod tests {
         let mut axes = TableAxes::paper();
         axes.temperatures = vec![300.0, 300.0];
         axes.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn nan_queries_are_rejected_at_the_boundary() {
+        let _ = table().relative_frequency(
+            Kelvin::new(f64::NAN),
+            DutyCycle::generic(),
+            Years::new(1.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn nan_advance_is_rejected_at_the_boundary() {
+        let _ = table().advance(
+            Kelvin::new(f64::NAN),
+            DutyCycle::generic(),
+            0.9,
+            Years::new(0.5),
+        );
+    }
+
+    #[test]
+    fn age_curve_matches_trilinear_at_fixed_conditions() {
+        let t = table();
+        let mut scratch = AgeCurveScratch::new();
+        for &(temp, d) in &[(318.15, 0.3), (361.2, 0.87), (430.0, 1.0), (300.0, 0.0)] {
+            let curve = t.age_curve(Kelvin::new(temp), DutyCycle::new(d), &mut scratch);
+            for &y in &[0.0, 0.01, 0.5, 3.33, 9.7, 15.0, 20.0] {
+                let fast = curve.relative_frequency(Years::new(y));
+                let oracle =
+                    t.relative_frequency(Kelvin::new(temp), DutyCycle::new(d), Years::new(y));
+                assert!(
+                    (fast - oracle).abs() < 1e-12,
+                    "({temp}, {d}, {y}): {fast} vs {oracle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn age_curve_advance_matches_oracle() {
+        let t = table();
+        let mut scratch = AgeCurveScratch::new();
+        let (temp, d) = (Kelvin::new(377.3), DutyCycle::new(0.65));
+        let curve = t.age_curve(temp, d, &mut scratch);
+        for &h in &[1.0, 0.995, 0.97, 0.9, 0.8] {
+            for &e in &[0.0, 0.25, 0.5, 2.0] {
+                let fast = curve.advance(h, Years::new(e));
+                let oracle = t.advance(temp, d, h, Years::new(e));
+                assert!(
+                    (fast - oracle).abs() < 1e-9,
+                    "h={h} e={e}: {fast} vs {oracle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn age_curve_inversion_round_trips() {
+        let t = table();
+        let mut scratch = AgeCurveScratch::new();
+        let curve = t.age_curve(Kelvin::new(365.0), DutyCycle::new(0.6), &mut scratch);
+        let h = curve.relative_frequency(Years::new(4.0));
+        // Exact inversion of the piecewise-linear curve — no bisection slack.
+        assert!((curve.equivalent_age(h).value() - 4.0).abs() < 1e-9);
+        assert_eq!(curve.equivalent_age(1.0).value(), 0.0);
+        let y_max = *t.axes().ages.last().unwrap();
+        let floor = curve.relative_frequency(Years::new(y_max));
+        assert_eq!(curve.equivalent_age(floor * 0.5).value(), y_max);
+    }
+
+    #[test]
+    fn age_curve_dark_core_keeps_health() {
+        let t = table();
+        let mut scratch = AgeCurveScratch::new();
+        let curve = t.age_curve(Kelvin::new(400.0), DutyCycle::idle(), &mut scratch);
+        assert_eq!(curve.advance(0.93, Years::new(1.0)), 0.93);
+    }
+
+    #[test]
+    fn serde_round_trips_through_the_nested_wire_format() {
+        let axes = TableAxes {
+            temperatures: vec![300.0, 365.0, 430.0],
+            duty_cycles: vec![0.0, 0.5, 1.0],
+            ages: vec![0.0, 1.0, 15.0],
+        };
+        let t = AgingTable::generate(&AgingModel::paper(3), &axes);
+        let json = serde_json::to_string(&t).unwrap();
+        // Wire format is the pre-flattening nested array-of-arrays.
+        assert!(json.starts_with("{\"axes\":"));
+        assert!(json.contains("\"values\":[[["));
+        let back: AgingTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn nested_tables_written_before_the_flattening_still_load() {
+        let json = include_str!("../tests/fixtures/table_nested_pre_pr5.json");
+        let t: AgingTable = serde_json::from_str(json).unwrap();
+        let regenerated = AgingTable::generate(
+            &AgingModel::paper(3),
+            &TableAxes {
+                temperatures: vec![300.0, 365.0, 430.0],
+                duty_cycles: vec![0.0, 0.5, 1.0],
+                ages: vec![0.0, 1.0, 15.0],
+            },
+        );
+        assert_eq!(t, regenerated, "pre-PR fixture must load bit-identically");
+        // And write back byte-identically, too (the fixture is pretty-printed).
+        assert_eq!(serde_json::to_string_pretty(&t).unwrap(), json.trim_end());
+    }
+
+    #[test]
+    fn mismatched_dimensions_are_rejected_on_load() {
+        let t = table();
+        let json = serde_json::to_string(&t).unwrap();
+        let truncated = json.replacen("[[[", "[[", 1);
+        assert!(serde_json::from_str::<AgingTable>(&truncated).is_err());
+    }
+
+    #[test]
+    fn table_path_parses_and_names() {
+        assert_eq!("fast".parse::<TablePath>().unwrap(), TablePath::Fast);
+        assert_eq!("oracle".parse::<TablePath>().unwrap(), TablePath::Oracle);
+        assert!("trilinear".parse::<TablePath>().is_err());
+        assert_eq!(TablePath::default(), TablePath::Fast);
+        assert_eq!(TablePath::Fast.name(), "fast");
+        assert!(TablePath::Oracle.lookups_per_advance() > TablePath::Fast.lookups_per_advance());
     }
 }

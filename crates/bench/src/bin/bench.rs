@@ -1,10 +1,14 @@
-//! Perf-trajectory benchmark: emits `BENCH_4.json` at the repo root with
+//! Perf-trajectory benchmark: emits `BENCH_5.json` at the repo root with
 //! wall-times for the three kernels that bound the decade-scale evaluation
 //! — a **transient window** (2 s of 6.6 ms control periods on the bare
 //! thermal simulator), a **single epoch**, and a **single-chip decade**
 //! (the end-to-end campaign unit: 10 years, 40 epochs, one chip, the Hayat
 //! policy) — each under both time integrators, plus a **campaign scaling**
-//! section measuring the parallel executor at `--jobs 1/2/4`.
+//! section measuring the parallel executor at `--jobs 1/2/4`, plus a
+//! **decision path** section timing one Hayat epoch decision on an aged
+//! chip under the direct age-curve inversion (fast, the default) against
+//! the bisection oracle it replaced, with a `policy.table_lookups` counter
+//! comparison and a hard fast-vs-oracle gate on the table-advance micro.
 //!
 //! Two thermal configurations are measured:
 //!
@@ -40,11 +44,18 @@
 //! it. Before timing, the sweep asserts the 4-job result is
 //! byte-identical to serial.
 
-use hayat::{Campaign, ChipSystem, HayatPolicy, Jobs, SimulationConfig, SimulationEngine};
+use hayat::{
+    Campaign, ChipSystem, HayatPolicy, Jobs, Policy, PolicyContext, PolicyScratch,
+    SimulationConfig, SimulationEngine,
+};
+use hayat_aging::{AgeCurveScratch, TablePath};
 use hayat_floorplan::Floorplan;
+use hayat_telemetry::MemoryRecorder;
 use hayat_thermal::{Integrator, RcNetwork, ThermalConfig, TransientSimulator};
-use hayat_units::{Seconds, Watts};
+use hayat_units::{DutyCycle, Kelvin, Seconds, Watts, Years};
+use hayat_workload::WorkloadMix;
 use serde::Serialize;
+use std::cell::RefCell;
 use std::time::Instant;
 
 /// Paper control period inside the transient window, seconds.
@@ -121,14 +132,48 @@ struct CampaignScaling {
     speedup_at_4_jobs: f64,
 }
 
+/// Fast-vs-oracle timings of one Hayat epoch decision on an aged chip —
+/// the PR-5 decision-path kernels.
 #[derive(Serialize)]
-struct Bench4 {
+struct DecisionPath {
+    /// How the measured system was prepared.
+    setup: String,
+    aged_epochs: usize,
+    threads: usize,
+    /// One Hayat `map_threads` call (warm scratch, recycled mapping).
+    single_decision_fast_seconds: f64,
+    single_decision_oracle_seconds: f64,
+    single_decision_speedup: f64,
+    /// One full epoch: decision + transient window + health upscale.
+    single_epoch_fast_seconds: f64,
+    single_epoch_oracle_seconds: f64,
+    single_epoch_speedup: f64,
+    /// The full 40-epoch decade on one chip.
+    single_chip_decade_fast_seconds: f64,
+    single_chip_decade_oracle_seconds: f64,
+    single_chip_decade_speedup: f64,
+    /// Table-advance micro: direct age-curve inversion vs 64-step bisection
+    /// over the same (temperature, duty, health) sequence.
+    table_advance_fast_seconds: f64,
+    table_advance_oracle_seconds: f64,
+    table_advance_speedup: f64,
+    /// Hard perf gate: the fast advance must be at least 5x the oracle.
+    advance_gate_ok: bool,
+    /// `policy.table_lookups` for one decision under each path (equal
+    /// advances x 1 vs x 67 lookup-equivalents).
+    table_lookups_fast: u64,
+    table_lookups_oracle: u64,
+}
+
+#[derive(Serialize)]
+struct Bench5 {
     bench: String,
     mode: String,
     control_period_seconds: f64,
     window_steps: usize,
     configs: Vec<ConfigReport>,
     campaign_scaling: CampaignScaling,
+    decision_path: DecisionPath,
     headline: Headline,
 }
 
@@ -363,6 +408,172 @@ fn campaign_scaling(fast: bool, extra_jobs: Jobs) -> CampaignScaling {
     }
 }
 
+/// The configuration the decision-path section runs: the paper's 8×8 chip
+/// on a 10-year, 40-epoch grid, with a short transient window so the
+/// decision is a meaningful share of the epoch (the window cost is
+/// identical under both table paths and already measured above).
+fn decision_config() -> SimulationConfig {
+    let mut config = SimulationConfig::quick_demo();
+    config.years = 10.0;
+    config.epoch_years = 0.25;
+    config.transient_window_seconds = 0.1;
+    config
+}
+
+/// A chip aged `epochs` epochs under the Hayat policy. Fresh chips sit at
+/// full health where every candidate's age-curve cell is the same; decision
+/// timings only mean something on a degraded, spread-out health map.
+fn aged_system(config: &SimulationConfig, epochs: usize) -> ChipSystem {
+    let system = ChipSystem::paper_chip(0, config).expect("paper chip builds");
+    let mut engine = SimulationEngine::new(system, Box::new(HayatPolicy::default()), config);
+    let mut metrics = engine.start_metrics();
+    engine.run_epochs(0, epochs, &mut metrics);
+    engine.system().clone()
+}
+
+/// One Hayat `map_threads` call with a warm scratch and a recycled mapping —
+/// the steady-state epoch decision the engine performs.
+fn single_decision_seconds(
+    system: &ChipSystem,
+    workload: &WorkloadMix,
+    horizon: Years,
+    reps: u32,
+) -> f64 {
+    let scratch = RefCell::new(PolicyScratch::new());
+    let ctx = PolicyContext::new(system, horizon, Years::new(0.0)).with_scratch(&scratch);
+    let mut policy = HayatPolicy::default();
+    time_best(
+        || {
+            let mapping = policy.map_threads(&ctx, workload);
+            scratch.borrow_mut().mapping_pool.push(mapping);
+        },
+        reps,
+    )
+}
+
+/// The `policy.table_lookups` counter emitted by one decision.
+fn decision_lookups(system: &ChipSystem, workload: &WorkloadMix, horizon: Years) -> u64 {
+    let recorder = MemoryRecorder::new();
+    let ctx = PolicyContext::new(system, horizon, Years::new(0.0)).with_recorder(&recorder);
+    HayatPolicy::default().map_threads(&ctx, workload);
+    recorder
+        .summary()
+        .counter_total("policy.table_lookups")
+        .unwrap_or(0)
+}
+
+/// Table-advance micro: the same (temperature, duty, health) chain through
+/// the direct age-curve inversion and through the bisection oracle.
+fn table_advance_seconds(system: &ChipSystem, path: TablePath, reps: u32) -> f64 {
+    let table = system.aging_table();
+    let horizon = Years::new(0.25);
+    let temps: Vec<Kelvin> = (0..256)
+        .map(|i| Kelvin::new(315.0 + 0.2 * f64::from(i)))
+        .collect();
+    let duty = DutyCycle::clamped(0.7);
+    let mut scratch = AgeCurveScratch::new();
+    time_best(
+        || {
+            let mut h = 1.0;
+            for &t in &temps {
+                h = match path {
+                    TablePath::Fast => table.age_curve(t, duty, &mut scratch).advance(h, horizon),
+                    TablePath::Oracle => table.advance(t, duty, h, horizon),
+                };
+            }
+            std::hint::black_box(h);
+        },
+        reps,
+    )
+}
+
+/// Times the epoch decision path fast vs oracle on an aged chip and gates
+/// the table-advance micro at 5x.
+fn decision_path(fast_mode: bool) -> DecisionPath {
+    let config = decision_config();
+    let aged_epochs = 8;
+    let base = aged_system(&config, aged_epochs);
+    let threads = base.budget().max_on();
+    let workload = WorkloadMix::generate(config.workload_seed, threads);
+    let horizon = config.horizon();
+    let fast_sys = base.clone().with_table_path(TablePath::Fast);
+    let oracle_sys = base.clone().with_table_path(TablePath::Oracle);
+    let (dec_reps, epoch_reps, decade_reps, micro_reps) = if fast_mode {
+        (20, 3, 1, 20)
+    } else {
+        (100, 10, 3, 100)
+    };
+
+    let decision_fast = single_decision_seconds(&fast_sys, &workload, horizon, dec_reps);
+    let decision_oracle = single_decision_seconds(&oracle_sys, &workload, horizon, dec_reps);
+    let epoch_fast = single_epoch_seconds(&fast_sys, &config, epoch_reps);
+    let epoch_oracle = single_epoch_seconds(&oracle_sys, &config, epoch_reps);
+    let decade_fast = single_chip_decade_seconds(&fast_sys, &config, decade_reps);
+    let decade_oracle = single_chip_decade_seconds(&oracle_sys, &config, decade_reps);
+    let advance_fast = table_advance_seconds(&base, TablePath::Fast, micro_reps);
+    let advance_oracle = table_advance_seconds(&base, TablePath::Oracle, micro_reps);
+    let advance_speedup = advance_oracle / advance_fast;
+    assert!(
+        advance_speedup >= 5.0,
+        "fast table advance must be at least 5x the oracle, measured {advance_speedup:.2}x"
+    );
+    let lookups_fast = decision_lookups(&fast_sys, &workload, horizon);
+    let lookups_oracle = decision_lookups(&oracle_sys, &workload, horizon);
+
+    println!(
+        "  decision path ({} threads on a chip aged {} epochs):",
+        threads, aged_epochs
+    );
+    println!(
+        "    decision {:9.3} ms -> {:9.3} ms  ({:.2}x)",
+        decision_oracle * 1e3,
+        decision_fast * 1e3,
+        decision_oracle / decision_fast
+    );
+    println!(
+        "    epoch    {:9.3} ms -> {:9.3} ms  ({:.2}x)",
+        epoch_oracle * 1e3,
+        epoch_fast * 1e3,
+        epoch_oracle / epoch_fast
+    );
+    println!(
+        "    decade   {:9.3} s  -> {:9.3} s   ({:.2}x)",
+        decade_oracle,
+        decade_fast,
+        decade_oracle / decade_fast
+    );
+    println!(
+        "    advance  {:9.3} us -> {:9.3} us  ({:.2}x, gate >= 5x ok)",
+        advance_oracle / 256.0 * 1e6,
+        advance_fast / 256.0 * 1e6,
+        advance_speedup
+    );
+    println!("    table lookups per decision: {lookups_fast} fast, {lookups_oracle} oracle");
+
+    DecisionPath {
+        setup: "quick_demo at 10 years / 0.25-year epochs / 0.1 s window, chip 0 aged 8 \
+                epochs under Hayat before timing"
+            .to_owned(),
+        aged_epochs,
+        threads,
+        single_decision_fast_seconds: decision_fast,
+        single_decision_oracle_seconds: decision_oracle,
+        single_decision_speedup: decision_oracle / decision_fast,
+        single_epoch_fast_seconds: epoch_fast,
+        single_epoch_oracle_seconds: epoch_oracle,
+        single_epoch_speedup: epoch_oracle / epoch_fast,
+        single_chip_decade_fast_seconds: decade_fast,
+        single_chip_decade_oracle_seconds: decade_oracle,
+        single_chip_decade_speedup: decade_oracle / decade_fast,
+        table_advance_fast_seconds: advance_fast,
+        table_advance_oracle_seconds: advance_oracle,
+        table_advance_speedup: advance_speedup,
+        advance_gate_ok: advance_speedup >= 5.0,
+        table_lookups_fast: lookups_fast,
+        table_lookups_oracle: lookups_oracle,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let fast = !args.iter().any(|a| a == "--full");
@@ -371,7 +582,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_4.json".to_owned());
+        .unwrap_or_else(|| "BENCH_5.json".to_owned());
     let jobs = args
         .iter()
         .position(|a| a == "--jobs")
@@ -384,7 +595,7 @@ fn main() {
         });
 
     hayat_bench::section(&format!(
-        "BENCH_4 perf trajectory ({} mode, release build)",
+        "BENCH_5 perf trajectory + decision path ({} mode, release build)",
         if fast { "fast" } else { "full" }
     ));
 
@@ -398,6 +609,7 @@ fn main() {
     ];
 
     let scaling = campaign_scaling(fast, jobs);
+    let decision = decision_path(fast);
 
     let stiff_report = &configs[1];
     let headline = Headline {
@@ -414,13 +626,14 @@ fn main() {
         headline.transient_window_speedup, headline.campaign_speedup, headline.config
     );
 
-    let report = Bench4 {
-        bench: "BENCH_4".to_owned(),
+    let report = Bench5 {
+        bench: "BENCH_5".to_owned(),
         mode: if fast { "fast" } else { "full" }.to_owned(),
         control_period_seconds: CONTROL_PERIOD,
         window_steps: (WINDOW_SECONDS / CONTROL_PERIOD).round() as usize,
         configs,
         campaign_scaling: scaling,
+        decision_path: decision,
         headline,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use hayat::sim::campaign::PolicyKind;
 use hayat::{Campaign, Jobs, SimulationConfig};
+use hayat_aging::TablePath;
 use hayat_checkpoint::{Checkpointer, FailPoint};
 use hayat_telemetry::{JsonlRecorder, Recorder};
 
@@ -40,18 +41,23 @@ struct Args {
     every: Option<usize>,
     resume_path: Option<String>,
     jobs: Jobs,
+    table_path: TablePath,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--dark F] [--chips N] [--years Y] [--epoch Y] \
          [--window S] [--seed N] [--mesh N] [--jobs N|auto] \
+         [--table-path fast|oracle] \
          [--policies vaa,hayat,coolest,random] [--csv DIR] [--json FILE] \
          [--telemetry FILE.jsonl] \
          [--checkpoint FILE [--every EPOCHS] | --resume FILE]\n\
          \n\
          --jobs sets the worker-thread count (default: all hardware \
          threads); output is byte-identical for every value, including 1. \
+         --table-path selects the policies' aging-table inversion: the \
+         direct age-curve inversion (fast, default) or the bisection \
+         oracle it replaces — output is byte-identical for both. \
          --checkpoint runs the campaign with durable progress (written \
          atomically every EPOCHS epochs and at chip boundaries); --resume \
          continues from such a file, skipping completed work — a resumed \
@@ -90,6 +96,7 @@ fn parse_args() -> Args {
         every: None,
         resume_path: None,
         jobs: Jobs::auto(),
+        table_path: TablePath::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -118,6 +125,12 @@ fn parse_args() -> Args {
             "--resume" => args.resume_path = Some(value("--resume")),
             "--jobs" => {
                 args.jobs = value("--jobs").parse().unwrap_or_else(|msg| {
+                    eprintln!("{msg}");
+                    usage()
+                });
+            }
+            "--table-path" => {
+                args.table_path = value("--table-path").parse().unwrap_or_else(|msg| {
                     eprintln!("{msg}");
                     usage()
                 });
@@ -166,7 +179,9 @@ fn main() {
         args.policies,
         args.jobs
     );
-    let campaign = Campaign::new(config).expect("configuration is valid");
+    let campaign = Campaign::new(config)
+        .expect("configuration is valid")
+        .with_table_path(args.table_path);
     let recorder = args
         .telemetry_path
         .as_deref()

@@ -64,7 +64,9 @@ pub use crate::policy::exhaustive::{objective, ExhaustivePolicy};
 pub use crate::policy::hayat::{HayatConfig, HayatPolicy};
 pub use crate::policy::simple::{CoolestFirstPolicy, FixedDcmPolicy, RandomPolicy};
 pub use crate::policy::vaa::VaaPolicy;
-pub use crate::policy::{power_vector, predict_mapping_temperatures, Policy, PolicyContext};
+pub use crate::policy::{
+    power_vector, predict_mapping_temperatures, Policy, PolicyContext, PolicyScratch,
+};
 pub use crate::sim::campaign::{Campaign, CampaignResult, CampaignSummary, PolicyKind};
 pub use crate::sim::config::{Jobs, SimulationConfig};
 pub use crate::sim::engine::SimulationEngine;

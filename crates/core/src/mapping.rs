@@ -3,14 +3,16 @@
 use hayat_floorplan::CoreId;
 use hayat_workload::ThreadId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// The assignment of threads to cores.
 ///
 /// Structurally enforces the paper's Eq. 5 (each core executes at most one
 /// thread) and keeps the inverse index so both directions of the `m(i,j,k)`
-/// relation are O(log n).
+/// relation are O(log n). The inverse index is a sorted vec rather than a
+/// tree map so a recycled mapping ([`ThreadMapping::reset`]) re-fills
+/// without heap allocation — the policies' epoch decision loop depends on
+/// that.
 ///
 /// # Example
 ///
@@ -29,8 +31,8 @@ use std::fmt;
 pub struct ThreadMapping {
     /// Per-core occupant, indexed by core id.
     per_core: Vec<Option<ThreadId>>,
-    /// Inverse index.
-    per_thread: BTreeMap<ThreadId, CoreId>,
+    /// Inverse index, sorted by thread id.
+    per_thread: Vec<(ThreadId, CoreId)>,
 }
 
 impl ThreadMapping {
@@ -39,8 +41,17 @@ impl ThreadMapping {
     pub fn empty(cores: usize) -> Self {
         ThreadMapping {
             per_core: vec![None; cores],
-            per_thread: BTreeMap::new(),
+            per_thread: Vec::new(),
         }
+    }
+
+    /// Clears every assignment and re-sizes to `cores` cores, keeping the
+    /// allocated capacity — the recycling path of
+    /// [`PolicyScratch`](crate::policy::PolicyScratch).
+    pub fn reset(&mut self, cores: usize) {
+        self.per_core.clear();
+        self.per_core.resize(cores, None);
+        self.per_thread.clear();
     }
 
     /// Number of cores the mapping covers.
@@ -79,7 +90,10 @@ impl ThreadMapping {
     /// The core executing `thread`, if mapped.
     #[must_use]
     pub fn core_of(&self, thread: ThreadId) -> Option<CoreId> {
-        self.per_thread.get(&thread).copied()
+        self.per_thread
+            .binary_search_by(|(t, _)| t.cmp(&thread))
+            .ok()
+            .map(|i| self.per_thread[i].1)
     }
 
     /// Assigns `thread` to `core`.
@@ -93,12 +107,12 @@ impl ThreadMapping {
             self.per_core[core.index()].is_none(),
             "core {core} already executes a thread (Eq. 5)"
         );
-        assert!(
-            !self.per_thread.contains_key(&thread),
-            "thread {thread} is already mapped"
-        );
+        let slot = match self.per_thread.binary_search_by(|(t, _)| t.cmp(&thread)) {
+            Err(slot) => slot,
+            Ok(_) => panic!("thread {thread} is already mapped"),
+        };
         self.per_core[core.index()] = Some(thread);
-        self.per_thread.insert(thread, core);
+        self.per_thread.insert(slot, (thread, core));
     }
 
     /// Removes the thread from `core`, returning it.
@@ -109,7 +123,9 @@ impl ThreadMapping {
     pub fn unassign(&mut self, core: CoreId) -> Option<ThreadId> {
         let thread = self.per_core[core.index()].take();
         if let Some(t) = thread {
-            self.per_thread.remove(&t);
+            if let Ok(i) = self.per_thread.binary_search_by(|(pt, _)| pt.cmp(&t)) {
+                self.per_thread.remove(i);
+            }
         }
         thread
     }
@@ -209,6 +225,25 @@ mod tests {
         assert_eq!(active.len() + free.len(), 6);
         assert_eq!(active, vec![CoreId::new(2), CoreId::new(4)]);
         assert!(!free.contains(&CoreId::new(2)));
+    }
+
+    #[test]
+    fn reset_clears_assignments_and_resizes() {
+        let mut m = ThreadMapping::empty(4);
+        m.assign(t(0), CoreId::new(1));
+        m.assign(t(1), CoreId::new(3));
+        m.reset(6);
+        assert_eq!(m.core_count(), 6);
+        assert_eq!(m.active_cores(), 0);
+        assert_eq!(m.core_of(t(0)), None);
+        assert!(m.is_free(CoreId::new(1)));
+        // A reset mapping behaves exactly like a fresh one.
+        m.assign(t(2), CoreId::new(5));
+        assert_eq!(m, {
+            let mut fresh = ThreadMapping::empty(6);
+            fresh.assign(t(2), CoreId::new(5));
+            fresh
+        });
     }
 
     #[test]

@@ -7,11 +7,86 @@ pub mod vaa;
 
 use crate::mapping::ThreadMapping;
 use crate::system::ChipSystem;
+use hayat_aging::AgeCurveScratch;
+use hayat_floorplan::CoreId;
 use hayat_power::PowerState;
 use hayat_telemetry::{Recorder, NULL_RECORDER};
 use hayat_thermal::TemperatureMap;
-use hayat_units::{Kelvin, Watts, Years};
-use hayat_workload::WorkloadMix;
+use hayat_units::{Gigahertz, Kelvin, Watts, Years};
+use hayat_workload::{ThreadId, WorkloadMix};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+/// Reusable buffers for the epoch decision path.
+///
+/// Every per-decision working set the policies need — temperature-rise
+/// accumulators, the sorted thread work list, per-core snapshots that used
+/// to be recomputed per *candidate*, the collapsed age-curve scratch, and a
+/// pool of recycled [`ThreadMapping`]s — lives here, owned by the caller
+/// (normally the engine) and handed to policies through
+/// [`PolicyContext::with_scratch`]. After the first decision warms the
+/// capacities up, a decision performs **zero heap allocations**; the
+/// `alloc_free_decision` integration test counts them.
+///
+/// Policies called without a scratch (unit tests, one-off evaluations) fall
+/// back to a local instance and behave identically — the scratch is a pure
+/// cache and never carries state between decisions.
+#[derive(Debug, Default)]
+pub struct PolicyScratch {
+    /// Per-core aged maximum frequency snapshot, GHz (one read of the
+    /// health map per decision instead of one per candidate).
+    pub aged_fmax: Vec<f64>,
+    /// Per-core idle leakage at the DCM stage's typical operating
+    /// temperature, watts.
+    pub dcm_leakage: Vec<f64>,
+    /// Per-core idle leakage at the power model's reference temperature,
+    /// watts (the thread-power estimate's leakage share).
+    pub ref_leakage: Vec<f64>,
+    /// Temperature rise above ambient accumulated by the threads mapped so
+    /// far (Algorithm 1's incremental superposition state).
+    pub rise: Vec<f64>,
+    /// The DCM greedy stage's own rise accumulator.
+    pub dcm_rise: Vec<f64>,
+    /// The Dark Core Map under construction (`true` = planned on).
+    pub on: Vec<bool>,
+    /// Sort buffer for the preserve-threshold frequency quantile.
+    pub freqs: Vec<f64>,
+    /// The `(required frequency, thread)` work list, sorted hardest-first.
+    pub threads: Vec<(Gigahertz, ThreadId)>,
+    /// BFS output buffer (VAA's contiguous-region growth).
+    pub region: Vec<CoreId>,
+    /// BFS visited markers.
+    pub seen: Vec<bool>,
+    /// BFS frontier.
+    pub queue: VecDeque<CoreId>,
+    /// Scratch for the collapsed 1D age curve of the fast table path.
+    pub age_curve: AgeCurveScratch,
+    /// Recycled mappings: policies pop from here instead of allocating and
+    /// the engine pushes each epoch's mapping back after its transient
+    /// window.
+    pub mapping_pool: Vec<ThreadMapping>,
+}
+
+impl PolicyScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    #[must_use]
+    pub fn new() -> Self {
+        PolicyScratch::default()
+    }
+
+    /// Pops a recycled mapping (cleared and re-sized to `cores`) or
+    /// allocates a fresh one when the pool is empty.
+    #[must_use]
+    pub fn take_mapping(&mut self, cores: usize) -> ThreadMapping {
+        match self.mapping_pool.pop() {
+            Some(mut mapping) => {
+                mapping.reset(cores);
+                mapping
+            }
+            None => ThreadMapping::empty(cores),
+        }
+    }
+}
 
 /// The read-only view a policy gets of the system when (re)mapping at an
 /// epoch boundary.
@@ -30,10 +105,15 @@ pub struct PolicyContext<'a> {
     /// [`hayat_telemetry::NullRecorder`]; recorders must never influence the
     /// mapping a policy produces.
     pub recorder: &'a dyn Recorder,
+    /// Optional reusable decision buffers. `None` (the default) makes each
+    /// policy fall back to a throw-away local scratch; the engine threads
+    /// its own through every epoch so decisions stop allocating. Like the
+    /// recorder, the scratch must never influence the mapping produced.
+    pub scratch: Option<&'a RefCell<PolicyScratch>>,
 }
 
 impl<'a> PolicyContext<'a> {
-    /// A context with the default (null) recorder.
+    /// A context with the default (null) recorder and no shared scratch.
     #[must_use]
     pub fn new(system: &'a ChipSystem, horizon: Years, elapsed: Years) -> Self {
         PolicyContext {
@@ -41,6 +121,7 @@ impl<'a> PolicyContext<'a> {
             horizon,
             elapsed,
             recorder: &NULL_RECORDER,
+            scratch: None,
         }
     }
 
@@ -48,6 +129,13 @@ impl<'a> PolicyContext<'a> {
     #[must_use]
     pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Attaches reusable decision buffers (see [`PolicyScratch`]).
+    #[must_use]
+    pub fn with_scratch(mut self, scratch: &'a RefCell<PolicyScratch>) -> Self {
+        self.scratch = Some(scratch);
         self
     }
 }
@@ -58,6 +146,7 @@ impl std::fmt::Debug for PolicyContext<'_> {
             .field("horizon", &self.horizon)
             .field("elapsed", &self.elapsed)
             .field("recorder_enabled", &self.recorder.enabled())
+            .field("has_scratch", &self.scratch.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -205,6 +294,39 @@ mod tests {
         let corrected = predict_mapping_temperatures(&system, &mapping, &workload);
         // Hot clustered cores leak more, so the corrected peak is higher.
         assert!(corrected.max() >= uncorrected.max());
+    }
+
+    #[test]
+    fn scratch_recycles_mappings() {
+        let mut scratch = PolicyScratch::new();
+        let mut m = scratch.take_mapping(8);
+        m.assign(ThreadId::new(0, 0), CoreId::new(3));
+        scratch.mapping_pool.push(m);
+        let recycled = scratch.take_mapping(4);
+        assert_eq!(recycled.core_count(), 4);
+        assert_eq!(recycled.active_cores(), 0);
+        // Pool drained: the next take allocates fresh.
+        assert_eq!(scratch.take_mapping(2).core_count(), 2);
+    }
+
+    #[test]
+    fn context_carries_scratch_by_reference() {
+        let (system, _) = setup();
+        let cell = std::cell::RefCell::new(PolicyScratch::new());
+        let ctx = PolicyContext::new(
+            &system,
+            hayat_units::Years::new(1.0),
+            hayat_units::Years::new(0.0),
+        )
+        .with_scratch(&cell);
+        assert!(ctx.scratch.is_some());
+        assert!(format!("{ctx:?}").contains("has_scratch: true"));
+        let plain = PolicyContext::new(
+            &system,
+            hayat_units::Years::new(1.0),
+            hayat_units::Years::new(0.0),
+        );
+        assert!(plain.scratch.is_none());
     }
 
     #[test]

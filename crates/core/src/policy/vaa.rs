@@ -3,12 +3,11 @@
 //! extended per Section VI for a fair comparison.
 
 use crate::mapping::ThreadMapping;
-use crate::policy::{Policy, PolicyContext};
+use crate::policy::{Policy, PolicyContext, PolicyScratch};
 use hayat_floorplan::CoreId;
 use hayat_telemetry::RecorderExt;
-use hayat_workload::{ThreadId, ThreadProfile, WorkloadMix};
+use hayat_workload::WorkloadMix;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// The extended state-of-the-art baseline of Section VI ("for brevity, we
 /// call it VAA").
@@ -72,38 +71,46 @@ impl VaaPolicy {
     }
 
     /// Collects free cores in BFS order from `start` — the contiguous region
-    /// an application expands into.
-    fn region(ctx: &PolicyContext<'_>, mapping: &ThreadMapping, start: CoreId) -> Vec<CoreId> {
+    /// an application expands into. Fills `scratch.region`, reusing the
+    /// scratch's visited flags and BFS queue.
+    fn region_into(
+        ctx: &PolicyContext<'_>,
+        mapping: &ThreadMapping,
+        start: CoreId,
+        scratch: &mut PolicyScratch,
+    ) {
         let fp = ctx.system.floorplan();
-        let mut order = Vec::new();
-        let mut seen = vec![false; fp.core_count()];
-        let mut queue = VecDeque::from([start]);
-        seen[start.index()] = true;
-        while let Some(core) = queue.pop_front() {
+        scratch.region.clear();
+        scratch.seen.clear();
+        scratch.seen.resize(fp.core_count(), false);
+        scratch.queue.clear();
+        scratch.queue.push_back(start);
+        scratch.seen[start.index()] = true;
+        while let Some(core) = scratch.queue.pop_front() {
             if mapping.is_free(core) {
-                order.push(core);
+                scratch.region.push(core);
             }
             for n in fp.neighbors(core) {
-                if !seen[n.index()] && mapping.is_free(n) {
-                    seen[n.index()] = true;
-                    queue.push_back(n);
+                if !scratch.seen[n.index()] && mapping.is_free(n) {
+                    scratch.seen[n.index()] = true;
+                    scratch.queue.push_back(n);
                 }
             }
         }
-        order
-    }
-}
-
-impl Policy for VaaPolicy {
-    fn name(&self) -> &str {
-        "VAA"
     }
 
-    fn map_threads(&mut self, ctx: &PolicyContext<'_>, workload: &WorkloadMix) -> ThreadMapping {
+    /// The full decision against a caller-provided scratch; see
+    /// [`PolicyScratch`] for the allocation story.
+    fn map_threads_with(
+        &self,
+        ctx: &PolicyContext<'_>,
+        workload: &WorkloadMix,
+        scratch: &mut PolicyScratch,
+    ) -> ThreadMapping {
         let _decision = ctx.recorder.span("policy.vaa.decision");
         let system = ctx.system;
         let fp = system.floorplan();
-        let mut mapping = ThreadMapping::empty(fp.core_count());
+        let mut mapping = scratch.take_mapping(fp.core_count());
         let mut candidates_evaluated: u64 = 0;
 
         for app in workload.applications() {
@@ -114,26 +121,30 @@ impl Policy for VaaPolicy {
                 break;
             };
             // Threads of the app, hardest-first within the region.
-            let mut threads: Vec<(ThreadId, &ThreadProfile)> = app.threads().collect();
-            threads.sort_by(|a, b| {
-                b.1.min_frequency()
-                    .partial_cmp(&a.1.min_frequency())
+            scratch.threads.clear();
+            scratch
+                .threads
+                .extend(app.threads().map(|(tid, p)| (p.min_frequency(), tid)));
+            scratch.threads.sort_unstable_by(|a, b| {
+                b.0.partial_cmp(&a.0)
                     .expect("frequencies are finite")
-                    .then(a.0.cmp(&b.0))
+                    .then(a.1.cmp(&b.1))
             });
-            for (tid, profile) in threads {
+            // Indexed loop: `region_into` needs the whole scratch mutably,
+            // so the thread list cannot stay borrowed across iterations.
+            for ti in 0..scratch.threads.len() {
                 if mapping.active_cores() >= system.budget().max_on() {
                     break;
                 }
-                let required = profile.min_frequency();
+                let (required, tid) = scratch.threads[ti];
                 // The contiguous region as currently free, nearest-first.
-                let region = Self::region(ctx, &mapping, start);
+                Self::region_into(ctx, &mapping, start, scratch);
                 // Max throughput: the fastest feasible core among the
                 // region's nearest cores (window keeps the placement
                 // contiguous while still preferring speed).
-                let window = region.len().min(4);
+                let window = scratch.region.len().min(4);
                 candidates_evaluated += window as u64;
-                let near_best = region[..window]
+                let near_best = scratch.region[..window]
                     .iter()
                     .copied()
                     .filter(|&c| system.can_host(c, required))
@@ -164,6 +175,19 @@ impl Policy for VaaPolicy {
         ctx.recorder
             .counter("policy.vaa.assignments", mapping.active_cores() as u64);
         mapping
+    }
+}
+
+impl Policy for VaaPolicy {
+    fn name(&self) -> &str {
+        "VAA"
+    }
+
+    fn map_threads(&mut self, ctx: &PolicyContext<'_>, workload: &WorkloadMix) -> ThreadMapping {
+        match ctx.scratch {
+            Some(cell) => self.map_threads_with(ctx, workload, &mut cell.borrow_mut()),
+            None => self.map_threads_with(ctx, workload, &mut PolicyScratch::new()),
+        }
     }
 }
 
@@ -271,6 +295,19 @@ mod tests {
         let workload = WorkloadMix::generate(5, 48);
         let mapping = VaaPolicy.map_threads(&ctx(&system), &workload);
         assert!(mapping.active_cores() <= 16);
+    }
+
+    #[test]
+    fn shared_scratch_reproduces_the_scratchless_decision() {
+        let (system, workload) = setup(16);
+        let baseline = VaaPolicy.map_threads(&ctx(&system), &workload);
+        let scratch = std::cell::RefCell::new(crate::policy::PolicyScratch::new());
+        let shared_ctx = ctx(&system).with_scratch(&scratch);
+        let first = VaaPolicy.map_threads(&shared_ctx, &workload);
+        scratch.borrow_mut().mapping_pool.push(first.clone());
+        let second = VaaPolicy.map_threads(&shared_ctx, &workload);
+        assert_eq!(baseline, first);
+        assert_eq!(baseline, second);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::sim::config::{Jobs, SimulationConfig};
 use crate::sim::engine::SimulationEngine;
 use crate::sim::executor::{ExecutorError, ExecutorOptions, RunDescriptor, RunUpdate};
 use crate::system::{BuildSystemError, ChipSystem};
-use hayat_aging::{AgingModel, AgingTable};
+use hayat_aging::{AgingModel, AgingTable, TablePath};
 use hayat_floorplan::Floorplan;
 use hayat_telemetry::{NullRecorder, Recorder};
 use hayat_thermal::ThermalPredictor;
@@ -78,6 +78,7 @@ pub struct Campaign {
     population: ChipPopulation,
     predictor: Arc<ThermalPredictor>,
     aging_table: Arc<AgingTable>,
+    table_path: TablePath,
 }
 
 impl Campaign {
@@ -105,6 +106,7 @@ impl Campaign {
             population,
             predictor,
             aging_table,
+            table_path: TablePath::default(),
         })
     }
 
@@ -112,6 +114,24 @@ impl Campaign {
     #[must_use]
     pub const fn config(&self) -> &SimulationConfig {
         &self.config
+    }
+
+    /// Which table-inversion path the policies' decisions use
+    /// ([`TablePath::Fast`] by default).
+    #[must_use]
+    pub const fn table_path(&self) -> TablePath {
+        self.table_path
+    }
+
+    /// Selects the decision-path table inversion for every system the
+    /// campaign builds. Like the worker count, this is an execution knob
+    /// (both paths produce identical mappings — a CI gate holds them to it),
+    /// so it lives outside [`SimulationConfig`] and never enters a
+    /// checkpoint's config hash.
+    #[must_use]
+    pub fn with_table_path(mut self, path: TablePath) -> Self {
+        self.table_path = path;
+        self
     }
 
     /// Number of chips in the population.
@@ -135,6 +155,7 @@ impl Campaign {
             Arc::clone(&self.predictor),
             Arc::clone(&self.aging_table),
         )
+        .with_table_path(self.table_path)
     }
 
     /// The campaign's run grid in canonical order (policy-major, then chip
@@ -436,6 +457,18 @@ mod tests {
         assert_eq!(s.counter_total("campaign.runs_completed"), Some(2));
         assert_eq!(s.span("campaign.chip").map(|sp| sp.count), Some(2));
         assert!(s.span("engine.epoch").map_or(0, |sp| sp.count) >= 2);
+    }
+
+    #[test]
+    fn oracle_table_path_reproduces_the_fast_campaign_exactly() {
+        // The fast age-curve inversion is an exact inverse of the surface the
+        // oracle bisects, so a full campaign must not change at all.
+        let fast =
+            tiny_campaign().run_with_jobs(&[PolicyKind::Vaa, PolicyKind::Hayat], Jobs::serial());
+        let oracle = tiny_campaign()
+            .with_table_path(TablePath::Oracle)
+            .run_with_jobs(&[PolicyKind::Vaa, PolicyKind::Hayat], Jobs::serial());
+        assert_eq!(fast, oracle);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::dtm::DtmController;
 use crate::mapping::ThreadMapping;
 use crate::metrics::{EpochRecord, RunMetrics};
-use crate::policy::{Policy, PolicyContext};
+use crate::policy::{Policy, PolicyContext, PolicyScratch};
 use crate::sensors::SensorSuite;
 use crate::sim::config::SimulationConfig;
 use crate::sim::snapshot::{EngineSnapshot, RestoreError};
@@ -12,6 +12,7 @@ use hayat_power::PowerState;
 use hayat_telemetry::{NullRecorder, Recorder, RecorderExt};
 use hayat_units::{Watts, Years};
 use hayat_workload::WorkloadMix;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// The accelerated-aging evaluation loop of Fig. 4.
@@ -56,6 +57,11 @@ pub struct SimulationEngine {
     mixes: Vec<WorkloadMix>,
     sensors: Option<SensorSuite>,
     recorder: Arc<dyn Recorder>,
+    /// Per-engine decision scratch: warmed on the first epoch, every later
+    /// epoch's policy decision then runs without heap allocation. The engine
+    /// is moved (never shared) across worker threads, so a `RefCell` is
+    /// enough.
+    scratch: RefCell<PolicyScratch>,
 }
 
 impl SimulationEngine {
@@ -100,6 +106,7 @@ impl SimulationEngine {
             mixes,
             sensors,
             recorder: Arc::new(NullRecorder),
+            scratch: RefCell::new(PolicyScratch::new()),
         }
     }
 
@@ -246,13 +253,14 @@ impl SimulationEngine {
             *view.health_mut() = sensors.read_health(self.system.health());
             view
         });
-        let mapping = {
+        let mut mapping = {
             let ctx = PolicyContext::new(
                 sensed_system.as_ref().unwrap_or(&self.system),
                 self.config.horizon(),
                 elapsed,
             )
-            .with_recorder(recorder.as_ref());
+            .with_recorder(recorder.as_ref())
+            .with_scratch(&self.scratch);
             self.policy.map_threads(&ctx, &workload)
         };
         drop(sensed_system);
@@ -263,7 +271,9 @@ impl SimulationEngine {
 
         // --- Fine-grained transient simulation. --------------------------
         let (worst_temps, duty, avg_temp, peak_temp, throughput_fraction) =
-            self.transient_window(mapping, &workload);
+            self.transient_window(&mut mapping, &workload);
+        // Recycle the mapping's buffers into the next decision.
+        self.scratch.borrow_mut().mapping_pool.push(mapping);
 
         // --- Epoch upscale: advance every core's health. ------------------
         let epoch_len = self.config.epoch();
@@ -315,7 +325,7 @@ impl SimulationEngine {
     /// fraction (achieved over required IPS across all threads and steps).
     fn transient_window(
         &mut self,
-        mut mapping: ThreadMapping,
+        mapping: &mut ThreadMapping,
         workload: &WorkloadMix,
     ) -> (
         Vec<hayat_units::Kelvin>,
@@ -348,9 +358,7 @@ impl SimulationEngine {
             let now = step as f64 * self.config.control_period_seconds;
             let temps = self.system.transient().temperatures();
             // DTM check against the current temperatures.
-            let _ = self
-                .dtm
-                .check(&self.system, &mut mapping, workload, &temps, now);
+            let _ = self.dtm.check(&self.system, mapping, workload, &temps, now);
             // Per-core power under the (possibly updated) mapping. Dynamic
             // power follows the thread's phase trace (compute/memory phases
             // of the Parsec-like workloads).

@@ -1,7 +1,7 @@
 //! The per-chip system state the run-time policies and the engine operate on.
 
 use crate::sim::config::SimulationConfig;
-use hayat_aging::{AgingModel, AgingTable, HealthMap};
+use hayat_aging::{AgingModel, AgingTable, HealthMap, TablePath};
 use hayat_floorplan::{CoreId, Floorplan};
 use hayat_power::{DarkSiliconBudget, PowerModel};
 use hayat_thermal::{ThermalConfig, ThermalPredictor, TransientSimulator};
@@ -87,6 +87,7 @@ pub struct ChipSystem {
     budget: DarkSiliconBudget,
     health: HealthMap,
     transient: TransientSimulator,
+    table_path: TablePath,
 }
 
 impl ChipSystem {
@@ -151,7 +152,33 @@ impl ChipSystem {
             budget,
             health,
             transient,
+            table_path: TablePath::default(),
         }
+    }
+
+    /// Which aging-table evaluation path the *policies* use for candidate
+    /// health estimates (the engine's end-of-epoch upscale always uses the
+    /// oracle, so results files stay canonical whatever this is set to).
+    ///
+    /// Lives on the system rather than [`SimulationConfig`] for the same
+    /// reason as the worker count: it must never change simulation results,
+    /// so it must not enter the checkpoint config hash, which fingerprints
+    /// only physics.
+    #[must_use]
+    pub const fn table_path(&self) -> TablePath {
+        self.table_path
+    }
+
+    /// Sets the policies' aging-table evaluation path.
+    pub fn set_table_path(&mut self, path: TablePath) {
+        self.table_path = path;
+    }
+
+    /// Builder-style [`ChipSystem::set_table_path`].
+    #[must_use]
+    pub fn with_table_path(mut self, path: TablePath) -> Self {
+        self.table_path = path;
+        self
     }
 
     /// The chip geometry.
@@ -229,6 +256,15 @@ impl ChipSystem {
     #[must_use]
     pub fn aged_fmax_all(&self) -> Vec<Gigahertz> {
         self.health.aged_fmax(self.chip.fmax_all())
+    }
+
+    /// Writes all current per-core maximum frequencies (GHz) into `out`,
+    /// reusing its capacity — the allocation-free sibling of
+    /// [`ChipSystem::aged_fmax_all`] the policy decision path snapshots
+    /// once per decision.
+    pub fn aged_fmax_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.floorplan.cores().map(|c| self.aged_fmax(c).value()));
     }
 
     /// Whether `core` can currently host a thread requiring `fmin`.
@@ -373,6 +409,32 @@ mod tests {
         let one_shot = hayat_thermal::steady_state(s.floorplan(), s.thermal_config(), &p0);
         assert!(fixpoint.max() > one_shot.max());
         assert!(fixpoint.max().value() < 400.0, "no thermal runaway");
+    }
+
+    #[test]
+    fn aged_fmax_into_matches_the_allocating_path() {
+        let mut s = system();
+        s.health_mut().set(CoreId::new(7), Health::new(0.85));
+        let mut buf = vec![999.0; 3]; // stale contents must be overwritten
+        s.aged_fmax_into(&mut buf);
+        let all = s.aged_fmax_all();
+        assert_eq!(buf.len(), all.len());
+        for (a, b) in buf.iter().zip(&all) {
+            assert_eq!(*a, b.value(), "snapshot must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn table_path_defaults_to_fast_and_toggles() {
+        use hayat_aging::TablePath;
+        let mut s = system();
+        assert_eq!(s.table_path(), TablePath::Fast);
+        s.set_table_path(TablePath::Oracle);
+        assert_eq!(s.table_path(), TablePath::Oracle);
+        let s2 = system().with_table_path(TablePath::Oracle);
+        assert_eq!(s2.table_path(), TablePath::Oracle);
+        // The toggle survives the clone the sensor path takes per epoch.
+        assert_eq!(s2.clone().table_path(), TablePath::Oracle);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Minimal dense and banded linear algebra shared by the Hayat substrates.
 //!
-//! Two consumers drive the contents:
+//! Three consumers drive the contents:
 //!
 //! * the **variation** crate factorizes grid covariance matrices
 //!   (≈ 1024 × 1024 for the paper's 8×8 chip with a 4×4 grid per core) and
@@ -10,9 +10,13 @@
 //!   factorizes the backward-Euler system `(C/h + G)` of its implicit
 //!   transient integrator as a **banded** Cholesky ([`BandedSpdMatrix`],
 //!   [`BandedCholeskyFactor`]) so one transient step costs `O(n·b)` instead
-//!   of `O(n²)`.
+//!   of `O(n²)`;
+//! * the **policy decision path** fuses its per-candidate temperature scans
+//!   ([`axpy_max_sum`]) and rank-1 superposition updates ([`axpy_in_place`])
+//!   into single passes that are bit-identical to the open-coded loops they
+//!   replace.
 //!
-//! Only what those two need is provided; this is not a general-purpose
+//! Only what those three need is provided; this is not a general-purpose
 //! linear-algebra library. The solver entry points come in an allocating
 //! flavor for one-off use and an `_into`/`_in_place` flavor
 //! ([`cholesky_solve_into`], [`BandedCholeskyFactor::solve_in_place`]) for
@@ -250,6 +254,68 @@ fn try_cholesky(a: &SquareMatrix, jitter: f64) -> Result<SquareMatrix, NotPositi
         }
     }
     Ok(l)
+}
+
+/// The three statistics one [`axpy_max_sum`] pass produces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedScan {
+    /// `max_i (base + rise[i] + p·row[i])`.
+    pub max: f64,
+    /// `Σ_i (base + rise[i] + p·row[i])`.
+    pub sum: f64,
+    /// The value at the probe index.
+    pub probe: f64,
+}
+
+/// One fused pass over `t_i = base + rise[i] + p·row[i]` computing the
+/// maximum, the sum, and the value at a probe index — the candidate scan of
+/// Algorithm 1 (stage 1 and 2 of the Hayat policy evaluate exactly these
+/// three statistics of a superposed temperature map for every candidate
+/// core).
+///
+/// The arithmetic is the plain `base + rise[i] + p * row[i]` expression, in
+/// slice order, with `max` accumulated via `f64::max` — deliberately *not*
+/// `mul_add`, so the fused scan is bit-identical to the three separate
+/// loops it replaces.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `probe` is out of range.
+#[must_use]
+pub fn axpy_max_sum(base: f64, rise: &[f64], p: f64, row: &[f64], probe: usize) -> FusedScan {
+    assert_eq!(rise.len(), row.len(), "rise and row must match in length");
+    assert!(probe < rise.len(), "probe index out of range");
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    let mut at_probe = 0.0;
+    for (i, (r, a)) in rise.iter().zip(row).enumerate() {
+        let t = base + r + p * a;
+        max = max.max(t);
+        sum += t;
+        if i == probe {
+            at_probe = t;
+        }
+    }
+    FusedScan {
+        max,
+        sum,
+        probe: at_probe,
+    }
+}
+
+/// In-place scaled accumulation `y[i] += p·x[i]` — the rank-1 superposition
+/// update shared by the thermal predictor and the policies' rise buffers.
+/// Plain multiply-then-add (no `mul_add`), so it is bit-identical to the
+/// open-coded loops it replaces.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn axpy_in_place(y: &mut [f64], p: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "vectors must match in length");
+    for (y_i, x_i) in y.iter_mut().zip(x) {
+        *y_i += p * x_i;
+    }
 }
 
 /// Multiplies a lower-triangular factor with a vector (`y = L·z`), the core
@@ -986,5 +1052,51 @@ mod tests {
         let f = BandedCholeskyFactor::factorize(&a).unwrap();
         let mut x = [1.0];
         f.solve_in_place(&mut x);
+    }
+
+    #[test]
+    fn axpy_max_sum_matches_the_three_pass_form() {
+        let rise = [1.0, 7.5, -2.0, 3.25];
+        let row = [0.5, 0.0, 4.0, 1.0];
+        let (base, p, probe) = (318.15, 2.5, 2);
+        let scan = axpy_max_sum(base, &rise, p, &row, probe);
+        // Reference: three independent loops with identical arithmetic.
+        let ts: Vec<f64> = rise
+            .iter()
+            .zip(&row)
+            .map(|(r, a)| base + r + p * a)
+            .collect();
+        let max = ts.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let sum: f64 = ts.iter().sum();
+        assert_eq!(scan.max, max, "bit-identical max");
+        assert_eq!(scan.sum, sum, "bit-identical sum");
+        assert_eq!(scan.probe, ts[probe], "bit-identical probe");
+    }
+
+    #[test]
+    fn axpy_max_sum_handles_negative_temperatures_and_first_probe() {
+        let scan = axpy_max_sum(0.0, &[-5.0, -1.0], -1.0, &[1.0, 1.0], 0);
+        assert_eq!(scan.max, -2.0);
+        assert_eq!(scan.sum, -8.0);
+        assert_eq!(scan.probe, -6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probe index")]
+    fn axpy_max_sum_rejects_probe_out_of_range() {
+        let _ = axpy_max_sum(0.0, &[1.0], 1.0, &[1.0], 1);
+    }
+
+    #[test]
+    fn axpy_in_place_accumulates() {
+        let mut y = [1.0, 2.0, 3.0];
+        axpy_in_place(&mut y, 0.5, &[2.0, 0.0, -4.0]);
+        assert_eq!(y, [2.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match in length")]
+    fn axpy_in_place_rejects_length_mismatch() {
+        axpy_in_place(&mut [1.0], 1.0, &[1.0, 2.0]);
     }
 }

@@ -257,16 +257,15 @@ impl ThermalPredictor {
     }
 
     /// Adds `Σ power[src] · rises[src]` onto `temps`, skipping zero sources.
+    /// The zero-source skip is load-bearing for bit-exactness: a dark core
+    /// must leave the map untouched, not add `0.0 · row`.
     fn superpose(&self, core_power: &[Watts], temps: &mut [f64]) {
         for (src, p) in core_power.iter().enumerate() {
             let w = p.value();
             if w == 0.0 {
                 continue;
             }
-            let row = &self.rises[src];
-            for (t, &r) in temps.iter_mut().zip(row) {
-                *t += w * r;
-            }
+            hayat_linalg::axpy_in_place(temps, w, &self.rises[src]);
         }
     }
 

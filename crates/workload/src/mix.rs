@@ -183,21 +183,30 @@ impl WorkloadMix {
     /// Panics if `q` is outside `[0, 1]`.
     #[must_use]
     pub fn requirement_quantile(&self, q: f64) -> hayat_units::Gigahertz {
+        self.requirement_quantile_into(q, &mut Vec::new())
+    }
+
+    /// [`Self::requirement_quantile`] with a caller-provided scratch buffer,
+    /// so per-epoch policy decisions stay allocation-free. `buf` is cleared
+    /// and refilled; its contents afterwards are an implementation detail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn requirement_quantile_into(&self, q: f64, buf: &mut Vec<f64>) -> hayat_units::Gigahertz {
         assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
-        let mut reqs: Vec<f64> = self
-            .threads()
-            .filter(|(_, t)| !t.is_critical())
-            .map(|(_, t)| t.min_frequency().value())
-            .collect();
-        if reqs.is_empty() {
-            reqs = self
-                .threads()
-                .map(|(_, t)| t.min_frequency().value())
-                .collect();
+        buf.clear();
+        buf.extend(
+            self.threads()
+                .filter(|(_, t)| !t.is_critical())
+                .map(|(_, t)| t.min_frequency().value()),
+        );
+        if buf.is_empty() {
+            buf.extend(self.threads().map(|(_, t)| t.min_frequency().value()));
         }
-        reqs.sort_by(f64::total_cmp);
-        let idx = ((q * (reqs.len() - 1) as f64).round() as usize).min(reqs.len() - 1);
-        hayat_units::Gigahertz::new(reqs[idx])
+        buf.sort_unstable_by(f64::total_cmp);
+        let idx = ((q * (buf.len() - 1) as f64).round() as usize).min(buf.len() - 1);
+        hayat_units::Gigahertz::new(buf[idx])
     }
 
     /// Mean per-thread dynamic power at each thread's required frequency —

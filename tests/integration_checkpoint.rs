@@ -220,6 +220,48 @@ fn completed_checkpoint_resumes_instantly_without_rerunning() {
     std::fs::remove_file(&path).ok();
 }
 
+/// The cross-version regression gate for the decision-path fast kernels.
+///
+/// `fixtures/pre_pr5.ckpt` and `fixtures/pre_pr5_reference.json` were
+/// produced by the code *before* the flattened aging table, the direct
+/// age-curve inversion, the fused superposition scans, and the policy
+/// scratch landed — when every policy decision still ran the bisection
+/// oracle. The checkpoint holds a half-finished decade campaign (both VAA
+/// runs durable, Hayat chip 0 in flight); the reference is the full
+/// uninterrupted campaign's `--json` export at `--jobs 1`. Resuming that
+/// checkpoint with today's default fast path must complete the campaign
+/// and reproduce the pre-refactor export byte for byte.
+#[test]
+fn pre_refactor_fixture_resumes_byte_identical_on_the_fast_path() {
+    let path = scratch("pre_pr5_fixture");
+    // Resume rewrites the checkpoint in place, so work on a copy.
+    std::fs::write(&path, include_bytes!("fixtures/pre_pr5.ckpt")).unwrap();
+
+    // The exact flags the fixture was generated with:
+    // --chips 2 --years 10 --epoch 0.5 --window 0.1 --mesh 4.
+    let mut config = SimulationConfig::paper(0.5);
+    config.chip_count = 2;
+    config.years = 10.0;
+    config.epoch_years = 0.5;
+    config.transient_window_seconds = 0.1;
+    config.mesh = (4, 4);
+    let campaign = Campaign::new(config).unwrap();
+
+    let result = Checkpointer::new(&path)
+        .jobs(Jobs::serial())
+        .resume(&campaign)
+        .expect("the committed fixture must stay resumable");
+
+    let reference = include_str!("fixtures/pre_pr5_reference.json");
+    let json = serde_json::to_string_pretty(&result).unwrap();
+    assert_eq!(
+        json.trim_end(),
+        reference.trim_end(),
+        "the fast decision path changed the campaign the oracle-era code produced"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
 /// The engine-level property behind all of the above: snapshotting at an
 /// arbitrary epoch and restoring into a *fresh* engine reproduces the
 /// original trajectory bit-for-bit. Shared campaign so the expensive

@@ -1,0 +1,85 @@
+//! The decision-path contract: the fast table path (flattened lookup +
+//! direct age-curve inversion + fused superposition scans + reusable
+//! scratch) must be an *exact* drop-in for the bisection oracle it
+//! replaces. Mappings, campaign results, and their serialized JSON must
+//! not change by a single byte.
+
+use hayat::{
+    Campaign, ChipSystem, HayatPolicy, Jobs, Policy, PolicyContext, PolicyKind, SimulationConfig,
+    VaaPolicy,
+};
+use hayat_aging::{Health, TablePath};
+use hayat_floorplan::CoreId;
+use hayat_units::Years;
+use hayat_workload::WorkloadMix;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn ctx(system: &ChipSystem) -> PolicyContext<'_> {
+    PolicyContext::new(system, Years::new(1.0), Years::new(0.0))
+}
+
+/// A quick-demo chip with per-core health forced to `degrade`, so the
+/// policies' aging terms actually discriminate between cores.
+fn degraded_chip(degrade: &[f64]) -> ChipSystem {
+    let config = SimulationConfig::quick_demo();
+    let mut system = ChipSystem::paper_chip(0, &config).expect("system builds");
+    for (i, &h) in degrade.iter().enumerate() {
+        system.health_mut().set(CoreId::new(i), Health::new(h));
+    }
+    system
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: for any workload and any (plausible) per-core wear state,
+    /// the Hayat and VAA policies place every thread on exactly the same
+    /// core under the fast path as under the oracle.
+    #[test]
+    fn fast_and_oracle_mappings_agree_for_any_wear_state(
+        seed in 0u64..1000,
+        threads in 1usize..33,
+        degrade in vec(0.55f64..1.0, 64),
+    ) {
+        let system = degraded_chip(&degrade);
+        let fast = system.clone().with_table_path(TablePath::Fast);
+        let oracle = system.with_table_path(TablePath::Oracle);
+        let workload = WorkloadMix::generate(seed, threads);
+
+        let mut hayat = HayatPolicy::default();
+        let h_fast = hayat.map_threads(&ctx(&fast), &workload);
+        let h_oracle = hayat.map_threads(&ctx(&oracle), &workload);
+        prop_assert_eq!(h_fast, h_oracle);
+
+        let mut vaa = VaaPolicy;
+        let v_fast = vaa.map_threads(&ctx(&fast), &workload);
+        let v_oracle = vaa.map_threads(&ctx(&oracle), &workload);
+        prop_assert_eq!(v_fast, v_oracle);
+    }
+}
+
+#[test]
+fn campaign_json_is_byte_identical_across_table_paths() {
+    // End-to-end: a multi-chip, multi-epoch campaign serialized to JSON is
+    // the regression surface the paper figures are built from. The fast
+    // path must reproduce it byte for byte.
+    let mut config = SimulationConfig::quick_demo();
+    config.chip_count = 2;
+    config.years = 1.0;
+    config.epoch_years = 0.25;
+    config.transient_window_seconds = 0.1;
+    let policies = [PolicyKind::Vaa, PolicyKind::Hayat];
+
+    let fast = Campaign::new(config.clone())
+        .expect("config is valid")
+        .run_with_jobs(&policies, Jobs::serial());
+    let oracle = Campaign::new(config)
+        .expect("config is valid")
+        .with_table_path(TablePath::Oracle)
+        .run_with_jobs(&policies, Jobs::serial());
+
+    let fast_json = serde_json::to_string_pretty(&fast).expect("serializable");
+    let oracle_json = serde_json::to_string_pretty(&oracle).expect("serializable");
+    assert_eq!(fast_json, oracle_json);
+}
