@@ -1,4 +1,4 @@
-//! Perf-trajectory benchmark: emits `BENCH_5.json` at the repo root with
+//! Perf-trajectory benchmark: emits `BENCH_6.json` at the repo root with
 //! wall-times for the three kernels that bound the decade-scale evaluation
 //! — a **transient window** (2 s of 6.6 ms control periods on the bare
 //! thermal simulator), a **single epoch**, and a **single-chip decade**
@@ -8,7 +8,9 @@
 //! **decision path** section timing one Hayat epoch decision on an aged
 //! chip under the direct age-curve inversion (fast, the default) against
 //! the bisection oracle it replaced, with a `policy.table_lookups` counter
-//! comparison and a hard fast-vs-oracle gate on the table-advance micro.
+//! comparison and a hard fast-vs-oracle gate on the table-advance micro,
+//! plus an **observability** section gating the streaming fleet-sketch
+//! aggregator's overhead at under 2% of campaign wall time.
 //!
 //! Two thermal configurations are measured:
 //!
@@ -45,17 +47,18 @@
 //! byte-identical to serial.
 
 use hayat::{
-    Campaign, ChipSystem, HayatPolicy, Jobs, Policy, PolicyContext, PolicyScratch,
-    SimulationConfig, SimulationEngine,
+    Campaign, ChipSystem, FleetAccumulator, HayatPolicy, Jobs, Policy, PolicyContext,
+    PolicyScratch, SimulationConfig, SimulationEngine,
 };
 use hayat_aging::{AgeCurveScratch, TablePath};
 use hayat_floorplan::Floorplan;
-use hayat_telemetry::MemoryRecorder;
+use hayat_telemetry::{MemoryRecorder, NullRecorder};
 use hayat_thermal::{Integrator, RcNetwork, ThermalConfig, TransientSimulator};
 use hayat_units::{DutyCycle, Kelvin, Seconds, Watts, Years};
 use hayat_workload::WorkloadMix;
 use serde::Serialize;
 use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Paper control period inside the transient window, seconds.
@@ -165,8 +168,28 @@ struct DecisionPath {
     table_lookups_oracle: u64,
 }
 
+/// Overhead of the fleet observability layer: the fixed scaling campaign
+/// run plain (`run_with_jobs`) against the same campaign streamed through
+/// a [`FleetAccumulator`] with its summary rendered at the end.
 #[derive(Serialize)]
-struct Bench5 {
+struct Observability {
+    /// What the comparison runs (the scaling sweep's fixed campaign).
+    config: String,
+    chips: usize,
+    epochs_per_run: usize,
+    /// Best-of-reps wall time without any observability attached.
+    plain_seconds: f64,
+    /// Best-of-reps wall time with the streaming fleet accumulator fed at
+    /// the canonical merge point, including the final summary build.
+    observed_seconds: f64,
+    /// `(observed - plain) / plain`, clamped at zero for timing noise.
+    overhead_fraction: f64,
+    /// Hard gate: streaming sketches must cost under 2% of wall time.
+    overhead_gate_ok: bool,
+}
+
+#[derive(Serialize)]
+struct Bench6 {
     bench: String,
     mode: String,
     control_period_seconds: f64,
@@ -174,6 +197,7 @@ struct Bench5 {
     configs: Vec<ConfigReport>,
     campaign_scaling: CampaignScaling,
     decision_path: DecisionPath,
+    observability: Observability,
     headline: Headline,
 }
 
@@ -408,6 +432,78 @@ fn campaign_scaling(fast: bool, extra_jobs: Jobs) -> CampaignScaling {
     }
 }
 
+/// Times the scaling campaign plain vs with a streaming fleet accumulator
+/// and gates the aggregator's overhead at under 2% of wall time. The
+/// comparison runs serial so no idle worker can absorb the sketch updates.
+fn observability_overhead(fast: bool) -> Observability {
+    let config = scaling_config();
+    let campaign = Campaign::new(config.clone()).expect("scaling configuration is valid");
+    let policies = [hayat::sim::campaign::PolicyKind::Hayat];
+    let reps = if fast { 5 } else { 10 };
+
+    let run_plain = || {
+        std::hint::black_box(campaign.run_with_jobs(&policies, Jobs::serial()));
+    };
+    let run_observed = || {
+        let fleet = Mutex::new(FleetAccumulator::new());
+        let result = campaign
+            .try_run_observed(
+                &policies,
+                Jobs::serial(),
+                Arc::new(NullRecorder),
+                Some(&fleet),
+                None,
+            )
+            .expect("campaign runs");
+        std::hint::black_box(result);
+        let mut fleet = fleet.into_inner().expect("fleet accumulator lock");
+        fleet.finish();
+        std::hint::black_box(fleet.summary());
+    };
+    // Interleave the two variants so slow host drift hits both equally,
+    // and take the best of each — the same estimator `time_best` uses.
+    run_plain();
+    run_observed();
+    let (mut plain, mut observed) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        run_plain();
+        plain = plain.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        run_observed();
+        observed = observed.min(t0.elapsed().as_secs_f64());
+    }
+    let overhead_fraction = ((observed - plain) / plain).max(0.0);
+    let overhead_gate_ok = overhead_fraction < 0.02;
+    assert!(
+        overhead_gate_ok,
+        "fleet observability overhead {:.2}% exceeds the 2% gate",
+        overhead_fraction * 100.0
+    );
+
+    println!(
+        "  observability ({} chips x Hayat, {} epochs, serial):",
+        config.chip_count,
+        config.epoch_count()
+    );
+    println!(
+        "    plain {plain:7.3} s, observed {observed:7.3} s  \
+         (overhead {:.2}%, gate < 2% ok)",
+        overhead_fraction * 100.0
+    );
+
+    Observability {
+        config: "quick_demo, 8 chips, 10 years in 0.25-year epochs, 1 s transient window"
+            .to_owned(),
+        chips: config.chip_count,
+        epochs_per_run: config.epoch_count(),
+        plain_seconds: plain,
+        observed_seconds: observed,
+        overhead_fraction,
+        overhead_gate_ok,
+    }
+}
+
 /// The configuration the decision-path section runs: the paper's 8×8 chip
 /// on a 10-year, 40-epoch grid, with a short transient window so the
 /// decision is a meaningful share of the epoch (the window cost is
@@ -582,7 +678,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_5.json".to_owned());
+        .unwrap_or_else(|| "BENCH_6.json".to_owned());
     let jobs = args
         .iter()
         .position(|a| a == "--jobs")
@@ -595,7 +691,7 @@ fn main() {
         });
 
     hayat_bench::section(&format!(
-        "BENCH_5 perf trajectory + decision path ({} mode, release build)",
+        "BENCH_6 perf trajectory + decision path + observability ({} mode, release build)",
         if fast { "fast" } else { "full" }
     ));
 
@@ -610,6 +706,7 @@ fn main() {
 
     let scaling = campaign_scaling(fast, jobs);
     let decision = decision_path(fast);
+    let observability = observability_overhead(fast);
 
     let stiff_report = &configs[1];
     let headline = Headline {
@@ -626,14 +723,15 @@ fn main() {
         headline.transient_window_speedup, headline.campaign_speedup, headline.config
     );
 
-    let report = Bench5 {
-        bench: "BENCH_5".to_owned(),
+    let report = Bench6 {
+        bench: "BENCH_6".to_owned(),
         mode: if fast { "fast" } else { "full" }.to_owned(),
         control_period_seconds: CONTROL_PERIOD,
         window_steps: (WINDOW_SECONDS / CONTROL_PERIOD).round() as usize,
         configs,
         campaign_scaling: scaling,
         decision_path: decision,
+        observability,
         headline,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -17,10 +17,12 @@
 //! the *same* config flags — skipping all completed work. A resumed campaign
 //! is bit-identical to an uninterrupted one.
 
-use std::sync::Arc;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use hayat::sim::campaign::PolicyKind;
-use hayat::{Campaign, Jobs, SimulationConfig};
+use hayat::{Campaign, FleetAccumulator, Jobs, ProgressOptions, SimulationConfig};
 use hayat_aging::TablePath;
 use hayat_checkpoint::{Checkpointer, FailPoint};
 use hayat_telemetry::{JsonlRecorder, Recorder};
@@ -37,6 +39,9 @@ struct Args {
     csv_dir: Option<String>,
     json_path: Option<String>,
     telemetry_path: Option<String>,
+    fleet_stats_path: Option<String>,
+    progress_every: Option<f64>,
+    progress_jsonl: Option<String>,
     checkpoint_path: Option<String>,
     every: Option<usize>,
     resume_path: Option<String>,
@@ -50,8 +55,16 @@ fn usage() -> ! {
          [--window S] [--seed N] [--mesh N] [--jobs N|auto] \
          [--table-path fast|oracle] \
          [--policies vaa,hayat,coolest,random] [--csv DIR] [--json FILE] \
-         [--telemetry FILE.jsonl] \
+         [--telemetry FILE.jsonl] [--fleet-stats FILE.json] \
+         [--progress SECS] [--progress-jsonl FILE.jsonl] \
          [--checkpoint FILE [--every EPOCHS] | --resume FILE]\n\
+         \n\
+         --fleet-stats streams every completed run into mergeable online \
+         sketches (mean/variance/min/max/p50/p95/p99 per fleet series) and \
+         writes the summary JSON — byte-identical for every --jobs value \
+         and across crash/resume cycles. --progress prints a live progress \
+         frame to stderr at most every SECS seconds (0 = every run); \
+         --progress-jsonl additionally appends each frame as a JSONL line. \
          \n\
          --jobs sets the worker-thread count (default: all hardware \
          threads); output is byte-identical for every value, including 1. \
@@ -92,6 +105,9 @@ fn parse_args() -> Args {
         csv_dir: None,
         json_path: None,
         telemetry_path: None,
+        fleet_stats_path: None,
+        progress_every: None,
+        progress_jsonl: None,
         checkpoint_path: None,
         every: None,
         resume_path: None,
@@ -120,6 +136,11 @@ fn parse_args() -> Args {
             "--csv" => args.csv_dir = Some(value("--csv")),
             "--json" => args.json_path = Some(value("--json")),
             "--telemetry" => args.telemetry_path = Some(value("--telemetry")),
+            "--fleet-stats" => args.fleet_stats_path = Some(value("--fleet-stats")),
+            "--progress" => {
+                args.progress_every = Some(value("--progress").parse().unwrap_or_else(|_| usage()));
+            }
+            "--progress-jsonl" => args.progress_jsonl = Some(value("--progress-jsonl")),
             "--checkpoint" => args.checkpoint_path = Some(value("--checkpoint")),
             "--every" => args.every = Some(value("--every").parse().unwrap_or_else(|_| usage())),
             "--resume" => args.resume_path = Some(value("--resume")),
@@ -151,6 +172,28 @@ fn parse_args() -> Args {
         usage()
     }
     args
+}
+
+/// Builds the live-progress sink: stderr frames throttled to `--progress`,
+/// plus an optional JSONL stream of every emitted frame.
+fn progress_options(args: &Args) -> Option<ProgressOptions> {
+    if args.progress_every.is_none() && args.progress_jsonl.is_none() {
+        return None;
+    }
+    let every = Duration::from_secs_f64(args.progress_every.unwrap_or(0.0).max(0.0));
+    let jsonl = args
+        .progress_jsonl
+        .as_ref()
+        .map(|path| Mutex::new(std::fs::File::create(path).expect("create progress stream")));
+    let sink = Arc::new(move |frame: &hayat::ProgressFrame| {
+        eprintln!("{}", frame.render());
+        if let Some(file) = &jsonl {
+            let mut file = file.lock().expect("progress stream lock");
+            let line = serde_json::to_string(frame).expect("serializable");
+            writeln!(file, "{line}").expect("write progress frame");
+        }
+    });
+    Some(ProgressOptions { every, sink })
 }
 
 fn main() {
@@ -186,6 +229,11 @@ fn main() {
         .telemetry_path
         .as_deref()
         .map(|path| Arc::new(JsonlRecorder::create(path).expect("create telemetry stream")));
+    let fleet = args
+        .fleet_stats_path
+        .as_ref()
+        .map(|_| Arc::new(Mutex::new(FleetAccumulator::new())));
+    let progress = progress_options(&args);
     let result = if let Some(path) = args
         .checkpoint_path
         .as_deref()
@@ -204,6 +252,12 @@ fn main() {
         if let Some(rec) = &recorder {
             runner = runner.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
         }
+        if let Some(fleet) = &fleet {
+            runner = runner.with_fleet(Arc::clone(fleet));
+        }
+        if let Some(progress) = progress.clone() {
+            runner = runner.with_progress(progress);
+        }
         let outcome = if args.resume_path.is_some() {
             println!("resuming from checkpoint {path}");
             runner.resume(&campaign)
@@ -221,7 +275,13 @@ fn main() {
             None => Arc::new(hayat_telemetry::NullRecorder),
         };
         campaign
-            .try_run(&args.policies, args.jobs, recorder)
+            .try_run_observed(
+                &args.policies,
+                args.jobs,
+                recorder,
+                fleet.as_deref(),
+                progress.clone(),
+            )
             .unwrap_or_else(|err| {
                 eprintln!("campaign failed: {err}");
                 std::process::exit(1)
@@ -279,6 +339,18 @@ fn main() {
         std::fs::write(path, json).expect("write json");
         println!("full result JSON written to {path}");
     }
+    if let (Some(path), Some(fleet)) = (&args.fleet_stats_path, &fleet) {
+        let mut fleet = fleet.lock().expect("fleet accumulator lock");
+        fleet.finish();
+        let summary = fleet.summary();
+        let json = serde_json::to_string_pretty(&summary).expect("serializable");
+        std::fs::write(path, json).expect("write fleet stats");
+        println!(
+            "\nfleet statistics ({} runs) written to {path}",
+            fleet.folded()
+        );
+        println!("{}", summary.render_table());
+    }
     if let Some(rec) = recorder {
         let rec = Arc::try_unwrap(rec)
             .ok()
@@ -288,5 +360,16 @@ fn main() {
         let path = args.telemetry_path.as_deref().unwrap_or_default();
         println!("\ntelemetry: {events} events written to {path}");
         println!("{}", summary.render_table());
+        if let Some(lookups) = summary.counter_total("policy.table_lookups") {
+            println!("policy.table_lookups: {lookups}");
+        }
+        let profile = summary.phase_profile();
+        if !profile.is_empty() {
+            println!(
+                "phase-profile total: {:.3} s across {} phases",
+                profile.total_seconds,
+                profile.phases.len()
+            );
+        }
     }
 }

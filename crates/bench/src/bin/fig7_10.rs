@@ -24,11 +24,16 @@
 //! `--resume STEM` picks the experiment back up — completed campaigns load
 //! instantly, an interrupted one re-enters mid-chip, and a missing file
 //! starts that campaign fresh (still checkpointed).
+//!
+//! `--fleet-stats STEM` streams every run into mergeable online sketches
+//! and writes one summary per dark fraction (`STEM.dark25.json`,
+//! `STEM.dark50.json`) — byte-identical for any `--jobs` value and across
+//! crash/resume cycles.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use hayat::sim::campaign::PolicyKind;
-use hayat::{Campaign, CampaignSummary, Jobs, SimulationConfig};
+use hayat::{Campaign, CampaignSummary, FleetAccumulator, Jobs, SimulationConfig};
 use hayat_bench::{bar_row, section};
 use hayat_checkpoint::{Checkpointer, FailPoint};
 use hayat_telemetry::{JsonlRecorder, NullRecorder, Recorder};
@@ -53,6 +58,14 @@ fn main() {
     let recorder = telemetry_path
         .as_deref()
         .map(|path| Arc::new(JsonlRecorder::create(path).expect("create telemetry stream")));
+    // Optional fleet sketches: `--fleet-stats STEM` writes one mergeable
+    // summary per dark fraction (STEM.dark25.json, STEM.dark50.json) —
+    // byte-identical for any --jobs and across crash/resume cycles.
+    let fleet_stem = args
+        .iter()
+        .position(|a| a == "--fleet-stats")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     // Crash safety: `--checkpoint STEM` / `--resume STEM` persist each
     // dark-fraction campaign to its own derived file (STEM.dark25, ...).
     let checkpoint_stem = args
@@ -101,6 +114,9 @@ fn main() {
         }
         let campaign = Campaign::new(config).expect("paper configuration is valid");
         let policies = [PolicyKind::Vaa, PolicyKind::Hayat];
+        let fleet = fleet_stem
+            .as_ref()
+            .map(|_| Arc::new(Mutex::new(FleetAccumulator::new())));
         let stem = checkpoint_stem.as_deref().or(resume_stem.as_deref());
         let result = if let Some(stem) = stem {
             let path = format!("{stem}.dark{}", (dark * 100.0) as u32);
@@ -112,6 +128,9 @@ fn main() {
             }
             if let Some(rec) = &recorder {
                 runner = runner.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
+            }
+            if let Some(fleet) = &fleet {
+                runner = runner.with_fleet(Arc::clone(fleet));
             }
             let resumable = resume_stem.is_some() && std::path::Path::new(&path).exists();
             let outcome = if resumable {
@@ -131,12 +150,20 @@ fn main() {
                 None => Arc::new(NullRecorder),
             };
             campaign
-                .try_run(&policies, jobs, rec)
+                .try_run_observed(&policies, jobs, rec, fleet.as_deref(), None)
                 .unwrap_or_else(|err| {
                     eprintln!("campaign failed: {err}");
                     std::process::exit(1)
                 })
         };
+        if let (Some(stem), Some(fleet)) = (&fleet_stem, &fleet) {
+            let path = format!("{stem}.dark{}.json", (dark * 100.0) as u32);
+            let mut fleet = fleet.lock().expect("fleet accumulator lock");
+            fleet.finish();
+            let json = serde_json::to_string_pretty(&fleet.summary()).expect("serializable");
+            std::fs::write(&path, json).expect("write fleet stats");
+            println!("(fleet statistics written to {path})");
+        }
         let vaa = result.summary(PolicyKind::Vaa).expect("VAA ran");
         let hayat = result.summary(PolicyKind::Hayat).expect("Hayat ran");
         if let Some(dir) = &json_dir {

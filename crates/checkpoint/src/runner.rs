@@ -3,13 +3,14 @@
 use crate::checkpoint::{CampaignCheckpoint, CheckpointError, InFlightRun};
 use crate::failpoint::{FailPoint, InjectedFailure};
 use hayat::{
-    Campaign, CampaignResult, DynError, ExecutorError, ExecutorOptions, GateSite, InFlightState,
-    Jobs, PolicyKind, RestoreError, RunDescriptor, RunMetrics, RunUpdate,
+    Campaign, CampaignResult, DynError, ExecutorError, ExecutorOptions, FleetAccumulator, GateSite,
+    InFlightState, Jobs, PolicyKind, ProgressOptions, RestoreError, RunDescriptor, RunMetrics,
+    RunUpdate,
 };
 use hayat_telemetry::{NullRecorder, Recorder, RecorderExt};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Default checkpoint cadence: one durable write per this many epochs
 /// (2 simulated years at the paper's 3-month epochs), in addition to the
@@ -83,6 +84,8 @@ pub struct Checkpointer {
     jobs: Jobs,
     recorder: Arc<dyn Recorder>,
     failpoint: Arc<FailPoint>,
+    fleet: Option<Arc<Mutex<FleetAccumulator>>>,
+    progress: Option<ProgressOptions>,
 }
 
 impl Checkpointer {
@@ -96,6 +99,8 @@ impl Checkpointer {
             jobs: Jobs::auto(),
             recorder: Arc::new(NullRecorder),
             failpoint: Arc::new(FailPoint::disarmed()),
+            fleet: None,
+            progress: None,
         }
     }
 
@@ -142,6 +147,26 @@ impl Checkpointer {
     #[must_use]
     pub fn with_failpoint(mut self, failpoint: impl Into<Arc<FailPoint>>) -> Self {
         self.failpoint = failpoint.into();
+        self
+    }
+
+    /// Attaches a streaming [`FleetAccumulator`]: every run is folded into
+    /// the shared accumulator at the owner thread's canonical-order merge
+    /// point, and on [`resume`](Self::resume) the checkpoint's completed
+    /// prefix is pre-folded first — so the final summary is byte-identical
+    /// to an uninterrupted run for any worker count and any number of
+    /// crash/resume cycles.
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: Arc<Mutex<FleetAccumulator>>) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Enables live progress frames (see [`ProgressOptions`]), emitted from
+    /// the owner thread as completed runs merge into the durable prefix.
+    #[must_use]
+    pub fn with_progress(mut self, progress: ProgressOptions) -> Self {
+        self.progress = Some(progress);
         self
     }
 
@@ -221,6 +246,16 @@ impl Checkpointer {
                 completed: checkpoint.completed.len(),
             });
         }
+        // Pre-fold the durable prefix so a resumed campaign's fleet summary
+        // is indistinguishable from an uninterrupted one: the accumulator
+        // sees runs 0..completed first, in canonical order, exactly as the
+        // fresh path would have fed them.
+        if let Some(fleet) = &self.fleet {
+            let mut fleet = fleet.lock().expect("fleet accumulator lock");
+            for (index, run) in checkpoint.completed.iter().enumerate() {
+                fleet.observe_completed(index, run);
+            }
+        }
         let start_job = checkpoint.completed.len();
         let in_flight = checkpoint.in_flight.take();
         if let Some(state) = &in_flight {
@@ -260,6 +295,7 @@ impl Checkpointer {
             jobs: self.jobs,
             snapshot_every: Some(every),
             gate: Some(&gate),
+            progress: self.progress.clone(),
         };
 
         // Owner-side merge state. `pending` holds runs that finished ahead
@@ -297,6 +333,12 @@ impl Checkpointer {
                         }
                     }
                     RunUpdate::Completed { index, metrics } => {
+                        if let Some(fleet) = &self.fleet {
+                            fleet
+                                .lock()
+                                .expect("fleet accumulator lock")
+                                .observe_completed(index, &metrics);
+                        }
                         snapshots.remove(&index);
                         pending.insert(index, *metrics);
                         let before = checkpoint.completed.len();

@@ -71,7 +71,12 @@ pub use crate::sim::campaign::{Campaign, CampaignResult, CampaignSummary, Policy
 pub use crate::sim::config::{Jobs, SimulationConfig};
 pub use crate::sim::engine::SimulationEngine;
 pub use crate::sim::executor::{
-    DynError, ExecutorError, ExecutorOptions, GateSite, InFlightState, RunDescriptor, RunUpdate,
+    DynError, ExecutorError, ExecutorOptions, GateSite, InFlightState, ProgressFrame,
+    ProgressOptions, RunDescriptor, RunUpdate,
+};
+pub use crate::sim::fleet::{
+    fleet_stats_from_runs, observe_run, run_observations, FleetAccumulator, FLEET_SERIES,
+    LIFETIME_FMAX_FRACTION,
 };
 pub use crate::sim::snapshot::{EngineSnapshot, RestoreError};
 pub use crate::system::{BuildSystemError, ChipSystem};

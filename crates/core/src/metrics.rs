@@ -83,6 +83,12 @@ impl RunMetrics {
         self.epochs.iter().map(|e| e.dtm_migrations).sum()
     }
 
+    /// Total DTM throttle events over the whole run.
+    #[must_use]
+    pub fn total_dtm_throttles(&self) -> u64 {
+        self.epochs.iter().map(|e| e.dtm_throttles).sum()
+    }
+
     /// Total DTM events (migrations + throttles) over the whole run.
     #[must_use]
     pub fn total_dtm_events(&self) -> u64 {

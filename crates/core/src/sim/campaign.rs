@@ -7,7 +7,10 @@ use crate::policy::vaa::VaaPolicy;
 use crate::policy::Policy;
 use crate::sim::config::{Jobs, SimulationConfig};
 use crate::sim::engine::SimulationEngine;
-use crate::sim::executor::{ExecutorError, ExecutorOptions, RunDescriptor, RunUpdate};
+use crate::sim::executor::{
+    ExecutorError, ExecutorOptions, ProgressOptions, RunDescriptor, RunUpdate,
+};
+use crate::sim::fleet::FleetAccumulator;
 use crate::system::{BuildSystemError, ChipSystem};
 use hayat_aging::{AgingModel, AgingTable, TablePath};
 use hayat_floorplan::Floorplan;
@@ -15,7 +18,7 @@ use hayat_telemetry::{NullRecorder, Recorder};
 use hayat_thermal::ThermalPredictor;
 use hayat_variation::ChipPopulation;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Which policy a campaign run uses (serializable, factory-style).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -220,14 +223,40 @@ impl Campaign {
         jobs: Jobs,
         recorder: Arc<dyn Recorder>,
     ) -> Result<CampaignResult, ExecutorError> {
+        self.try_run_observed(policies, jobs, recorder, None, None)
+    }
+
+    /// [`try_run`](Self::try_run) with the fleet observability hooks: an
+    /// optional streaming [`FleetAccumulator`] fed every completed run at
+    /// the canonical-order merge point (so its summary is byte-identical
+    /// for any `jobs`), and optional live [`ProgressOptions`] frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecutorError::WorkerPanic`] if a worker thread panics.
+    pub fn try_run_observed(
+        &self,
+        policies: &[PolicyKind],
+        jobs: Jobs,
+        recorder: Arc<dyn Recorder>,
+        fleet: Option<&Mutex<FleetAccumulator>>,
+        progress: Option<ProgressOptions>,
+    ) -> Result<CampaignResult, ExecutorError> {
         let descriptors = self.grid(policies);
         let mut runs: Vec<Option<RunMetrics>> = (0..descriptors.len()).map(|_| None).collect();
         let options = ExecutorOptions {
             jobs,
+            progress,
             ..ExecutorOptions::default()
         };
         self.execute(&descriptors, None, &options, &recorder, |update| {
             if let RunUpdate::Completed { index, metrics } = update {
+                if let Some(fleet) = fleet {
+                    fleet
+                        .lock()
+                        .expect("fleet accumulator lock")
+                        .observe_completed(index, &metrics);
+                }
                 runs[index] = Some(*metrics);
             }
             Ok(())

@@ -9,7 +9,7 @@ use crate::sim::config::SimulationConfig;
 use crate::sim::snapshot::{EngineSnapshot, RestoreError};
 use crate::system::ChipSystem;
 use hayat_power::PowerState;
-use hayat_telemetry::{NullRecorder, Recorder, RecorderExt};
+use hayat_telemetry::{NullRecorder, Recorder, RecorderExt, SpanContext};
 use hayat_units::{Watts, Years};
 use hayat_workload::WorkloadMix;
 use std::cell::RefCell;
@@ -57,6 +57,9 @@ pub struct SimulationEngine {
     mixes: Vec<WorkloadMix>,
     sensors: Option<SensorSuite>,
     recorder: Arc<dyn Recorder>,
+    /// Base causal context (run/chip/worker) the executor assigns; the
+    /// engine stamps the current epoch on top of it each epoch.
+    context: SpanContext,
     /// Per-engine decision scratch: warmed on the first epoch, every later
     /// epoch's policy decision then runs without heap allocation. The engine
     /// is moved (never shared) across worker threads, so a `RefCell` is
@@ -106,6 +109,7 @@ impl SimulationEngine {
             mixes,
             sensors,
             recorder: Arc::new(NullRecorder),
+            context: SpanContext::default(),
             scratch: RefCell::new(PolicyScratch::new()),
         }
     }
@@ -117,6 +121,15 @@ impl SimulationEngine {
     #[must_use]
     pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Sets the base causal context (run/chip/worker) stamped — with the
+    /// current epoch added — onto every signal this engine emits. Purely
+    /// observational, like the recorder itself.
+    #[must_use]
+    pub fn with_span_context(mut self, context: SpanContext) -> Self {
+        self.context = context;
         self
     }
 
@@ -241,6 +254,9 @@ impl SimulationEngine {
     /// Runs a single epoch (public so benches can time one decision+window).
     pub fn run_epoch(&mut self, epoch: usize) -> EpochRecord {
         let recorder = Arc::clone(&self.recorder);
+        if recorder.enabled() {
+            recorder.set_context(self.context.with_epoch(epoch as u64));
+        }
         let _epoch_span = recorder.span("engine.epoch");
         let elapsed = Years::new(epoch as f64 * self.config.epoch_years);
         let workload = self.mixes[epoch % self.mixes.len()].clone();
@@ -276,27 +292,30 @@ impl SimulationEngine {
         self.scratch.borrow_mut().mapping_pool.push(mapping);
 
         // --- Epoch upscale: advance every core's health. ------------------
-        let epoch_len = self.config.epoch();
-        let updates: Vec<_> = self
-            .system
-            .floorplan()
-            .cores()
-            .map(|core| {
-                let h_now = self.system.health().core(core).value();
-                let h_next = self.system.aging_table().advance(
-                    worst_temps[core.index()],
-                    duty[core.index()],
-                    h_now,
-                    epoch_len,
-                );
-                (core, h_next)
-            })
-            .collect();
-        for (core, h_next) in updates {
-            let current = self.system.health().core(core);
-            self.system
-                .health_mut()
-                .set(core, current.degraded_to(h_next));
+        {
+            let _aging_span = recorder.span("engine.aging.advance");
+            let epoch_len = self.config.epoch();
+            let updates: Vec<_> = self
+                .system
+                .floorplan()
+                .cores()
+                .map(|core| {
+                    let h_now = self.system.health().core(core).value();
+                    let h_next = self.system.aging_table().advance(
+                        worst_temps[core.index()],
+                        duty[core.index()],
+                        h_now,
+                        epoch_len,
+                    );
+                    (core, h_next)
+                })
+                .collect();
+            for (core, h_next) in updates {
+                let current = self.system.health().core(core);
+                self.system
+                    .health_mut()
+                    .set(core, current.degraded_to(h_next));
+            }
         }
 
         recorder.counter("dtm.migrations", self.dtm.migrations() - migrations_before);

@@ -32,11 +32,13 @@ use crate::metrics::RunMetrics;
 use crate::sim::campaign::{Campaign, PolicyKind};
 use crate::sim::engine::SimulationEngine;
 use crate::sim::snapshot::EngineSnapshot;
-use hayat_telemetry::{BufferRecorder, NullRecorder, Recorder, RecorderExt};
+use hayat_telemetry::{BufferRecorder, NullRecorder, Recorder, RecorderExt, SpanContext};
+use serde::Serialize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 pub use crate::sim::config::Jobs;
 
@@ -102,8 +104,101 @@ pub enum RunUpdate {
     },
 }
 
+/// One live progress frame, emitted by the executor's owner thread as
+/// runs complete.
+///
+/// Throughput and ETA are wall-clock derived, so frames are *not* part of
+/// the deterministic campaign output — they go to stderr or a separate
+/// JSONL sink, never into result files.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ProgressFrame {
+    /// Runs completed so far (within this execution).
+    pub completed: usize,
+    /// Total runs this execution will perform.
+    pub total: usize,
+    /// Wall-clock seconds since the pool started.
+    pub elapsed_seconds: f64,
+    /// Completed runs per wall-clock second.
+    pub runs_per_second: f64,
+    /// Estimated seconds until the last run completes (0 when done).
+    pub eta_seconds: f64,
+}
+
+impl ProgressFrame {
+    /// Builds a frame from the owner thread's counters.
+    #[must_use]
+    fn at(completed: usize, total: usize, elapsed: Duration) -> Self {
+        let elapsed_seconds = elapsed.as_secs_f64();
+        #[allow(clippy::cast_precision_loss)]
+        let runs_per_second = if elapsed_seconds > 0.0 {
+            completed as f64 / elapsed_seconds
+        } else {
+            0.0
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let eta_seconds = if runs_per_second > 0.0 {
+            total.saturating_sub(completed) as f64 / runs_per_second
+        } else {
+            0.0
+        };
+        ProgressFrame {
+            completed,
+            total,
+            elapsed_seconds,
+            runs_per_second,
+            eta_seconds,
+        }
+    }
+
+    /// Renders the one-line human form printed to stderr.
+    #[must_use]
+    pub fn render(&self) -> String {
+        #[allow(clippy::cast_precision_loss)]
+        let percent = if self.total > 0 {
+            100.0 * self.completed as f64 / self.total as f64
+        } else {
+            100.0
+        };
+        format!(
+            "campaign progress: {}/{} runs ({percent:.1}%), {:.2} runs/s, eta {:.1} s",
+            self.completed, self.total, self.runs_per_second, self.eta_seconds
+        )
+    }
+}
+
+/// Live-progress reporting knobs (see [`ExecutorOptions::progress`]).
+#[derive(Clone)]
+pub struct ProgressOptions {
+    /// Minimum wall-clock gap between frames ([`Duration::ZERO`] emits one
+    /// frame per completed run; the final frame is always emitted).
+    pub every: Duration,
+    /// Where frames go. The sink runs on the owner thread; an `Arc` so the
+    /// same options clone into the checkpointer's nested drivers.
+    pub sink: Arc<dyn Fn(&ProgressFrame) + Send + Sync>,
+}
+
+impl ProgressOptions {
+    /// Frames rendered to stderr, throttled to one per `every`.
+    #[must_use]
+    pub fn stderr(every: Duration) -> Self {
+        ProgressOptions {
+            every,
+            sink: Arc::new(|frame| eprintln!("{}", frame.render())),
+        }
+    }
+}
+
+impl std::fmt::Debug for ProgressOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressOptions")
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Tuning knobs for [`Campaign::execute`]. The default is a full-width
-/// pool ([`Jobs::auto`]) with no snapshots and no gate.
+/// pool ([`Jobs::auto`]) with no snapshots, no gate, and no progress
+/// reporting.
 #[derive(Default)]
 pub struct ExecutorOptions<'a> {
     /// Worker-thread count (capped at the number of descriptors).
@@ -117,6 +212,9 @@ pub struct ExecutorOptions<'a> {
     /// `Err` stops the pool and surfaces as [`ExecutorError::RunAborted`].
     #[allow(clippy::type_complexity)]
     pub gate: Option<&'a (dyn Fn(GateSite, &RunDescriptor) -> Result<(), DynError> + Sync)>,
+    /// Optional live-progress frames emitted from the owner thread as runs
+    /// complete. `None` disables progress reporting entirely.
+    pub progress: Option<ProgressOptions>,
 }
 
 /// Why [`Campaign::execute`] stopped early. The pool shuts down cleanly on
@@ -259,6 +357,10 @@ impl Campaign {
                     .map_or_else(|| Arc::clone(&null), |b| Arc::clone(b) as Arc<dyn Recorder>);
                 let (next, stop, failure, in_flight) = (&next, &stop, &failure, &in_flight);
                 scope.spawn(move || {
+                    worker_recorder.set_context(SpanContext {
+                        worker: Some(worker as u64),
+                        ..SpanContext::default()
+                    });
                     let worker_span = worker_recorder.span("campaign.worker");
                     loop {
                         if stop.load(Ordering::Relaxed) {
@@ -273,6 +375,7 @@ impl Campaign {
                             in_flight,
                             options,
                             &worker_recorder,
+                            worker,
                             stop,
                             &tx,
                         );
@@ -288,20 +391,44 @@ impl Campaign {
             // Owner loop: the calling thread exclusively drives the sink.
             // After a sink failure keep draining (workers notice `stop` at
             // their next epoch boundary) but stop forwarding updates.
+            let started = Instant::now();
+            let mut completed = 0usize;
+            let mut last_frame: Option<Instant> = None;
             let mut sink_alive = true;
             for update in rx {
                 if !sink_alive {
                     continue;
                 }
+                let is_completion = matches!(update, RunUpdate::Completed { .. });
                 if let Err(source) = sink(update) {
                     failure.record(usize::MAX, ExecutorError::SinkAborted { source }, &stop);
                     sink_alive = false;
+                } else if is_completion {
+                    completed += 1;
+                    if let Some(progress) = &options.progress {
+                        let now = Instant::now();
+                        let due = last_frame
+                            .is_none_or(|at| now.duration_since(at) >= progress.every)
+                            || completed == descriptors.len();
+                        if due {
+                            last_frame = Some(now);
+                            (progress.sink)(&ProgressFrame::at(
+                                completed,
+                                descriptors.len(),
+                                started.elapsed(),
+                            ));
+                        }
+                    }
                 }
             }
         });
 
         for buffer in &buffers {
             buffer.replay_into(recorder.as_ref());
+        }
+        if recorder.enabled() {
+            // Leave the sink's causal context clean for whatever follows.
+            recorder.set_context(SpanContext::default());
         }
         match failure.0.into_inner().expect("failure slot lock") {
             Some((_, error)) => Err(error),
@@ -311,12 +438,14 @@ impl Campaign {
 
     /// Runs one descriptor to completion (or until `stop` is raised),
     /// translating panics and gate refusals into [`ExecutorError`]s.
+    #[allow(clippy::too_many_arguments)]
     fn run_descriptor(
         &self,
         descriptor: &RunDescriptor,
         in_flight: &Mutex<Option<InFlightState>>,
         options: &ExecutorOptions<'_>,
         recorder: &Arc<dyn Recorder>,
+        worker: usize,
         stop: &AtomicBool,
         tx: &Sender<RunUpdate>,
     ) -> Result<(), ExecutorError> {
@@ -330,13 +459,23 @@ impl Campaign {
         };
         let body = catch_unwind(AssertUnwindSafe(|| -> Result<(), ExecutorError> {
             gate(GateSite::Run)?;
+            // Causal context: every signal this run emits is joinable back
+            // to its grid cell. The engine refines it with the epoch field.
+            let run_ctx = SpanContext {
+                run: Some(descriptor.index as u64),
+                chip: Some(descriptor.chip as u64),
+                epoch: None,
+                worker: Some(worker as u64),
+            };
+            recorder.set_context(run_ctx);
             let chip_span = recorder.span("campaign.chip");
             let system = self.system_for(descriptor.chip);
             let policy = descriptor
                 .kind
                 .instantiate(self.config().workload_seed ^ descriptor.chip as u64);
             let mut engine = SimulationEngine::new(system, policy, self.config())
-                .with_recorder(Arc::clone(recorder));
+                .with_recorder(Arc::clone(recorder))
+                .with_span_context(run_ctx);
 
             let resume = {
                 let mut slot = in_flight.lock().expect("in-flight lock");
@@ -388,6 +527,12 @@ impl Campaign {
             Ok(())
         }));
 
+        // Back to worker-only context whatever happened, so signals between
+        // runs (and the worker span itself) never carry a stale run tag.
+        recorder.set_context(SpanContext {
+            worker: Some(worker as u64),
+            ..SpanContext::default()
+        });
         match body {
             Ok(run_result) => run_result,
             Err(payload) => Err(ExecutorError::WorkerPanic {

@@ -1,0 +1,249 @@
+//! Streaming fleet statistics over campaign runs.
+//!
+//! Maps each completed [`RunMetrics`] onto the tracked fleet series
+//! (lifetime, degradation, peak temperature, DTM activity, throughput) and
+//! folds them into a [`FleetStats`] aggregator **in canonical run order**.
+//! Welford moment updates are order-sensitive in their floating-point
+//! rounding, so [`FleetAccumulator`] buffers out-of-order completions from
+//! the parallel executor and folds them only when their turn in the
+//! canonical (policy-major, then chip) order comes up — the serialized
+//! summary is then byte-identical for any `--jobs` value and across a
+//! kill+resume cycle.
+//!
+//! Epoch decision *latency* is wall-clock and therefore excluded from the
+//! fleet summary (it would break the byte-identity guarantee); it is
+//! reported by the telemetry phase profile
+//! ([`hayat_telemetry::TelemetrySummary::phase_profile`]) instead.
+
+use crate::metrics::RunMetrics;
+use hayat_telemetry::{FleetStats, FleetSummary};
+use std::collections::BTreeMap;
+
+/// Lifetime threshold as a fraction of the run's *initial* average fmax:
+/// the chip's useful life ends when average fmax first drops below this
+/// fraction (cf. the Fig. 7–10 degradation framing). Runs that never cross
+/// the threshold are right-censored at the simulated horizon.
+pub const LIFETIME_FMAX_FRACTION: f64 = 0.95;
+
+/// The tracked series, in the (alphabetical) order they appear in a
+/// [`FleetSummary`].
+pub const FLEET_SERIES: [&str; 8] = [
+    "dtm_migrations",
+    "dtm_throttle_events",
+    "final_avg_fmax_ghz",
+    "final_health_drop",
+    "lifetime_years",
+    "peak_core_health_drop",
+    "peak_temp_kelvin",
+    "throughput_fraction",
+];
+
+/// Extracts one run's fleet observations as `(series, value)` pairs.
+///
+/// * `lifetime_years` — first time average fmax falls to
+///   [`LIFETIME_FMAX_FRACTION`] of its initial value, right-censored at the
+///   run horizon.
+/// * `final_health_drop` / `peak_core_health_drop` — end-of-run mean and
+///   worst-core degradation `1 − health`; the reproduction's observable
+///   proxies for the paper's final/peak Vth-shift distributions (ΔVth maps
+///   monotonically onto frequency loss through Eq. 8).
+/// * `peak_temp_kelvin`, `dtm_throttle_events`, `dtm_migrations`,
+///   `final_avg_fmax_ghz`, `throughput_fraction` — straight from the run.
+#[must_use]
+pub fn run_observations(run: &RunMetrics) -> Vec<(&'static str, f64)> {
+    let horizon = run.epochs.last().map_or(0.0, |e| e.years);
+    let threshold = LIFETIME_FMAX_FRACTION * run.initial_avg_fmax_ghz;
+    let lifetime = run.lifetime_until(threshold).unwrap_or(horizon);
+    let final_health_drop = 1.0 - run.final_health_mean();
+    let peak_core_health_drop = 1.0 - run.epochs.last().map_or(1.0, |e| e.min_health);
+    vec![
+        ("lifetime_years", lifetime),
+        ("final_health_drop", final_health_drop),
+        ("peak_core_health_drop", peak_core_health_drop),
+        ("peak_temp_kelvin", run.peak_temp_kelvin()),
+        ("dtm_throttle_events", run.total_dtm_throttles() as f64),
+        ("dtm_migrations", run.total_dtm_migrations() as f64),
+        ("final_avg_fmax_ghz", run.final_avg_fmax_ghz()),
+        ("throughput_fraction", run.mean_throughput_fraction()),
+    ]
+}
+
+/// Folds one run's observations into a [`FleetStats`].
+pub fn observe_run(stats: &mut FleetStats, run: &RunMetrics) {
+    for (name, value) in run_observations(run) {
+        stats.observe(name, value);
+    }
+}
+
+/// Builds fleet statistics from a completed result set (canonical order).
+///
+/// Produces exactly the same aggregator as streaming the runs through a
+/// [`FleetAccumulator`] — a test holds the two paths to byte-identical
+/// summaries.
+#[must_use]
+pub fn fleet_stats_from_runs(runs: &[RunMetrics]) -> FleetStats {
+    let mut stats = FleetStats::new();
+    for run in runs {
+        observe_run(&mut stats, run);
+    }
+    stats
+}
+
+/// Order-restoring streaming aggregator for the parallel executor.
+///
+/// Workers complete runs in scheduling order; `observe_completed` folds a
+/// run immediately when it is the next canonical index and otherwise
+/// buffers its (small, fixed-size) observation vector. The buffer is
+/// bounded by the executor's in-flight window — at most `jobs` entries —
+/// so memory stays O(1) in fleet size.
+#[derive(Debug, Default)]
+pub struct FleetAccumulator {
+    stats: FleetStats,
+    next: usize,
+    pending: BTreeMap<usize, Vec<(&'static str, f64)>>,
+}
+
+impl FleetAccumulator {
+    /// An empty accumulator expecting canonical index 0 first.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the completion of the run at canonical `index`.
+    ///
+    /// Feeding the same index twice (e.g. a resumed run that was already
+    /// folded from a checkpoint's completed prefix) is ignored.
+    pub fn observe_completed(&mut self, index: usize, run: &RunMetrics) {
+        if index < self.next || self.pending.contains_key(&index) {
+            return;
+        }
+        self.pending.insert(index, run_observations(run));
+        self.drain_ready();
+    }
+
+    /// Folds every buffered run whose canonical turn has come.
+    fn drain_ready(&mut self) {
+        while let Some(observations) = self.pending.remove(&self.next) {
+            for (name, value) in observations {
+                self.stats.observe(name, value);
+            }
+            self.next += 1;
+        }
+    }
+
+    /// Number of runs folded into the canonical prefix so far.
+    #[must_use]
+    pub fn folded(&self) -> usize {
+        self.next
+    }
+
+    /// The statistics of the canonical prefix folded so far (out-of-order
+    /// completions still buffered are not included).
+    #[must_use]
+    pub fn stats(&self) -> &FleetStats {
+        &self.stats
+    }
+
+    /// Folds any runs still buffered (possible only if earlier canonical
+    /// indexes never completed — an aborted campaign) in index order, and
+    /// returns the final statistics.
+    pub fn finish(&mut self) -> &FleetStats {
+        let leftovers = std::mem::take(&mut self.pending);
+        for (index, observations) in leftovers {
+            for (name, value) in observations {
+                self.stats.observe(name, value);
+            }
+            self.next = self.next.max(index + 1);
+        }
+        &self.stats
+    }
+
+    /// The serializable summary of everything folded so far.
+    #[must_use]
+    pub fn summary(&self) -> FleetSummary {
+        self.stats.summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::campaign::{Campaign, PolicyKind};
+    use crate::sim::config::SimulationConfig;
+
+    fn tiny_runs() -> Vec<RunMetrics> {
+        let mut config = SimulationConfig::quick_demo();
+        config.chip_count = 2;
+        config.years = 1.0;
+        config.epoch_years = 0.5;
+        config.transient_window_seconds = 0.1;
+        let campaign = Campaign::new(config).unwrap();
+        campaign.run(&[PolicyKind::Vaa, PolicyKind::Hayat]).runs
+    }
+
+    #[test]
+    fn observations_cover_every_series_with_finite_values() {
+        let runs = tiny_runs();
+        let obs = run_observations(&runs[0]);
+        let mut names: Vec<&str> = obs.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        assert_eq!(names, FLEET_SERIES);
+        for (name, value) in &obs {
+            assert!(value.is_finite(), "{name} is not finite: {value}");
+        }
+    }
+
+    #[test]
+    fn lifetime_is_censored_at_the_horizon() {
+        let runs = tiny_runs();
+        let horizon = runs[0].epochs.last().unwrap().years;
+        let obs = run_observations(&runs[0]);
+        let lifetime = obs.iter().find(|(n, _)| *n == "lifetime_years").unwrap().1;
+        assert!(
+            lifetime > 0.0 && lifetime <= horizon,
+            "lifetime {lifetime} outside (0, {horizon}]"
+        );
+    }
+
+    #[test]
+    fn out_of_order_completion_matches_batch_fold() {
+        let runs = tiny_runs();
+        let batch = fleet_stats_from_runs(&runs);
+        // Feed the accumulator in a scrambled completion order.
+        let mut acc = FleetAccumulator::new();
+        for &index in &[2usize, 0, 3, 1] {
+            acc.observe_completed(index, &runs[index]);
+        }
+        assert_eq!(acc.folded(), runs.len());
+        assert_eq!(
+            serde_json::to_string(&acc.summary()).unwrap(),
+            serde_json::to_string(&batch.summary()).unwrap()
+        );
+    }
+
+    #[test]
+    fn duplicate_and_stale_indexes_are_ignored() {
+        let runs = tiny_runs();
+        let mut acc = FleetAccumulator::new();
+        acc.observe_completed(0, &runs[0]);
+        acc.observe_completed(0, &runs[0]); // already folded
+        acc.observe_completed(2, &runs[2]);
+        acc.observe_completed(2, &runs[2]); // already buffered
+        acc.observe_completed(1, &runs[1]);
+        acc.observe_completed(3, &runs[3]);
+        let batch = fleet_stats_from_runs(&runs);
+        assert_eq!(acc.stats(), &batch);
+    }
+
+    #[test]
+    fn finish_folds_orphaned_completions() {
+        let runs = tiny_runs();
+        let mut acc = FleetAccumulator::new();
+        acc.observe_completed(2, &runs[2]); // index 0,1 never complete
+        assert_eq!(acc.folded(), 0);
+        acc.finish();
+        assert_eq!(acc.folded(), 3);
+        assert_eq!(acc.stats().series("lifetime_years").unwrap().count(), 1);
+    }
+}

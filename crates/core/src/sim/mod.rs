@@ -4,4 +4,5 @@ pub mod campaign;
 pub mod config;
 pub mod engine;
 pub mod executor;
+pub mod fleet;
 pub mod snapshot;

@@ -5,8 +5,12 @@ fn main() {
         .nth(1)
         .expect("usage: recover <file.jsonl>");
     let stream = std::fs::read_to_string(&path).expect("read stream");
-    let summary = TelemetrySummary::from_jsonl(&stream).expect("parse stream");
+    let summary = TelemetrySummary::from_jsonl(&stream);
+    if summary.parse_errors > 0 {
+        eprintln!("skipped {} malformed lines", summary.parse_errors);
+    }
     println!("{}", summary.render_table());
-    let predict = summary.span("overhead.predict_temperature").unwrap();
-    println!("predictTemperature: {:.1} us", predict.total_seconds * 1e6);
+    if let Some(predict) = summary.span("overhead.predict_temperature") {
+        println!("predictTemperature: {:.1} us", predict.total_seconds * 1e6);
+    }
 }

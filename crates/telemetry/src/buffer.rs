@@ -8,16 +8,22 @@
 //! ordering of the serial stream changes with scheduling, and buffering
 //! removes even that.
 
-use crate::event::EventKind;
+use crate::event::{EventKind, SpanContext};
 use crate::recorder::Recorder;
 use std::sync::Mutex;
 
-/// One buffered signal, in emission order.
+/// One buffered entry, in emission order: a signal or a context switch.
 #[derive(Debug, Clone, PartialEq)]
-struct BufferedSignal {
-    kind: EventKind,
-    name: String,
-    value: f64,
+enum BufferedSignal {
+    /// A recorded signal.
+    Signal {
+        kind: EventKind,
+        name: String,
+        value: f64,
+    },
+    /// A causal-context change, replayed in-stream so downstream sinks stamp
+    /// the same context the worker had at emission time.
+    Context(SpanContext),
 }
 
 /// A [`Recorder`] that stores every signal in emission order for later
@@ -70,14 +76,17 @@ impl BufferRecorder {
     /// The buffer is left intact; call [`clear`](Self::clear) to reuse it.
     pub fn replay_into(&self, sink: &dyn Recorder) {
         for event in self.events.lock().expect("buffer lock").iter() {
-            match event.kind {
-                // Counter values round-trip exactly: deltas are `u64` up to
-                // 2^53, the same contract as the JSONL stream.
-                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-                EventKind::Counter => sink.counter(&event.name, event.value as u64),
-                EventKind::Gauge => sink.gauge(&event.name, event.value),
-                EventKind::Histogram => sink.histogram(&event.name, event.value),
-                EventKind::Span => sink.span_seconds(&event.name, event.value),
+            match event {
+                BufferedSignal::Signal { kind, name, value } => match kind {
+                    // Counter values round-trip exactly: deltas are `u64` up
+                    // to 2^53, the same contract as the JSONL stream.
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    EventKind::Counter => sink.counter(name, *value as u64),
+                    EventKind::Gauge => sink.gauge(name, *value),
+                    EventKind::Histogram => sink.histogram(name, *value),
+                    EventKind::Span => sink.span_seconds(name, *value),
+                },
+                BufferedSignal::Context(ctx) => sink.set_context(*ctx),
             }
         }
     }
@@ -91,7 +100,7 @@ impl BufferRecorder {
         self.events
             .lock()
             .expect("buffer lock")
-            .push(BufferedSignal {
+            .push(BufferedSignal::Signal {
                 kind,
                 name: name.to_owned(),
                 value,
@@ -116,6 +125,13 @@ impl Recorder for BufferRecorder {
     fn span_seconds(&self, name: &str, seconds: f64) {
         self.push(EventKind::Span, name, seconds);
     }
+
+    fn set_context(&self, ctx: SpanContext) {
+        self.events
+            .lock()
+            .expect("buffer lock")
+            .push(BufferedSignal::Context(ctx));
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +151,13 @@ mod tests {
 
         let events = buffer.events.lock().unwrap();
         assert_eq!(
-            events.iter().map(|e| e.kind).collect::<Vec<_>>(),
+            events
+                .iter()
+                .map(|e| match e {
+                    BufferedSignal::Signal { kind, .. } => *kind,
+                    BufferedSignal::Context(_) => panic!("no context buffered"),
+                })
+                .collect::<Vec<_>>(),
             vec![
                 EventKind::Counter,
                 EventKind::Gauge,
@@ -176,6 +198,44 @@ mod tests {
         let sink = MemoryRecorder::new();
         buffer.replay_into(&sink);
         assert_eq!(sink.summary().span("timed").map(|s| s.count), Some(1));
+    }
+
+    #[test]
+    fn context_changes_replay_in_stream_order() {
+        let buffer = BufferRecorder::new();
+        let ctx = SpanContext {
+            run: Some(1),
+            chip: Some(4),
+            epoch: None,
+            worker: Some(2),
+        };
+        buffer.counter("before", 1);
+        buffer.set_context(ctx);
+        buffer.counter("during", 1);
+        buffer.set_context(SpanContext::default());
+
+        let buf = std::sync::Arc::new(Mutex::new(Vec::new()));
+        struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = crate::JsonlRecorder::new(SharedBuf(buf.clone()));
+        buffer.replay_into(&sink);
+        sink.finish().unwrap();
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let events: Vec<crate::TelemetryEvent> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert!(events[0].ctx.is_empty());
+        assert_eq!(events[1].ctx, ctx);
     }
 
     #[test]

@@ -2,6 +2,44 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Causal context attached to telemetry events so JSONL streams from a
+/// campaign are joinable: which run, chip, epoch, and worker emitted a
+/// signal.
+///
+/// Every field is optional; signals emitted outside a campaign (unit tests,
+/// single-run tools) carry an all-`None` context, which serializes as JSON
+/// nulls and is the default when the fields are absent from an older stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpanContext {
+    /// Canonical run index in the campaign grid (policy-major order).
+    #[serde(default)]
+    pub run: Option<u64>,
+    /// Identifier of the chip the run simulates.
+    #[serde(default)]
+    pub chip: Option<u64>,
+    /// Zero-based epoch currently executing.
+    #[serde(default)]
+    pub epoch: Option<u64>,
+    /// Executor worker slot that emitted the signal.
+    #[serde(default)]
+    pub worker: Option<u64>,
+}
+
+impl SpanContext {
+    /// `true` if no field is set (the default context).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == SpanContext::default()
+    }
+
+    /// Returns a copy with the epoch field set.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = Some(epoch);
+        self
+    }
+}
+
 /// What kind of signal an event carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EventKind {
@@ -30,10 +68,14 @@ pub struct TelemetryEvent {
     pub name: String,
     /// Kind-dependent payload (see [`EventKind`]).
     pub value: f64,
+    /// Causal context at emission time (absent fields parse as `None`, so
+    /// pre-context streams remain readable).
+    #[serde(default)]
+    pub ctx: SpanContext,
 }
 
 impl TelemetryEvent {
-    /// Convenience constructor.
+    /// Convenience constructor with an empty context.
     #[must_use]
     pub fn new(seq: u64, kind: EventKind, name: impl Into<String>, value: f64) -> Self {
         TelemetryEvent {
@@ -41,7 +83,15 @@ impl TelemetryEvent {
             kind,
             name: name.into(),
             value,
+            ctx: SpanContext::default(),
         }
+    }
+
+    /// Returns the event with its context replaced.
+    #[must_use]
+    pub fn with_ctx(mut self, ctx: SpanContext) -> Self {
+        self.ctx = ctx;
+        self
     }
 }
 
@@ -61,5 +111,34 @@ mod tests {
     fn kind_serializes_as_bare_string() {
         let line = serde_json::to_string(&EventKind::Counter).unwrap();
         assert_eq!(line, "\"Counter\"");
+    }
+
+    #[test]
+    fn context_round_trips_through_json() {
+        let ctx = SpanContext {
+            run: Some(3),
+            chip: Some(7),
+            epoch: Some(12),
+            worker: Some(1),
+        };
+        let event = TelemetryEvent::new(0, EventKind::Counter, "dtm.migrations", 1.0).with_ctx(ctx);
+        let line = serde_json::to_string(&event).unwrap();
+        let back: TelemetryEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, event);
+        assert!(!back.ctx.is_empty());
+    }
+
+    #[test]
+    fn contextless_lines_parse_with_empty_context() {
+        let line = r#"{"seq":0,"kind":"Span","name":"engine.epoch","value":0.5}"#;
+        let event: TelemetryEvent = serde_json::from_str(line).unwrap();
+        assert!(event.ctx.is_empty());
+    }
+
+    #[test]
+    fn with_epoch_sets_only_epoch() {
+        let ctx = SpanContext::default().with_epoch(4);
+        assert_eq!(ctx.epoch, Some(4));
+        assert_eq!(ctx.run, None);
     }
 }

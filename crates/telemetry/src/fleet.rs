@@ -1,0 +1,435 @@
+//! Mergeable online fleet statistics: Welford moments plus log-bucketed
+//! quantile sketches per tracked series.
+//!
+//! The paper's population results (Figs. 7–10) are distributions over a chip
+//! fleet — lifetimes, degradation, temperatures. [`FleetStats`] summarizes
+//! those distributions streamingly in O(1) memory per series: each
+//! observation updates Welford mean/variance, exact min/max, and a
+//! [`LogHistogram`] quantile sketch, so a million-chip campaign never has to
+//! materialize per-chip records just to report a p99.
+//!
+//! Sketches are mergeable ([`SeriesSketch::merge`] uses the parallel Welford
+//! combination), but the campaign executor folds completed runs in canonical
+//! run order instead of merging per-worker partials: floating-point Welford
+//! updates are order-sensitive, and the canonical fold makes the serialized
+//! summary byte-identical for any worker count.
+
+use crate::histogram::LogHistogram;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Online statistics of one tracked series: count, Welford mean/variance,
+/// exact min/max, and a log-bucketed quantile sketch.
+///
+/// Non-finite observations are ignored. Quantiles inherit the sketch's
+/// error bound: within one power-of-two bucket of the exact quantile (see
+/// [`LogHistogram::quantile`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSketch {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    histogram: LogHistogram,
+}
+
+impl Default for SeriesSketch {
+    fn default() -> Self {
+        SeriesSketch {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            histogram: LogHistogram::new(),
+        }
+    }
+}
+
+impl SeriesSketch {
+    /// An empty sketch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation in. Non-finite values are ignored.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = value - self.mean;
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.mean += delta / self.count as f64;
+        }
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.histogram.record(value);
+    }
+
+    /// Merges another sketch in (parallel Welford combination).
+    ///
+    /// The combined moments are exact up to floating-point rounding, but the
+    /// rounding differs from a sequential fold of the same observations —
+    /// which is why the campaign folds in canonical order rather than
+    /// merging per-worker partials when byte-identical output matters.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn merge(&mut self, other: &SeriesSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = (self.count + other.count) as f64;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / n;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / n;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.histogram.merge(&other.histogram);
+    }
+
+    /// Number of (finite) observations folded in.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance (`m2 / count`), or `None` if empty.
+    #[must_use]
+    pub fn variance(&self) -> Option<f64> {
+        #[allow(clippy::cast_precision_loss)]
+        (self.count > 0).then(|| (self.m2 / self.count as f64).max(0.0))
+    }
+
+    /// Exact smallest observation, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact largest observation, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate quantile from the sketch (see [`LogHistogram::quantile`]
+    /// for the error bound), or `None` if empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.histogram.quantile(q)
+    }
+}
+
+/// A set of named [`SeriesSketch`]es — the fleet-wide aggregator.
+///
+/// Series are created on first [`observe`](FleetStats::observe) and kept in
+/// name order, so two aggregators fed the same observations in the same
+/// order are identical, as are their serialized summaries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetStats {
+    series: BTreeMap<String, SeriesSketch>,
+}
+
+impl FleetStats {
+    /// An empty aggregator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation into the named series (created on first use).
+    pub fn observe(&mut self, name: &str, value: f64) {
+        if !self.series.contains_key(name) {
+            self.series.insert(name.to_string(), SeriesSketch::new());
+        }
+        self.series
+            .get_mut(name)
+            .expect("just inserted")
+            .observe(value);
+    }
+
+    /// Looks up one series' sketch by name.
+    #[must_use]
+    pub fn series(&self, name: &str) -> Option<&SeriesSketch> {
+        self.series.get(name)
+    }
+
+    /// Number of tracked series.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// `true` if no series has been observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Merges another aggregator in, series by series.
+    pub fn merge(&mut self, other: &FleetStats) {
+        for (name, sketch) in &other.series {
+            if let Some(mine) = self.series.get_mut(name) {
+                mine.merge(sketch);
+            } else {
+                self.series.insert(name.clone(), sketch.clone());
+            }
+        }
+    }
+
+    /// The compact, serializable summary (sorted by series name).
+    #[must_use]
+    pub fn summary(&self) -> FleetSummary {
+        FleetSummary {
+            series: self
+                .series
+                .iter()
+                .map(|(name, s)| SeriesStats {
+                    name: name.clone(),
+                    count: s.count(),
+                    mean: s.mean().unwrap_or(0.0),
+                    variance: s.variance().unwrap_or(0.0),
+                    min: s.min().unwrap_or(0.0),
+                    max: s.max().unwrap_or(0.0),
+                    p50: s.quantile(0.50).unwrap_or(0.0),
+                    p95: s.quantile(0.95).unwrap_or(0.0),
+                    p99: s.quantile(0.99).unwrap_or(0.0),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Summary statistics of one series, as written to `--fleet-stats` output.
+///
+/// Empty series report zeros for every statistic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesStats {
+    /// Series name (e.g. `lifetime_years`).
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Exact smallest observation.
+    pub min: f64,
+    /// Exact largest observation.
+    pub max: f64,
+    /// Approximate median (log-bucket resolution, see
+    /// [`LogHistogram::quantile`]).
+    pub p50: f64,
+    /// Approximate 95th percentile.
+    pub p95: f64,
+    /// Approximate 99th percentile.
+    pub p99: f64,
+}
+
+/// The compact fleet summary: one [`SeriesStats`] row per tracked series,
+/// sorted by name. This is the JSON shape behind `--fleet-stats`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FleetSummary {
+    /// Per-series rows in name order.
+    pub series: Vec<SeriesStats>,
+}
+
+impl FleetSummary {
+    /// Looks up one series' row by name.
+    #[must_use]
+    pub fn series(&self, name: &str) -> Option<&SeriesStats> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Renders the fixed-width fleet table.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.series.is_empty() {
+            out.push_str("(no fleet series observed)\n");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "{:<24} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "series", "count", "mean", "min", "max", "p50", "p95", "p99"
+        );
+        for s in &self.series {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>7} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+                s.name, s.count, s.mean, s.min, s.max, s.p50, s.p95, s.p99
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_stats(values: &[f64]) -> (f64, f64) {
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn welford_matches_naive_two_pass() {
+        let values = [3.0, 1.5, 4.25, 0.75, 2.0, 9.5, 0.125];
+        let mut s = SeriesSketch::new();
+        for &v in &values {
+            s.observe(v);
+        }
+        let (mean, var) = naive_stats(&values);
+        assert_eq!(s.count(), values.len() as u64);
+        assert!((s.mean().unwrap() - mean).abs() < 1e-12);
+        assert!((s.variance().unwrap() - var).abs() < 1e-12);
+        assert_eq!(s.min(), Some(0.125));
+        assert_eq!(s.max(), Some(9.5));
+    }
+
+    #[test]
+    fn empty_sketch_reports_none() {
+        let s = SeriesSketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.quantile(0.5), None);
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut s = SeriesSketch::new();
+        s.observe(f64::NAN);
+        s.observe(f64::INFINITY);
+        s.observe(2.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn merge_matches_single_stream_statistics() {
+        let left = [1.0, 2.0, 3.0, 4.0];
+        let right = [10.0, 20.0, 30.0];
+        let (mut a, mut b) = (SeriesSketch::new(), SeriesSketch::new());
+        for &v in &left {
+            a.observe(v);
+        }
+        for &v in &right {
+            b.observe(v);
+        }
+        a.merge(&b);
+        let all: Vec<f64> = left.iter().chain(&right).copied().collect();
+        let (mean, var) = naive_stats(&all);
+        assert_eq!(a.count(), 7);
+        assert!((a.mean().unwrap() - mean).abs() < 1e-12);
+        assert!((a.variance().unwrap() - var).abs() < 1e-9);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(30.0));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = SeriesSketch::new();
+        a.observe(5.0);
+        let before = a.clone();
+        a.merge(&SeriesSketch::new());
+        assert_eq!(a, before);
+        let mut empty = SeriesSketch::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn fleet_observe_creates_and_updates_series() {
+        let mut fleet = FleetStats::new();
+        fleet.observe("lifetime_years", 7.0);
+        fleet.observe("lifetime_years", 9.0);
+        fleet.observe("peak_temp_kelvin", 360.0);
+        assert_eq!(fleet.len(), 2);
+        assert_eq!(fleet.series("lifetime_years").unwrap().count(), 2);
+        assert_eq!(
+            fleet.series("peak_temp_kelvin").unwrap().mean(),
+            Some(360.0)
+        );
+    }
+
+    #[test]
+    fn fleet_merge_combines_series_sets() {
+        let (mut a, mut b) = (FleetStats::new(), FleetStats::new());
+        a.observe("x", 1.0);
+        b.observe("x", 3.0);
+        b.observe("y", 2.0);
+        a.merge(&b);
+        assert_eq!(a.series("x").unwrap().count(), 2);
+        assert_eq!(a.series("x").unwrap().mean(), Some(2.0));
+        assert_eq!(a.series("y").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let mut fleet = FleetStats::new();
+        for i in 1..=50 {
+            fleet.observe("lifetime_years", f64::from(i) * 0.25);
+            fleet.observe("dtm_throttle_events", f64::from(i % 7));
+        }
+        let summary = fleet.summary();
+        let text = serde_json::to_string_pretty(&summary).unwrap();
+        let back: FleetSummary = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, summary);
+        let row = summary.series("lifetime_years").unwrap();
+        assert_eq!(row.count, 50);
+        assert!(row.p50 <= row.p95 && row.p95 <= row.p99);
+        assert!(row.min <= row.p50 && row.p99 <= row.max);
+    }
+
+    #[test]
+    fn summary_table_lists_series_and_quantiles() {
+        let mut fleet = FleetStats::new();
+        fleet.observe("lifetime_years", 8.0);
+        let table = fleet.summary().render_table();
+        for needle in ["series", "lifetime_years", "p99"] {
+            assert!(table.contains(needle), "missing {needle} in\n{table}");
+        }
+        assert!(FleetSummary::default()
+            .render_table()
+            .contains("no fleet series"));
+    }
+
+    #[test]
+    fn identical_observation_order_gives_identical_summaries() {
+        let feed = |fleet: &mut FleetStats| {
+            for i in 0..100 {
+                fleet.observe("a", f64::from(i) * 0.1 + 1.0);
+                fleet.observe("b", f64::from(100 - i));
+            }
+        };
+        let (mut x, mut y) = (FleetStats::new(), FleetStats::new());
+        feed(&mut x);
+        feed(&mut y);
+        assert_eq!(
+            serde_json::to_string(&x.summary()).unwrap(),
+            serde_json::to_string(&y.summary()).unwrap()
+        );
+    }
+}

@@ -99,8 +99,16 @@ impl LogHistogram {
 
     /// Approximate quantile `q` in `[0, 1]`, or `None` if empty.
     ///
-    /// The answer is clamped into `[min, max]`, so single-observation
-    /// histograms report that observation exactly.
+    /// # Error bound
+    ///
+    /// The reported value is off by at most one power-of-two bucket: the
+    /// exact rank-`⌈q·n⌉` observation lives in the returned bucket
+    /// `[2^k, 2^(k+1))`, and the geometric midpoint `2^k·√2` is reported,
+    /// so the answer is within a factor of `√2` of the true quantile
+    /// (relative error ≤ √2 ≈ 1.414, i.e. ≤ 1 bucket). The answer is also
+    /// clamped into the exact `[min, max]`, so single-observation
+    /// histograms report that observation exactly and the bound can only
+    /// tighten at the edges.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
@@ -118,6 +126,11 @@ impl LogHistogram {
     }
 
     /// Merges another histogram into this one.
+    ///
+    /// Bucket counts add exactly, so merging is commutative and associative
+    /// up to the canonical bucket order; the exact `sum` is commutative but
+    /// only associative up to floating-point rounding (see the
+    /// `prop_histogram` property tests).
     pub fn merge(&mut self, other: &LogHistogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;

@@ -1,6 +1,6 @@
 //! Buffered JSONL recorder: one JSON event per line, plus a side summary.
 
-use crate::event::{EventKind, TelemetryEvent};
+use crate::event::{EventKind, SpanContext, TelemetryEvent};
 use crate::recorder::Recorder;
 use crate::summary::{SummaryBuilder, TelemetrySummary};
 use std::fs::File;
@@ -24,6 +24,7 @@ struct Inner<W: Write + Send> {
     seq: u64,
     builder: SummaryBuilder,
     io_error: Option<io::Error>,
+    ctx: SpanContext,
 }
 
 impl JsonlRecorder<File> {
@@ -46,6 +47,7 @@ impl<W: Write + Send> JsonlRecorder<W> {
                 seq: 0,
                 builder: SummaryBuilder::default(),
                 io_error: None,
+                ctx: SpanContext::default(),
             }),
         }
     }
@@ -76,7 +78,7 @@ impl<W: Write + Send> JsonlRecorder<W> {
 
     fn record(&self, kind: EventKind, name: &str, value: f64) {
         let mut inner = self.inner.lock().expect("telemetry lock poisoned");
-        let event = TelemetryEvent::new(inner.seq, kind, name, value);
+        let event = TelemetryEvent::new(inner.seq, kind, name, value).with_ctx(inner.ctx);
         inner.seq += 1;
         inner.builder.apply(kind, name, value);
         if inner.io_error.is_none() {
@@ -107,6 +109,10 @@ impl<W: Write + Send> Recorder for JsonlRecorder<W> {
 
     fn span_seconds(&self, name: &str, seconds: f64) {
         self.record(EventKind::Span, name, seconds);
+    }
+
+    fn set_context(&self, ctx: SpanContext) {
+        self.inner.lock().expect("telemetry lock poisoned").ctx = ctx;
     }
 }
 
@@ -152,7 +158,34 @@ mod tests {
             vec![0, 1, 2]
         );
         // The side summary matches a from-scratch parse of the stream.
-        assert_eq!(TelemetrySummary::from_jsonl(&text).unwrap(), summary);
+        assert_eq!(TelemetrySummary::from_jsonl(&text), summary);
+    }
+
+    #[test]
+    fn events_carry_the_current_context() {
+        let buf = SharedBuf::default();
+        let rec = JsonlRecorder::new(buf.clone());
+        rec.counter("before", 1);
+        let ctx = SpanContext {
+            run: Some(2),
+            chip: Some(5),
+            epoch: None,
+            worker: Some(0),
+        };
+        rec.set_context(ctx);
+        rec.counter("during", 1);
+        rec.set_context(SpanContext::default());
+        rec.counter("after", 1);
+        rec.finish().unwrap();
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let events: Vec<TelemetryEvent> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert!(events[0].ctx.is_empty());
+        assert_eq!(events[1].ctx, ctx);
+        assert!(events[2].ctx.is_empty());
     }
 
     #[test]
@@ -185,7 +218,7 @@ mod tests {
         let summary = rec.finish().unwrap();
         assert_eq!(summary.counter_total("c"), Some(7));
         let text = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(TelemetrySummary::from_jsonl(&text).unwrap(), summary);
+        assert_eq!(TelemetrySummary::from_jsonl(&text), summary);
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -22,7 +22,17 @@
 //! * [`TelemetrySummary`] — end-of-run per-span `count/total/p50/p99`,
 //!   counter totals and gauge extrema, renderable as a text table or
 //!   recovered from a JSONL stream with
-//!   [`TelemetrySummary::from_jsonl`].
+//!   [`TelemetrySummary::from_jsonl`] (malformed lines are skipped and
+//!   counted, so truncated streams still summarize). Its
+//!   [`phase_profile`](TelemetrySummary::phase_profile) attributes wall
+//!   time to simulation phases (thermal solve, policy decision, aging
+//!   advance, checkpoint I/O) flamegraph-style.
+//! * [`SpanContext`] — causal `run`/`chip`/`epoch`/`worker` fields stamped
+//!   onto events via [`Recorder::set_context`], making JSONL streams from a
+//!   parallel campaign joinable.
+//! * [`FleetStats`] — mergeable online statistics sketches (Welford
+//!   moments + [`LogHistogram`] quantiles) per tracked fleet series, with a
+//!   compact serializable [`FleetSummary`] behind `--fleet-stats`.
 //!
 //! ## Example
 //!
@@ -46,6 +56,7 @@
 
 mod buffer;
 mod event;
+mod fleet;
 mod histogram;
 mod jsonl;
 mod memory;
@@ -53,9 +64,12 @@ mod recorder;
 mod summary;
 
 pub use buffer::BufferRecorder;
-pub use event::{EventKind, TelemetryEvent};
+pub use event::{EventKind, SpanContext, TelemetryEvent};
+pub use fleet::{FleetStats, FleetSummary, SeriesSketch, SeriesStats};
 pub use histogram::LogHistogram;
 pub use jsonl::JsonlRecorder;
 pub use memory::MemoryRecorder;
 pub use recorder::{NullRecorder, Recorder, RecorderExt, SpanGuard, NULL_RECORDER};
-pub use summary::{CounterStats, GaugeStats, HistogramStats, SpanStats, TelemetrySummary};
+pub use summary::{
+    CounterStats, GaugeStats, HistogramStats, PhaseProfile, PhaseStats, SpanStats, TelemetrySummary,
+};

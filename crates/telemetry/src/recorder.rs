@@ -1,6 +1,7 @@
 //! The [`Recorder`] sink trait, the zero-cost [`NullRecorder`], and RAII
 //! span timing.
 
+use crate::event::SpanContext;
 use std::time::Instant;
 
 /// A sink for telemetry signals.
@@ -33,6 +34,14 @@ pub trait Recorder: Send + Sync {
     ///
     /// Usually called by [`SpanGuard`] on drop rather than directly.
     fn span_seconds(&self, name: &str, seconds: f64);
+
+    /// Replaces the causal context stamped onto subsequent signals.
+    ///
+    /// Stream-oriented sinks ([`JsonlRecorder`](crate::JsonlRecorder),
+    /// [`BufferRecorder`](crate::BufferRecorder)) attach the context to every
+    /// following event; aggregating sinks key by name only and use the
+    /// default no-op.
+    fn set_context(&self, _ctx: SpanContext) {}
 }
 
 /// Extension methods available on every recorder, including `dyn Recorder`.

@@ -66,6 +66,75 @@ pub struct GaugeStats {
     pub max: f64,
 }
 
+/// One row of a [`PhaseProfile`]: total attributed wall time of a simulation
+/// phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Phase label (e.g. `thermal solve`).
+    pub phase: String,
+    /// Completed span count attributed to the phase.
+    pub count: u64,
+    /// Exact total wall-clock seconds attributed to the phase.
+    pub total_seconds: f64,
+    /// Fraction of the profile's total time spent in the phase (0..=1).
+    pub share: f64,
+}
+
+/// Flamegraph-style attribution of campaign wall time to simulation phases:
+/// thermal solve, policy decision, aging advance, checkpoint I/O, and the
+/// unattributed remainder of the epoch loop.
+///
+/// Derived on demand from span totals by
+/// [`TelemetrySummary::phase_profile`]; phases with no recorded spans are
+/// omitted.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Per-phase rows, largest share first.
+    pub phases: Vec<PhaseStats>,
+    /// Total attributed seconds (epoch loop plus checkpoint I/O).
+    pub total_seconds: f64,
+}
+
+impl PhaseProfile {
+    /// `true` if no phase had any recorded span.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Looks up one phase's row by label.
+    #[must_use]
+    pub fn phase(&self, label: &str) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.phase == label)
+    }
+
+    /// Renders the fixed-width phase table.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.phases.is_empty() {
+            out.push_str("(no phase spans recorded)\n");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "{:<42} {:>10} {:>12} {:>11}",
+            "phase", "spans", "total", "share"
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "{:<42} {:>10} {:>12} {:>10.1}%",
+                p.phase,
+                p.count,
+                fmt_duration(p.total_seconds),
+                p.share * 100.0,
+            );
+        }
+        out
+    }
+}
+
 /// The end-of-run rollup of a telemetry stream.
 ///
 /// Built incrementally by the recorders, from an event iterator with
@@ -81,6 +150,11 @@ pub struct TelemetrySummary {
     pub counters: Vec<CounterStats>,
     /// Gauge aggregates.
     pub gauges: Vec<GaugeStats>,
+    /// Number of malformed JSONL lines skipped by
+    /// [`TelemetrySummary::from_jsonl`] (0 for every other constructor, and
+    /// when absent from serialized summaries predating the field).
+    #[serde(default)]
+    pub parse_errors: u64,
 }
 
 impl TelemetrySummary {
@@ -95,21 +169,97 @@ impl TelemetrySummary {
 
     /// Parses JSONL text (one event per non-empty line) and aggregates it.
     ///
-    /// # Errors
-    ///
-    /// Returns the underlying [`serde_json::Error`] for the first malformed
-    /// line.
-    pub fn from_jsonl(text: &str) -> Result<Self, serde_json::Error> {
+    /// Malformed or truncated lines — the tail of a stream cut off by a
+    /// crash, or garbage interleaved by a broken pipe — are skipped and
+    /// counted in [`parse_errors`](Self::parse_errors) rather than failing
+    /// the whole parse, so a partial stream still yields its statistics.
+    #[must_use]
+    pub fn from_jsonl(text: &str) -> Self {
         let mut builder = SummaryBuilder::default();
+        let mut parse_errors = 0;
         for line in text.lines() {
             let line = line.trim();
             if line.is_empty() {
                 continue;
             }
-            let event: TelemetryEvent = serde_json::from_str(line)?;
-            builder.apply(event.kind, &event.name, event.value);
+            match serde_json::from_str::<TelemetryEvent>(line) {
+                Ok(event) => builder.apply(event.kind, &event.name, event.value),
+                Err(_) => parse_errors += 1,
+            }
         }
-        Ok(builder.build())
+        let mut summary = builder.build();
+        summary.parse_errors = parse_errors;
+        summary
+    }
+
+    /// Attributes span wall time to simulation phases.
+    ///
+    /// Spans are mapped by name: `thermal.*` → thermal solve, `*.decision` →
+    /// policy decision, `engine.aging.advance` → aging advance,
+    /// `checkpoint.*` → checkpoint I/O. Whatever remains of the
+    /// `engine.epoch` total after subtracting the in-epoch phases is
+    /// reported as `other (epoch)`. The profile total is the `engine.epoch`
+    /// total plus checkpoint I/O (which runs outside the epoch loop).
+    #[must_use]
+    pub fn phase_profile(&self) -> PhaseProfile {
+        let mut thermal = (0, 0.0);
+        let mut decision = (0, 0.0);
+        let mut aging = (0, 0.0);
+        let mut checkpoint = (0, 0.0);
+        let mut epoch = (0, 0.0);
+        for s in &self.spans {
+            let slot = if s.name.starts_with("thermal.") {
+                &mut thermal
+            } else if s.name.ends_with(".decision") {
+                &mut decision
+            } else if s.name == "engine.aging.advance" {
+                &mut aging
+            } else if s.name.starts_with("checkpoint.") {
+                &mut checkpoint
+            } else if s.name == "engine.epoch" {
+                &mut epoch
+            } else {
+                continue;
+            };
+            slot.0 += s.count;
+            slot.1 += s.total_seconds;
+        }
+        let in_epoch = thermal.1 + decision.1 + aging.1;
+        let other = (epoch.1 - in_epoch).max(0.0);
+        let total = if epoch.0 > 0 {
+            epoch.1 + checkpoint.1
+        } else {
+            in_epoch + checkpoint.1
+        };
+        let mut phases: Vec<PhaseStats> = [
+            ("thermal solve", thermal),
+            ("policy decision", decision),
+            ("aging advance", aging),
+            ("checkpoint I/O", checkpoint),
+            ("other (epoch)", (epoch.0, other)),
+        ]
+        .into_iter()
+        .filter(|(_, (count, _))| *count > 0)
+        .map(|(phase, (count, total_seconds))| PhaseStats {
+            phase: phase.to_string(),
+            count,
+            total_seconds,
+            share: if total > 0.0 {
+                total_seconds / total
+            } else {
+                0.0
+            },
+        })
+        .collect();
+        phases.sort_by(|a, b| {
+            b.total_seconds
+                .partial_cmp(&a.total_seconds)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        PhaseProfile {
+            phases,
+            total_seconds: total,
+        }
     }
 
     /// Looks up one span's statistics by name.
@@ -213,6 +363,23 @@ impl TelemetrySummary {
                     g.name, g.count, g.last, g.min, g.max
                 );
             }
+        }
+        let profile = self.phase_profile();
+        if !profile.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&profile.render_table());
+        }
+        if self.parse_errors > 0 {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(
+                out,
+                "({} malformed telemetry lines skipped)",
+                self.parse_errors
+            );
         }
         if out.is_empty() {
             out.push_str("(no telemetry recorded)\n");
@@ -331,6 +498,7 @@ impl SummaryBuilder {
                     max: g.max,
                 })
                 .collect(),
+            parse_errors: 0,
         }
     }
 }
@@ -384,13 +552,31 @@ mod tests {
             .iter()
             .map(|e| serde_json::to_string(e).unwrap() + "\n")
             .collect();
-        let parsed = TelemetrySummary::from_jsonl(&text).unwrap();
+        let parsed = TelemetrySummary::from_jsonl(&text);
         assert_eq!(parsed, TelemetrySummary::from_events(sample_events()));
+        assert_eq!(parsed.parse_errors, 0);
     }
 
     #[test]
-    fn from_jsonl_rejects_garbage() {
-        assert!(TelemetrySummary::from_jsonl("not json\n").is_err());
+    fn from_jsonl_skips_and_counts_corrupted_lines() {
+        // A crashed run's stream: valid lines, interleaved garbage, a line
+        // truncated mid-object, and a structurally valid non-event object.
+        let good: String = sample_events()
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let corrupted = format!(
+            "not json\n{good}{{\"seq\":99,\"kind\":\"Span\",\"na\n\n{{\"wrong\":\"shape\"}}\n"
+        );
+        let parsed = TelemetrySummary::from_jsonl(&corrupted);
+        assert_eq!(parsed.parse_errors, 3);
+        // Every valid line still aggregated.
+        let clean = TelemetrySummary::from_events(sample_events());
+        assert_eq!(parsed.spans, clean.spans);
+        assert_eq!(parsed.counters, clean.counters);
+        assert_eq!(parsed.gauges, clean.gauges);
+        // The skip count is surfaced in the rendered table.
+        assert!(parsed.render_table().contains("3 malformed"));
     }
 
     #[test]
@@ -417,6 +603,63 @@ mod tests {
         assert!(TelemetrySummary::default()
             .render_table()
             .contains("no telemetry"));
+    }
+
+    #[test]
+    fn phase_profile_attributes_epoch_time() {
+        let events = vec![
+            TelemetryEvent::new(0, EventKind::Span, "engine.epoch", 1.0),
+            TelemetryEvent::new(1, EventKind::Span, "thermal.transient.step", 0.25),
+            TelemetryEvent::new(2, EventKind::Span, "thermal.transient.step", 0.15),
+            TelemetryEvent::new(3, EventKind::Span, "policy.hayat.decision", 0.2),
+            TelemetryEvent::new(4, EventKind::Span, "engine.aging.advance", 0.1),
+            TelemetryEvent::new(5, EventKind::Span, "checkpoint.write", 0.5),
+        ];
+        let profile = TelemetrySummary::from_events(events).phase_profile();
+        assert!((profile.total_seconds - 1.5).abs() < 1e-12);
+        let thermal = profile.phase("thermal solve").unwrap();
+        assert_eq!(thermal.count, 2);
+        assert!((thermal.total_seconds - 0.4).abs() < 1e-12);
+        assert!((profile.phase("policy decision").unwrap().total_seconds - 0.2).abs() < 1e-12);
+        assert!((profile.phase("aging advance").unwrap().total_seconds - 0.1).abs() < 1e-12);
+        assert!((profile.phase("checkpoint I/O").unwrap().total_seconds - 0.5).abs() < 1e-12);
+        // other (epoch) = 1.0 - (0.4 + 0.2 + 0.1) = 0.3
+        let other = profile.phase("other (epoch)").unwrap();
+        assert!((other.total_seconds - 0.3).abs() < 1e-12);
+        assert!((other.share - 0.2).abs() < 1e-12);
+        // Largest share first.
+        assert_eq!(profile.phases[0].phase, "checkpoint I/O");
+        // Table renders every phase row.
+        let table = profile.render_table();
+        for needle in ["phase", "thermal solve", "share", "%"] {
+            assert!(table.contains(needle), "missing {needle} in\n{table}");
+        }
+    }
+
+    #[test]
+    fn phase_profile_of_unrelated_spans_is_empty() {
+        let events = vec![TelemetryEvent::new(
+            0,
+            EventKind::Span,
+            "campaign.chip",
+            1.0,
+        )];
+        let profile = TelemetrySummary::from_events(events).phase_profile();
+        assert!(profile.is_empty());
+        assert!(profile.render_table().contains("no phase spans"));
+    }
+
+    #[test]
+    fn summary_table_includes_phase_section_when_present() {
+        let events = vec![
+            TelemetryEvent::new(0, EventKind::Span, "engine.epoch", 1.0),
+            TelemetryEvent::new(1, EventKind::Span, "thermal.transient.step", 0.25),
+        ];
+        let table = TelemetrySummary::from_events(events).render_table();
+        assert!(
+            table.contains("thermal solve"),
+            "missing phases in\n{table}"
+        );
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Property-based checks of [`LogHistogram`] merging: commutative and
+//! associative up to canonical bucket order, and quantiles within the
+//! documented one-bucket error bound.
+
+use hayat_telemetry::LogHistogram;
+use proptest::prelude::*;
+
+/// Builds a histogram over the given observations.
+fn hist(values: &[f64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Bucket counts, extrema, and the exact sum all combine with
+    /// commutative operations, so a merge is fully order-insensitive.
+    #[test]
+    fn merge_is_commutative(
+        xs in prop::collection::vec(1e-9f64..1e9, 0..40),
+        ys in prop::collection::vec(1e-9f64..1e9, 0..40),
+    ) {
+        let (a, b) = (hist(&xs), hist(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Counts and extrema are associative exactly; the exact `sum` only up
+    /// to floating-point rounding — "associative up to canonical bucket
+    /// order". Quantiles depend only on bucket counts and extrema, so they
+    /// agree exactly for any merge grouping.
+    #[test]
+    fn merge_is_associative_up_to_bucket_order(
+        xs in prop::collection::vec(1e-9f64..1e9, 0..30),
+        ys in prop::collection::vec(1e-9f64..1e9, 0..30),
+        zs in prop::collection::vec(1e-9f64..1e9, 0..30),
+    ) {
+        let (a, b, c) = (hist(&xs), hist(&ys), hist(&zs));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(left.quantile(q), right.quantile(q));
+        }
+        let scale = left.sum().abs().max(1.0);
+        prop_assert!((left.sum() - right.sum()).abs() <= 1e-12 * scale);
+    }
+
+    /// Merging equals recording the concatenated stream bucket-exactly;
+    /// the exact `sum` agrees up to floating-point rounding (subtotal
+    /// addition rounds differently than a sequential fold).
+    #[test]
+    fn merge_matches_single_stream(
+        xs in prop::collection::vec(1e-9f64..1e9, 0..40),
+        ys in prop::collection::vec(1e-9f64..1e9, 0..40),
+    ) {
+        let mut merged = hist(&xs);
+        merged.merge(&hist(&ys));
+        let all: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        let single = hist(&all);
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert_eq!(merged.min(), single.min());
+        prop_assert_eq!(merged.max(), single.max());
+        for q in [0.25, 0.5, 0.95] {
+            prop_assert_eq!(merged.quantile(q), single.quantile(q));
+        }
+        let scale = single.sum().abs().max(1.0);
+        prop_assert!((merged.sum() - single.sum()).abs() <= 1e-12 * scale);
+    }
+
+    /// The documented bound: the reported quantile is within one
+    /// power-of-two bucket (factor √2 after midpoint clamping) of the exact
+    /// rank statistic.
+    #[test]
+    fn quantile_is_within_one_bucket_of_truth(
+        values in prop::collection::vec(1e-6f64..1e6, 1..64),
+        q in 0.0f64..1.0,
+    ) {
+        let h = hist(&values);
+        let mut values = values;
+        values.sort_by(f64::total_cmp);
+        let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+        let exact = values[rank - 1];
+        let approx = h.quantile(q).unwrap();
+        // Same bucket => within a factor of 2 either way; midpoint + clamp
+        // tightens this to √2, with a hair of slack for the edges.
+        prop_assert!(approx <= exact * std::f64::consts::SQRT_2 * (1.0 + 1e-12),
+            "q={} approx={} exact={}", q, approx, exact);
+        prop_assert!(approx >= exact / std::f64::consts::SQRT_2 * (1.0 - 1e-12),
+            "q={} approx={} exact={}", q, approx, exact);
+    }
+}

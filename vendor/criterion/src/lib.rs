@@ -40,7 +40,10 @@ impl Criterion {
         };
         routine(&mut bencher);
         let mean_ns = bencher.mean_ns();
-        println!("bench: {name:<50} {mean_ns:>14.1} ns/iter ({} iters)", bencher.iterations);
+        println!(
+            "bench: {name:<50} {mean_ns:>14.1} ns/iter ({} iters)",
+            bencher.iterations
+        );
         self
     }
 }

@@ -343,9 +343,7 @@ impl Item {
             )
         } else {
             match &self.body {
-                Body::Struct(shape) => {
-                    deserialize_struct_body(shape, name, self.attrs.transparent)
-                }
+                Body::Struct(shape) => deserialize_struct_body(shape, name, self.attrs.transparent),
                 Body::Enum(variants) => deserialize_enum_body(variants, name),
             }
         };
@@ -397,9 +395,9 @@ fn deserialize_struct_body(shape: &Shape, name: &str, transparent: bool) -> Stri
              _ => ::core::result::Result::Err(serde::Error::custom(\
              \"expected null for unit struct {name}\")),\n}}"
         ),
-        Shape::Tuple(1) => format!(
-            "::core::result::Result::Ok({name}(serde::Deserialize::from_value(value)?))"
-        ),
+        Shape::Tuple(1) => {
+            format!("::core::result::Result::Ok({name}(serde::Deserialize::from_value(value)?))")
+        }
         Shape::Named(fields) if transparent && fields.len() == 1 => format!(
             "::core::result::Result::Ok({name} {{ {}: serde::Deserialize::from_value(value)? }})",
             fields[0].name

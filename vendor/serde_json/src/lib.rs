@@ -98,10 +98,7 @@ pub fn parse_value_str(text: &str) -> Result<Value> {
     let value = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::new(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
     }
     Ok(value)
 }
@@ -236,10 +233,7 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn skip_ws(&mut self) {
-        while matches!(
-            self.bytes.get(self.pos),
-            Some(b' ' | b'\t' | b'\n' | b'\r')
-        ) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
         }
     }
@@ -281,10 +275,7 @@ impl Parser<'_> {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(Error::new(format!(
-                "invalid keyword at byte {}",
-                self.pos
-            )))
+            Err(Error::new(format!("invalid keyword at byte {}", self.pos)))
         }
     }
 
@@ -306,7 +297,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Seq(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -334,7 +330,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Map(entries));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -353,9 +354,10 @@ impl Parser<'_> {
                     return Ok(out);
                 }
                 b'\\' => {
-                    let esc = rest.get(1).copied().ok_or_else(|| {
-                        Error::new("unterminated escape sequence")
-                    })?;
+                    let esc = rest
+                        .get(1)
+                        .copied()
+                        .ok_or_else(|| Error::new("unterminated escape sequence"))?;
                     self.pos += 2;
                     match esc {
                         b'"' => out.push('"'),
@@ -381,10 +383,7 @@ impl Parser<'_> {
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -393,7 +392,10 @@ impl Parser<'_> {
                     // encoding is already valid).
                     let text = std::str::from_utf8(rest)
                         .map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                    let c = text.chars().next().ok_or_else(|| Error::new("empty string tail"))?;
+                    let c = text
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error::new("empty string tail"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
