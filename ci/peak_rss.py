@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Run a command and print its peak RSS in kB (stdout), for CI memory gates.
+
+`getrusage(RUSAGE_CHILDREN)` reports the max resident set over all waited-for
+children, which is exactly the ceiling the fleet-smoke gate wants. The child's
+stdout/stderr are suppressed so the only stdout is the number.
+"""
+
+import resource
+import subprocess
+import sys
+
+result = subprocess.run(
+    sys.argv[1:], stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+)
+if result.returncode != 0:
+    sys.exit(result.returncode)
+print(resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)

@@ -16,15 +16,31 @@
 //! boundary), and `--resume FILE` continues an interrupted campaign — with
 //! the *same* config flags — skipping all completed work. A resumed campaign
 //! is bit-identical to an uninterrupted one.
+//!
+//! Fleet scale: `--fleet N` simulates N chips without ever materializing
+//! them — chips stream from the seeded sampler, completed runs stream into
+//! the compact columnar run file (`--run-format FILE`, spec in
+//! docs/RUNFORMAT.md), and the stdout summary is the mergeable fleet
+//! sketches rather than per-run rows, so peak memory is O(1) in N. The
+//! exact per-run JSON stays available behind `--export-json FILE` (which
+//! opts back into O(N) memory) and `--replay POLICY:CHIP` (which
+//! regenerates any single run on demand). Fleet checkpoints shard
+//! (`--shard-checkpoints N`) so durable writes never serialize through one
+//! growing file.
 
 use std::io::Write;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use hayat::sim::campaign::PolicyKind;
-use hayat::{Campaign, FleetAccumulator, Jobs, ProgressOptions, SimulationConfig};
+use hayat::{
+    Campaign, CampaignResult, DynError, FleetAccumulator, Jobs, ProgressOptions, RunMetrics,
+    SimulationConfig,
+};
 use hayat_aging::TablePath;
-use hayat_checkpoint::{Checkpointer, FailPoint};
+use hayat_checkpoint::{Checkpointer, FailPoint, ShardedCheckpointer};
+use hayat_runfmt::RunFileWriter;
 use hayat_telemetry::{JsonlRecorder, Recorder};
 
 struct Args {
@@ -47,6 +63,12 @@ struct Args {
     resume_path: Option<String>,
     jobs: Jobs,
     table_path: TablePath,
+    fleet: Option<usize>,
+    run_format_path: Option<String>,
+    export_json_path: Option<String>,
+    replay: Option<(PolicyKind, usize)>,
+    from_json_path: Option<String>,
+    shard_runs: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -57,7 +79,9 @@ fn usage() -> ! {
          [--policies vaa,hayat,coolest,random] [--csv DIR] [--json FILE] \
          [--telemetry FILE.jsonl] [--fleet-stats FILE.json] \
          [--progress SECS] [--progress-jsonl FILE.jsonl] \
-         [--checkpoint FILE [--every EPOCHS] | --resume FILE]\n\
+         [--checkpoint FILE [--every EPOCHS] | --resume FILE] \
+         [--fleet N] [--run-format FILE.runfmt] [--export-json FILE] \
+         [--replay POLICY:CHIP] [--from-json FILE] [--shard-checkpoints N]\n\
          \n\
          --fleet-stats streams every completed run into mergeable online \
          sketches (mean/variance/min/max/p50/p95/p99 per fleet series) and \
@@ -74,7 +98,19 @@ fn usage() -> ! {
          --checkpoint runs the campaign with durable progress (written \
          atomically every EPOCHS epochs and at chip boundaries); --resume \
          continues from such a file, skipping completed work — a resumed \
-         run is bit-identical to an uninterrupted one, for any --jobs."
+         run is bit-identical to an uninterrupted one, for any --jobs.\n\
+         \n\
+         --fleet N streams N chips through the campaign in O(1) memory: \
+         per-run output goes to the compact columnar run file \
+         (--run-format, spec in docs/RUNFORMAT.md) and the stdout summary \
+         is the fleet sketches; --csv/--json need the full run vector and \
+         are rejected — --export-json FILE opts back into collecting it. \
+         --replay POLICY:CHIP regenerates exactly one run (same config \
+         flags) and prints its JSON. --from-json FILE converts an existing \
+         results JSON to --run-format without re-simulating. In fleet mode \
+         --checkpoint/--resume take a DIRECTORY and require \
+         --shard-checkpoints N (runs per sealed shard; outside fleet mode \
+         it is optional and shards the same way)."
     );
     std::process::exit(2);
 }
@@ -90,6 +126,19 @@ fn parse_policy(name: &str) -> PolicyKind {
             usage()
         }
     }
+}
+
+/// Parses a `--replay` spec of the form `POLICY:CHIP`, e.g. `hayat:17`.
+fn parse_replay(spec: &str) -> (PolicyKind, usize) {
+    let Some((policy, chip)) = spec.split_once(':') else {
+        eprintln!("--replay expects POLICY:CHIP, got {spec:?}");
+        usage()
+    };
+    let chip = chip.parse().unwrap_or_else(|_| {
+        eprintln!("--replay chip index {chip:?} is not a number");
+        usage()
+    });
+    (parse_policy(policy), chip)
 }
 
 fn parse_args() -> Args {
@@ -113,6 +162,12 @@ fn parse_args() -> Args {
         resume_path: None,
         jobs: Jobs::auto(),
         table_path: TablePath::default(),
+        fleet: None,
+        run_format_path: None,
+        export_json_path: None,
+        replay: None,
+        from_json_path: None,
+        shard_runs: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -156,6 +211,18 @@ fn parse_args() -> Args {
                     usage()
                 });
             }
+            "--fleet" => args.fleet = Some(value("--fleet").parse().unwrap_or_else(|_| usage())),
+            "--run-format" => args.run_format_path = Some(value("--run-format")),
+            "--export-json" => args.export_json_path = Some(value("--export-json")),
+            "--replay" => args.replay = Some(parse_replay(&value("--replay"))),
+            "--from-json" => args.from_json_path = Some(value("--from-json")),
+            "--shard-checkpoints" => {
+                args.shard_runs = Some(
+                    value("--shard-checkpoints")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                );
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -170,6 +237,43 @@ fn parse_args() -> Args {
     if args.every.is_some() && args.checkpoint_path.is_none() && args.resume_path.is_none() {
         eprintln!("--every requires --checkpoint or --resume");
         usage()
+    }
+    if args.shard_runs.is_some() && args.checkpoint_path.is_none() && args.resume_path.is_none() {
+        eprintln!("--shard-checkpoints requires --checkpoint DIR or --resume DIR");
+        usage()
+    }
+    if args.shard_runs == Some(0) {
+        eprintln!("--shard-checkpoints must be at least 1 run per shard");
+        usage()
+    }
+    if args.from_json_path.is_some() {
+        if args.run_format_path.is_none() {
+            eprintln!("--from-json needs --run-format FILE to know where to write");
+            usage()
+        }
+        if args.fleet.is_some()
+            || args.replay.is_some()
+            || args.checkpoint_path.is_some()
+            || args.resume_path.is_some()
+        {
+            eprintln!("--from-json only converts; it cannot be combined with a simulation run");
+            usage()
+        }
+    }
+    if args.fleet.is_some() {
+        if args.csv_dir.is_some() || args.json_path.is_some() {
+            eprintln!(
+                "--fleet streams runs without collecting them; --csv/--json need the full \
+                 run vector (use --export-json FILE to opt back into collecting it)"
+            );
+            usage()
+        }
+        if (args.checkpoint_path.is_some() || args.resume_path.is_some())
+            && args.shard_runs.is_none()
+        {
+            eprintln!("fleet checkpoints must shard to stay O(1); add --shard-checkpoints N");
+            usage()
+        }
     }
     args
 }
@@ -196,10 +300,201 @@ fn progress_options(args: &Args) -> Option<ProgressOptions> {
     Some(ProgressOptions { every, sink })
 }
 
+/// `--from-json`: re-encode an existing results JSON as a compact run file,
+/// without re-simulating anything, and report the size delta.
+fn convert_json(src: &str, dst: &str) {
+    let text = std::fs::read_to_string(src).unwrap_or_else(|err| {
+        eprintln!("cannot read {src}: {err}");
+        std::process::exit(1)
+    });
+    let result: CampaignResult = serde_json::from_str(&text).unwrap_or_else(|err| {
+        eprintln!("{src} is not a campaign result JSON: {err}");
+        std::process::exit(1)
+    });
+    let total = hayat_runfmt::write_path(Path::new(dst), result.dark_fraction, result.runs.iter())
+        .unwrap_or_else(|err| {
+            eprintln!("conversion failed: {err}");
+            std::process::exit(1)
+        });
+    let compact = std::fs::metadata(dst).map_or(0, |m| m.len());
+    println!(
+        "{total} runs converted: {src} ({} bytes) -> {dst} ({compact} bytes, {:.1}x smaller)",
+        text.len(),
+        text.len() as f64 / compact.max(1) as f64
+    );
+}
+
+/// `--replay POLICY:CHIP`: regenerate exactly one run of the configured
+/// campaign — the streaming sampler seeks straight to the chip, so this is
+/// O(1) in the fleet size — and print its exact per-run JSON.
+fn replay_run(campaign: &Campaign, kind: PolicyKind, chip: usize) {
+    let chips = campaign.chip_count();
+    if chip >= chips {
+        eprintln!("--replay chip {chip} is outside the campaign's {chips} chips");
+        std::process::exit(2)
+    }
+    let run = campaign.run_one(kind, chip);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&run).expect("serializable")
+    );
+}
+
+/// The `--fleet` data path: runs stream from the executor in canonical
+/// order into the run-format writer (and, opt-in, an export buffer), the
+/// fleet sketches fold every run as it completes, and nothing else is
+/// retained — peak memory is independent of the fleet size.
+fn run_fleet(
+    args: &Args,
+    campaign: &Campaign,
+    recorder: Option<&Arc<JsonlRecorder>>,
+    progress: Option<ProgressOptions>,
+) {
+    let dark = campaign.config().dark_fraction;
+    let fleet = Arc::new(Mutex::new(FleetAccumulator::new()));
+    let mut writer = args.run_format_path.as_ref().map(|path| {
+        let tmp = format!("{path}.tmp");
+        let file = std::fs::File::create(&tmp).unwrap_or_else(|err| {
+            eprintln!("cannot create {tmp}: {err}");
+            std::process::exit(1)
+        });
+        let writer =
+            RunFileWriter::new(std::io::BufWriter::new(file), dark).expect("write run-file header");
+        (writer, tmp)
+    });
+    let mut exported: Vec<RunMetrics> = Vec::new();
+    let keep_runs = args.export_json_path.is_some();
+    let mut sink = |metrics: &RunMetrics| -> Result<(), DynError> {
+        if let Some((writer, _)) = &mut writer {
+            writer.push(metrics).map_err(|e| Box::new(e) as DynError)?;
+        }
+        if keep_runs {
+            exported.push(metrics.clone());
+        }
+        Ok(())
+    };
+
+    let delivered = if let Some(path) = args
+        .checkpoint_path
+        .as_deref()
+        .or(args.resume_path.as_deref())
+    {
+        let failpoint = FailPoint::from_env().unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            std::process::exit(2)
+        });
+        let mut runner = ShardedCheckpointer::new(path)
+            .jobs(args.jobs)
+            .with_failpoint(failpoint)
+            .shard_runs(args.shard_runs.expect("validated by parse_args"))
+            .with_fleet(Arc::clone(&fleet));
+        if let Some(every) = args.every {
+            runner = runner.every(every);
+        }
+        if let Some(rec) = recorder {
+            runner = runner.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
+        }
+        if let Some(progress) = progress {
+            runner = runner.with_progress(progress);
+        }
+        let outcome = if args.resume_path.is_some() {
+            println!("resuming from sharded checkpoint {path}/");
+            runner.resume_streamed(campaign, |_, metrics| sink(metrics))
+        } else {
+            runner.run_streamed(campaign, &args.policies, |_, metrics| sink(metrics))
+        };
+        outcome.unwrap_or_else(|err| {
+            eprintln!("campaign aborted: {err}");
+            eprintln!("progress is saved; rerun with --resume {path}");
+            std::process::exit(1)
+        }) as usize
+    } else {
+        let rec: Arc<dyn Recorder> = match recorder {
+            Some(rec) => Arc::clone(rec) as Arc<dyn Recorder>,
+            None => Arc::new(hayat_telemetry::NullRecorder),
+        };
+        campaign
+            .stream_runs(
+                &args.policies,
+                args.jobs,
+                rec,
+                Some(&fleet),
+                progress,
+                |_, metrics| sink(&metrics),
+            )
+            .unwrap_or_else(|err| {
+                eprintln!("campaign failed: {err}");
+                std::process::exit(1)
+            })
+    };
+
+    if let Some((writer, tmp)) = writer {
+        let total = writer.finish().unwrap_or_else(|err| {
+            eprintln!("finalizing run file failed: {err}");
+            std::process::exit(1)
+        });
+        let path = args
+            .run_format_path
+            .as_deref()
+            .expect("writer implies path");
+        std::fs::rename(&tmp, path).expect("publish run file");
+        let bytes = std::fs::metadata(path).map_or(0, |m| m.len());
+        println!("\n{total} runs written to {path} ({bytes} bytes, compact run format)");
+    }
+
+    let mut fleet = fleet.lock().expect("fleet accumulator lock");
+    fleet.finish();
+    let summary = fleet.summary();
+    println!("\nfleet sketches over {delivered} runs (streaming; no per-run rows retained):");
+    println!("{}", summary.render_table());
+    if let Some(path) = &args.fleet_stats_path {
+        let json = serde_json::to_string_pretty(&summary).expect("serializable");
+        std::fs::write(path, json).expect("write fleet stats");
+        println!("fleet statistics written to {path}");
+    }
+    if let Some(path) = &args.export_json_path {
+        let result = CampaignResult {
+            runs: exported,
+            dark_fraction: dark,
+        };
+        let json = serde_json::to_string_pretty(&result).expect("serializable");
+        std::fs::write(path, json).expect("write json");
+        println!("full result JSON written to {path}");
+    }
+}
+
+/// Flushes the `--telemetry` stream and prints its summary tables.
+fn finish_telemetry(recorder: Option<Arc<JsonlRecorder>>, args: &Args) {
+    let Some(rec) = recorder else { return };
+    let rec = Arc::try_unwrap(rec)
+        .ok()
+        .expect("campaign workers have exited, so no recorder refs remain");
+    let events = rec.events_recorded();
+    let summary = rec.finish().expect("flush telemetry stream");
+    let path = args.telemetry_path.as_deref().unwrap_or_default();
+    println!("\ntelemetry: {events} events written to {path}");
+    println!("{}", summary.render_table());
+    if let Some(lookups) = summary.counter_total("policy.table_lookups") {
+        println!("policy.table_lookups: {lookups}");
+    }
+    let profile = summary.phase_profile();
+    if !profile.is_empty() {
+        println!(
+            "phase-profile total: {:.3} s across {} phases",
+            profile.total_seconds,
+            profile.phases.len()
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(src) = &args.from_json_path {
+        convert_json(src, args.run_format_path.as_deref().expect("validated"));
+        return;
+    }
     let mut config = SimulationConfig::paper(args.dark);
-    config.chip_count = args.chips;
+    config.chip_count = args.fleet.unwrap_or(args.chips);
     config.years = args.years;
     config.epoch_years = args.epoch;
     config.transient_window_seconds = args.window;
@@ -210,30 +505,48 @@ fn main() {
     }
     config.assert_valid();
 
+    let campaign = Campaign::new(config)
+        .expect("configuration is valid")
+        .with_table_path(args.table_path);
+    if let Some((kind, chip)) = args.replay {
+        replay_run(&campaign, kind, chip);
+        return;
+    }
+
+    let config = campaign.config();
     println!(
-        "campaign: {}x{} mesh, {} chips, {:.0}% dark, {} years in {}-year epochs, \
+        "campaign: {}x{} mesh, {} chips{}, {:.0}% dark, {} years in {}-year epochs, \
          policies {:?}, {} jobs",
         config.mesh.0,
         config.mesh.1,
         config.chip_count,
+        if args.fleet.is_some() {
+            " (streamed)"
+        } else {
+            ""
+        },
         config.dark_fraction * 100.0,
         config.years,
         config.epoch_years,
         args.policies,
         args.jobs
     );
-    let campaign = Campaign::new(config)
-        .expect("configuration is valid")
-        .with_table_path(args.table_path);
     let recorder = args
         .telemetry_path
         .as_deref()
         .map(|path| Arc::new(JsonlRecorder::create(path).expect("create telemetry stream")));
+    let progress = progress_options(&args);
+
+    if args.fleet.is_some() {
+        run_fleet(&args, &campaign, recorder.as_ref(), progress);
+        finish_telemetry(recorder, &args);
+        return;
+    }
+
     let fleet = args
         .fleet_stats_path
         .as_ref()
         .map(|_| Arc::new(Mutex::new(FleetAccumulator::new())));
-    let progress = progress_options(&args);
     let result = if let Some(path) = args
         .checkpoint_path
         .as_deref()
@@ -243,26 +556,51 @@ fn main() {
             eprintln!("{msg}");
             std::process::exit(2)
         });
-        let mut runner = Checkpointer::new(path)
-            .jobs(args.jobs)
-            .with_failpoint(failpoint);
-        if let Some(every) = args.every {
-            runner = runner.every(every);
-        }
-        if let Some(rec) = &recorder {
-            runner = runner.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
-        }
-        if let Some(fleet) = &fleet {
-            runner = runner.with_fleet(Arc::clone(fleet));
-        }
-        if let Some(progress) = progress.clone() {
-            runner = runner.with_progress(progress);
-        }
-        let outcome = if args.resume_path.is_some() {
-            println!("resuming from checkpoint {path}");
-            runner.resume(&campaign)
+        let outcome = if let Some(shard_runs) = args.shard_runs {
+            let mut runner = ShardedCheckpointer::new(path)
+                .jobs(args.jobs)
+                .with_failpoint(failpoint)
+                .shard_runs(shard_runs);
+            if let Some(every) = args.every {
+                runner = runner.every(every);
+            }
+            if let Some(rec) = &recorder {
+                runner = runner.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
+            }
+            if let Some(fleet) = &fleet {
+                runner = runner.with_fleet(Arc::clone(fleet));
+            }
+            if let Some(progress) = progress.clone() {
+                runner = runner.with_progress(progress);
+            }
+            if args.resume_path.is_some() {
+                println!("resuming from sharded checkpoint {path}/");
+                runner.resume(&campaign)
+            } else {
+                runner.run(&campaign, &args.policies)
+            }
         } else {
-            runner.run(&campaign, &args.policies)
+            let mut runner = Checkpointer::new(path)
+                .jobs(args.jobs)
+                .with_failpoint(failpoint);
+            if let Some(every) = args.every {
+                runner = runner.every(every);
+            }
+            if let Some(rec) = &recorder {
+                runner = runner.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
+            }
+            if let Some(fleet) = &fleet {
+                runner = runner.with_fleet(Arc::clone(fleet));
+            }
+            if let Some(progress) = progress.clone() {
+                runner = runner.with_progress(progress);
+            }
+            if args.resume_path.is_some() {
+                println!("resuming from checkpoint {path}");
+                runner.resume(&campaign)
+            } else {
+                runner.run(&campaign, &args.policies)
+            }
         };
         outcome.unwrap_or_else(|err| {
             eprintln!("campaign aborted: {err}");
@@ -334,10 +672,20 @@ fn main() {
         }
         println!("\nper-run CSVs written to {dir}/");
     }
-    if let Some(path) = &args.json_path {
+    for path in args.json_path.iter().chain(args.export_json_path.iter()) {
         let json = serde_json::to_string_pretty(&result).expect("serializable");
         std::fs::write(path, json).expect("write json");
         println!("full result JSON written to {path}");
+    }
+    if let Some(path) = &args.run_format_path {
+        let total =
+            hayat_runfmt::write_path(Path::new(path), result.dark_fraction, result.runs.iter())
+                .unwrap_or_else(|err| {
+                    eprintln!("writing run file failed: {err}");
+                    std::process::exit(1)
+                });
+        let bytes = std::fs::metadata(path).map_or(0, |m| m.len());
+        println!("{total} runs written to {path} ({bytes} bytes, compact run format)");
     }
     if let (Some(path), Some(fleet)) = (&args.fleet_stats_path, &fleet) {
         let mut fleet = fleet.lock().expect("fleet accumulator lock");
@@ -351,25 +699,5 @@ fn main() {
         );
         println!("{}", summary.render_table());
     }
-    if let Some(rec) = recorder {
-        let rec = Arc::try_unwrap(rec)
-            .ok()
-            .expect("campaign workers have exited, so no recorder refs remain");
-        let events = rec.events_recorded();
-        let summary = rec.finish().expect("flush telemetry stream");
-        let path = args.telemetry_path.as_deref().unwrap_or_default();
-        println!("\ntelemetry: {events} events written to {path}");
-        println!("{}", summary.render_table());
-        if let Some(lookups) = summary.counter_total("policy.table_lookups") {
-            println!("policy.table_lookups: {lookups}");
-        }
-        let profile = summary.phase_profile();
-        if !profile.is_empty() {
-            println!(
-                "phase-profile total: {:.3} s across {} phases",
-                profile.total_seconds,
-                profile.phases.len()
-            );
-        }
-    }
+    finish_telemetry(recorder, &args);
 }

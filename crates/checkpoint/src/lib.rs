@@ -33,6 +33,7 @@
 mod checkpoint;
 mod failpoint;
 mod runner;
+mod shard;
 
 pub use crate::checkpoint::{
     config_hash, CampaignCheckpoint, CheckpointError, InFlightRun, FORMAT_VERSION,
@@ -40,4 +41,7 @@ pub use crate::checkpoint::{
 pub use crate::failpoint::{FailMode, FailPoint, InjectedFailure};
 pub use crate::runner::{
     CampaignCheckpointExt, Checkpointer, DEFAULT_EVERY_EPOCHS, FAILPOINT_CHIP, FAILPOINT_EPOCH,
+};
+pub use crate::shard::{
+    ShardManifest, ShardTail, ShardedCheckpointer, DEFAULT_SHARD_RUNS, SHARD_FORMAT_VERSION,
 };

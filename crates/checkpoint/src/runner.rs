@@ -380,7 +380,7 @@ impl Checkpointer {
 /// map to [`CheckpointError::WorkerPanic`], and boxed gate/sink errors are
 /// downcast back to the concrete types this crate fed in (checkpoint-write,
 /// injected-fault, and in-flight-restore errors).
-fn checkpoint_error(error: ExecutorError) -> CheckpointError {
+pub(crate) fn checkpoint_error(error: ExecutorError) -> CheckpointError {
     match error {
         ExecutorError::WorkerPanic {
             kind,

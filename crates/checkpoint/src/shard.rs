@@ -1,0 +1,774 @@
+//! Sharded checkpoints: durable campaign progress split across many small
+//! files so write cost stays O(shard), not O(campaign).
+//!
+//! The single-file [`CampaignCheckpoint`](crate::CampaignCheckpoint)
+//! rewrites *every* completed run on each save — O(completed runs) of JSON
+//! per checkpoint, which at fleet scale (10⁵ runs) turns the durable write
+//! into the campaign bottleneck long before the simulations do. The sharded
+//! layout keeps the same resumability contract with bounded writes:
+//!
+//! * **Sealed shards** (`shard-00000.json`, `shard-00001.json`, …) — fixed
+//!   runs-per-shard segments of the canonical run order (policy-major, then
+//!   chip index). Once written, never rewritten.
+//! * **Tail** (`tail.json`) — the open segment: completed runs past the
+//!   last sealed shard, plus the optional in-flight engine snapshot. This
+//!   is the only file rewritten at checkpoint cadence, and it never holds
+//!   more than one shard's worth of runs.
+//! * **Manifest** (`manifest.json`) — the commit point: format version,
+//!   config fingerprint, policy list, shard capacity, and the sealed-shard
+//!   count. Tiny and rewritten only when a shard seals.
+//!
+//! **Ownership rule:** exactly one writer — the executor's owner thread.
+//! Workers never touch the checkpoint directory; they publish completed
+//! runs over the executor channel and the owner merges them into canonical
+//! order (the same discipline `FleetAccumulator` uses) before anything is
+//! persisted. Shards are therefore canonical-order *segments*, not
+//! per-worker files: that is what keeps the on-disk state — like every
+//! other campaign output — byte-identical for any `--jobs` value.
+//!
+//! Every file is written atomically (tmp + fsync + rename). A seal is the
+//! sequence *shard file → cleared tail → manifest*; a crash between any
+//! two steps leaves either a harmless orphan shard (re-written identically
+//! after resume) or an un-accounted sealed segment whose runs simply
+//! re-run deterministically. No interleaving loses committed work beyond
+//! one shard, and no interleaving can double-count a run.
+
+use crate::checkpoint::{config_hash, CheckpointError, InFlightRun};
+use crate::failpoint::FailPoint;
+use crate::runner::{DEFAULT_EVERY_EPOCHS, FAILPOINT_CHIP, FAILPOINT_EPOCH};
+use hayat::{
+    Campaign, CampaignResult, DynError, ExecutorOptions, FleetAccumulator, GateSite, InFlightState,
+    Jobs, PolicyKind, ProgressOptions, RunDescriptor, RunMetrics, RunUpdate,
+};
+use hayat_telemetry::{NullRecorder, Recorder, RecorderExt};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// The sharded-checkpoint format version. Like the single-file format,
+/// loading rejects every other version — in particular manifests from
+/// newer builds.
+pub const SHARD_FORMAT_VERSION: u32 = 1;
+
+/// Default runs per sealed shard. Checkpoint write cost is O(this), so it
+/// bounds both the tail rewrite and the worst-case work re-run after the
+/// narrow seal-window crash.
+pub const DEFAULT_SHARD_RUNS: usize = 256;
+
+/// The commit point of a sharded checkpoint directory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardManifest {
+    /// Format version ([`SHARD_FORMAT_VERSION`] when written by this build).
+    pub version: u32,
+    /// FNV-1a hash of the campaign's canonical config JSON.
+    pub config_hash: u64,
+    /// Checkpoint cadence in epochs.
+    pub every_epochs: usize,
+    /// The requested policy list, in canonical (policy-major) order.
+    pub policies: Vec<PolicyKind>,
+    /// Capacity of every sealed shard, in runs.
+    pub shard_runs: usize,
+    /// Number of sealed (immutable, full) shard files the manifest vouches
+    /// for. Files beyond this count are uncommitted orphans.
+    pub sealed: usize,
+}
+
+/// The mutable open segment of a sharded checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardTail {
+    /// Completed runs past the last sealed shard (fewer than the shard
+    /// capacity, except transiently inside a seal).
+    pub completed: Vec<RunMetrics>,
+    /// The interrupted mid-chip run, if any.
+    pub in_flight: Option<InFlightRun>,
+}
+
+/// Path layout and atomic file I/O of one checkpoint directory.
+struct ShardStore {
+    dir: PathBuf,
+}
+
+impl ShardStore {
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("manifest.json")
+    }
+
+    fn tail_path(&self) -> PathBuf {
+        self.dir.join("tail.json")
+    }
+
+    fn shard_path(&self, index: usize) -> PathBuf {
+        self.dir.join(format!("shard-{index:05}.json"))
+    }
+
+    /// Serializes `value` to `path` atomically (tmp + fsync + rename).
+    fn save_json<T: Serialize>(&self, path: &Path, value: &T) -> Result<u64, CheckpointError> {
+        let io_err = |source| CheckpointError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        let json = serde_json::to_string(value).expect("checkpoint structs always serialize");
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
+            file.write_all(json.as_bytes()).map_err(io_err)?;
+            file.sync_all().map_err(io_err)?;
+        }
+        std::fs::rename(&tmp, path).map_err(io_err)?;
+        Ok(json.len() as u64)
+    }
+
+    fn load_json<T: Deserialize>(&self, path: &Path) -> Result<T, CheckpointError> {
+        let text = std::fs::read_to_string(path).map_err(|source| CheckpointError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        serde_json::from_str(&text)
+            .map_err(|e| CheckpointError::Corrupt(format!("{}: {e}", path.display())))
+    }
+}
+
+/// Drives a [`Campaign`] with sharded durable progress — the fleet-scale
+/// counterpart of [`Checkpointer`](crate::Checkpointer). Same contract
+/// (resume is bit-identical to an uninterrupted run, for any worker count,
+/// through any number of kill/resume cycles), different cost model: each
+/// durable write touches O(shard capacity) bytes instead of O(completed
+/// campaign).
+///
+/// # Example
+///
+/// ```
+/// use hayat::sim::campaign::PolicyKind;
+/// use hayat::{Campaign, SimulationConfig};
+/// use hayat_checkpoint::{FailMode, FailPoint, ShardedCheckpointer};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut config = SimulationConfig::quick_demo();
+/// config.chip_count = 2;
+/// config.transient_window_seconds = 0.05;
+/// let campaign = Campaign::new(config)?;
+/// let dir = std::env::temp_dir().join("doctest_sharded_ckpt");
+///
+/// let interrupted = ShardedCheckpointer::new(&dir)
+///     .every(1)
+///     .shard_runs(1)
+///     .with_failpoint(FailPoint::armed("campaign.epoch", 5, FailMode::Error))
+///     .run(&campaign, &[PolicyKind::Hayat]);
+/// assert!(interrupted.is_err(), "the fault fired mid-campaign");
+///
+/// let resumed = ShardedCheckpointer::new(&dir).resume(&campaign)?;
+/// assert_eq!(resumed, campaign.run(&[PolicyKind::Hayat]));
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok(())
+/// # }
+/// ```
+pub struct ShardedCheckpointer {
+    store: ShardStore,
+    shard_runs: usize,
+    every_epochs: Option<usize>,
+    jobs: Jobs,
+    recorder: Arc<dyn Recorder>,
+    failpoint: Arc<FailPoint>,
+    fleet: Option<Arc<Mutex<FleetAccumulator>>>,
+    progress: Option<ProgressOptions>,
+}
+
+impl ShardedCheckpointer {
+    /// A sharded checkpointer writing into directory `dir` (created on
+    /// first run) with default cadence and shard capacity.
+    #[must_use]
+    pub fn new(dir: impl AsRef<Path>) -> Self {
+        ShardedCheckpointer {
+            store: ShardStore {
+                dir: dir.as_ref().to_path_buf(),
+            },
+            shard_runs: DEFAULT_SHARD_RUNS,
+            every_epochs: None,
+            jobs: Jobs::auto(),
+            recorder: Arc::new(NullRecorder),
+            failpoint: Arc::new(FailPoint::disarmed()),
+            fleet: None,
+            progress: None,
+        }
+    }
+
+    /// Sets the runs-per-shard capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is zero.
+    #[must_use]
+    pub fn shard_runs(mut self, runs: usize) -> Self {
+        assert!(runs > 0, "shard capacity must be at least one run");
+        self.shard_runs = runs;
+        self
+    }
+
+    /// Sets the worker-thread count; see
+    /// [`Checkpointer::jobs`](crate::Checkpointer::jobs).
+    #[must_use]
+    pub const fn jobs(mut self, jobs: Jobs) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the checkpoint cadence in epochs; see
+    /// [`Checkpointer::every`](crate::Checkpointer::every).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is zero.
+    #[must_use]
+    pub fn every(mut self, epochs: usize) -> Self {
+        assert!(epochs > 0, "checkpoint cadence must be at least one epoch");
+        self.every_epochs = Some(epochs);
+        self
+    }
+
+    /// Attaches a telemetry sink (same signals as the single-file
+    /// checkpointer, plus a `checkpoint.shards_sealed` counter).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Arms fault injection at the [`FAILPOINT_CHIP`] / [`FAILPOINT_EPOCH`]
+    /// sites.
+    #[must_use]
+    pub fn with_failpoint(mut self, failpoint: impl Into<Arc<FailPoint>>) -> Self {
+        self.failpoint = failpoint.into();
+        self
+    }
+
+    /// Attaches a streaming [`FleetAccumulator`] fed at the canonical-order
+    /// merge point (pre-folded with the durable prefix on resume).
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: Arc<Mutex<FleetAccumulator>>) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Enables live progress frames.
+    #[must_use]
+    pub fn with_progress(mut self, progress: ProgressOptions) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// Runs the campaign from scratch with sharded durable progress,
+    /// collecting the full result. For fleets, prefer
+    /// [`run_streamed`](Self::run_streamed).
+    ///
+    /// # Errors
+    ///
+    /// See [`run_streamed`](Self::run_streamed).
+    pub fn run(
+        &self,
+        campaign: &Campaign,
+        policies: &[PolicyKind],
+    ) -> Result<CampaignResult, CheckpointError> {
+        let mut runs = Vec::new();
+        self.run_streamed(campaign, policies, |_, metrics| {
+            runs.push(metrics.clone());
+            Ok(())
+        })?;
+        Ok(CampaignResult {
+            runs,
+            dark_fraction: campaign.config().dark_fraction,
+        })
+    }
+
+    /// Resumes from the checkpoint directory, collecting the full result.
+    /// For fleets, prefer [`resume_streamed`](Self::resume_streamed).
+    ///
+    /// # Errors
+    ///
+    /// See [`resume_streamed`](Self::resume_streamed).
+    pub fn resume(&self, campaign: &Campaign) -> Result<CampaignResult, CheckpointError> {
+        let mut runs = Vec::new();
+        self.resume_streamed(campaign, |_, metrics| {
+            runs.push(metrics.clone());
+            Ok(())
+        })?;
+        Ok(CampaignResult {
+            runs,
+            dark_fraction: campaign.config().dark_fraction,
+        })
+    }
+
+    /// The fleet path: runs the campaign with sharded durable progress and
+    /// hands every completed run to `sink` in canonical order, holding at
+    /// most one shard of runs in memory. Returns the number of runs
+    /// delivered.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when a durable write fails,
+    /// [`CheckpointError::Injected`] when an armed fail point fires, and
+    /// the executor's panic/abort conditions translated as in the
+    /// single-file checkpointer. Sink errors surface as
+    /// [`CheckpointError::Corrupt`] with the sink's message.
+    pub fn run_streamed(
+        &self,
+        campaign: &Campaign,
+        policies: &[PolicyKind],
+        sink: impl FnMut(usize, &RunMetrics) -> Result<(), DynError>,
+    ) -> Result<u64, CheckpointError> {
+        let every = self.every_epochs.unwrap_or(DEFAULT_EVERY_EPOCHS);
+        std::fs::create_dir_all(&self.store.dir).map_err(|source| CheckpointError::Io {
+            path: self.store.dir.clone(),
+            source,
+        })?;
+        let manifest = ShardManifest {
+            version: SHARD_FORMAT_VERSION,
+            config_hash: config_hash(campaign.config()),
+            every_epochs: every,
+            policies: policies.to_vec(),
+            shard_runs: self.shard_runs,
+            sealed: 0,
+        };
+        let tail = ShardTail {
+            completed: Vec::new(),
+            in_flight: None,
+        };
+        self.store.save_json(&self.store.tail_path(), &tail)?;
+        self.store
+            .save_json(&self.store.manifest_path(), &manifest)?;
+        self.drive(campaign, manifest, tail, sink)
+    }
+
+    /// Resumes a sharded campaign: the sealed shards and tail are replayed
+    /// to `sink` (and the fleet accumulator) in canonical order first, an
+    /// interrupted mid-chip run re-enters its engine snapshot, and the
+    /// remaining grid runs normally with sharding still active. Returns
+    /// the total number of runs delivered (replayed + fresh).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run_streamed`](Self::run_streamed) reports, plus
+    /// [`CheckpointError::VersionMismatch`] /
+    /// [`CheckpointError::ConfigMismatch`] /
+    /// [`CheckpointError::ProgressOutOfRange`] /
+    /// [`CheckpointError::Corrupt`] for manifests that don't fit the
+    /// campaign.
+    pub fn resume_streamed(
+        &self,
+        campaign: &Campaign,
+        sink: impl FnMut(usize, &RunMetrics) -> Result<(), DynError>,
+    ) -> Result<u64, CheckpointError> {
+        let _resume_span = self.recorder.span("campaign.resume");
+        let mut manifest: ShardManifest = self.store.load_json(&self.store.manifest_path())?;
+        if manifest.version != SHARD_FORMAT_VERSION {
+            return Err(CheckpointError::VersionMismatch {
+                found: manifest.version,
+                supported: SHARD_FORMAT_VERSION,
+            });
+        }
+        let expected = config_hash(campaign.config());
+        if manifest.config_hash != expected {
+            return Err(CheckpointError::ConfigMismatch {
+                expected,
+                found: manifest.config_hash,
+            });
+        }
+        if manifest.shard_runs == 0 {
+            return Err(CheckpointError::Corrupt(
+                "manifest declares zero-capacity shards".to_owned(),
+            ));
+        }
+        if let Some(every) = self.every_epochs {
+            manifest.every_epochs = every;
+        }
+        // Rebuild the durable prefix: sealed shards in order, then the tail.
+        let mut tail = ShardTail {
+            completed: Vec::new(),
+            in_flight: None,
+        };
+        let mut prefix: Vec<RunMetrics> = Vec::new();
+        for shard in 0..manifest.sealed {
+            let runs: Vec<RunMetrics> = self.store.load_json(&self.store.shard_path(shard))?;
+            if runs.len() != manifest.shard_runs {
+                return Err(CheckpointError::Corrupt(format!(
+                    "sealed shard {shard} holds {} runs, manifest promises {}",
+                    runs.len(),
+                    manifest.shard_runs
+                )));
+            }
+            prefix.extend(runs);
+        }
+        let loaded: ShardTail = self.store.load_json(&self.store.tail_path())?;
+        prefix.extend(loaded.completed);
+        tail.in_flight = loaded.in_flight;
+        self.recorder
+            .counter("campaign.runs_skipped", prefix.len() as u64);
+        if let Some(in_flight) = &tail.in_flight {
+            self.recorder.counter(
+                "campaign.epochs_skipped",
+                in_flight.engine.next_epoch as u64,
+            );
+        }
+        // The drive loop owns sealing; hand it the prefix as an oversized
+        // tail and let it re-seal. Sealing is deterministic, so re-written
+        // shard files are byte-identical to the ones already on disk.
+        manifest.sealed = 0;
+        tail.completed = prefix;
+        self.drive(campaign, manifest, tail, sink)
+    }
+
+    /// The shared fresh/resume loop. `tail.completed` carries the already
+    /// durable canonical prefix (the whole of it on resume); `sink` sees
+    /// every run of the campaign exactly once, in canonical order.
+    fn drive(
+        &self,
+        campaign: &Campaign,
+        mut manifest: ShardManifest,
+        mut tail: ShardTail,
+        mut sink: impl FnMut(usize, &RunMetrics) -> Result<(), DynError>,
+    ) -> Result<u64, CheckpointError> {
+        let epoch_count = campaign.config().epoch_count();
+        let grid: Vec<(PolicyKind, usize)> = manifest
+            .policies
+            .iter()
+            .flat_map(|&kind| (0..campaign.chip_count()).map(move |chip| (kind, chip)))
+            .collect();
+        let mut done = tail.completed.len();
+        if done > grid.len() {
+            return Err(CheckpointError::ProgressOutOfRange {
+                jobs: grid.len(),
+                completed: done,
+            });
+        }
+
+        // Replay the durable prefix to the sink and the fleet accumulator,
+        // then seal whatever full shards it contains (idempotent on
+        // resume: identical bytes land over the identical files).
+        for (index, run) in tail.completed.iter().enumerate() {
+            if let Some(fleet) = &self.fleet {
+                fleet
+                    .lock()
+                    .expect("fleet accumulator lock")
+                    .observe_completed(index, run);
+            }
+            sink(index, run).map_err(sink_error)?;
+        }
+        self.seal_full_shards(&mut manifest, &mut tail)?;
+
+        let in_flight = tail.in_flight.take();
+        if let Some(state) = &in_flight {
+            if grid.get(done) != Some(&(state.policy, state.chip))
+                || state.engine.next_epoch > epoch_count
+            {
+                return Err(CheckpointError::Corrupt(format!(
+                    "in-flight run ({:?}, chip {}) at epoch {} does not \
+                     match the campaign's job order",
+                    state.policy, state.chip, state.engine.next_epoch
+                )));
+            }
+        }
+        let resume_state = in_flight.map(|state| InFlightState {
+            index: done,
+            partial: state.partial,
+            snapshot: state.engine,
+        });
+        let descriptors: Vec<RunDescriptor> = grid
+            .iter()
+            .enumerate()
+            .skip(done)
+            .map(|(index, &(kind, chip))| RunDescriptor { index, kind, chip })
+            .collect();
+
+        let failpoint = Arc::clone(&self.failpoint);
+        let gate = move |site: GateSite, _run: &RunDescriptor| -> Result<(), DynError> {
+            let site = match site {
+                GateSite::Run => FAILPOINT_CHIP,
+                GateSite::Epoch => FAILPOINT_EPOCH,
+            };
+            failpoint.check(site).map_err(|e| Box::new(e) as DynError)
+        };
+        let options = ExecutorOptions {
+            jobs: self.jobs,
+            snapshot_every: Some(manifest.every_epochs.max(1)),
+            gate: Some(&gate),
+            progress: self.progress.clone(),
+        };
+
+        let mut pending: BTreeMap<usize, RunMetrics> = BTreeMap::new();
+        let mut snapshots: BTreeMap<usize, InFlightRun> = BTreeMap::new();
+        let outcome = campaign.execute(
+            &descriptors,
+            resume_state,
+            &options,
+            &self.recorder,
+            |update| -> Result<(), DynError> {
+                match update {
+                    RunUpdate::Progress {
+                        index,
+                        partial,
+                        snapshot,
+                    } => {
+                        let (policy, chip) = grid[index];
+                        snapshots.insert(
+                            index,
+                            InFlightRun {
+                                policy,
+                                chip,
+                                partial,
+                                engine: *snapshot,
+                            },
+                        );
+                        if index == done {
+                            tail.in_flight = snapshots.get(&index).cloned();
+                            self.save_tail(&tail).map_err(DynError::from)?;
+                        }
+                    }
+                    RunUpdate::Completed { index, metrics } => {
+                        if let Some(fleet) = &self.fleet {
+                            fleet
+                                .lock()
+                                .expect("fleet accumulator lock")
+                                .observe_completed(index, &metrics);
+                        }
+                        snapshots.remove(&index);
+                        pending.insert(index, *metrics);
+                        let before = done;
+                        while let Some(metrics) = pending.remove(&done) {
+                            sink(done, &metrics)?;
+                            tail.completed.push(metrics);
+                            done += 1;
+                        }
+                        if done != before {
+                            self.seal_full_shards(&mut manifest, &mut tail)
+                                .map_err(DynError::from)?;
+                            tail.in_flight = snapshots.get(&done).cloned();
+                            self.save_tail(&tail).map_err(DynError::from)?;
+                        }
+                    }
+                }
+                Ok(())
+            },
+        );
+        if let Err(error) = outcome {
+            return Err(crate::runner::checkpoint_error(error));
+        }
+        debug_assert_eq!(done, grid.len());
+        Ok(done as u64)
+    }
+
+    /// Seals every full shard the tail holds: *shard file → cleared tail →
+    /// manifest*, each write atomic. The manifest write is the commit.
+    fn seal_full_shards(
+        &self,
+        manifest: &mut ShardManifest,
+        tail: &mut ShardTail,
+    ) -> Result<(), CheckpointError> {
+        while tail.completed.len() >= manifest.shard_runs {
+            let rest = tail.completed.split_off(manifest.shard_runs);
+            let shard: Vec<RunMetrics> = std::mem::replace(&mut tail.completed, rest);
+            self.store
+                .save_json(&self.store.shard_path(manifest.sealed), &shard)?;
+            self.save_tail(tail)?;
+            manifest.sealed += 1;
+            self.store
+                .save_json(&self.store.manifest_path(), manifest)?;
+            self.recorder.counter("checkpoint.shards_sealed", 1);
+        }
+        Ok(())
+    }
+
+    fn save_tail(&self, tail: &ShardTail) -> Result<(), CheckpointError> {
+        let _write_span = self.recorder.span("checkpoint.write");
+        let bytes = self.store.save_json(&self.store.tail_path(), tail)?;
+        self.recorder.counter("checkpoint.writes", 1);
+        self.recorder.counter("checkpoint.bytes_written", bytes);
+        Ok(())
+    }
+}
+
+/// Wraps a sink failure that is not already a checkpoint error.
+fn sink_error(source: DynError) -> CheckpointError {
+    match source.downcast::<CheckpointError>() {
+        Ok(concrete) => *concrete,
+        Err(source) => CheckpointError::Corrupt(format!("run sink aborted: {source}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hayat::SimulationConfig;
+
+    fn tiny_campaign(chips: usize) -> Campaign {
+        let mut config = SimulationConfig::quick_demo();
+        config.chip_count = chips;
+        config.years = 0.5;
+        config.epoch_years = 0.25;
+        config.transient_window_seconds = 0.05;
+        Campaign::new(config).unwrap()
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hayat_shard_{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn sharded_run_matches_plain_campaign() {
+        let campaign = tiny_campaign(3);
+        let dir = temp_dir("plain");
+        let policies = [PolicyKind::Vaa, PolicyKind::Hayat];
+        let sharded = ShardedCheckpointer::new(&dir)
+            .shard_runs(2)
+            .run(&campaign, &policies)
+            .unwrap();
+        assert_eq!(sharded, campaign.run(&policies));
+        // 6 runs at capacity 2: three sealed shards, empty tail.
+        let manifest: ShardManifest =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("manifest.json")).unwrap())
+                .unwrap();
+        assert_eq!(manifest.sealed, 3);
+        let tail: ShardTail =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("tail.json")).unwrap()).unwrap();
+        assert!(tail.completed.is_empty());
+        assert!(tail.in_flight.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_sharded_campaign_resumes_bit_identically() {
+        let campaign = tiny_campaign(2);
+        let dir = temp_dir("resume");
+        let policies = [PolicyKind::Vaa, PolicyKind::Hayat];
+        let interrupted = ShardedCheckpointer::new(&dir)
+            .every(1)
+            .shard_runs(1)
+            .jobs(Jobs::serial())
+            .with_failpoint(FailPoint::armed(
+                FAILPOINT_EPOCH,
+                5,
+                crate::failpoint::FailMode::Error,
+            ))
+            .run(&campaign, &policies);
+        assert!(matches!(interrupted, Err(CheckpointError::Injected(_))));
+
+        let resumed = ShardedCheckpointer::new(&dir).resume(&campaign).unwrap();
+        assert_eq!(resumed, campaign.run(&policies));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streamed_sink_sees_every_run_once_in_canonical_order() {
+        let campaign = tiny_campaign(2);
+        let dir = temp_dir("streamed");
+        let policies = [PolicyKind::Vaa, PolicyKind::Hayat];
+        let mut indices = Vec::new();
+        let total = ShardedCheckpointer::new(&dir)
+            .shard_runs(3)
+            .run_streamed(&campaign, &policies, |index, _| {
+                indices.push(index);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(total, 4);
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_replays_prefix_then_continues() {
+        let campaign = tiny_campaign(2);
+        let dir = temp_dir("replay");
+        let policies = [PolicyKind::Hayat];
+        let interrupted = ShardedCheckpointer::new(&dir)
+            .every(1)
+            .shard_runs(1)
+            .jobs(Jobs::serial())
+            .with_failpoint(FailPoint::armed(
+                FAILPOINT_CHIP,
+                1,
+                crate::failpoint::FailMode::Error,
+            ))
+            .run(&campaign, &policies);
+        assert!(interrupted.is_err());
+
+        let mut streamed = Vec::new();
+        let total = ShardedCheckpointer::new(&dir)
+            .resume_streamed(&campaign, |index, run| {
+                streamed.push((index, run.clone()));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(total, 2);
+        let plain = campaign.run(&policies);
+        assert_eq!(
+            streamed,
+            plain.runs.iter().cloned().enumerate().collect::<Vec<_>>()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn forward_manifest_versions_are_rejected() {
+        let campaign = tiny_campaign(1);
+        let dir = temp_dir("version");
+        ShardedCheckpointer::new(&dir)
+            .run(&campaign, &[PolicyKind::Hayat])
+            .unwrap();
+        let manifest_path = dir.join("manifest.json");
+        let mut manifest: ShardManifest =
+            serde_json::from_str(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+        manifest.version = SHARD_FORMAT_VERSION + 1;
+        std::fs::write(&manifest_path, serde_json::to_string(&manifest).unwrap()).unwrap();
+        assert!(matches!(
+            ShardedCheckpointer::new(&dir).resume(&campaign),
+            Err(CheckpointError::VersionMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn config_mismatch_is_rejected() {
+        let campaign = tiny_campaign(1);
+        let dir = temp_dir("config");
+        ShardedCheckpointer::new(&dir)
+            .run(&campaign, &[PolicyKind::Hayat])
+            .unwrap();
+        let other = tiny_campaign(2);
+        assert!(matches!(
+            ShardedCheckpointer::new(&dir).resume(&other),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orphan_shard_from_a_seal_crash_is_harmless() {
+        // Simulate the crash window between the shard write and the
+        // manifest commit: an orphan shard file exists but the manifest
+        // doesn't count it. Resume must ignore it and still produce the
+        // uninterrupted result.
+        let campaign = tiny_campaign(2);
+        let dir = temp_dir("orphan");
+        let policies = [PolicyKind::Hayat];
+        ShardedCheckpointer::new(&dir)
+            .shard_runs(1)
+            .run(&campaign, &policies)
+            .unwrap();
+        // Rewind the manifest by one sealed shard, leaving shard-00001 an
+        // orphan; its runs vanish from the durable prefix.
+        let manifest_path = dir.join("manifest.json");
+        let mut manifest: ShardManifest =
+            serde_json::from_str(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+        manifest.sealed -= 1;
+        std::fs::write(&manifest_path, serde_json::to_string(&manifest).unwrap()).unwrap();
+
+        let resumed = ShardedCheckpointer::new(&dir).resume(&campaign).unwrap();
+        assert_eq!(resumed, campaign.run(&policies));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

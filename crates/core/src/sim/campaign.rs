@@ -8,7 +8,7 @@ use crate::policy::Policy;
 use crate::sim::config::{Jobs, SimulationConfig};
 use crate::sim::engine::SimulationEngine;
 use crate::sim::executor::{
-    ExecutorError, ExecutorOptions, ProgressOptions, RunDescriptor, RunUpdate,
+    DynError, ExecutorError, ExecutorOptions, ProgressOptions, RunDescriptor, RunUpdate,
 };
 use crate::sim::fleet::FleetAccumulator;
 use crate::system::{BuildSystemError, ChipSystem};
@@ -16,8 +16,9 @@ use hayat_aging::{AgingModel, AgingTable, TablePath};
 use hayat_floorplan::Floorplan;
 use hayat_telemetry::{NullRecorder, Recorder};
 use hayat_thermal::ThermalPredictor;
-use hayat_variation::ChipPopulation;
+use hayat_variation::ChipStream;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 /// Which policy a campaign run uses (serializable, factory-style).
@@ -60,7 +61,12 @@ impl PolicyKind {
 
 /// A campaign: one configuration evaluated for every chip of the population
 /// under each requested policy, sharing the expensive offline artifacts
-/// (chip population, thermal predictor, aging table).
+/// (chip sampler, thermal predictor, aging table).
+///
+/// Chips are *streamed*, not materialized: the campaign holds a seekable
+/// [`ChipStream`] and regenerates any chip index on demand, so memory is
+/// O(1) in [`chip_count`](Self::chip_count) — the same `Campaign` type
+/// drives the paper's 25-chip grid and a simulated fleet of 10⁵ chips.
 ///
 /// # Example
 ///
@@ -78,7 +84,7 @@ impl PolicyKind {
 pub struct Campaign {
     config: SimulationConfig,
     floorplan: Floorplan,
-    population: ChipPopulation,
+    stream: ChipStream,
     predictor: Arc<ThermalPredictor>,
     aging_table: Arc<AgingTable>,
     table_path: TablePath,
@@ -89,24 +95,19 @@ impl Campaign {
     ///
     /// # Errors
     ///
-    /// Returns [`BuildSystemError`] if the chip population cannot be
-    /// generated.
+    /// Returns [`BuildSystemError`] if the chip sampler cannot be built
+    /// (invalid variation parameters or a covariance factorization failure).
     pub fn new(config: SimulationConfig) -> Result<Self, BuildSystemError> {
         config.assert_valid();
         let floorplan = config.floorplan();
-        let population = ChipPopulation::generate(
-            &floorplan,
-            &config.variation,
-            config.chip_count,
-            config.variation_seed,
-        )?;
+        let stream = ChipStream::new(&floorplan, &config.variation, config.variation_seed)?;
         let predictor = Arc::new(ThermalPredictor::learn(&floorplan, &config.thermal));
         let aging_model = AgingModel::paper(config.variation.design_seed);
         let aging_table = Arc::new(AgingTable::generate(&aging_model, &config.table_axes));
         Ok(Campaign {
             config,
             floorplan,
-            population,
+            stream,
             predictor,
             aging_table,
             table_path: TablePath::default(),
@@ -140,17 +141,32 @@ impl Campaign {
     /// Number of chips in the population.
     #[must_use]
     pub fn chip_count(&self) -> usize {
-        self.population.chips().len()
+        self.config.chip_count
     }
 
-    /// Builds the (fresh) system for one chip of the population.
+    /// The seekable chip sampler the campaign draws from. Chip `i` here is
+    /// bit-identical to `ChipPopulation::generate(..).chips()[i]` under the
+    /// campaign's config — the spot-`--replay` contract.
+    #[must_use]
+    pub const fn chip_stream(&self) -> &ChipStream {
+        &self.stream
+    }
+
+    /// Builds the (fresh) system for one chip of the population. The chip is
+    /// regenerated on demand from the seekable stream — O(one sample),
+    /// whatever the index.
     ///
     /// # Panics
     ///
     /// Panics if `chip_index` is out of range.
     #[must_use]
     pub fn system_for(&self, chip_index: usize) -> ChipSystem {
-        let chip = self.population.chips()[chip_index].clone();
+        assert!(
+            chip_index < self.chip_count(),
+            "chip index {chip_index} out of range for population of {}",
+            self.chip_count()
+        );
+        let chip = self.stream.chip(chip_index);
         ChipSystem::from_parts(
             self.floorplan.clone(),
             chip,
@@ -268,6 +284,65 @@ impl Campaign {
                 .collect(),
             dark_fraction: self.config.dark_fraction,
         })
+    }
+
+    /// The fleet-scale path: runs the whole grid and hands every completed
+    /// run to `sink` **in canonical order** (policy-major, then chip index)
+    /// without ever collecting a [`CampaignResult`]. Memory is O(jobs), not
+    /// O(runs): completions that arrive ahead of the canonical cursor wait
+    /// in a reorder buffer whose size is bounded by worker skew, and each
+    /// run is dropped as soon as the sink returns.
+    ///
+    /// The optional [`FleetAccumulator`] is fed the same canonical stream,
+    /// so its sketches are byte-identical for any `jobs` — together they are
+    /// the default output path of fleet campaigns (compact run file + O(1)
+    /// summary).
+    ///
+    /// Returns the number of runs delivered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecutorError::WorkerPanic`] if a worker thread panics and
+    /// [`ExecutorError::SinkAborted`] if `sink` returns an error (the error
+    /// is downcastable back to the sink's type).
+    pub fn stream_runs(
+        &self,
+        policies: &[PolicyKind],
+        jobs: Jobs,
+        recorder: Arc<dyn Recorder>,
+        fleet: Option<&Mutex<FleetAccumulator>>,
+        progress: Option<ProgressOptions>,
+        mut sink: impl FnMut(usize, RunMetrics) -> Result<(), DynError>,
+    ) -> Result<usize, ExecutorError> {
+        let descriptors = self.grid(policies);
+        let options = ExecutorOptions {
+            jobs,
+            progress,
+            ..ExecutorOptions::default()
+        };
+        // Reorder buffer: completions land in scheduling order; the sink
+        // must see canonical order. Only runs ahead of the cursor are ever
+        // held, so the buffer tracks worker skew, not fleet size.
+        let mut pending: BTreeMap<usize, RunMetrics> = BTreeMap::new();
+        let mut next_emit = 0usize;
+        self.execute(&descriptors, None, &options, &recorder, |update| {
+            if let RunUpdate::Completed { index, metrics } = update {
+                if let Some(fleet) = fleet {
+                    fleet
+                        .lock()
+                        .expect("fleet accumulator lock")
+                        .observe_completed(index, &metrics);
+                }
+                pending.insert(index, *metrics);
+                while let Some(metrics) = pending.remove(&next_emit) {
+                    sink(next_emit, metrics)?;
+                    next_emit += 1;
+                }
+            }
+            Ok(())
+        })?;
+        debug_assert!(pending.is_empty(), "every completed run was emitted");
+        Ok(next_emit)
     }
 
     /// Runs one chip under one policy.
@@ -498,6 +573,51 @@ mod tests {
             .with_table_path(TablePath::Oracle)
             .run_with_jobs(&[PolicyKind::Vaa, PolicyKind::Hayat], Jobs::serial());
         assert_eq!(fast, oracle);
+    }
+
+    #[test]
+    fn stream_runs_delivers_canonical_order_without_collecting() {
+        let c = tiny_campaign();
+        let policies = [PolicyKind::Vaa, PolicyKind::Hayat];
+        let collected = c.run_with_jobs(&policies, Jobs::serial());
+        let mut streamed = Vec::new();
+        let delivered = c
+            .stream_runs(
+                &policies,
+                Jobs::auto(),
+                Arc::new(NullRecorder),
+                None,
+                None,
+                |index, metrics| {
+                    assert_eq!(index, streamed.len(), "canonical order");
+                    streamed.push(metrics);
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(delivered, 4);
+        assert_eq!(streamed, collected.runs);
+    }
+
+    #[test]
+    fn stream_runs_sink_error_aborts_and_downcasts() {
+        let c = tiny_campaign();
+        let err = c
+            .stream_runs(
+                &[PolicyKind::Hayat],
+                Jobs::serial(),
+                Arc::new(NullRecorder),
+                None,
+                None,
+                |_, _| Err("sink full".into()),
+            )
+            .unwrap_err();
+        match err {
+            ExecutorError::SinkAborted { source } => {
+                assert_eq!(source.to_string(), "sink full");
+            }
+            other => panic!("expected SinkAborted, got {other}"),
+        }
     }
 
     #[test]

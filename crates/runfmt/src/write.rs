@@ -1,0 +1,188 @@
+//! Streaming encoder: header up front, one row group per
+//! [`group_capacity`](RunFileWriter::with_group_capacity) runs, end marker
+//! on [`finish`](RunFileWriter::finish).
+
+use crate::{
+    epoch_scalars, run_scalars, ColumnType, RunFmtError, DEFAULT_GROUP_CAPACITY, EPOCH_COLUMNS,
+    FORMAT_VERSION, MAGIC, RUN_COLUMNS,
+};
+use hayat::RunMetrics;
+use std::io::Write;
+use std::path::Path;
+
+/// Streaming `.runfmt` encoder over any [`Write`] sink.
+///
+/// Memory is O(group): at most
+/// [`with_group_capacity`](Self::with_group_capacity) runs are buffered
+/// before their column chunks are flushed. Dropping the writer without
+/// [`finish`](Self::finish) leaves the stream without an end marker, which
+/// readers report as truncation — finish is not optional.
+pub struct RunFileWriter<W: Write> {
+    sink: W,
+    group: Vec<RunMetrics>,
+    group_capacity: usize,
+    total_runs: u64,
+}
+
+impl<W: Write> RunFileWriter<W> {
+    /// Writes the file header (magic, version, flags, dark fraction, column
+    /// schemas) and returns a writer ready for [`push`](Self::push).
+    ///
+    /// # Errors
+    ///
+    /// [`RunFmtError::Io`] if the header cannot be written.
+    pub fn new(mut sink: W, dark_fraction: f64) -> Result<Self, RunFmtError> {
+        sink.write_all(&MAGIC)?;
+        sink.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        sink.write_all(&0u32.to_le_bytes())?; // flags: none defined in v1
+        sink.write_all(&dark_fraction.to_bits().to_le_bytes())?;
+        write_schema(&mut sink, RUN_COLUMNS)?;
+        write_schema(&mut sink, EPOCH_COLUMNS)?;
+        Ok(RunFileWriter {
+            sink,
+            group: Vec::new(),
+            group_capacity: DEFAULT_GROUP_CAPACITY,
+            total_runs: 0,
+        })
+    }
+
+    /// Sets the row-group size (runs buffered before a flush). Values below
+    /// 1 are clamped to 1.
+    #[must_use]
+    pub fn with_group_capacity(mut self, capacity: usize) -> Self {
+        self.group_capacity = capacity.max(1);
+        self
+    }
+
+    /// Appends one run. Flushes a full row group to the sink when the
+    /// buffer reaches capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`RunFmtError::Io`] if a group flush fails.
+    pub fn push(&mut self, run: &RunMetrics) -> Result<(), RunFmtError> {
+        self.group.push(run.clone());
+        self.total_runs += 1;
+        if self.group.len() >= self.group_capacity {
+            self.flush_group()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the tail group, writes the end marker (a zero run count
+    /// followed by the total-run integrity count), and returns how many runs
+    /// the file holds.
+    ///
+    /// # Errors
+    ///
+    /// [`RunFmtError::Io`] if the tail cannot be written.
+    pub fn finish(mut self) -> Result<u64, RunFmtError> {
+        if !self.group.is_empty() {
+            self.flush_group()?;
+        }
+        self.sink.write_all(&0u64.to_le_bytes())?;
+        self.sink.write_all(&self.total_runs.to_le_bytes())?;
+        self.sink.flush()?;
+        Ok(self.total_runs)
+    }
+
+    /// Encodes and writes the buffered runs as one row group.
+    fn flush_group(&mut self) -> Result<(), RunFmtError> {
+        let runs = std::mem::take(&mut self.group);
+        let epochs_total: u64 = runs.iter().map(|r| r.epochs.len() as u64).sum();
+        self.sink.write_all(&(runs.len() as u64).to_le_bytes())?;
+        self.sink.write_all(&epochs_total.to_le_bytes())?;
+
+        // Per-group policy dictionary, in first-appearance order.
+        let mut dict: Vec<&str> = Vec::new();
+        let codes: Vec<u32> = runs
+            .iter()
+            .map(|r| {
+                if let Some(at) = dict.iter().position(|p| *p == r.policy) {
+                    at as u32
+                } else {
+                    dict.push(&r.policy);
+                    (dict.len() - 1) as u32
+                }
+            })
+            .collect();
+        self.sink.write_all(&(dict.len() as u32).to_le_bytes())?;
+        for name in &dict {
+            write_str(&mut self.sink, name)?;
+        }
+
+        // Run columns: one contiguous chunk per schema column.
+        let scalars: Vec<[u64; 8]> = runs
+            .iter()
+            .zip(&codes)
+            .map(|(r, &code)| run_scalars(r, code))
+            .collect();
+        for (at, &(_, ty)) in RUN_COLUMNS.iter().enumerate() {
+            for row in &scalars {
+                write_value(&mut self.sink, ty, row[at])?;
+            }
+        }
+
+        // Epoch columns, rows run-major (all epochs of run 0, then run 1…).
+        let epoch_rows: Vec<[u64; 12]> = runs
+            .iter()
+            .flat_map(|r| r.epochs.iter().map(epoch_scalars))
+            .collect();
+        for (at, &(_, ty)) in EPOCH_COLUMNS.iter().enumerate() {
+            for row in &epoch_rows {
+                write_value(&mut self.sink, ty, row[at])?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Writes one value at the physical width of its column type.
+fn write_value<W: Write>(sink: &mut W, ty: ColumnType, raw: u64) -> Result<(), RunFmtError> {
+    match ty {
+        ColumnType::U64 | ColumnType::F64 => sink.write_all(&raw.to_le_bytes())?,
+        ColumnType::PolicyRef => sink.write_all(&(raw as u32).to_le_bytes())?,
+    }
+    Ok(())
+}
+
+/// Writes a length-prefixed (u16 LE) UTF-8 string.
+fn write_str<W: Write>(sink: &mut W, s: &str) -> Result<(), RunFmtError> {
+    let bytes = s.as_bytes();
+    debug_assert!(bytes.len() <= usize::from(u16::MAX));
+    sink.write_all(&(bytes.len() as u16).to_le_bytes())?;
+    sink.write_all(bytes)?;
+    Ok(())
+}
+
+/// Writes a schema table: u32 column count, then per column a
+/// length-prefixed name and a one-byte type code.
+fn write_schema<W: Write>(sink: &mut W, columns: &[(&str, ColumnType)]) -> Result<(), RunFmtError> {
+    sink.write_all(&(columns.len() as u32).to_le_bytes())?;
+    for &(name, ty) in columns {
+        write_str(sink, name)?;
+        sink.write_all(&[ty as u8])?;
+    }
+    Ok(())
+}
+
+/// Writes `runs` to a new file at `path` (atomically: temp file + rename).
+///
+/// # Errors
+///
+/// [`RunFmtError::Io`] on any filesystem failure.
+pub fn write_path<'a>(
+    path: &Path,
+    dark_fraction: f64,
+    runs: impl Iterator<Item = &'a RunMetrics>,
+) -> Result<u64, RunFmtError> {
+    let tmp = path.with_extension("runfmt.tmp");
+    let file = std::fs::File::create(&tmp)?;
+    let mut writer = RunFileWriter::new(std::io::BufWriter::new(file), dark_fraction)?;
+    for run in runs {
+        writer.push(run)?;
+    }
+    let total = writer.finish()?;
+    std::fs::rename(&tmp, path)?;
+    Ok(total)
+}

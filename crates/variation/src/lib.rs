@@ -49,6 +49,7 @@ mod field;
 mod params;
 mod population;
 mod sampler;
+mod stream;
 
 pub use crate::chip::Chip;
 pub use crate::critical_path::CriticalPathMap;
@@ -57,3 +58,4 @@ pub use crate::field::ThetaField;
 pub use crate::params::{CorrelationKernel, VariationParams};
 pub use crate::population::ChipPopulation;
 pub use crate::sampler::SpatialSampler;
+pub use crate::stream::ChipStream;

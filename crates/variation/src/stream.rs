@@ -1,0 +1,166 @@
+//! Lazy, seekable chip sampling for fleet-scale campaigns.
+//!
+//! [`ChipPopulation`](crate::ChipPopulation) materializes every chip up
+//! front — fine for the paper's 25-chip grid, linear memory for a simulated
+//! fleet of 10⁵–10⁶ chips. [`ChipStream`] is the O(1)-memory alternative:
+//! it holds only the shared offline artifacts (one covariance factorization,
+//! one critical-path design) and regenerates **any chip index on demand**,
+//! in any order, bit-identically to the sequential population draw.
+//!
+//! Seekability comes from the RNG: the workspace's `StdRng` advances its
+//! state by a fixed additive constant per draw, so `StdRng::advance`
+//! jumps a seeded stream forward in O(1). One chip consumes exactly
+//! [`SpatialSampler::draws_per_sample`] RNG outputs, so chip `i` starts at a
+//! state computable from `(seed, i)` alone — which is what lets campaign
+//! workers pull chips without a materialized grid and lets a resumed
+//! campaign skip straight to chip `k`.
+
+use crate::chip::Chip;
+use crate::critical_path::CriticalPathMap;
+use crate::error::VariationError;
+use crate::params::VariationParams;
+use crate::sampler::SpatialSampler;
+use hayat_floorplan::Floorplan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A lazily sampled population: chip `i` is regenerated on demand from
+/// `(seed, i)` instead of being stored.
+///
+/// Bit-identical to [`ChipPopulation`](crate::ChipPopulation): for every
+/// `(floorplan, params, seed)`, `stream.chip(i)` equals
+/// `ChipPopulation::generate(..).chips()[i]` — a property test holds the two
+/// paths together, including out-of-order and repeated access.
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::Floorplan;
+/// use hayat_variation::{ChipPopulation, ChipStream, VariationParams};
+///
+/// # fn main() -> Result<(), hayat_variation::VariationError> {
+/// let fp = Floorplan::paper_8x8();
+/// let params = VariationParams::paper();
+/// let stream = ChipStream::new(&fp, &params, 7)?;
+/// let population = ChipPopulation::generate(&fp, &params, 3, 7)?;
+/// // Out-of-order on-demand access reproduces the materialized draw.
+/// assert_eq!(stream.chip(2), population.chips()[2]);
+/// assert_eq!(stream.chip(0), population.chips()[0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChipStream {
+    sampler: SpatialSampler,
+    design: CriticalPathMap,
+    floorplan: Floorplan,
+    params: VariationParams,
+    seed: u64,
+}
+
+impl ChipStream {
+    /// Builds the shared sampling infrastructure (covariance factorization,
+    /// critical-path design) without materializing any chip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VariationError`] from parameter validation or covariance
+    /// factorization, exactly like
+    /// [`ChipPopulation::generate`](crate::ChipPopulation::generate).
+    pub fn new(
+        floorplan: &Floorplan,
+        params: &VariationParams,
+        seed: u64,
+    ) -> Result<Self, VariationError> {
+        let sampler = SpatialSampler::new(floorplan, params)?;
+        let design =
+            CriticalPathMap::synthesize(floorplan, params.sites_per_core, params.design_seed);
+        Ok(ChipStream {
+            sampler,
+            design,
+            floorplan: floorplan.clone(),
+            params: params.clone(),
+            seed,
+        })
+    }
+
+    /// Regenerates chip `index` in O(one sample): the RNG is seeded from the
+    /// stream seed and advanced past the `index · draws_per_sample` outputs
+    /// the preceding chips consume, then one correlated `ϑ` field is drawn.
+    #[must_use]
+    pub fn chip(&self, index: usize) -> Chip {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        rng.advance((index as u64).wrapping_mul(self.sampler.draws_per_sample()));
+        let theta = self.sampler.sample(&mut rng);
+        Chip::from_theta(index, &self.floorplan, &self.design, theta, &self.params)
+    }
+
+    /// An iterator over chips `0..count` — the streaming replacement for
+    /// materializing a population: each item is generated when pulled and
+    /// dropped when the consumer is done with it.
+    pub fn chips(&self, count: usize) -> impl Iterator<Item = Chip> + '_ {
+        (0..count).map(|index| self.chip(index))
+    }
+
+    /// The shared critical-path design.
+    #[must_use]
+    pub const fn design(&self) -> &CriticalPathMap {
+        &self.design
+    }
+
+    /// The shared correlated-field sampler.
+    #[must_use]
+    pub const fn sampler(&self) -> &SpatialSampler {
+        &self.sampler
+    }
+
+    /// The seed chips are drawn from.
+    #[must_use]
+    pub const fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::ChipPopulation;
+
+    fn paper_setup() -> (Floorplan, VariationParams) {
+        (Floorplan::paper_8x8(), VariationParams::paper())
+    }
+
+    #[test]
+    fn stream_matches_materialized_population_in_order() {
+        let (fp, params) = paper_setup();
+        let stream = ChipStream::new(&fp, &params, 55).unwrap();
+        let pop = ChipPopulation::generate(&fp, &params, 4, 55).unwrap();
+        let streamed: Vec<Chip> = stream.chips(4).collect();
+        assert_eq!(streamed, pop.chips());
+    }
+
+    #[test]
+    fn out_of_order_and_repeated_access_are_stable() {
+        let (fp, params) = paper_setup();
+        let stream = ChipStream::new(&fp, &params, 9).unwrap();
+        let pop = ChipPopulation::generate(&fp, &params, 5, 9).unwrap();
+        for &i in &[4usize, 0, 2, 4, 1, 3, 0] {
+            assert_eq!(stream.chip(i), pop.chips()[i], "chip {i}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_chips() {
+        let (fp, params) = paper_setup();
+        let a = ChipStream::new(&fp, &params, 1).unwrap();
+        let b = ChipStream::new(&fp, &params, 2).unwrap();
+        assert_ne!(a.chip(0), b.chip(0));
+    }
+
+    #[test]
+    fn chip_ids_follow_the_index() {
+        let (fp, params) = paper_setup();
+        let stream = ChipStream::new(&fp, &params, 3).unwrap();
+        assert_eq!(stream.chip(17).id(), 17);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the streaming chip sampler: for any seed, the lazy
+//! seekable [`ChipStream`] must reproduce the materialized
+//! [`ChipPopulation`] draw bit-for-bit — in order, out of order, and under
+//! repeated access. This is the contract that lets fleet-scale campaigns
+//! drop the materialized grid and regenerate any `RunDescriptor`'s chip on
+//! demand (including `--replay` of a single chip out of 10⁵).
+
+use hayat_floorplan::{Floorplan, FloorplanBuilder};
+use hayat_variation::{ChipPopulation, ChipStream, VariationParams};
+use proptest::prelude::*;
+
+fn small_fp() -> Floorplan {
+    FloorplanBuilder::new(4, 4)
+        .grid_cells_per_core(2)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn stream_is_bit_identical_to_materialized_population(
+        seed in 0u64..100_000,
+        count in 1usize..6,
+    ) {
+        let fp = small_fp();
+        let params = VariationParams::paper();
+        let pop = ChipPopulation::generate(&fp, &params, count, seed).unwrap();
+        let stream = ChipStream::new(&fp, &params, seed).unwrap();
+        let streamed: Vec<_> = stream.chips(count).collect();
+        prop_assert_eq!(streamed.as_slice(), pop.chips());
+    }
+
+    #[test]
+    fn out_of_order_access_matches_in_order_access(
+        seed in 0u64..100_000,
+        // Arbitrary visiting order with repeats over a 5-chip population.
+        order in proptest::collection::vec(0usize..5, 1..12),
+    ) {
+        let fp = small_fp();
+        let params = VariationParams::paper();
+        let pop = ChipPopulation::generate(&fp, &params, 5, seed).unwrap();
+        let stream = ChipStream::new(&fp, &params, seed).unwrap();
+        for &i in &order {
+            prop_assert_eq!(&stream.chip(i), &pop.chips()[i]);
+        }
+    }
+
+    #[test]
+    fn seeking_far_ahead_needs_no_prefix(
+        seed in 0u64..100_000,
+        index in 0usize..5000,
+    ) {
+        // The whole point of seekability: chip `index` alone costs one
+        // sample, never `index` samples. Cross-check a far index against
+        // the sequential definition via a nearby small population when
+        // feasible, and at minimum require determinism and the right id.
+        let fp = small_fp();
+        let params = VariationParams::paper();
+        let stream = ChipStream::new(&fp, &params, seed).unwrap();
+        let a = stream.chip(index);
+        let b = stream.chip(index);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.id(), index);
+    }
+}
+
+#[test]
+fn campaign_scale_spot_check_against_sequential_draw() {
+    // One non-proptest spot check at a fleet-ish index: materialize 257
+    // chips sequentially and compare the last one against a direct seek.
+    let fp = small_fp();
+    let params = VariationParams::paper();
+    let pop = ChipPopulation::generate(&fp, &params, 257, 0x5EED_0002).unwrap();
+    let stream = ChipStream::new(&fp, &params, 0x5EED_0002).unwrap();
+    assert_eq!(stream.chip(256), pop.chips()[256]);
+}

@@ -82,6 +82,20 @@ pub mod rngs {
         pub fn from_state(state: u64) -> Self {
             StdRng { state }
         }
+
+        /// Advances the generator as if `draws` calls to
+        /// [`RngCore::next_u64`] had been made, in O(1).
+        ///
+        /// SplitMix64's state moves by a fixed additive constant per output,
+        /// so skipping ahead is a single wrapping multiply — this is what
+        /// makes seeded streams *seekable*: a consumer that knows how many
+        /// draws each logical record costs can jump straight to record `k`
+        /// of a stream without generating records `0..k`.
+        pub fn advance(&mut self, draws: u64) {
+            self.state = self
+                .state
+                .wrapping_add(draws.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
     }
 }
 
@@ -272,6 +286,21 @@ mod tests {
             assert!((5..15).contains(&i));
             let f = rng.gen_range(-0.5..=0.5f64);
             assert!((-0.5..=0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn advance_matches_sequential_draws() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            for skip in [0u64, 1, 2, 7, 1000] {
+                let mut sequential = StdRng::seed_from_u64(seed);
+                for _ in 0..skip {
+                    let _ = sequential.next_u64();
+                }
+                let mut jumped = StdRng::seed_from_u64(seed);
+                jumped.advance(skip);
+                assert_eq!(jumped.next_u64(), sequential.next_u64());
+            }
         }
     }
 
