@@ -35,7 +35,7 @@ use std::time::Duration;
 
 use hayat::sim::campaign::PolicyKind;
 use hayat::{
-    Campaign, CampaignResult, DynError, FleetAccumulator, Jobs, ProgressOptions, RunMetrics,
+    Batch, Campaign, CampaignResult, DynError, FleetAccumulator, Jobs, ProgressOptions, RunMetrics,
     SimulationConfig,
 };
 use hayat_aging::TablePath;
@@ -62,6 +62,7 @@ struct Args {
     every: Option<usize>,
     resume_path: Option<String>,
     jobs: Jobs,
+    batch: Batch,
     table_path: TablePath,
     fleet: Option<usize>,
     run_format_path: Option<String>,
@@ -74,7 +75,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--dark F] [--chips N] [--years Y] [--epoch Y] \
-         [--window S] [--seed N] [--mesh N] [--jobs N|auto] \
+         [--window S] [--seed N] [--mesh N] [--jobs N|auto] [--batch N] \
          [--table-path fast|oracle] \
          [--policies vaa,hayat,coolest,random] [--csv DIR] [--json FILE] \
          [--telemetry FILE.jsonl] [--fleet-stats FILE.json] \
@@ -92,6 +93,10 @@ fn usage() -> ! {
          \n\
          --jobs sets the worker-thread count (default: all hardware \
          threads); output is byte-identical for every value, including 1. \
+         --batch runs N consecutive chips in lockstep per worker claim \
+         through the batched SoA thermal/policy kernels (default 1); like \
+         --jobs it is a pure execution knob — output is byte-identical for \
+         every width. \
          --table-path selects the policies' aging-table inversion: the \
          direct age-curve inversion (fast, default) or the bisection \
          oracle it replaces — output is byte-identical for both. \
@@ -161,6 +166,7 @@ fn parse_args() -> Args {
         every: None,
         resume_path: None,
         jobs: Jobs::auto(),
+        batch: Batch::serial(),
         table_path: TablePath::default(),
         fleet: None,
         run_format_path: None,
@@ -201,6 +207,12 @@ fn parse_args() -> Args {
             "--resume" => args.resume_path = Some(value("--resume")),
             "--jobs" => {
                 args.jobs = value("--jobs").parse().unwrap_or_else(|msg| {
+                    eprintln!("{msg}");
+                    usage()
+                });
+            }
+            "--batch" => {
+                args.batch = value("--batch").parse().unwrap_or_else(|msg| {
                     eprintln!("{msg}");
                     usage()
                 });
@@ -507,7 +519,8 @@ fn main() {
 
     let campaign = Campaign::new(config)
         .expect("configuration is valid")
-        .with_table_path(args.table_path);
+        .with_table_path(args.table_path)
+        .with_batch(args.batch);
     if let Some((kind, chip)) = args.replay {
         replay_run(&campaign, kind, chip);
         return;
@@ -516,7 +529,7 @@ fn main() {
     let config = campaign.config();
     println!(
         "campaign: {}x{} mesh, {} chips{}, {:.0}% dark, {} years in {}-year epochs, \
-         policies {:?}, {} jobs",
+         policies {:?}, {} jobs, batch {}",
         config.mesh.0,
         config.mesh.1,
         config.chip_count,
@@ -529,7 +542,8 @@ fn main() {
         config.years,
         config.epoch_years,
         args.policies,
-        args.jobs
+        args.jobs,
+        args.batch
     );
     let recorder = args
         .telemetry_path

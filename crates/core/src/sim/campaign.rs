@@ -5,7 +5,7 @@ use crate::policy::hayat::HayatPolicy;
 use crate::policy::simple::{CoolestFirstPolicy, RandomPolicy};
 use crate::policy::vaa::VaaPolicy;
 use crate::policy::Policy;
-use crate::sim::config::{Jobs, SimulationConfig};
+use crate::sim::config::{Batch, Jobs, SimulationConfig};
 use crate::sim::engine::SimulationEngine;
 use crate::sim::executor::{
     DynError, ExecutorError, ExecutorOptions, ProgressOptions, RunDescriptor, RunUpdate,
@@ -88,6 +88,7 @@ pub struct Campaign {
     predictor: Arc<ThermalPredictor>,
     aging_table: Arc<AgingTable>,
     table_path: TablePath,
+    batch: Batch,
 }
 
 impl Campaign {
@@ -111,6 +112,7 @@ impl Campaign {
             predictor,
             aging_table,
             table_path: TablePath::default(),
+            batch: Batch::serial(),
         })
     }
 
@@ -135,6 +137,25 @@ impl Campaign {
     #[must_use]
     pub fn with_table_path(mut self, path: TablePath) -> Self {
         self.table_path = path;
+        self
+    }
+
+    /// Chips per worker claim ([`Batch::serial`] — one chip — by default).
+    #[must_use]
+    pub const fn batch(&self) -> Batch {
+        self.batch
+    }
+
+    /// Selects the batched execution width: every worker claim pulls this
+    /// many consecutive canonical-order chips and runs them in lockstep
+    /// through the structure-of-arrays epoch loop. Like `--jobs` and
+    /// `--table-path`, a pure execution knob — output is byte-identical to
+    /// `--batch 1` for any width (a CI cmp gate holds it to that), so it
+    /// lives outside [`SimulationConfig`] and never enters a checkpoint's
+    /// config hash.
+    #[must_use]
+    pub fn with_batch(mut self, batch: Batch) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -573,6 +594,20 @@ mod tests {
             .with_table_path(TablePath::Oracle)
             .run_with_jobs(&[PolicyKind::Vaa, PolicyKind::Hayat], Jobs::serial());
         assert_eq!(fast, oracle);
+    }
+
+    #[test]
+    fn batched_execution_reproduces_the_serial_campaign_exactly() {
+        // `--batch` is a pure execution knob: lockstep lanes preserve every
+        // chip's FP op order, so any width must reproduce the serial bytes.
+        let policies = [PolicyKind::Vaa, PolicyKind::Hayat];
+        let serial = tiny_campaign().run_with_jobs(&policies, Jobs::serial());
+        for width in [2, 3, 64] {
+            let batched = tiny_campaign()
+                .with_batch(Batch::new(width).unwrap())
+                .run_with_jobs(&policies, Jobs::serial());
+            assert_eq!(serial, batched, "batch width {width} drifted");
+        }
     }
 
     #[test]

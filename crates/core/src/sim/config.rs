@@ -286,6 +286,63 @@ impl std::str::FromStr for Jobs {
     }
 }
 
+/// Chips per worker claim for batched campaign execution (the `--batch`
+/// flag): each claim pulls this many *consecutive canonical-order* chips
+/// and runs them in lockstep through the structure-of-arrays epoch loop
+/// (`ChipBatch`).
+///
+/// Like [`Jobs`], deliberately *not* a field of [`SimulationConfig`]: the
+/// batch width is a pure execution knob that must never influence results
+/// (batched output is byte-identical to per-chip execution for any width)
+/// or checkpoint compatibility, so a run may be started with one width and
+/// resumed with another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Batch(std::num::NonZeroUsize);
+
+impl Batch {
+    /// One chip per claim: the classic per-chip execution path.
+    #[must_use]
+    pub const fn serial() -> Self {
+        Batch(std::num::NonZeroUsize::MIN)
+    }
+
+    /// A specific batch width; `None` when `width` is zero.
+    #[must_use]
+    pub fn new(width: usize) -> Option<Self> {
+        std::num::NonZeroUsize::new(width).map(Batch)
+    }
+
+    /// The batch width.
+    #[must_use]
+    pub const fn get(self) -> usize {
+        self.0.get()
+    }
+}
+
+impl Default for Batch {
+    fn default() -> Self {
+        Batch::serial()
+    }
+}
+
+impl std::fmt::Display for Batch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::str::FromStr for Batch {
+    type Err = String;
+
+    /// Parses the `--batch` flag: a positive integer.
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        text.parse::<usize>()
+            .ok()
+            .and_then(Batch::new)
+            .ok_or_else(|| format!("--batch wants a positive integer, got '{text}'"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,12 +372,12 @@ mod tests {
     #[test]
     fn floorplan_resolution_adapts_to_mesh_size() {
         let mut c = SimulationConfig::paper(0.5);
-        assert_eq!(c.floorplan().grid().cells_per_side(), 32); // 8 cores x 4
+        assert_eq!(c.floorplan().variation_grid().cells_per_side(), 32); // 8 cores x 4
         c.mesh = (16, 16);
-        assert_eq!(c.floorplan().grid().cells_per_side(), 32); // 16 cores x 2
+        assert_eq!(c.floorplan().variation_grid().cells_per_side(), 32); // 16 cores x 2
         c.mesh = (40, 40);
         assert_eq!(c.floorplan().core_count(), 1600); // 1 cell per core
-        assert_eq!(c.floorplan().grid().cells_per_core(), 1);
+        assert_eq!(c.floorplan().variation_grid().cells_per_core(), 1);
     }
 
     #[test]

@@ -252,46 +252,202 @@ impl SimulationEngine {
     }
 
     /// Runs a single epoch (public so benches can time one decision+window).
+    ///
+    /// The epoch is composed from the crate-visible phase helpers
+    /// (`epoch_decide` → per-step `window_power_step` / thermal advance /
+    /// `window_absorb_step` → `epoch_finish`) so the batched executor can
+    /// interleave N chips through the same per-chip call sequence — the
+    /// serial path here remains byte-identical to the pre-split engine.
     pub fn run_epoch(&mut self, epoch: usize) -> EpochRecord {
         let recorder = Arc::clone(&self.recorder);
         if recorder.enabled() {
             recorder.set_context(self.context.with_epoch(epoch as u64));
         }
         let _epoch_span = recorder.span("engine.epoch");
+        let mut decision = self.epoch_decide(epoch, None);
+        let mut accum = self.window_begin(&decision.workload);
+        let dt = self.config.control_period();
+        let mut power: Vec<Watts> = Vec::with_capacity(self.system.floorplan().core_count());
+        for step in 0..accum.steps {
+            self.window_power_step(step, &mut decision, &mut accum, &mut power);
+            self.system
+                .transient_mut()
+                .step_recorded(dt, &power, recorder.as_ref());
+            self.window_absorb_step(&mut accum);
+        }
+        let outcome = accum.finish();
+        self.epoch_finish(epoch, decision, outcome, None)
+    }
+
+    /// Mutable access to the chip system, for the batched executor's
+    /// lockstep thermal stepping.
+    pub(crate) fn system_mut(&mut self) -> &mut ChipSystem {
+        &mut self.system
+    }
+
+    /// The engine's telemetry sink (shared with the batched executor).
+    pub(crate) const fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
+    }
+
+    /// The base causal context assigned by the executor.
+    pub(crate) const fn span_context(&self) -> SpanContext {
+        self.context
+    }
+
+    /// The configuration this engine runs under.
+    pub(crate) const fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Phase 1 — the decision at the epoch boundary. With sensors
+    /// configured, the policy sees the aging monitors' *reading* of the
+    /// health map rather than ground truth. `shared` substitutes a
+    /// batch-shared [`PolicyScratch`] for the engine's own (the scratch is
+    /// a pure cache, so sharing it across serially-decided chips cannot
+    /// change any decision).
+    pub(crate) fn epoch_decide(
+        &mut self,
+        epoch: usize,
+        shared: Option<&RefCell<PolicyScratch>>,
+    ) -> EpochDecision {
+        let recorder = Arc::clone(&self.recorder);
         let elapsed = Years::new(epoch as f64 * self.config.epoch_years);
         let workload = self.mixes[epoch % self.mixes.len()].clone();
-
-        // --- Decision at the epoch boundary. -----------------------------
-        // With sensors configured, the policy sees the aging monitors'
-        // *reading* of the health map rather than ground truth.
         let sensed_system = self.sensors.as_mut().map(|sensors| {
             let mut view = self.system.clone();
             *view.health_mut() = sensors.read_health(self.system.health());
             view
         });
-        let mut mapping = {
+        let mapping = {
             let ctx = PolicyContext::new(
                 sensed_system.as_ref().unwrap_or(&self.system),
                 self.config.horizon(),
                 elapsed,
             )
             .with_recorder(recorder.as_ref())
-            .with_scratch(&self.scratch);
+            .with_scratch(shared.unwrap_or(&self.scratch));
             self.policy.map_threads(&ctx, &workload)
         };
         drop(sensed_system);
         let unplaced_threads = workload.total_threads() - mapping.active_cores();
         recorder.gauge("engine.threads.unplaced", unplaced_threads as f64);
-        let migrations_before = self.dtm.migrations();
-        let throttles_before = self.dtm.throttles();
+        EpochDecision {
+            mapping,
+            workload,
+            unplaced_threads,
+            migrations_before: self.dtm.migrations(),
+            throttles_before: self.dtm.throttles(),
+        }
+    }
 
-        // --- Fine-grained transient simulation. --------------------------
-        let (worst_temps, duty, avg_temp, peak_temp, throughput_fraction) =
-            self.transient_window(&mut mapping, &workload);
+    /// Phase 2 entry — the transient-window accumulator for one epoch,
+    /// seeded from the current thermal state.
+    pub(crate) fn window_begin(&self, workload: &WorkloadMix) -> WindowAccum {
+        let n = self.system.floorplan().core_count();
+        let window = self.config.transient_window_seconds;
+        let steps = (window / self.config.control_period_seconds)
+            .round()
+            .max(1.0) as usize;
+        WindowAccum {
+            steps,
+            window_seconds: window,
+            worst: self.system.transient().temperatures(),
+            stress_seconds: vec![0.0f64; n],
+            temp_sum: 0.0,
+            peak: self.system.transient().temperatures().max().value(),
+            required_ips_per_step: workload
+                .threads()
+                .map(|(_, t)| t.ips(t.min_frequency()))
+                .sum(),
+            required_ips: 0.0,
+            achieved_ips: 0.0,
+        }
+    }
+
+    /// Phase 2, first half of one control period: DTM check against the
+    /// current temperatures, per-core power under the (possibly updated)
+    /// mapping — dynamic power follows the thread's phase trace — and
+    /// stress/throughput accounting. Fills `power` for the thermal advance
+    /// the caller performs (serially or batched across chips).
+    pub(crate) fn window_power_step(
+        &mut self,
+        step: usize,
+        decision: &mut EpochDecision,
+        accum: &mut WindowAccum,
+        power: &mut Vec<Watts>,
+    ) {
+        let now = step as f64 * self.config.control_period_seconds;
+        let temps = self.system.transient().temperatures();
+        let _ = self.dtm.check(
+            &self.system,
+            &mut decision.mapping,
+            &decision.workload,
+            &temps,
+            now,
+        );
+        let model = self.system.power_model();
+        let chip = self.system.chip();
+        let mapping = &decision.mapping;
+        let workload = &decision.workload;
+        power.clear();
+        power.extend(self.system.floorplan().cores().map(|core| {
+            let t = temps.core(core);
+            let state = match mapping.thread_on(core) {
+                Some(tid) => {
+                    let profile = workload.thread(tid);
+                    let freq = profile
+                        .min_frequency()
+                        .scaled(self.dtm.throttle_factor(core));
+                    let dynamic = profile
+                        .dynamic_power(freq)
+                        .scaled(profile.power_factor(now));
+                    PowerState::Active { dynamic }
+                }
+                None => PowerState::Dark,
+            };
+            model.core_power(state, chip.leakage_factor(core), t)
+        }));
+        // Throttled cores run below the required frequency; unplaced
+        // threads deliver nothing.
+        accum.required_ips += accum.required_ips_per_step;
+        for (core, tid) in mapping.assignments() {
+            let profile = workload.thread(tid);
+            accum.stress_seconds[core.index()] +=
+                self.config.control_period_seconds * profile.duty().value();
+            let freq = profile
+                .min_frequency()
+                .scaled(self.dtm.throttle_factor(core));
+            accum.achieved_ips += profile.ips(freq);
+        }
+    }
+
+    /// Phase 2, second half of one control period: folds the post-step
+    /// temperatures into the window statistics.
+    pub(crate) fn window_absorb_step(&self, accum: &mut WindowAccum) {
+        let after = self.system.transient().temperatures();
+        accum.worst = accum.worst.elementwise_max(&after);
+        accum.temp_sum += after.mean().value();
+        accum.peak = accum.peak.max(after.max().value());
+    }
+
+    /// Phase 3 — the epoch upscale: recycle the mapping, advance every
+    /// core's health over the epoch length, emit the DTM counter deltas,
+    /// and assemble the [`EpochRecord`].
+    pub(crate) fn epoch_finish(
+        &mut self,
+        epoch: usize,
+        decision: EpochDecision,
+        outcome: WindowOutcome,
+        shared: Option<&RefCell<PolicyScratch>>,
+    ) -> EpochRecord {
+        let recorder = Arc::clone(&self.recorder);
         // Recycle the mapping's buffers into the next decision.
-        self.scratch.borrow_mut().mapping_pool.push(mapping);
-
-        // --- Epoch upscale: advance every core's health. ------------------
+        shared
+            .unwrap_or(&self.scratch)
+            .borrow_mut()
+            .mapping_pool
+            .push(decision.mapping);
         {
             let _aging_span = recorder.span("engine.aging.advance");
             let epoch_len = self.config.epoch();
@@ -302,8 +458,8 @@ impl SimulationEngine {
                 .map(|core| {
                     let h_now = self.system.health().core(core).value();
                     let h_next = self.system.aging_table().advance(
-                        worst_temps[core.index()],
-                        duty[core.index()],
+                        outcome.worst_temps[core.index()],
+                        outcome.duty[core.index()],
                         h_now,
                         epoch_len,
                     );
@@ -318,8 +474,14 @@ impl SimulationEngine {
             }
         }
 
-        recorder.counter("dtm.migrations", self.dtm.migrations() - migrations_before);
-        recorder.counter("dtm.throttles", self.dtm.throttles() - throttles_before);
+        recorder.counter(
+            "dtm.migrations",
+            self.dtm.migrations() - decision.migrations_before,
+        );
+        recorder.counter(
+            "dtm.throttles",
+            self.dtm.throttles() - decision.throttles_before,
+        );
 
         EpochRecord {
             epoch,
@@ -328,126 +490,83 @@ impl SimulationEngine {
             chip_fmax_ghz: self.system.chip_fmax().value(),
             mean_health: self.system.health().mean(),
             min_health: self.system.health().min().value(),
-            avg_temp_kelvin: avg_temp,
-            peak_temp_kelvin: peak_temp,
-            dtm_migrations: self.dtm.migrations() - migrations_before,
-            dtm_throttles: self.dtm.throttles() - throttles_before,
-            unplaced_threads,
-            throughput_fraction,
+            avg_temp_kelvin: outcome.avg_temp,
+            peak_temp_kelvin: outcome.peak_temp,
+            dtm_migrations: self.dtm.migrations() - decision.migrations_before,
+            dtm_throttles: self.dtm.throttles() - decision.throttles_before,
+            unplaced_threads: decision.unplaced_threads,
+            throughput_fraction: outcome.throughput_fraction,
         }
     }
+}
 
-    /// Advances the thermal state through one transient window under the
-    /// given (mutable — DTM migrates) mapping. Returns per-core worst-case
-    /// temperatures, per-core effective duty cycles, the time-averaged mean
-    /// temperature, the observed peak, and the delivered-throughput
-    /// fraction (achieved over required IPS across all threads and steps).
-    fn transient_window(
-        &mut self,
-        mapping: &mut ThreadMapping,
-        workload: &WorkloadMix,
-    ) -> (
-        Vec<hayat_units::Kelvin>,
-        Vec<hayat_units::DutyCycle>,
-        f64,
-        f64,
-        f64,
-    ) {
-        let recorder = Arc::clone(&self.recorder);
-        let n = self.system.floorplan().core_count();
-        let window = self.config.transient_window_seconds;
-        let dt = self.config.control_period();
-        let steps = (window / self.config.control_period_seconds)
-            .round()
-            .max(1.0) as usize;
+/// The outcome of one epoch-boundary decision ([`SimulationEngine::epoch_decide`]):
+/// the mapping the window runs under plus the bookkeeping `epoch_finish`
+/// needs.
+pub(crate) struct EpochDecision {
+    /// The thread mapping (mutable — DTM migrates during the window).
+    pub(crate) mapping: ThreadMapping,
+    /// The epoch's workload mix.
+    pub(crate) workload: WorkloadMix,
+    /// Threads the policy could not place.
+    unplaced_threads: usize,
+    /// DTM counter baselines for the epoch's deltas.
+    migrations_before: u64,
+    throttles_before: u64,
+}
 
-        let mut worst = self.system.transient().temperatures();
-        let mut stress_seconds = vec![0.0f64; n];
-        let mut temp_sum = 0.0;
-        let mut peak: f64 = self.system.transient().temperatures().max().value();
-        // Throughput accounting: required vs delivered IPS per step.
-        let required_ips_per_step: f64 = workload
-            .threads()
-            .map(|(_, t)| t.ips(t.min_frequency()))
-            .sum();
-        let mut required_ips = 0.0;
-        let mut achieved_ips = 0.0;
+/// Running statistics over one transient window, advanced one control
+/// period at a time.
+pub(crate) struct WindowAccum {
+    /// Control periods in the window.
+    pub(crate) steps: usize,
+    window_seconds: f64,
+    worst: hayat_thermal::TemperatureMap,
+    stress_seconds: Vec<f64>,
+    temp_sum: f64,
+    peak: f64,
+    required_ips_per_step: f64,
+    required_ips: f64,
+    achieved_ips: f64,
+}
 
-        for step in 0..steps {
-            let now = step as f64 * self.config.control_period_seconds;
-            let temps = self.system.transient().temperatures();
-            // DTM check against the current temperatures.
-            let _ = self.dtm.check(&self.system, mapping, workload, &temps, now);
-            // Per-core power under the (possibly updated) mapping. Dynamic
-            // power follows the thread's phase trace (compute/memory phases
-            // of the Parsec-like workloads).
-            let model = self.system.power_model();
-            let chip = self.system.chip();
-            let power: Vec<Watts> = self
-                .system
-                .floorplan()
-                .cores()
-                .map(|core| {
-                    let t = temps.core(core);
-                    let state = match mapping.thread_on(core) {
-                        Some(tid) => {
-                            let profile = workload.thread(tid);
-                            let freq = profile
-                                .min_frequency()
-                                .scaled(self.dtm.throttle_factor(core));
-                            let dynamic = profile
-                                .dynamic_power(freq)
-                                .scaled(profile.power_factor(now));
-                            PowerState::Active { dynamic }
-                        }
-                        None => PowerState::Dark,
-                    };
-                    model.core_power(state, chip.leakage_factor(core), t)
-                })
-                .collect();
-            // Stress accounting for the aging upscale, plus delivered
-            // throughput (throttled cores run below the required frequency;
-            // unplaced threads deliver nothing).
-            required_ips += required_ips_per_step;
-            for (core, tid) in mapping.assignments() {
-                let profile = workload.thread(tid);
-                stress_seconds[core.index()] +=
-                    self.config.control_period_seconds * profile.duty().value();
-                let freq = profile
-                    .min_frequency()
-                    .scaled(self.dtm.throttle_factor(core));
-                achieved_ips += profile.ips(freq);
-            }
-            // Advance the thermal state.
-            self.system
-                .transient_mut()
-                .step_recorded(dt, &power, recorder.as_ref());
-            let after = self.system.transient().temperatures();
-            worst = worst.elementwise_max(&after);
-            temp_sum += after.mean().value();
-            peak = peak.max(after.max().value());
-        }
-
-        let duty: Vec<hayat_units::DutyCycle> = stress_seconds
+impl WindowAccum {
+    /// Reduces the accumulated window statistics to the per-epoch outcome.
+    pub(crate) fn finish(self) -> WindowOutcome {
+        let n = self.stress_seconds.len();
+        let duty: Vec<hayat_units::DutyCycle> = self
+            .stress_seconds
             .iter()
-            .map(|&s| hayat_units::DutyCycle::clamped(s / window))
+            .map(|&s| hayat_units::DutyCycle::clamped(s / self.window_seconds))
             .collect();
         let worst_temps: Vec<hayat_units::Kelvin> = (0..n)
-            .map(|i| worst.core(hayat_floorplan::CoreId::new(i)))
+            .map(|i| self.worst.core(hayat_floorplan::CoreId::new(i)))
             .collect();
-        let throughput_fraction = if required_ips > 0.0 {
-            (achieved_ips / required_ips).min(1.0)
+        let throughput_fraction = if self.required_ips > 0.0 {
+            (self.achieved_ips / self.required_ips).min(1.0)
         } else {
             1.0
         };
-        (
+        WindowOutcome {
             worst_temps,
             duty,
-            temp_sum / steps as f64,
-            peak,
+            avg_temp: self.temp_sum / self.steps as f64,
+            peak_temp: self.peak,
             throughput_fraction,
-        )
+        }
     }
+}
+
+/// Per-core worst-case temperatures, effective duty cycles, the
+/// time-averaged mean temperature, the observed peak, and the
+/// delivered-throughput fraction (achieved over required IPS across all
+/// threads and steps) of one transient window.
+pub(crate) struct WindowOutcome {
+    worst_temps: Vec<hayat_units::Kelvin>,
+    duty: Vec<hayat_units::DutyCycle>,
+    avg_temp: f64,
+    peak_temp: f64,
+    throughput_fraction: f64,
 }
 
 #[cfg(test)]

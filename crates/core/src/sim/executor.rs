@@ -29,6 +29,7 @@
 //! [`Checkpointer`]: ../../../hayat_checkpoint/struct.Checkpointer.html
 
 use crate::metrics::RunMetrics;
+use crate::sim::batch::ChipBatch;
 use crate::sim::campaign::{Campaign, PolicyKind};
 use crate::sim::engine::SimulationEngine;
 use crate::sim::snapshot::EngineSnapshot;
@@ -362,25 +363,43 @@ impl Campaign {
                         ..SpanContext::default()
                     });
                     let worker_span = worker_recorder.span("campaign.worker");
+                    // Each claim pulls `batch` consecutive canonical-order
+                    // descriptors; width 1 is the classic per-chip path.
+                    let batch = self.batch().get();
                     loop {
                         if stop.load(Ordering::Relaxed) {
                             break;
                         }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(descriptor) = descriptors.get(i) else {
+                        let start = next.fetch_add(batch, Ordering::Relaxed);
+                        if start >= descriptors.len() {
                             break;
+                        }
+                        let end = (start + batch).min(descriptors.len());
+                        let claim = &descriptors[start..end];
+                        let outcome = if claim.len() == 1 {
+                            self.run_descriptor(
+                                &claim[0],
+                                in_flight,
+                                options,
+                                &worker_recorder,
+                                worker,
+                                stop,
+                                &tx,
+                            )
+                            .map_err(|error| (claim[0].index, error))
+                        } else {
+                            self.run_batch(
+                                claim,
+                                in_flight,
+                                options,
+                                &worker_recorder,
+                                worker,
+                                stop,
+                                &tx,
+                            )
                         };
-                        let outcome = self.run_descriptor(
-                            descriptor,
-                            in_flight,
-                            options,
-                            &worker_recorder,
-                            worker,
-                            stop,
-                            &tx,
-                        );
-                        if let Err(error) = outcome {
-                            failure.record(descriptor.index, error, stop);
+                        if let Err((index, error)) = outcome {
+                            failure.record(index, error, stop);
                             break;
                         }
                     }
@@ -542,6 +561,148 @@ impl Campaign {
                 // *Box* into `dyn Any` and every downcast would miss.
                 message: panic_message(payload.as_ref()),
             }),
+        }
+    }
+
+    /// Runs one claim of ≥ 2 descriptors in lockstep through a [`ChipBatch`]
+    /// (or until `stop` is raised). Per lane, the engine performs exactly
+    /// the call sequence of [`run_descriptor`](Self::run_descriptor) —
+    /// decision, window steps, upscale, snapshot cadence, completion — so
+    /// merged campaign output is byte-identical to per-chip execution.
+    /// Errors carry the descriptor index they surfaced on, for the
+    /// deterministic failure slot.
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+    fn run_batch(
+        &self,
+        claim: &[RunDescriptor],
+        in_flight: &Mutex<Option<InFlightState>>,
+        options: &ExecutorOptions<'_>,
+        recorder: &Arc<dyn Recorder>,
+        worker: usize,
+        stop: &AtomicBool,
+        tx: &Sender<RunUpdate>,
+    ) -> Result<(), (usize, ExecutorError)> {
+        let gate = |site: GateSite, descriptor: &RunDescriptor| match options.gate {
+            Some(gate) => gate(site, descriptor).map_err(|source| {
+                (
+                    descriptor.index,
+                    ExecutorError::RunAborted {
+                        kind: descriptor.kind,
+                        chip: descriptor.chip,
+                        source,
+                    },
+                )
+            }),
+            None => Ok(()),
+        };
+        let body = catch_unwind(AssertUnwindSafe(
+            || -> Result<(), (usize, ExecutorError)> {
+                let mut engines = Vec::with_capacity(claim.len());
+                let mut starts = Vec::with_capacity(claim.len());
+                let mut metrics: Vec<RunMetrics> = Vec::with_capacity(claim.len());
+                let mut spans = Vec::with_capacity(claim.len());
+                for descriptor in claim {
+                    gate(GateSite::Run, descriptor)?;
+                    let run_ctx = SpanContext {
+                        run: Some(descriptor.index as u64),
+                        chip: Some(descriptor.chip as u64),
+                        epoch: None,
+                        worker: Some(worker as u64),
+                    };
+                    recorder.set_context(run_ctx);
+                    spans.push(recorder.span("campaign.chip"));
+                    let system = self.system_for(descriptor.chip);
+                    let policy = descriptor
+                        .kind
+                        .instantiate(self.config().workload_seed ^ descriptor.chip as u64);
+                    let mut engine = SimulationEngine::new(system, policy, self.config())
+                        .with_recorder(Arc::clone(recorder))
+                        .with_span_context(run_ctx);
+                    let resume = {
+                        let mut slot = in_flight.lock().expect("in-flight lock");
+                        if slot.as_ref().is_some_and(|s| s.index == descriptor.index) {
+                            slot.take()
+                        } else {
+                            None
+                        }
+                    };
+                    let (run_metrics, start_epoch) = match resume {
+                        Some(state) => {
+                            engine.restore(&state.snapshot).map_err(|source| {
+                                (
+                                    descriptor.index,
+                                    ExecutorError::RunAborted {
+                                        kind: descriptor.kind,
+                                        chip: descriptor.chip,
+                                        source: Box::new(source),
+                                    },
+                                )
+                            })?;
+                            (state.partial, state.snapshot.next_epoch)
+                        }
+                        None => (engine.start_metrics(), 0),
+                    };
+                    engines.push(engine);
+                    starts.push(start_epoch);
+                    metrics.push(run_metrics);
+                }
+
+                let mut chips = ChipBatch::with_start_epochs(engines, starts.clone());
+                let epoch_count = self.config().epoch_count();
+                for epoch in 0..epoch_count {
+                    if stop.load(Ordering::Relaxed) {
+                        for span in spans.drain(..) {
+                            span.cancel(); // abandoned: someone else failed
+                        }
+                        return Ok(());
+                    }
+                    for (lane, descriptor) in claim.iter().enumerate() {
+                        if starts[lane] <= epoch {
+                            gate(GateSite::Epoch, descriptor)?;
+                        }
+                    }
+                    for (lane, record) in chips.run_epoch(epoch) {
+                        metrics[lane].epochs.push(record);
+                        let done = epoch + 1;
+                        if let Some(every) = options.snapshot_every {
+                            if done < epoch_count && done % every.max(1) == 0 {
+                                let _ = tx.send(RunUpdate::Progress {
+                                    index: claim[lane].index,
+                                    partial: metrics[lane].clone(),
+                                    snapshot: Box::new(chips.engine(lane).snapshot(done)),
+                                });
+                            }
+                        }
+                    }
+                }
+                for ((lane, descriptor), mut run_metrics) in claim.iter().enumerate().zip(metrics) {
+                    chips.engine(lane).finalize_metrics(&mut run_metrics);
+                    recorder.counter("campaign.runs_completed", 1);
+                    let _ = tx.send(RunUpdate::Completed {
+                        index: descriptor.index,
+                        metrics: Box::new(run_metrics),
+                    });
+                }
+                Ok(())
+            },
+        ));
+
+        // Back to worker-only context whatever happened, so signals between
+        // claims (and the worker span itself) never carry a stale run tag.
+        recorder.set_context(SpanContext {
+            worker: Some(worker as u64),
+            ..SpanContext::default()
+        });
+        match body {
+            Ok(run_result) => run_result,
+            Err(payload) => Err((
+                claim[0].index,
+                ExecutorError::WorkerPanic {
+                    kind: claim[0].kind,
+                    chip: claim[0].chip,
+                    message: panic_message(payload.as_ref()),
+                },
+            )),
         }
     }
 }

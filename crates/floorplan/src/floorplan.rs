@@ -48,6 +48,29 @@ impl Floorplan {
             .expect("paper floorplan parameters are valid")
     }
 
+    /// A `rows × cols` mesh with the default core tile and variation-grid
+    /// resolution — the convenience entry point for larger-than-paper
+    /// floorplans (16×16, 32×32, …).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hayat_floorplan::Floorplan;
+    ///
+    /// let fp = Floorplan::grid(16, 16);
+    /// assert_eq!(fp.core_count(), 256);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    #[must_use]
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        FloorplanBuilder::new(rows, cols)
+            .build()
+            .expect("positive mesh dimensions are valid")
+    }
+
     /// Number of mesh rows.
     #[must_use]
     pub const fn rows(&self) -> usize {
@@ -80,7 +103,7 @@ impl Floorplan {
 
     /// The process-variation grid overlaid on the core array.
     #[must_use]
-    pub const fn grid(&self) -> &GridOverlay {
+    pub const fn variation_grid(&self) -> &GridOverlay {
         &self.grid
     }
 
@@ -229,7 +252,7 @@ impl Iterator for Neighbors<'_> {
 ///     .grid_cells_per_core(2)
 ///     .build()?;
 /// assert_eq!(fp.core_count(), 16);
-/// assert_eq!(fp.grid().cells_per_side(), 8);
+/// assert_eq!(fp.variation_grid().cells_per_side(), 8);
 /// # Ok(())
 /// # }
 /// ```
@@ -309,7 +332,7 @@ mod tests {
         assert!((fp.core_width().value() - 1.70).abs() < 1e-12);
         assert!((fp.core_height().value() - 1.75).abs() < 1e-12);
         // 8 cores * 4 cells per core edge = 32 grid cells per side.
-        assert_eq!(fp.grid().cells_per_side(), 32);
+        assert_eq!(fp.variation_grid().cells_per_side(), 32);
         assert!((fp.core_area_mm2() - 64.0 * 2.975).abs() < 1e-9);
     }
 

@@ -65,7 +65,7 @@ impl fmt::Display for GridCell {
 /// use hayat_floorplan::{Floorplan, CoreId};
 ///
 /// let fp = Floorplan::paper_8x8();
-/// let cells = fp.grid().cells_of_core(CoreId::new(0), fp.cols());
+/// let cells = fp.variation_grid().cells_of_core(CoreId::new(0), fp.cols());
 /// assert_eq!(cells.len(), 16); // 4x4 cells per core
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

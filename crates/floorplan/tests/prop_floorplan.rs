@@ -38,7 +38,7 @@ proptest! {
 
     #[test]
     fn grid_cells_partition_exactly(fp in arb_floorplan()) {
-        let grid = fp.grid();
+        let grid = fp.variation_grid();
         let mut covered = vec![0u32; grid.cell_count()];
         for core in fp.cores() {
             for cell in grid.cells_of_core(core, fp.cols()) {

@@ -318,6 +318,86 @@ pub fn axpy_in_place(y: &mut [f64], p: f64, x: &[f64]) {
     }
 }
 
+/// Batched [`axpy_max_sum`]: one fused scan per lane over a **shared**
+/// footprint row, with per-lane `base` and `p` coefficients and the lanes'
+/// rise accumulators interleaved structure-of-arrays
+/// (`rise[i * lanes + b]` is entry `i` of lane `b`).
+///
+/// Per lane the arithmetic is exactly `axpy_max_sum(base[b], rise_b, p[b],
+/// row, probe)` — the same expression, in the same slice order, with `max`
+/// via `f64::max` — so every lane of the output is bit-identical to the
+/// scalar scan it replaces. Only the interleaving across lanes (which
+/// commutes) differs, which is what lets B chips' candidate scans share one
+/// streaming pass over the row.
+///
+/// # Panics
+///
+/// Panics if the lane counts of `base`, `p`, and `out` disagree, if
+/// `rise.len() != row.len() * base.len()`, if there are no lanes, or if
+/// `probe` is out of range.
+pub fn axpy_max_sum_batch(
+    base: &[f64],
+    rise: &[f64],
+    p: &[f64],
+    row: &[f64],
+    probe: usize,
+    out: &mut [FusedScan],
+) {
+    let lanes = base.len();
+    assert!(lanes > 0, "need at least one lane");
+    assert_eq!(p.len(), lanes, "one coefficient per lane");
+    assert_eq!(out.len(), lanes, "one output scan per lane");
+    assert_eq!(
+        rise.len(),
+        row.len() * lanes,
+        "rise must hold row.len() entries per lane"
+    );
+    assert!(probe < row.len(), "probe index out of range");
+    for scan in out.iter_mut() {
+        *scan = FusedScan {
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            probe: 0.0,
+        };
+    }
+    for (i, (rs, a)) in rise.chunks_exact(lanes).zip(row).enumerate() {
+        for (((scan, r), b0), p_b) in out.iter_mut().zip(rs).zip(base).zip(p) {
+            let t = b0 + r + p_b * a;
+            scan.max = scan.max.max(t);
+            scan.sum += t;
+            if i == probe {
+                scan.probe = t;
+            }
+        }
+    }
+}
+
+/// Batched [`axpy_in_place`]: `y[i * lanes + b] += p[b] * x[i]` — B lanes'
+/// rank-1 superposition updates sharing one footprint row `x`, with the
+/// lane accumulators interleaved structure-of-arrays.
+///
+/// Per lane the op sequence is exactly `axpy_in_place(y_b, p[b], x)` (plain
+/// multiply-then-add, slice order), so every lane stays bit-identical to
+/// the scalar update.
+///
+/// # Panics
+///
+/// Panics if `p` is empty or `y.len() != x.len() * p.len()`.
+pub fn axpy_in_place_batch(y: &mut [f64], p: &[f64], x: &[f64]) {
+    let lanes = p.len();
+    assert!(lanes > 0, "need at least one lane");
+    assert_eq!(
+        y.len(),
+        x.len() * lanes,
+        "y must hold x.len() entries per lane"
+    );
+    for (ys, x_i) in y.chunks_exact_mut(lanes).zip(x) {
+        for (y_b, p_b) in ys.iter_mut().zip(p) {
+            *y_b += p_b * x_i;
+        }
+    }
+}
+
 /// Multiplies a lower-triangular factor with a vector (`y = L·z`), the core
 /// operation of correlated-Gaussian sampling.
 ///
@@ -768,6 +848,81 @@ impl BandedCholeskyFactor {
             }
         }
     }
+
+    /// Solves `L·Lᵀ·x = b` for `batch` independent right-hand sides in one
+    /// factor traversal, in place and allocation-free. The right-hand sides
+    /// are interleaved structure-of-arrays: `x[i * batch + b]` holds entry
+    /// `i` of lane `b` on entry (as `b_b[i]`) and on return (as the
+    /// solution).
+    ///
+    /// Each lane undergoes exactly the per-entry operation sequence of
+    /// [`solve_in_place`](Self::solve_in_place): the register-blocked
+    /// passes there fuse columns into chained `mul_add`s but apply them in
+    /// the same column order the simple scatter loops do, so streaming
+    /// those columns once with an innermost lane loop is bit-identical per
+    /// lane while the B independent dependency chains fill the FMA
+    /// pipelines (the per-column multiplier loads amortize across lanes).
+    /// `solve_many_matches_each_lane_bitwise` pins the contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or `x.len() != n * batch`.
+    pub fn solve_many_in_place(&self, x: &mut [f64], batch: usize) {
+        assert!(batch > 0, "batch must be positive");
+        assert_eq!(x.len(), self.n * batch, "rhs length must be n × batch");
+        if batch == 1 {
+            self.solve_in_place(x);
+            return;
+        }
+        let hb = self.hb;
+        let stride = hb + 1;
+        // Forward: U·w = b, scaled columns stream from `fwd`, each applied
+        // to every lane before the next column (negating x[j] per lane
+        // reproduces the scalar pass's hoisted `nxj` bit for bit).
+        let bulk = self.n.saturating_sub(hb);
+        for j in 0..self.n {
+            let cols = if j < bulk { hb } else { self.n - j - 1 };
+            let col = &self.fwd[j * stride + 1..][..cols];
+            let (head, rest) = x.split_at_mut((j + 1) * batch);
+            let xj = &head[j * batch..];
+            for (c, l_kj) in col.iter().enumerate() {
+                for (x_k, x_j) in rest[c * batch..(c + 1) * batch].iter_mut().zip(xj) {
+                    *x_k = l_kj.mul_add(-*x_j, *x_k);
+                }
+            }
+        }
+        // Diagonal: v = D⁻¹·w.
+        for (xs, s) in x.chunks_exact_mut(batch).zip(&self.inv_diag2) {
+            for x_i in xs {
+                *x_i *= s;
+            }
+        }
+        // Backward: Uᵀ·x = v, scaled transposed rows stream from `bwd`.
+        for i in (hb.min(self.n)..self.n).rev() {
+            let row = &self.bwd[i * stride..][..hb];
+            let (head, rest) = x.split_at_mut(i * batch);
+            let xi = &rest[..batch];
+            let lo = (i - hb) * batch;
+            for (r, l_ik) in row.iter().enumerate() {
+                for (x_k, x_i) in head[lo + r * batch..lo + (r + 1) * batch]
+                    .iter_mut()
+                    .zip(xi)
+                {
+                    *x_k = l_ik.mul_add(-*x_i, *x_k);
+                }
+            }
+        }
+        for i in (0..hb.min(self.n)).rev() {
+            let row = &self.bwd[i * stride + (hb - i)..][..i];
+            let (head, rest) = x.split_at_mut(i * batch);
+            let xi = &rest[..batch];
+            for (r, l_ik) in row.iter().enumerate() {
+                for (x_k, x_i) in head[r * batch..(r + 1) * batch].iter_mut().zip(xi) {
+                    *x_k = l_ik.mul_add(-*x_i, *x_k);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1098,5 +1253,145 @@ mod tests {
     #[should_panic(expected = "must match in length")]
     fn axpy_in_place_rejects_length_mismatch() {
         axpy_in_place(&mut [1.0], 1.0, &[1.0, 2.0]);
+    }
+
+    /// Deterministic per-lane right-hand sides for the batched solves.
+    fn lane_rhs(n: usize, lane: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.7 + lane as f64 * 1.3).sin() * 4.0 - lane as f64 * 0.25)
+            .collect()
+    }
+
+    /// Interleaves per-lane vectors into the structure-of-arrays layout.
+    fn interleave(lanes: &[Vec<f64>]) -> Vec<f64> {
+        let n = lanes[0].len();
+        let mut soa = vec![0.0; n * lanes.len()];
+        for (b, lane) in lanes.iter().enumerate() {
+            for (i, &v) in lane.iter().enumerate() {
+                soa[i * lanes.len() + b] = v;
+            }
+        }
+        soa
+    }
+
+    #[test]
+    fn solve_many_matches_each_lane_bitwise() {
+        // (31, 5) exercises the register-blocked scalar reference path
+        // (hb ≥ 4, long bulk); (8, 5) is tail/head dominated; (4, 0) is
+        // the pure diagonal case; (24, 23) is an almost-dense band.
+        for (n, hb) in [(31usize, 5usize), (8, 5), (4, 0), (24, 23)] {
+            let (banded, _) = banded_case(n, hb);
+            let f = BandedCholeskyFactor::factorize(&banded).unwrap();
+            for batch in [1usize, 2, 3, 5, 64] {
+                let lanes: Vec<Vec<f64>> = (0..batch).map(|b| lane_rhs(n, b)).collect();
+                let mut soa = interleave(&lanes);
+                f.solve_many_in_place(&mut soa, batch);
+                for (b, lane) in lanes.iter().enumerate() {
+                    let mut reference = lane.clone();
+                    f.solve_in_place(&mut reference);
+                    for (i, want) in reference.iter().enumerate() {
+                        assert_eq!(
+                            soa[i * batch + b],
+                            *want,
+                            "lane {b} entry {i} (n={n}, hb={hb}, batch={batch}) \
+                             must not drift a bit from the scalar solve"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_many_at_thermal_scale_is_bitwise_stable() {
+        // The 8×8 paper floorplan factors to n = 192, hb = 24; keep the
+        // batched solve pinned to the scalar path at exactly that shape.
+        let (banded, _) = banded_case(192, 24);
+        let f = BandedCholeskyFactor::factorize(&banded).unwrap();
+        let batch = 8;
+        let lanes: Vec<Vec<f64>> = (0..batch).map(|b| lane_rhs(192, b)).collect();
+        let mut soa = interleave(&lanes);
+        f.solve_many_in_place(&mut soa, batch);
+        for (b, lane) in lanes.iter().enumerate() {
+            let mut reference = lane.clone();
+            f.solve_in_place(&mut reference);
+            for (i, want) in reference.iter().enumerate() {
+                assert_eq!(soa[i * batch + b], *want, "lane {b} entry {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length must be n × batch")]
+    fn solve_many_checks_length() {
+        let (banded, _) = banded_case(4, 1);
+        let f = BandedCholeskyFactor::factorize(&banded).unwrap();
+        let mut x = vec![0.0; 7];
+        f.solve_many_in_place(&mut x, 2);
+    }
+
+    #[test]
+    fn axpy_max_sum_batch_matches_each_lane_bitwise() {
+        let row = [0.5, 0.0, 4.0, 1.0, -2.5];
+        let probe = 2;
+        for lanes in [1usize, 3, 8] {
+            let base: Vec<f64> = (0..lanes).map(|b| 318.15 + b as f64 * 0.125).collect();
+            let p: Vec<f64> = (0..lanes).map(|b| 2.5 - b as f64 * 0.375).collect();
+            let rise_lanes: Vec<Vec<f64>> = (0..lanes).map(|b| lane_rhs(row.len(), b)).collect();
+            let rise = interleave(&rise_lanes);
+            let mut out = vec![
+                FusedScan {
+                    max: 0.0,
+                    sum: 0.0,
+                    probe: 0.0
+                };
+                lanes
+            ];
+            axpy_max_sum_batch(&base, &rise, &p, &row, probe, &mut out);
+            for b in 0..lanes {
+                let want = axpy_max_sum(base[b], &rise_lanes[b], p[b], &row, probe);
+                assert_eq!(out[b].max, want.max, "lane {b} max");
+                assert_eq!(out[b].sum, want.sum, "lane {b} sum");
+                assert_eq!(out[b].probe, want.probe, "lane {b} probe");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probe index")]
+    fn axpy_max_sum_batch_rejects_probe_out_of_range() {
+        let mut out = vec![
+            FusedScan {
+                max: 0.0,
+                sum: 0.0,
+                probe: 0.0
+            };
+            1
+        ];
+        axpy_max_sum_batch(&[0.0], &[1.0], &[1.0], &[1.0], 1, &mut out);
+    }
+
+    #[test]
+    fn axpy_in_place_batch_matches_each_lane_bitwise() {
+        let x = [2.0, 0.0, -4.0, 1.5];
+        for lanes in [1usize, 2, 5] {
+            let p: Vec<f64> = (0..lanes).map(|b| 0.5 - b as f64 * 0.75).collect();
+            let y_lanes: Vec<Vec<f64>> = (0..lanes).map(|b| lane_rhs(x.len(), b)).collect();
+            let mut y = interleave(&y_lanes);
+            axpy_in_place_batch(&mut y, &p, &x);
+            for b in 0..lanes {
+                let mut want = y_lanes[b].clone();
+                axpy_in_place(&mut want, p[b], &x);
+                for (i, w) in want.iter().enumerate() {
+                    assert_eq!(y[i * lanes + b], *w, "lane {b} entry {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "entries per lane")]
+    fn axpy_in_place_batch_rejects_length_mismatch() {
+        axpy_in_place_batch(&mut [1.0, 2.0, 3.0], &[1.0, 2.0], &[1.0, 2.0]);
     }
 }

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batched;
 mod config;
 mod integrator;
 mod predictor;
@@ -55,6 +56,7 @@ mod rc_model;
 mod steady;
 mod transient;
 
+pub use crate::batched::{BatchLane, BatchedTransient};
 pub use crate::config::ThermalConfig;
 pub use crate::integrator::Integrator;
 pub use crate::predictor::{PredictorModel, ThermalPredictor, ThreadFootprint};

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// Upper bound on cached backward-Euler factorizations. Real workloads use
 /// one or two distinct step sizes (the control period, plus possibly a
 /// settle window); the cap only guards against a caller sweeping step sizes.
-const MAX_CACHED_FACTORS: usize = 8;
+pub(crate) const MAX_CACHED_FACTORS: usize = 8;
 
 /// One cached backward-Euler factorization, keyed by the exact bit pattern
 /// of the step size it was assembled for.
@@ -189,6 +189,30 @@ impl TransientSimulator {
     #[must_use]
     pub fn elapsed(&self) -> Seconds {
         Seconds::new(self.elapsed)
+    }
+
+    /// The RC network this simulator integrates over (for the batched
+    /// lockstep stepper, which clones it to share one factor cache).
+    pub(crate) fn network(&self) -> &RcNetwork {
+        &self.network
+    }
+
+    /// Raw per-node temperatures in network order (cores first).
+    pub(crate) fn node_temps(&self) -> &[f64] {
+        &self.node_temps
+    }
+
+    /// Mutable raw per-node temperatures, for the batched stepper's
+    /// scatter-back after a multi-RHS solve.
+    pub(crate) fn node_temps_mut(&mut self) -> &mut [f64] {
+        &mut self.node_temps
+    }
+
+    /// Advances simulated time without integrating — the batched stepper
+    /// updates temperatures itself and then accounts for the step here,
+    /// matching [`step_recorded`](Self::step_recorded)'s bookkeeping.
+    pub(crate) fn advance_elapsed(&mut self, dt: f64) {
+        self.elapsed += dt;
     }
 
     /// Advances the thermal state by `dt` under a constant per-core power

@@ -183,7 +183,7 @@ mod tests {
         let fp = Floorplan::paper_8x8();
         let params = VariationParams::paper();
         let design = CriticalPathMap::synthesize(&fp, params.sites_per_core, params.design_seed);
-        let grid = fp.grid().clone();
+        let grid = fp.variation_grid().clone();
         let n = grid.cell_count();
         let theta = ThetaField::from_values(grid, fp.cols(), vec![theta_value; n]);
         let chip = Chip::from_theta(0, &fp, &design, theta, &params);
@@ -215,7 +215,7 @@ mod tests {
         let fp = Floorplan::paper_8x8();
         let params = VariationParams::paper();
         let design = CriticalPathMap::synthesize(&fp, params.sites_per_core, params.design_seed);
-        let grid: GridOverlay = fp.grid().clone();
+        let grid: GridOverlay = fp.variation_grid().clone();
         let mut values = vec![1.0; grid.cell_count()];
         // Poison exactly one critical-path site of core 0.
         let site = design.sites(CoreId::new(0))[0];

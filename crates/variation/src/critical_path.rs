@@ -45,7 +45,7 @@ impl CriticalPathMap {
             "critical paths must cross at least one grid point"
         );
         let mut rng = StdRng::seed_from_u64(design_seed);
-        let grid = floorplan.grid();
+        let grid = floorplan.variation_grid();
         let sites = floorplan
             .cores()
             .map(|core| {
@@ -86,7 +86,7 @@ mod tests {
         let fp = Floorplan::paper_8x8();
         let cp = CriticalPathMap::synthesize(&fp, 6, 1);
         for core in fp.cores() {
-            let block = fp.grid().cells_of_core(core, fp.cols());
+            let block = fp.variation_grid().cells_of_core(core, fp.cols());
             for site in cp.sites(core) {
                 assert!(block.contains(site), "site {site} outside core {core}");
             }

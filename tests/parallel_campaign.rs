@@ -8,12 +8,12 @@
 
 use hayat::sim::campaign::PolicyKind;
 use hayat::{
-    Campaign, ExecutorError, ExecutorOptions, GateSite, Jobs, RunDescriptor, RunUpdate,
-    SimulationConfig,
+    Batch, Campaign, ExecutorError, ExecutorOptions, FleetAccumulator, GateSite, Jobs,
+    RunDescriptor, RunUpdate, SimulationConfig,
 };
 use hayat_telemetry::{MemoryRecorder, NullRecorder, Recorder};
 use proptest::prelude::*;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The smallest non-degenerate campaign knobs that still exercise every
 /// layer (variation, thermal transient, DTM, aging table, policies).
@@ -64,6 +64,59 @@ proptest! {
             serde_json::to_string_pretty(&serial).unwrap(),
             serde_json::to_string_pretty(&parallel).unwrap()
         );
+    }
+
+    #[test]
+    fn batched_campaign_is_byte_identical_to_serial(
+        batch in 1usize..=16,
+        jobs_pick in 0usize..2,
+        chips in 1usize..=3,
+        epochs in 1usize..=2,
+        seed in 0u64..1000,
+    ) {
+        // `--batch` is a pure execution knob, like `--jobs`: random widths
+        // crossed with serial and 4-worker pools must reproduce the
+        // per-chip serial path byte-for-byte — per-run JSON *and* the
+        // folded fleet-statistics JSON.
+        let policies = [PolicyKind::Hayat, PolicyKind::Vaa];
+        let jobs = [Jobs::serial(), Jobs::new(4).unwrap()][jobs_pick];
+
+        let serial_fleet = Mutex::new(FleetAccumulator::new());
+        let serial = Campaign::new(small_config(chips, epochs, 0.5, seed))
+            .unwrap()
+            .try_run_observed(
+                &policies,
+                Jobs::serial(),
+                Arc::new(NullRecorder),
+                Some(&serial_fleet),
+                None,
+            )
+            .unwrap();
+
+        let batched_fleet = Mutex::new(FleetAccumulator::new());
+        let batched = Campaign::new(small_config(chips, epochs, 0.5, seed))
+            .unwrap()
+            .with_batch(Batch::new(batch).unwrap())
+            .try_run_observed(
+                &policies,
+                jobs,
+                Arc::new(NullRecorder),
+                Some(&batched_fleet),
+                None,
+            )
+            .unwrap();
+
+        prop_assert_eq!(&serial, &batched);
+        prop_assert_eq!(
+            serde_json::to_string_pretty(&serial).unwrap(),
+            serde_json::to_string_pretty(&batched).unwrap()
+        );
+        let summarize = |fleet: &Mutex<FleetAccumulator>| {
+            let mut fleet = fleet.lock().unwrap();
+            fleet.finish();
+            serde_json::to_string_pretty(&fleet.summary()).unwrap()
+        };
+        prop_assert_eq!(summarize(&serial_fleet), summarize(&batched_fleet));
     }
 }
 
