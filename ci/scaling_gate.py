@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Parse a BENCH_8 report and gate the scaling + scheduler results.
+
+Usage:
+    python3 ci/scaling_gate.py BENCH_8.json            # full gate mode
+    python3 ci/scaling_gate.py BENCH_8.json --smoke    # structure + booleans only
+
+Both modes print a readable table of the campaign-scaling sweep and the
+scheduler (static vs work-stealing) sweep, then check the report's
+self-asserted boolean gates (determinism across jobs, determinism across
+schedules, the decision-path advance gate, the observability overhead
+gate, and the batched-kernel gates).
+
+Gate mode additionally enforces the timing thresholds on a multi-core
+host: jobs-4 speedup >= 2.5x for both schedules, steal within 5% of
+static on the skewed workload (parity is the honest expectation — the
+shared static cursor is already greedy-optimal at claim granularity),
+and at least one successful steal recorded at 4 jobs. When the report
+says the sweep was skipped (host too narrow), the timing gates are
+skipped with an explicit log line instead of failing.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"scaling-gate: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(ok, msg):
+    if not ok:
+        fail(msg)
+    print(f"scaling-gate: ok: {msg}")
+
+
+def main():
+    args = [a for a in sys.argv[1:] if a != "--smoke"]
+    smoke = "--smoke" in sys.argv[1:]
+    if len(args) != 1:
+        fail("usage: scaling_gate.py BENCH_8.json [--smoke]")
+
+    with open(args[0]) as f:
+        report = json.load(f)
+
+    if report.get("bench") != "BENCH_8":
+        fail(f"expected a BENCH_8 report, got bench={report.get('bench')!r}")
+
+    scaling = report.get("campaign_scaling")
+    sched = report.get("scheduler")
+    decision = report.get("decision_path")
+    obs = report.get("observability")
+    batched = report.get("batched_kernels")
+    for name, section in [
+        ("campaign_scaling", scaling),
+        ("scheduler", sched),
+        ("decision_path", decision),
+        ("observability", obs),
+        ("batched_kernels", batched),
+    ]:
+        if not isinstance(section, dict):
+            fail(f"report is missing the {name!r} section")
+
+    print(f"campaign scaling: {scaling['config']}")
+    if scaling["points"]:
+        print(f"  {'jobs':>4}  {'wall (s)':>10}  {'speedup':>8}")
+        for p in scaling["points"]:
+            print(
+                f"  {p['jobs']:>4}  {p['wall_seconds']:>10.3f}"
+                f"  {p['speedup_vs_serial']:>7.2f}x"
+            )
+    else:
+        print(f"  (sweep skipped: {scaling.get('sweep_skipped')})")
+
+    print(f"scheduler: {sched['config']}")
+    print(f"  skew: {sched['skew']}")
+    if sched["points"]:
+        print(
+            f"  {'jobs':>4}  {'static (s)':>10}  {'steal (s)':>10}"
+            f"  {'steal/static':>12}"
+        )
+        for p in sched["points"]:
+            print(
+                f"  {p['jobs']:>4}  {p['static_wall_seconds']:>10.3f}"
+                f"  {p['steal_wall_seconds']:>10.3f}"
+                f"  {p['steal_vs_static']:>11.2f}x"
+            )
+    else:
+        print(f"  (sweep skipped: {sched.get('sweep_skipped')})")
+    for u in sched.get("utilization", []):
+        print(
+            f"  busy fraction [{u['schedule']:>6} jobs={u['jobs']}]:"
+            f" min {u['min_busy_fraction']:.2f}"
+            f" max {u['max_busy_fraction']:.2f}"
+        )
+    print(
+        f"  steals at 4 jobs: {sched['steals_at_4_jobs']}"
+        f" (+{sched['steal_fails_at_4_jobs']} empty probes)"
+    )
+    b8 = batched.get("speedup_at_batch_8")
+    b64 = batched.get("speedup_at_batch_64")
+    print(f"batched kernels: batch 8 {b8:.2f}x, batch 64 {b64:.2f}x vs serial")
+
+    # Boolean self-gates: checked in both modes. These are asserted by the
+    # bench binary itself; re-checking them here catches a stale or
+    # hand-edited report.
+    check(
+        scaling.get("deterministic_across_jobs") is True,
+        "campaign export byte-identical across --jobs",
+    )
+    check(
+        sched.get("deterministic_across_schedules") is True,
+        "campaign export byte-identical across --schedule static|steal",
+    )
+    check(
+        decision.get("advance_gate_ok") is True,
+        "direct age-curve inversion beats the bisection oracle >= 5x",
+    )
+    check(
+        obs.get("overhead_gate_ok") is True,
+        "fleet sketch streaming costs < 2% of campaign wall time",
+    )
+    check(
+        batched.get("batch64_gate_ok") is True,
+        "batched kernel composite >= 1.5x at batch 64",
+    )
+    check(
+        isinstance(b8, (int, float)) and b8 >= 1.0,
+        f"batch-8 kernel throughput clears serial ({b8:.2f}x >= 1.0x)",
+    )
+
+    if smoke:
+        print("scaling-gate: smoke mode, timing gates not enforced — PASS")
+        return
+
+    # Timing gates: only meaningful on a host wide enough to run the
+    # sweeps. The bench records why it skipped; surface that instead of
+    # failing a 1- or 2-core runner on numbers it never measured.
+    skipped = scaling.get("sweep_skipped") or sched.get("sweep_skipped")
+    if skipped or sched.get("host_parallelism", 0) < 4:
+        print(
+            "scaling-gate: timing gates SKIPPED:"
+            f" {skipped or 'host parallelism below 4'}"
+        )
+        print("scaling-gate: boolean gates passed — PASS")
+        return
+
+    static4 = sched.get("static_speedup_at_4_jobs")
+    steal4 = sched.get("steal_speedup_at_4_jobs")
+    check(
+        isinstance(static4, (int, float)) and static4 >= 2.5,
+        f"static schedule speedup at 4 jobs >= 2.5x (got {static4:.2f}x)",
+    )
+    check(
+        isinstance(steal4, (int, float)) and steal4 >= 2.5,
+        f"steal schedule speedup at 4 jobs >= 2.5x (got {steal4:.2f}x)",
+    )
+    p4 = next((p for p in sched["points"] if p["jobs"] == 4), None)
+    check(p4 is not None, "scheduler sweep includes a jobs=4 point")
+    check(
+        p4["steal_vs_static"] >= 0.95,
+        "steal within 5% of static on the skewed workload"
+        f" (got {p4['steal_vs_static']:.2f}x)",
+    )
+    check(
+        sched.get("steals_at_4_jobs", 0) >= 1,
+        f"work stealing engaged at 4 jobs ({sched['steals_at_4_jobs']} steals)",
+    )
+    print("scaling-gate: all gates passed — PASS")
+
+
+if __name__ == "__main__":
+    main()

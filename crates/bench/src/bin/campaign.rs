@@ -35,8 +35,8 @@ use std::time::Duration;
 
 use hayat::sim::campaign::PolicyKind;
 use hayat::{
-    Batch, Campaign, CampaignResult, DynError, FleetAccumulator, Jobs, ProgressOptions, RunMetrics,
-    SimulationConfig,
+    Batch, Campaign, CampaignResult, DynError, FleetAccumulator, Jobs, Pinning, ProgressOptions,
+    RunMetrics, Schedule, SimulationConfig,
 };
 use hayat_aging::TablePath;
 use hayat_checkpoint::{Checkpointer, FailPoint, ShardedCheckpointer};
@@ -63,6 +63,8 @@ struct Args {
     resume_path: Option<String>,
     jobs: Jobs,
     batch: Batch,
+    schedule: Schedule,
+    pin: Pinning,
     table_path: TablePath,
     fleet: Option<usize>,
     run_format_path: Option<String>,
@@ -76,6 +78,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: campaign [--dark F] [--chips N] [--years Y] [--epoch Y] \
          [--window S] [--seed N] [--mesh N] [--jobs N|auto] [--batch N] \
+         [--schedule static|steal] [--pin none|cores] \
          [--table-path fast|oracle] \
          [--policies vaa,hayat,coolest,random] [--csv DIR] [--json FILE] \
          [--telemetry FILE.jsonl] [--fleet-stats FILE.json] \
@@ -93,6 +96,13 @@ fn usage() -> ! {
          \n\
          --jobs sets the worker-thread count (default: all hardware \
          threads); output is byte-identical for every value, including 1. \
+         --schedule selects how workers claim work: one shared cursor \
+         (static, default) or per-worker deques with work stealing (steal, \
+         better under skewed per-run cost); --pin pins worker W to core \
+         W mod cores. Both are pure execution knobs — output is \
+         byte-identical for every combination. The HAYAT_JOBS, \
+         HAYAT_SCHEDULE, and HAYAT_PIN environment variables set the \
+         defaults; the flags override them. \
          --batch runs N consecutive chips in lockstep per worker claim \
          through the batched SoA thermal/policy kernels (default 1); like \
          --jobs it is a pure execution knob — output is byte-identical for \
@@ -146,6 +156,15 @@ fn parse_replay(spec: &str) -> (PolicyKind, usize) {
     (parse_policy(policy), chip)
 }
 
+/// Reads one `HAYAT_*` env-var default, exiting with the parse message on
+/// garbage (same treatment as a bad flag value).
+fn env_default<T>(read: impl FnOnce() -> Result<T, String>) -> T {
+    read().unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        std::process::exit(2)
+    })
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
         dark: 0.5,
@@ -165,8 +184,10 @@ fn parse_args() -> Args {
         checkpoint_path: None,
         every: None,
         resume_path: None,
-        jobs: Jobs::auto(),
+        jobs: env_default(Jobs::from_env),
         batch: Batch::serial(),
+        schedule: env_default(Schedule::from_env),
+        pin: env_default(Pinning::from_env),
         table_path: TablePath::default(),
         fleet: None,
         run_format_path: None,
@@ -213,6 +234,18 @@ fn parse_args() -> Args {
             }
             "--batch" => {
                 args.batch = value("--batch").parse().unwrap_or_else(|msg| {
+                    eprintln!("{msg}");
+                    usage()
+                });
+            }
+            "--schedule" => {
+                args.schedule = value("--schedule").parse().unwrap_or_else(|msg| {
+                    eprintln!("{msg}");
+                    usage()
+                });
+            }
+            "--pin" => {
+                args.pin = value("--pin").parse().unwrap_or_else(|msg| {
                     eprintln!("{msg}");
                     usage()
                 });
@@ -397,6 +430,8 @@ fn run_fleet(
         });
         let mut runner = ShardedCheckpointer::new(path)
             .jobs(args.jobs)
+            .schedule(args.schedule)
+            .pinning(args.pin)
             .with_failpoint(failpoint)
             .shard_runs(args.shard_runs.expect("validated by parse_args"))
             .with_fleet(Arc::clone(&fleet));
@@ -520,7 +555,9 @@ fn main() {
     let campaign = Campaign::new(config)
         .expect("configuration is valid")
         .with_table_path(args.table_path)
-        .with_batch(args.batch);
+        .with_batch(args.batch)
+        .with_schedule(args.schedule)
+        .with_pinning(args.pin);
     if let Some((kind, chip)) = args.replay {
         replay_run(&campaign, kind, chip);
         return;
@@ -529,7 +566,7 @@ fn main() {
     let config = campaign.config();
     println!(
         "campaign: {}x{} mesh, {} chips{}, {:.0}% dark, {} years in {}-year epochs, \
-         policies {:?}, {} jobs, batch {}",
+         policies {:?}, {} jobs, batch {}, schedule {}, pin {}",
         config.mesh.0,
         config.mesh.1,
         config.chip_count,
@@ -543,7 +580,9 @@ fn main() {
         config.epoch_years,
         args.policies,
         args.jobs,
-        args.batch
+        args.batch,
+        args.schedule,
+        args.pin
     );
     let recorder = args
         .telemetry_path
@@ -573,6 +612,8 @@ fn main() {
         let outcome = if let Some(shard_runs) = args.shard_runs {
             let mut runner = ShardedCheckpointer::new(path)
                 .jobs(args.jobs)
+                .schedule(args.schedule)
+                .pinning(args.pin)
                 .with_failpoint(failpoint)
                 .shard_runs(shard_runs);
             if let Some(every) = args.every {
@@ -596,6 +637,8 @@ fn main() {
         } else {
             let mut runner = Checkpointer::new(path)
                 .jobs(args.jobs)
+                .schedule(args.schedule)
+                .pinning(args.pin)
                 .with_failpoint(failpoint);
             if let Some(every) = args.every {
                 runner = runner.every(every);

@@ -17,6 +17,10 @@
 //!
 //! `--jobs N|auto` (default `auto` = available parallelism) runs the
 //! campaign grid on N worker threads; output is byte-identical for any N.
+//! `--schedule static|steal` selects how workers claim work and `--pin
+//! none|cores` pins workers to cores — both pure execution knobs with
+//! byte-identical output. The `HAYAT_JOBS`, `HAYAT_SCHEDULE`, and
+//! `HAYAT_PIN` environment variables set the defaults; flags override.
 //!
 //! The default run is long enough to be worth protecting: `--checkpoint
 //! STEM` persists each dark-fraction campaign to `STEM.dark25` /
@@ -33,7 +37,9 @@
 use std::sync::{Arc, Mutex};
 
 use hayat::sim::campaign::PolicyKind;
-use hayat::{Campaign, CampaignSummary, FleetAccumulator, Jobs, SimulationConfig};
+use hayat::{
+    Campaign, CampaignSummary, FleetAccumulator, Jobs, Pinning, Schedule, SimulationConfig,
+};
 use hayat_bench::{bar_row, section};
 use hayat_checkpoint::{Checkpointer, FailPoint};
 use hayat_telemetry::{JsonlRecorder, NullRecorder, Recorder};
@@ -89,16 +95,36 @@ fn main() {
         .map(|v| v.parse().expect("--every takes a positive epoch count"));
     // Worker threads for the campaign grid; results are byte-identical
     // regardless of the count, so this only changes wall-clock time.
+    let exit_on_err = |err: String| -> ! {
+        eprintln!("{err}");
+        std::process::exit(2)
+    };
     let jobs = args
         .iter()
         .position(|a| a == "--jobs")
         .and_then(|i| args.get(i + 1))
-        .map_or(Jobs::auto(), |v| {
-            v.parse().unwrap_or_else(|err| {
-                eprintln!("{err}");
-                std::process::exit(2)
-            })
-        });
+        .map_or_else(
+            || Jobs::from_env().unwrap_or_else(|e| exit_on_err(e)),
+            |v| v.parse().unwrap_or_else(|e| exit_on_err(e)),
+        );
+    // Scheduler knobs: flags override the HAYAT_SCHEDULE / HAYAT_PIN
+    // env defaults. Pure execution knobs — output is byte-identical.
+    let schedule = args
+        .iter()
+        .position(|a| a == "--schedule")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(
+            || Schedule::from_env().unwrap_or_else(|e| exit_on_err(e)),
+            |v| v.parse().unwrap_or_else(|e| exit_on_err(e)),
+        );
+    let pin = args
+        .iter()
+        .position(|a| a == "--pin")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(
+            || Pinning::from_env().unwrap_or_else(|e| exit_on_err(e)),
+            |v| v.parse().unwrap_or_else(|e| exit_on_err(e)),
+        );
     // One shared fail point: HAYAT_FAILPOINT hits count across BOTH
     // dark-fraction campaigns, so any point of the experiment is killable.
     let failpoint = Arc::new(FailPoint::from_env().unwrap_or_else(|msg| {
@@ -112,7 +138,10 @@ fn main() {
             config.epoch_years = 0.5;
             config.transient_window_seconds = 1.5;
         }
-        let campaign = Campaign::new(config).expect("paper configuration is valid");
+        let campaign = Campaign::new(config)
+            .expect("paper configuration is valid")
+            .with_schedule(schedule)
+            .with_pinning(pin);
         let policies = [PolicyKind::Vaa, PolicyKind::Hayat];
         let fleet = fleet_stem
             .as_ref()
@@ -122,6 +151,8 @@ fn main() {
             let path = format!("{stem}.dark{}", (dark * 100.0) as u32);
             let mut runner = Checkpointer::new(&path)
                 .jobs(jobs)
+                .schedule(schedule)
+                .pinning(pin)
                 .with_failpoint(Arc::clone(&failpoint));
             if let Some(every) = every {
                 runner = runner.every(every);

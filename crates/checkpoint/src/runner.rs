@@ -4,8 +4,8 @@ use crate::checkpoint::{CampaignCheckpoint, CheckpointError, InFlightRun};
 use crate::failpoint::{FailPoint, InjectedFailure};
 use hayat::{
     Campaign, CampaignResult, DynError, ExecutorError, ExecutorOptions, FleetAccumulator, GateSite,
-    InFlightState, Jobs, PolicyKind, ProgressOptions, RestoreError, RunDescriptor, RunMetrics,
-    RunUpdate,
+    InFlightState, Jobs, Pinning, PolicyKind, ProgressOptions, RestoreError, RunDescriptor,
+    RunMetrics, RunUpdate, Schedule,
 };
 use hayat_telemetry::{NullRecorder, Recorder, RecorderExt};
 use std::collections::BTreeMap;
@@ -82,6 +82,8 @@ pub struct Checkpointer {
     path: PathBuf,
     every_epochs: Option<usize>,
     jobs: Jobs,
+    schedule: Schedule,
+    pinning: Pinning,
     recorder: Arc<dyn Recorder>,
     failpoint: Arc<FailPoint>,
     fleet: Option<Arc<Mutex<FleetAccumulator>>>,
@@ -97,6 +99,8 @@ impl Checkpointer {
             path: path.as_ref().to_path_buf(),
             every_epochs: None,
             jobs: Jobs::auto(),
+            schedule: Schedule::default(),
+            pinning: Pinning::default(),
             recorder: Arc::new(NullRecorder),
             failpoint: Arc::new(FailPoint::disarmed()),
             fleet: None,
@@ -111,6 +115,24 @@ impl Checkpointer {
     #[must_use]
     pub const fn jobs(mut self, jobs: Jobs) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Sets the worker schedule (default: [`Schedule::Static`]). Like
+    /// `jobs`, a pure execution knob outside the checkpoint's config hash:
+    /// a run checkpointed under one schedule resumes under another with
+    /// byte-identical results.
+    #[must_use]
+    pub const fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets worker core pinning (default: [`Pinning::None`]). A placement
+    /// hint only; never influences results or resumability.
+    #[must_use]
+    pub const fn pinning(mut self, pinning: Pinning) -> Self {
+        self.pinning = pinning;
         self
     }
 
@@ -293,6 +315,8 @@ impl Checkpointer {
         };
         let options = ExecutorOptions {
             jobs: self.jobs,
+            schedule: self.schedule,
+            pinning: self.pinning,
             snapshot_every: Some(every),
             gate: Some(&gate),
             progress: self.progress.clone(),

@@ -38,7 +38,7 @@ use crate::failpoint::FailPoint;
 use crate::runner::{DEFAULT_EVERY_EPOCHS, FAILPOINT_CHIP, FAILPOINT_EPOCH};
 use hayat::{
     Campaign, CampaignResult, DynError, ExecutorOptions, FleetAccumulator, GateSite, InFlightState,
-    Jobs, PolicyKind, ProgressOptions, RunDescriptor, RunMetrics, RunUpdate,
+    Jobs, Pinning, PolicyKind, ProgressOptions, RunDescriptor, RunMetrics, RunUpdate, Schedule,
 };
 use hayat_telemetry::{NullRecorder, Recorder, RecorderExt};
 use serde::{Deserialize, Serialize};
@@ -171,6 +171,8 @@ pub struct ShardedCheckpointer {
     shard_runs: usize,
     every_epochs: Option<usize>,
     jobs: Jobs,
+    schedule: Schedule,
+    pinning: Pinning,
     recorder: Arc<dyn Recorder>,
     failpoint: Arc<FailPoint>,
     fleet: Option<Arc<Mutex<FleetAccumulator>>>,
@@ -189,6 +191,8 @@ impl ShardedCheckpointer {
             shard_runs: DEFAULT_SHARD_RUNS,
             every_epochs: None,
             jobs: Jobs::auto(),
+            schedule: Schedule::default(),
+            pinning: Pinning::default(),
             recorder: Arc::new(NullRecorder),
             failpoint: Arc::new(FailPoint::disarmed()),
             fleet: None,
@@ -213,6 +217,22 @@ impl ShardedCheckpointer {
     #[must_use]
     pub const fn jobs(mut self, jobs: Jobs) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Sets the worker schedule; see
+    /// [`Checkpointer::schedule`](crate::Checkpointer::schedule).
+    #[must_use]
+    pub const fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets worker core pinning; see
+    /// [`Checkpointer::pinning`](crate::Checkpointer::pinning).
+    #[must_use]
+    pub const fn pinning(mut self, pinning: Pinning) -> Self {
+        self.pinning = pinning;
         self
     }
 
@@ -492,6 +512,8 @@ impl ShardedCheckpointer {
         };
         let options = ExecutorOptions {
             jobs: self.jobs,
+            schedule: self.schedule,
+            pinning: self.pinning,
             snapshot_every: Some(manifest.every_epochs.max(1)),
             gate: Some(&gate),
             progress: self.progress.clone(),

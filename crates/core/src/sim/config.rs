@@ -343,6 +343,141 @@ impl std::str::FromStr for Batch {
     }
 }
 
+/// How workers claim campaign work (the `--schedule` flag).
+///
+/// Like [`Jobs`] and [`Batch`], deliberately *not* a field of
+/// [`SimulationConfig`]: the schedule is a pure execution knob. Results from
+/// any schedule flow through the same canonical-order merge, so campaign
+/// output is byte-identical across schedules and a checkpointed run started
+/// under one schedule resumes under another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Schedule {
+    /// Workers pull the next claim from one shared atomic cursor. Lowest
+    /// coordination overhead when claims are cheap and uniform.
+    #[default]
+    Static,
+    /// Work stealing: claims are block-partitioned into per-worker deques
+    /// up front; a worker that drains its own deque steals the tail half of
+    /// a randomly chosen victim's. Avoids the shared hot cursor and keeps
+    /// workers busy under skewed per-run costs.
+    Steal,
+}
+
+impl Schedule {
+    /// The schedule requested through the `HAYAT_SCHEDULE` environment
+    /// variable, the default ([`Schedule::Static`]) when unset or empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse message when the variable is set to something other
+    /// than `static` or `steal`.
+    pub fn from_env() -> Result<Self, String> {
+        match std::env::var("HAYAT_SCHEDULE") {
+            Ok(text) if !text.trim().is_empty() => text
+                .trim()
+                .parse()
+                .map_err(|e| format!("HAYAT_SCHEDULE: {e}")),
+            _ => Ok(Schedule::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Schedule::Static => "static",
+            Schedule::Steal => "steal",
+        })
+    }
+}
+
+impl std::str::FromStr for Schedule {
+    type Err = String;
+
+    /// Parses the `--schedule` flag: `static` or `steal`.
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        match text.to_ascii_lowercase().as_str() {
+            "static" => Ok(Schedule::Static),
+            "steal" => Ok(Schedule::Steal),
+            other => Err(format!(
+                "--schedule wants 'static' or 'steal', got '{other}'"
+            )),
+        }
+    }
+}
+
+/// Whether campaign workers are pinned to hardware cores (the `--pin` flag).
+///
+/// A scheduling hint only — pinning can never influence results. On hosts
+/// where affinity cannot be queried or set, [`Pinning::Cores`] degrades to a
+/// no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pinning {
+    /// Let the OS place worker threads freely.
+    #[default]
+    None,
+    /// Pin worker `w` to available core `w mod cores`, round-robin.
+    Cores,
+}
+
+impl Pinning {
+    /// The pinning requested through the `HAYAT_PIN` environment variable,
+    /// the default ([`Pinning::None`]) when unset or empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse message when the variable is set to something other
+    /// than `none` or `cores`.
+    pub fn from_env() -> Result<Self, String> {
+        match std::env::var("HAYAT_PIN") {
+            Ok(text) if !text.trim().is_empty() => {
+                text.trim().parse().map_err(|e| format!("HAYAT_PIN: {e}"))
+            }
+            _ => Ok(Pinning::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for Pinning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Pinning::None => "none",
+            Pinning::Cores => "cores",
+        })
+    }
+}
+
+impl std::str::FromStr for Pinning {
+    type Err = String;
+
+    /// Parses the `--pin` flag: `none` or `cores`.
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        match text.to_ascii_lowercase().as_str() {
+            "none" => Ok(Pinning::None),
+            "cores" => Ok(Pinning::Cores),
+            other => Err(format!("--pin wants 'none' or 'cores', got '{other}'")),
+        }
+    }
+}
+
+impl Jobs {
+    /// The worker count requested through the `HAYAT_JOBS` environment
+    /// variable, the default ([`Jobs::auto`]) when unset or empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse message when the variable is set to something other
+    /// than `auto` or a positive integer.
+    pub fn from_env() -> Result<Self, String> {
+        match std::env::var("HAYAT_JOBS") {
+            Ok(text) if !text.trim().is_empty() => {
+                text.trim().parse().map_err(|e| format!("HAYAT_JOBS: {e}"))
+            }
+            _ => Ok(Jobs::auto()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,5 +589,24 @@ mod tests {
         assert!("many".parse::<Jobs>().is_err());
         assert_eq!(Jobs::new(0), None);
         assert_eq!(format!("{}", Jobs::new(3).unwrap()), "3");
+    }
+
+    #[test]
+    fn schedule_parses_and_displays() {
+        assert_eq!("static".parse::<Schedule>(), Ok(Schedule::Static));
+        assert_eq!("steal".parse::<Schedule>(), Ok(Schedule::Steal));
+        assert_eq!("STEAL".parse::<Schedule>(), Ok(Schedule::Steal));
+        assert!("dynamic".parse::<Schedule>().is_err());
+        assert_eq!(Schedule::default(), Schedule::Static);
+        assert_eq!(format!("{}", Schedule::Steal), "steal");
+    }
+
+    #[test]
+    fn pinning_parses_and_displays() {
+        assert_eq!("none".parse::<Pinning>(), Ok(Pinning::None));
+        assert_eq!("cores".parse::<Pinning>(), Ok(Pinning::Cores));
+        assert!("numa".parse::<Pinning>().is_err());
+        assert_eq!(Pinning::default(), Pinning::None);
+        assert_eq!(format!("{}", Pinning::Cores), "cores");
     }
 }

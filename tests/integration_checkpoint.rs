@@ -4,7 +4,7 @@
 //! repeated crash/resume cycles.
 
 use hayat::sim::campaign::PolicyKind;
-use hayat::{Campaign, Jobs, SimulationConfig, SimulationEngine};
+use hayat::{Campaign, Jobs, Schedule, SimulationConfig, SimulationEngine};
 use hayat_checkpoint::{
     CampaignCheckpointExt, CheckpointError, Checkpointer, FailMode, FailPoint, FAILPOINT_CHIP,
     FAILPOINT_EPOCH,
@@ -179,6 +179,49 @@ fn parallel_checkpointed_run_matches_serial_and_uncheckpointed() {
     );
     std::fs::remove_file(&serial_path).ok();
     std::fs::remove_file(&parallel_path).ok();
+}
+
+#[test]
+fn checkpoint_resumes_byte_identical_across_schedule_changes() {
+    // The schedule is not part of the checkpoint: completed runs are keyed
+    // by canonical descriptor index, so a campaign checkpointed under the
+    // static cursor resumes under work stealing (and vice versa) to the
+    // same bytes as an uninterrupted run.
+    let campaign = Campaign::new(tiny_config(0.5)).unwrap();
+    let policies = [PolicyKind::Hayat, PolicyKind::Vaa];
+    let uninterrupted = campaign.run(&policies);
+
+    for (from, to) in [
+        (Schedule::Static, Schedule::Steal),
+        (Schedule::Steal, Schedule::Static),
+    ] {
+        let path = scratch(&format!("sched_{from}_{to}"));
+        let interrupted = Checkpointer::new(&path)
+            .every(1)
+            .jobs(Jobs::new(2).unwrap())
+            .schedule(from)
+            .with_failpoint(FailPoint::armed(FAILPOINT_EPOCH, 5, FailMode::Error))
+            .run(&campaign, &policies);
+        assert!(
+            matches!(interrupted, Err(CheckpointError::Injected(_))),
+            "the armed fail point must abort the {from}-scheduled campaign"
+        );
+
+        let resumed = Checkpointer::new(&path)
+            .jobs(Jobs::new(2).unwrap())
+            .schedule(to)
+            .resume(&campaign)
+            .unwrap();
+        assert_eq!(
+            resumed, uninterrupted,
+            "checkpointed under {from}, resumed under {to}"
+        );
+        assert_eq!(
+            serde_json::to_string(&resumed).unwrap(),
+            serde_json::to_string(&uninterrupted).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
 }
 
 #[test]
