@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
-"""Parse a BENCH_8 report and gate the scaling + scheduler results.
+"""Parse a BENCH_9 report and gate the scaling + scheduler results.
 
 Usage:
-    python3 ci/scaling_gate.py BENCH_8.json            # full gate mode
-    python3 ci/scaling_gate.py BENCH_8.json --smoke    # structure + booleans only
+    python3 ci/scaling_gate.py BENCH_9.json            # full gate mode
+    python3 ci/scaling_gate.py BENCH_9.json --smoke    # structure + booleans only
 
-Both modes print a readable table of the campaign-scaling sweep and the
-scheduler (static vs work-stealing) sweep, then check the report's
-self-asserted boolean gates (determinism across jobs, determinism across
-schedules, the decision-path advance gate, the observability overhead
-gate, and the batched-kernel gates).
+Both modes print a readable table of the campaign-scaling sweep, the
+scheduler (static vs work-stealing) sweep, and the large-floorplan sweep
+(tiled candidate index vs exhaustive scan per mesh size), then check the
+report's self-asserted boolean gates (determinism across jobs,
+determinism across schedules, the decision-path advance gate, the
+observability overhead gate, the batched-kernel gates, and the tiled
+decision-search gate — at least 5x over the exhaustive scan at 32x32).
 
 Gate mode additionally enforces the timing thresholds on a multi-core
 host: jobs-4 speedup >= 2.5x for both schedules, steal within 5% of
@@ -39,25 +41,27 @@ def main():
     args = [a for a in sys.argv[1:] if a != "--smoke"]
     smoke = "--smoke" in sys.argv[1:]
     if len(args) != 1:
-        fail("usage: scaling_gate.py BENCH_8.json [--smoke]")
+        fail("usage: scaling_gate.py BENCH_9.json [--smoke]")
 
     with open(args[0]) as f:
         report = json.load(f)
 
-    if report.get("bench") != "BENCH_8":
-        fail(f"expected a BENCH_8 report, got bench={report.get('bench')!r}")
+    if report.get("bench") != "BENCH_9":
+        fail(f"expected a BENCH_9 report, got bench={report.get('bench')!r}")
 
     scaling = report.get("campaign_scaling")
     sched = report.get("scheduler")
     decision = report.get("decision_path")
     obs = report.get("observability")
     batched = report.get("batched_kernels")
+    floorplan = report.get("large_floorplan")
     for name, section in [
         ("campaign_scaling", scaling),
         ("scheduler", sched),
         ("decision_path", decision),
         ("observability", obs),
         ("batched_kernels", batched),
+        ("large_floorplan", floorplan),
     ]:
         if not isinstance(section, dict):
             fail(f"report is missing the {name!r} section")
@@ -102,6 +106,22 @@ def main():
     b64 = batched.get("speedup_at_batch_64")
     print(f"batched kernels: batch 8 {b8:.2f}x, batch 64 {b64:.2f}x vs serial")
 
+    print(f"large floorplans: {floorplan['setup']}")
+    print(
+        f"  {'size':>6}  {'cores':>5}  {'exhaustive (ms)':>15}"
+        f"  {'tiled (ms)':>10}  {'speedup':>8}  {'epoch (s)':>9}"
+    )
+    for p in floorplan.get("points", []):
+        print(
+            f"  {p['size']:>6}  {p['cores']:>5}"
+            f"  {p['exhaustive_decision_seconds'] * 1e3:>15.3f}"
+            f"  {p['tiled_decision_seconds'] * 1e3:>10.3f}"
+            f"  {p['decision_speedup']:>7.2f}x"
+            f"  {p['tiled_epoch_seconds']:>9.3f}"
+        )
+    for s in floorplan.get("skipped", []):
+        print(f"  {s['size']:>6}  (skipped: {s['reason']})")
+
     # Boolean self-gates: checked in both modes. These are asserted by the
     # bench binary itself; re-checking them here catches a stale or
     # hand-edited report.
@@ -128,6 +148,20 @@ def main():
     check(
         isinstance(b8, (int, float)) and b8 >= 1.0,
         f"batch-8 kernel throughput clears serial ({b8:.2f}x >= 1.0x)",
+    )
+    fp32 = floorplan.get("speedup_at_32x32")
+    check(
+        floorplan.get("tiled_gate_ok") is True
+        and isinstance(fp32, (int, float))
+        and fp32 >= 5.0,
+        f"tiled decision search >= 5x exhaustive at 32x32 ({fp32:.2f}x)",
+    )
+    sizes = {p.get("size") for p in floorplan.get("points", [])} | {
+        s.get("size") for s in floorplan.get("skipped", [])
+    }
+    check(
+        {"8x8", "16x16", "32x32", "64x64"} <= sizes,
+        "large-floorplan sweep records all four mesh sizes",
     )
 
     if smoke:

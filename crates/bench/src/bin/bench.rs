@@ -1,4 +1,4 @@
-//! Perf-trajectory benchmark: emits `BENCH_8.json` at the repo root with
+//! Perf-trajectory benchmark: emits `BENCH_9.json` at the repo root with
 //! wall-times for the three kernels that bound the decade-scale evaluation
 //! — a **transient window** (2 s of 6.6 ms control periods on the bare
 //! thermal simulator), a **single epoch**, and a **single-chip decade**
@@ -18,7 +18,12 @@
 //! the work-stealing one at `--jobs 1/2/4` on a skewed-cost campaign
 //! (every fourth chip busy-spins 9x longer in the run gate), checking
 //! byte-identity of the two schedules' output before timing anything and
-//! recording steal counters plus per-worker busy-time utilization.
+//! recording steal counters plus per-worker busy-time utilization, plus a
+//! **large floorplan** section sweeping the mesh through 8×8 / 16×16 /
+//! 32×32 (and 64×64 under `--full`) and racing the tiled candidate index
+//! against the exhaustive scan on one aged-chip Hayat decision per size,
+//! with a hard tiled-at-least-5x gate at 32×32 and the per-chip epoch
+//! wall time recorded alongside.
 //!
 //! Two thermal configurations are measured:
 //!
@@ -57,7 +62,7 @@
 use hayat::{
     Campaign, ChipBatch, ChipSystem, ExecutorOptions, FleetAccumulator, GateSite, HayatPolicy,
     Jobs, Policy, PolicyContext, PolicyScratch, RunDescriptor, RunMetrics, RunUpdate, Schedule,
-    SimulationConfig, SimulationEngine,
+    SearchPath, SimulationConfig, SimulationEngine,
 };
 use hayat_aging::{AgeCurveScratch, TablePath};
 use hayat_floorplan::Floorplan;
@@ -324,8 +329,53 @@ struct BatchedKernels {
     batch8_note: String,
 }
 
+/// One mesh size of the large-floorplan sweep.
 #[derive(Serialize)]
-struct Bench8 {
+struct FloorplanPoint {
+    size: String,
+    rows: usize,
+    cols: usize,
+    cores: usize,
+    threads: usize,
+    /// One Hayat `map_threads` call (warm scratch, recycled mapping) under
+    /// each search path on the aged chip.
+    tiled_decision_seconds: f64,
+    exhaustive_decision_seconds: f64,
+    /// `exhaustive / tiled`.
+    decision_speedup: f64,
+    /// One full epoch (decision + transient window + health upscale) under
+    /// the tiled index — the per-chip epoch throughput unit at this size.
+    tiled_epoch_seconds: f64,
+}
+
+/// A sweep point that was deliberately not measured in this mode.
+#[derive(Serialize)]
+struct SkippedFloorplan {
+    size: String,
+    reason: String,
+}
+
+/// Decision latency and per-chip epoch wall time as the mesh grows —
+/// the sub-quadratic tiled candidate index against the exhaustive scan it
+/// replaced as the default. Both paths pick bit-identical mappings (the
+/// policy's proptests and the CI determinism gate hold them to it), so the
+/// race is purely about how many candidates each one touches.
+#[derive(Serialize)]
+struct LargeFloorplan {
+    setup: String,
+    aged_epochs: usize,
+    points: Vec<FloorplanPoint>,
+    /// Sizes not measured in this mode (64×64 chip construction factors a
+    /// 4096-core variation covariance, so it only runs under `--full`).
+    skipped: Vec<SkippedFloorplan>,
+    /// Tiled-vs-exhaustive decision speedup at 32×32.
+    speedup_at_32x32: f64,
+    /// Hard perf gate: tiled must be at least 5x exhaustive at 32×32.
+    tiled_gate_ok: bool,
+}
+
+#[derive(Serialize)]
+struct Bench9 {
     bench: String,
     mode: String,
     control_period_seconds: f64,
@@ -336,6 +386,7 @@ struct Bench8 {
     decision_path: DecisionPath,
     observability: Observability,
     batched_kernels: BatchedKernels,
+    large_floorplan: LargeFloorplan,
     headline: Headline,
 }
 
@@ -1318,6 +1369,88 @@ fn decision_path(fast_mode: bool) -> DecisionPath {
     }
 }
 
+/// Sweeps the mesh through 8×8 / 16×16 / 32×32 (and 64×64 under `--full`),
+/// racing the tiled candidate index against the exhaustive scan on one
+/// aged-chip Hayat decision per size and gating tiled at 5x at 32×32.
+fn large_floorplan(full: bool) -> LargeFloorplan {
+    let aged_epochs = 8;
+    let mut points = Vec::new();
+    let mut skipped = Vec::new();
+    println!("  large floorplans (tiled vs exhaustive decision, chips aged {aged_epochs} epochs):");
+    for (rows, cols) in [(8usize, 8usize), (16, 16), (32, 32), (64, 64)] {
+        let cores = rows * cols;
+        let size = format!("{rows}x{cols}");
+        if cores > 1024 && !full {
+            let reason = "64x64 chip construction factors a 4096-core variation covariance \
+                          (tens of seconds of setup); measured under --full only"
+                .to_owned();
+            println!("    {size}: skipped — {reason}");
+            skipped.push(SkippedFloorplan { size, reason });
+            continue;
+        }
+        let mut config = decision_config();
+        config.mesh = (rows, cols);
+        let base = aged_system(&config, aged_epochs);
+        let threads = base.budget().max_on();
+        let workload = WorkloadMix::generate(config.workload_seed, threads);
+        let horizon = config.horizon();
+        let tiled_sys = base.clone().with_search_path(SearchPath::Tiled);
+        let exhaustive_sys = base.with_search_path(SearchPath::Exhaustive);
+        // Reps shrink with core count: the exhaustive arm is the quadratic
+        // one being displaced, and one 64×64 oracle decision already costs
+        // more than a full 8×8 rep block.
+        let (dec_reps, epoch_reps) = match cores {
+            0..=256 => (20, 3),
+            257..=1024 => (5, 2),
+            _ => (2, 1),
+        };
+        let tiled = single_decision_seconds(&tiled_sys, &workload, horizon, dec_reps);
+        let exhaustive = single_decision_seconds(&exhaustive_sys, &workload, horizon, dec_reps);
+        let epoch = single_epoch_seconds(&tiled_sys, &config, epoch_reps);
+        println!(
+            "    {size}: decision {:9.3} ms exhaustive -> {:9.3} ms tiled  ({:.2}x), \
+             epoch {:.3} s",
+            exhaustive * 1e3,
+            tiled * 1e3,
+            exhaustive / tiled,
+            epoch
+        );
+        points.push(FloorplanPoint {
+            size,
+            rows,
+            cols,
+            cores,
+            threads,
+            tiled_decision_seconds: tiled,
+            exhaustive_decision_seconds: exhaustive,
+            decision_speedup: exhaustive / tiled,
+            tiled_epoch_seconds: epoch,
+        });
+    }
+    let speedup_at_32x32 = points
+        .iter()
+        .find(|p| p.rows == 32 && p.cols == 32)
+        .map_or(0.0, |p| p.decision_speedup);
+    let tiled_gate_ok = speedup_at_32x32 >= 5.0;
+    assert!(
+        tiled_gate_ok,
+        "the tiled decision must be at least 5x the exhaustive scan at 32x32, \
+         measured {speedup_at_32x32:.2}x"
+    );
+
+    LargeFloorplan {
+        setup: "quick_demo at 10 years / 0.25-year epochs / 0.1 s window with the mesh \
+                overridden per size; each size's chip aged 8 epochs under Hayat before \
+                timing; threads = the dark-silicon budget's max_on at that size"
+            .to_owned(),
+        aged_epochs,
+        points,
+        skipped,
+        speedup_at_32x32,
+        tiled_gate_ok,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let fast = !args.iter().any(|a| a == "--full");
@@ -1326,7 +1459,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_8.json".to_owned());
+        .unwrap_or_else(|| "BENCH_9.json".to_owned());
     let jobs = args
         .iter()
         .position(|a| a == "--jobs")
@@ -1339,8 +1472,8 @@ fn main() {
         });
 
     hayat_bench::section(&format!(
-        "BENCH_8 perf trajectory + decision path + observability + batching + scheduler \
-         ({} mode, release build)",
+        "BENCH_9 perf trajectory + decision path + observability + batching + scheduler \
+         + large floorplans ({} mode, release build)",
         if fast { "fast" } else { "full" }
     ));
 
@@ -1358,6 +1491,7 @@ fn main() {
     let decision = decision_path(fast);
     let observability = observability_overhead(fast);
     let batched = batched_kernels(fast);
+    let floorplans = large_floorplan(!fast);
 
     let stiff_report = &configs[1];
     let headline = Headline {
@@ -1374,8 +1508,8 @@ fn main() {
         headline.transient_window_speedup, headline.campaign_speedup, headline.config
     );
 
-    let report = Bench8 {
-        bench: "BENCH_8".to_owned(),
+    let report = Bench9 {
+        bench: "BENCH_9".to_owned(),
         mode: if fast { "fast" } else { "full" }.to_owned(),
         control_period_seconds: CONTROL_PERIOD,
         window_steps: (WINDOW_SECONDS / CONTROL_PERIOD).round() as usize,
@@ -1385,6 +1519,7 @@ fn main() {
         decision_path: decision,
         observability,
         batched_kernels: batched,
+        large_floorplan: floorplans,
         headline,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -36,7 +36,7 @@ use std::time::Duration;
 use hayat::sim::campaign::PolicyKind;
 use hayat::{
     Batch, Campaign, CampaignResult, DynError, FleetAccumulator, Jobs, Pinning, ProgressOptions,
-    RunMetrics, Schedule, SimulationConfig,
+    RunMetrics, Schedule, SearchPath, SimulationConfig,
 };
 use hayat_aging::TablePath;
 use hayat_checkpoint::{Checkpointer, FailPoint, ShardedCheckpointer};
@@ -51,6 +51,7 @@ struct Args {
     window: f64,
     seed: Option<u64>,
     mesh: usize,
+    floorplan: Option<(usize, usize)>,
     policies: Vec<PolicyKind>,
     csv_dir: Option<String>,
     json_path: Option<String>,
@@ -66,6 +67,7 @@ struct Args {
     schedule: Schedule,
     pin: Pinning,
     table_path: TablePath,
+    search_path: SearchPath,
     fleet: Option<usize>,
     run_format_path: Option<String>,
     export_json_path: Option<String>,
@@ -77,9 +79,10 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--dark F] [--chips N] [--years Y] [--epoch Y] \
-         [--window S] [--seed N] [--mesh N] [--jobs N|auto] [--batch N] \
+         [--window S] [--seed N] [--mesh N] [--floorplan RxC] \
+         [--jobs N|auto] [--batch N] \
          [--schedule static|steal] [--pin none|cores] \
-         [--table-path fast|oracle] \
+         [--table-path fast|oracle] [--search-path tiled|exhaustive] \
          [--policies vaa,hayat,coolest,random] [--csv DIR] [--json FILE] \
          [--telemetry FILE.jsonl] [--fleet-stats FILE.json] \
          [--progress SECS] [--progress-jsonl FILE.jsonl] \
@@ -110,6 +113,13 @@ fn usage() -> ! {
          --table-path selects the policies' aging-table inversion: the \
          direct age-curve inversion (fast, default) or the bisection \
          oracle it replaces — output is byte-identical for both. \
+         --search-path selects the policies' candidate search: the tiled \
+         branch-and-bound index (tiled, default — sub-quadratic on large \
+         floorplans) or the exhaustive oracle scan it prunes — output is \
+         byte-identical for both. \
+         --floorplan RxC simulates an R-row × C-column core mesh (e.g. \
+         32x32 or 16x64; overrides --mesh, which stays as the square \
+         shorthand). \
          --checkpoint runs the campaign with durable progress (written \
          atomically every EPOCHS epochs and at chip boundaries); --resume \
          continues from such a file, skipping completed work — a resumed \
@@ -143,6 +153,18 @@ fn parse_policy(name: &str) -> PolicyKind {
     }
 }
 
+/// Parses a `--floorplan` spec of the form `RxC`, e.g. `32x32` or `16x64`.
+fn parse_floorplan(spec: &str) -> (usize, usize) {
+    let parsed = spec
+        .split_once(['x', 'X'])
+        .and_then(|(r, c)| Some((r.trim().parse().ok()?, c.trim().parse().ok()?)))
+        .filter(|&(r, c): &(usize, usize)| r > 0 && c > 0);
+    parsed.unwrap_or_else(|| {
+        eprintln!("--floorplan wants ROWSxCOLS with positive dimensions, got {spec:?}");
+        usage()
+    })
+}
+
 /// Parses a `--replay` spec of the form `POLICY:CHIP`, e.g. `hayat:17`.
 fn parse_replay(spec: &str) -> (PolicyKind, usize) {
     let Some((policy, chip)) = spec.split_once(':') else {
@@ -174,6 +196,7 @@ fn parse_args() -> Args {
         window: 2.0,
         seed: None,
         mesh: 8,
+        floorplan: None,
         policies: vec![PolicyKind::Vaa, PolicyKind::Hayat],
         csv_dir: None,
         json_path: None,
@@ -189,6 +212,7 @@ fn parse_args() -> Args {
         schedule: env_default(Schedule::from_env),
         pin: env_default(Pinning::from_env),
         table_path: TablePath::default(),
+        search_path: SearchPath::default(),
         fleet: None,
         run_format_path: None,
         export_json_path: None,
@@ -212,6 +236,7 @@ fn parse_args() -> Args {
             "--window" => args.window = value("--window").parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = Some(value("--seed").parse().unwrap_or_else(|_| usage())),
             "--mesh" => args.mesh = value("--mesh").parse().unwrap_or_else(|_| usage()),
+            "--floorplan" => args.floorplan = Some(parse_floorplan(&value("--floorplan"))),
             "--policies" => {
                 args.policies = value("--policies").split(',').map(parse_policy).collect();
             }
@@ -252,6 +277,12 @@ fn parse_args() -> Args {
             }
             "--table-path" => {
                 args.table_path = value("--table-path").parse().unwrap_or_else(|msg| {
+                    eprintln!("{msg}");
+                    usage()
+                });
+            }
+            "--search-path" => {
+                args.search_path = value("--search-path").parse().unwrap_or_else(|msg| {
                     eprintln!("{msg}");
                     usage()
                 });
@@ -524,6 +555,17 @@ fn finish_telemetry(recorder: Option<Arc<JsonlRecorder>>, args: &Args) {
     if let Some(lookups) = summary.counter_total("policy.table_lookups") {
         println!("policy.table_lookups: {lookups}");
     }
+    // Candidate-search accounting: how much work the tiled index skipped.
+    for counter in [
+        "policy.dcm.candidates_evaluated",
+        "policy.dcm.candidates_pruned",
+        "policy.dcm.tiles_scanned",
+        "policy.hayat.candidates_pruned",
+    ] {
+        if let Some(total) = summary.counter_total(counter) {
+            println!("{counter}: {total}");
+        }
+    }
     let profile = summary.phase_profile();
     if !profile.is_empty() {
         println!(
@@ -545,7 +587,7 @@ fn main() {
     config.years = args.years;
     config.epoch_years = args.epoch;
     config.transient_window_seconds = args.window;
-    config.mesh = (args.mesh, args.mesh);
+    config.mesh = args.floorplan.unwrap_or((args.mesh, args.mesh));
     if let Some(seed) = args.seed {
         config.workload_seed = seed;
         config.variation_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
@@ -555,6 +597,7 @@ fn main() {
     let campaign = Campaign::new(config)
         .expect("configuration is valid")
         .with_table_path(args.table_path)
+        .with_search_path(args.search_path)
         .with_batch(args.batch)
         .with_schedule(args.schedule)
         .with_pinning(args.pin);

@@ -17,10 +17,17 @@
 //!
 //! `--jobs N|auto` (default `auto` = available parallelism) runs the
 //! campaign grid on N worker threads; output is byte-identical for any N.
-//! `--schedule static|steal` selects how workers claim work and `--pin
-//! none|cores` pins workers to cores — both pure execution knobs with
-//! byte-identical output. The `HAYAT_JOBS`, `HAYAT_SCHEDULE`, and
-//! `HAYAT_PIN` environment variables set the defaults; flags override.
+//! `--schedule static|steal` selects how workers claim work, `--pin
+//! none|cores` pins workers to cores, `--batch N` runs N consecutive
+//! chips in lockstep per worker claim through the batched SoA kernels,
+//! and `--search-path tiled|exhaustive` selects the policies' candidate
+//! search (tiled branch-and-bound index vs the oracle scan it prunes) —
+//! all pure execution knobs with byte-identical output. The `HAYAT_JOBS`,
+//! `HAYAT_SCHEDULE`, and `HAYAT_PIN` environment variables set the
+//! defaults; flags override.
+//!
+//! `--floorplan RxC` swaps the paper's 8×8 die for an R-row × C-column
+//! mesh (e.g. `32x32`) to exercise the large-floorplan decision path.
 //!
 //! The default run is long enough to be worth protecting: `--checkpoint
 //! STEM` persists each dark-fraction campaign to `STEM.dark25` /
@@ -38,7 +45,8 @@ use std::sync::{Arc, Mutex};
 
 use hayat::sim::campaign::PolicyKind;
 use hayat::{
-    Campaign, CampaignSummary, FleetAccumulator, Jobs, Pinning, Schedule, SimulationConfig,
+    Batch, Campaign, CampaignSummary, FleetAccumulator, Jobs, Pinning, Schedule, SearchPath,
+    SimulationConfig,
 };
 use hayat_bench::{bar_row, section};
 use hayat_checkpoint::{Checkpointer, FailPoint};
@@ -125,6 +133,38 @@ fn main() {
             || Pinning::from_env().unwrap_or_else(|e| exit_on_err(e)),
             |v| v.parse().unwrap_or_else(|e| exit_on_err(e)),
         );
+    // Batched lockstep execution (parity with the campaign driver): a pure
+    // execution knob, byte-identical output for every width.
+    let batch = args
+        .iter()
+        .position(|a| a == "--batch")
+        .and_then(|i| args.get(i + 1))
+        .map_or(Batch::serial(), |v| {
+            v.parse().unwrap_or_else(|e| exit_on_err(e))
+        });
+    // Candidate-search path: tiled index (default) or the exhaustive oracle.
+    let search_path = args
+        .iter()
+        .position(|a| a == "--search-path")
+        .and_then(|i| args.get(i + 1))
+        .map_or(SearchPath::default(), |v| {
+            v.parse().unwrap_or_else(|e| exit_on_err(e))
+        });
+    // Optional mesh override, e.g. --floorplan 32x32 or 16x64.
+    let floorplan = args
+        .iter()
+        .position(|a| a == "--floorplan")
+        .and_then(|i| args.get(i + 1))
+        .map(|spec| {
+            spec.split_once(['x', 'X'])
+                .and_then(|(r, c)| Some((r.trim().parse().ok()?, c.trim().parse().ok()?)))
+                .filter(|&(r, c): &(usize, usize)| r > 0 && c > 0)
+                .unwrap_or_else(|| {
+                    exit_on_err(format!(
+                        "--floorplan wants ROWSxCOLS with positive dimensions, got {spec:?}"
+                    ))
+                })
+        });
     // One shared fail point: HAYAT_FAILPOINT hits count across BOTH
     // dark-fraction campaigns, so any point of the experiment is killable.
     let failpoint = Arc::new(FailPoint::from_env().unwrap_or_else(|msg| {
@@ -138,10 +178,15 @@ fn main() {
             config.epoch_years = 0.5;
             config.transient_window_seconds = 1.5;
         }
+        if let Some(mesh) = floorplan {
+            config.mesh = mesh;
+        }
         let campaign = Campaign::new(config)
             .expect("paper configuration is valid")
             .with_schedule(schedule)
-            .with_pinning(pin);
+            .with_pinning(pin)
+            .with_batch(batch)
+            .with_search_path(search_path);
         let policies = [PolicyKind::Vaa, PolicyKind::Hayat];
         let fleet = fleet_stem
             .as_ref()

@@ -61,6 +61,36 @@ pub struct PolicyScratch {
     pub queue: VecDeque<CoreId>,
     /// Scratch for the collapsed 1D age curve of the fast table path.
     pub age_curve: AgeCurveScratch,
+    /// Tiled DCM search: per-core cached greedy score from the step it was
+    /// last evaluated — scores are monotone non-increasing over the greedy,
+    /// so a stale cache entry is a true upper bound on the current score.
+    pub dcm_score0: Vec<f64>,
+    /// Tiled DCM search: the greedy step at which each core's cached score
+    /// was computed (lazy-refresh freshness stamp).
+    pub dcm_stamp: Vec<u32>,
+    /// Tiled DCM search: core indices grouped by tile, each tile segment
+    /// sorted by (cached score descending, index ascending).
+    pub tile_members: Vec<u32>,
+    /// Tiled DCM search: segment offsets into `tile_members`
+    /// (`tile_count + 1` entries).
+    pub tile_start: Vec<u32>,
+    /// Tiled DCM search: per-tile cursor past the already-selected prefix
+    /// of the sorted segment (monotone within a decision).
+    pub tile_cursor: Vec<u32>,
+    /// Tiled DCM search: the greedy step at which each tile last had a head
+    /// refreshed (drives the `tiles_scanned` counter).
+    pub tile_stamp: Vec<u32>,
+    /// Tiled mapping search: certainly-infeasible candidates deferred as
+    /// `(peak lower bound, on-list position)` until the thread is known to
+    /// need the thermal-emergency fallback.
+    pub fallback_pool: Vec<(f64, u32)>,
+    /// Tiled mapping search: indices of the hottest rise lanes (descending),
+    /// recomputed after each assignment — a candidate's peak usually sits on
+    /// one of these, so they make the O(1) peak lower bound tight.
+    pub hot_lanes: Vec<u32>,
+    /// Tiled mapping search: on-DCM core indices in ascending order —
+    /// Algorithm 1's candidate list without the all-cores filter walk.
+    pub on_list: Vec<u32>,
     /// Recycled mappings: policies pop from here instead of allocating and
     /// the engine pushes each epoch's mapping back after its transient
     /// window.

@@ -5,7 +5,7 @@ use crate::policy::hayat::HayatPolicy;
 use crate::policy::simple::{CoolestFirstPolicy, RandomPolicy};
 use crate::policy::vaa::VaaPolicy;
 use crate::policy::Policy;
-use crate::sim::config::{Batch, Jobs, Pinning, Schedule, SimulationConfig};
+use crate::sim::config::{Batch, Jobs, Pinning, Schedule, SearchPath, SimulationConfig};
 use crate::sim::engine::SimulationEngine;
 use crate::sim::executor::{
     DynError, ExecutorError, ExecutorOptions, ProgressOptions, RunDescriptor, RunUpdate,
@@ -88,6 +88,7 @@ pub struct Campaign {
     predictor: Arc<ThermalPredictor>,
     aging_table: Arc<AgingTable>,
     table_path: TablePath,
+    search_path: SearchPath,
     batch: Batch,
     schedule: Schedule,
     pinning: Pinning,
@@ -114,6 +115,7 @@ impl Campaign {
             predictor,
             aging_table,
             table_path: TablePath::default(),
+            search_path: SearchPath::default(),
             batch: Batch::serial(),
             schedule: Schedule::default(),
             pinning: Pinning::default(),
@@ -141,6 +143,24 @@ impl Campaign {
     #[must_use]
     pub fn with_table_path(mut self, path: TablePath) -> Self {
         self.table_path = path;
+        self
+    }
+
+    /// Which candidate-search path the policies' decisions use
+    /// ([`SearchPath::Tiled`] by default).
+    #[must_use]
+    pub const fn search_path(&self) -> SearchPath {
+        self.search_path
+    }
+
+    /// Selects the decision-path candidate search for every system the
+    /// campaign builds. Like `--table-path`, an execution knob (the tiled
+    /// index selects the exact cores the exhaustive scan would — a CI gate
+    /// holds them to it), so it lives outside [`SimulationConfig`] and never
+    /// enters a checkpoint's config hash.
+    #[must_use]
+    pub fn with_search_path(mut self, path: SearchPath) -> Self {
+        self.search_path = path;
         self
     }
 
@@ -232,6 +252,7 @@ impl Campaign {
             Arc::clone(&self.aging_table),
         )
         .with_table_path(self.table_path)
+        .with_search_path(self.search_path)
     }
 
     /// The campaign's run grid in canonical order (policy-major, then chip
@@ -634,6 +655,18 @@ mod tests {
             .with_table_path(TablePath::Oracle)
             .run_with_jobs(&[PolicyKind::Vaa, PolicyKind::Hayat], Jobs::serial());
         assert_eq!(fast, oracle);
+    }
+
+    #[test]
+    fn exhaustive_search_path_reproduces_the_tiled_campaign_exactly() {
+        // The tiled candidate index prunes work, never choices: a full
+        // campaign must not change at all when the oracle scan runs instead.
+        let tiled =
+            tiny_campaign().run_with_jobs(&[PolicyKind::Vaa, PolicyKind::Hayat], Jobs::serial());
+        let exhaustive = tiny_campaign()
+            .with_search_path(SearchPath::Exhaustive)
+            .run_with_jobs(&[PolicyKind::Vaa, PolicyKind::Hayat], Jobs::serial());
+        assert_eq!(tiled, exhaustive);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The per-chip system state the run-time policies and the engine operate on.
 
-use crate::sim::config::SimulationConfig;
+use crate::sim::config::{SearchPath, SimulationConfig};
 use hayat_aging::{AgingModel, AgingTable, HealthMap, TablePath};
 use hayat_floorplan::{CoreId, Floorplan};
 use hayat_power::{DarkSiliconBudget, PowerModel};
@@ -88,6 +88,7 @@ pub struct ChipSystem {
     health: HealthMap,
     transient: TransientSimulator,
     table_path: TablePath,
+    search_path: SearchPath,
 }
 
 impl ChipSystem {
@@ -153,6 +154,7 @@ impl ChipSystem {
             health,
             transient,
             table_path: TablePath::default(),
+            search_path: SearchPath::default(),
         }
     }
 
@@ -178,6 +180,31 @@ impl ChipSystem {
     #[must_use]
     pub fn with_table_path(mut self, path: TablePath) -> Self {
         self.table_path = path;
+        self
+    }
+
+    /// Which candidate-search strategy the policies' decision stages use
+    /// ([`SearchPath::Tiled`] by default, with the exhaustive scan retained
+    /// as the oracle).
+    ///
+    /// Lives on the system rather than [`SimulationConfig`] for the same
+    /// reason as the table path: it must never change simulation results,
+    /// so it must not enter the checkpoint config hash, which fingerprints
+    /// only physics.
+    #[must_use]
+    pub const fn search_path(&self) -> SearchPath {
+        self.search_path
+    }
+
+    /// Sets the policies' candidate-search strategy.
+    pub fn set_search_path(&mut self, path: SearchPath) {
+        self.search_path = path;
+    }
+
+    /// Builder-style [`ChipSystem::set_search_path`].
+    #[must_use]
+    pub fn with_search_path(mut self, path: SearchPath) -> Self {
+        self.search_path = path;
         self
     }
 
@@ -435,6 +462,18 @@ mod tests {
         assert_eq!(s2.table_path(), TablePath::Oracle);
         // The toggle survives the clone the sensor path takes per epoch.
         assert_eq!(s2.clone().table_path(), TablePath::Oracle);
+    }
+
+    #[test]
+    fn search_path_defaults_to_tiled_and_toggles() {
+        let mut s = system();
+        assert_eq!(s.search_path(), SearchPath::Tiled);
+        s.set_search_path(SearchPath::Exhaustive);
+        assert_eq!(s.search_path(), SearchPath::Exhaustive);
+        let s2 = system().with_search_path(SearchPath::Exhaustive);
+        assert_eq!(s2.search_path(), SearchPath::Exhaustive);
+        // The toggle survives the clone the sensor path takes per epoch.
+        assert_eq!(s2.clone().search_path(), SearchPath::Exhaustive);
     }
 
     #[test]

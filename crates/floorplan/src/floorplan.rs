@@ -440,6 +440,30 @@ mod tests {
     }
 
     #[test]
+    fn non_square_grid_adjacency_invariants() {
+        let fp = Floorplan::grid(3, 7);
+        assert_eq!((fp.rows(), fp.cols()), (3, 7));
+        let mut counts = [0usize; 5];
+        for core in fp.cores() {
+            counts[fp.neighbors(core).count()] += 1;
+            let p = fp.position(core);
+            assert_eq!(fp.core_at(p.row, p.col), Some(core));
+            for nb in fp.neighbors(core) {
+                assert_eq!(fp.mesh_distance(core, nb), 1);
+                assert!(fp.neighbors(nb).any(|m| m == core));
+            }
+        }
+        // 4 corners, 2·(3−2) + 2·(7−2) = 12 edge cores, 1·5 interior.
+        assert_eq!(counts, [0, 0, 4, 12, 5]);
+        assert_eq!(fp.core_at(3, 0), None);
+        assert_eq!(fp.core_at(0, 7), None);
+        // The variation grid spans rows·cells × cols·cells, not a square.
+        let g = fp.variation_grid();
+        assert_eq!(g.rows(), 3 * g.cells_per_core());
+        assert_eq!(g.cols(), 7 * g.cells_per_core());
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn position_panics_out_of_range() {
         let fp = FloorplanBuilder::new(2, 2).build().unwrap();

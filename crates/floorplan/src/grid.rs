@@ -250,6 +250,33 @@ mod tests {
     }
 
     #[test]
+    fn non_square_overlay_round_trips_cells_and_cores() {
+        // 2x5 mesh, 3 cells per core edge: a 6x15 grid, where any
+        // rows/cols mix-up in the row-major indexing would surface.
+        let g = GridOverlay::new(2, 5, 3);
+        assert_eq!((g.rows(), g.cols()), (6, 15));
+        assert_eq!(g.cell_count(), 90);
+        for (i, cell) in g.cells().enumerate() {
+            assert_eq!(g.cell_index(cell), i);
+            assert_eq!(g.cell_at(i), cell);
+        }
+        let mut seen = vec![false; g.cell_count()];
+        for core in (0..10).map(CoreId::new) {
+            let cells = g.cells_of_core(core, 5);
+            assert_eq!(cells.len(), 9);
+            for cell in cells {
+                assert_eq!(g.core_of_cell(cell, 5), Some(core));
+                let idx = g.cell_index(cell);
+                assert!(!seen[idx], "cell {cell} covered twice");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(g.core_of_cell(GridCell::new(6, 0), 5), None);
+        assert_eq!(g.core_of_cell(GridCell::new(0, 15), 5), None);
+    }
+
+    #[test]
     fn grid_cell_distance() {
         assert!((GridCell::new(0, 0).distance(GridCell::new(3, 4)) - 5.0).abs() < 1e-12);
     }

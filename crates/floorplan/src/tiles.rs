@@ -1,0 +1,242 @@
+//! Square-tile partition of the core mesh — the geometric substrate of the
+//! sub-quadratic DCM/mapping candidate search.
+//!
+//! Large floorplans (32×32, 64×64) make the exhaustive all-cores candidate
+//! scan in the decision path quadratic in core count. The tiled search
+//! instead keeps per-tile summaries of the scoring inputs and visits only
+//! tile representatives plus the winning tile's interior. [`TileOverlay`]
+//! provides the partition: a `K×K` tiling of the mesh, ragged at the east
+//! and south edges when the mesh dimensions are not multiples of `K`.
+
+use crate::core_id::CoreId;
+use crate::floorplan::Floorplan;
+
+/// A `K×K` tiling of an `R×C` core mesh.
+///
+/// The overlay is pure arithmetic — it stores no per-core state — so
+/// building one is O(1) and the allocation-free policy decision path can
+/// construct it fresh every decision.
+///
+/// Tiles are numbered row-major over the tile grid; every core belongs to
+/// exactly one tile, and edge tiles simply have fewer cores when `K` does
+/// not divide the mesh dimensions.
+///
+/// # Example
+///
+/// ```
+/// use hayat_floorplan::{CoreId, Floorplan, TileOverlay};
+///
+/// let fp = Floorplan::paper_8x8();
+/// let tiles = TileOverlay::for_floorplan(&fp);
+/// assert_eq!(tiles.tile_edge(), 3); // round(64^0.25)
+/// assert_eq!(tiles.tile_count(), 9); // ceil(8/3)^2
+/// // Core (0,0) and core (2,2) share the north-west tile.
+/// assert_eq!(tiles.tile_of(CoreId::new(0)), tiles.tile_of(CoreId::new(18)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileOverlay {
+    core_rows: usize,
+    core_cols: usize,
+    tile_edge: usize,
+    tile_rows: usize,
+    tile_cols: usize,
+}
+
+impl TileOverlay {
+    /// Tiles an `core_rows × core_cols` mesh with `tile_edge × tile_edge`
+    /// tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(core_rows: usize, core_cols: usize, tile_edge: usize) -> Self {
+        assert!(
+            core_rows > 0 && core_cols > 0,
+            "mesh must be non-empty ({core_rows}x{core_cols})"
+        );
+        assert!(tile_edge > 0, "tile edge must be positive");
+        TileOverlay {
+            core_rows,
+            core_cols,
+            tile_edge,
+            tile_rows: core_rows.div_ceil(tile_edge),
+            tile_cols: core_cols.div_ceil(tile_edge),
+        }
+    }
+
+    /// The overlay for a floorplan with the default tile edge
+    /// ([`TileOverlay::default_tile_edge`]).
+    #[must_use]
+    pub fn for_floorplan(fp: &Floorplan) -> Self {
+        TileOverlay::new(
+            fp.rows(),
+            fp.cols(),
+            TileOverlay::default_tile_edge(fp.core_count()),
+        )
+    }
+
+    /// The default tile edge for a mesh of `core_count` cores:
+    /// `round(core_count^(1/4))`, at least 1.
+    ///
+    /// With `K ≈ n^(1/4)` the tiled candidate search visits `O(n^(1/2))`
+    /// tile representatives plus an `O(n^(1/2))`-core tile interior per
+    /// decision step — the balance point between the two terms. 64 cores →
+    /// 3, 256 → 4, 1024 → 6, 4096 → 8.
+    #[must_use]
+    pub fn default_tile_edge(core_count: usize) -> usize {
+        let edge = (core_count as f64).powf(0.25).round() as usize;
+        edge.max(1)
+    }
+
+    /// Tile edge length `K` in cores.
+    #[must_use]
+    pub const fn tile_edge(&self) -> usize {
+        self.tile_edge
+    }
+
+    /// Number of tile rows (`ceil(rows / K)`).
+    #[must_use]
+    pub const fn tile_rows(&self) -> usize {
+        self.tile_rows
+    }
+
+    /// Number of tile columns (`ceil(cols / K)`).
+    #[must_use]
+    pub const fn tile_cols(&self) -> usize {
+        self.tile_cols
+    }
+
+    /// Total number of tiles.
+    #[must_use]
+    pub const fn tile_count(&self) -> usize {
+        self.tile_rows * self.tile_cols
+    }
+
+    /// The tile containing `core` (row-major tile numbering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range for the mesh.
+    #[must_use]
+    pub fn tile_of(&self, core: CoreId) -> usize {
+        let idx = core.index();
+        assert!(
+            idx < self.core_rows * self.core_cols,
+            "core {core} out of range for {}x{} mesh",
+            self.core_rows,
+            self.core_cols
+        );
+        let row = idx / self.core_cols;
+        let col = idx % self.core_cols;
+        (row / self.tile_edge) * self.tile_cols + col / self.tile_edge
+    }
+
+    /// Iterator over the cores of tile `tile`, in row-major mesh order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    pub fn cores_of_tile(&self, tile: usize) -> impl Iterator<Item = CoreId> {
+        assert!(
+            tile < self.tile_count(),
+            "tile {tile} out of range for {} tiles",
+            self.tile_count()
+        );
+        let r0 = (tile / self.tile_cols) * self.tile_edge;
+        let c0 = (tile % self.tile_cols) * self.tile_edge;
+        let r1 = (r0 + self.tile_edge).min(self.core_rows);
+        let c1 = (c0 + self.tile_edge).min(self.core_cols);
+        let cols = self.core_cols;
+        (r0..r1).flat_map(move |r| (c0..c1).map(move |c| CoreId::new(r * cols + c)))
+    }
+
+    /// Number of cores in tile `tile` (edge tiles may be smaller than
+    /// `K × K`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    #[must_use]
+    pub fn tile_len(&self, tile: usize) -> usize {
+        assert!(
+            tile < self.tile_count(),
+            "tile {tile} out of range for {} tiles",
+            self.tile_count()
+        );
+        let r0 = (tile / self.tile_cols) * self.tile_edge;
+        let c0 = (tile % self.tile_cols) * self.tile_edge;
+        let rows = (r0 + self.tile_edge).min(self.core_rows) - r0;
+        let cols = (c0 + self.tile_edge).min(self.core_cols) - c0;
+        rows * cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_edges_match_the_quarter_power_rule() {
+        assert_eq!(TileOverlay::default_tile_edge(1), 1);
+        assert_eq!(TileOverlay::default_tile_edge(64), 3);
+        assert_eq!(TileOverlay::default_tile_edge(256), 4);
+        assert_eq!(TileOverlay::default_tile_edge(1024), 6);
+        assert_eq!(TileOverlay::default_tile_edge(4096), 8);
+    }
+
+    #[test]
+    fn every_core_lands_in_exactly_one_tile() {
+        for (rows, cols, edge) in [(8, 8, 3), (16, 16, 4), (5, 9, 2), (2, 7, 3), (1, 1, 1)] {
+            let t = TileOverlay::new(rows, cols, edge);
+            let mut seen = vec![0usize; rows * cols];
+            let mut total = 0;
+            for tile in 0..t.tile_count() {
+                assert_eq!(t.cores_of_tile(tile).count(), t.tile_len(tile));
+                for core in t.cores_of_tile(tile) {
+                    assert_eq!(t.tile_of(core), tile, "tile_of inverts cores_of_tile");
+                    seen[core.index()] += 1;
+                    total += 1;
+                }
+            }
+            assert_eq!(total, rows * cols, "{rows}x{cols} edge {edge}");
+            assert!(seen.iter().all(|&s| s == 1), "partition, not a cover");
+        }
+    }
+
+    #[test]
+    fn ragged_edge_tiles_are_smaller() {
+        // 8x8 with edge 3: tile grid is 3x3; the south-east tile is 2x2.
+        let t = TileOverlay::new(8, 8, 3);
+        assert_eq!((t.tile_rows(), t.tile_cols()), (3, 3));
+        assert_eq!(t.tile_len(0), 9);
+        assert_eq!(t.tile_len(2), 6); // 3 rows x 2 cols
+        assert_eq!(t.tile_len(8), 4); // 2 rows x 2 cols
+        let sum: usize = (0..t.tile_count()).map(|i| t.tile_len(i)).sum();
+        assert_eq!(sum, 64);
+    }
+
+    #[test]
+    fn for_floorplan_handles_non_square_meshes() {
+        let fp = Floorplan::grid(4, 16);
+        let t = TileOverlay::for_floorplan(&fp);
+        assert_eq!(t.tile_edge(), TileOverlay::default_tile_edge(64));
+        let covered: usize = (0..t.tile_count()).map(|i| t.tile_len(i)).sum();
+        assert_eq!(covered, fp.core_count());
+        // Cores in the same tile are mesh-close: at most 2(K-1) hops apart.
+        for tile in 0..t.tile_count() {
+            let cores: Vec<_> = t.cores_of_tile(tile).collect();
+            for &a in &cores {
+                for &b in &cores {
+                    assert!(fp.mesh_distance(a, b) <= 2 * (t.tile_edge() - 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tile_of_rejects_out_of_range_cores() {
+        let _ = TileOverlay::new(2, 2, 2).tile_of(CoreId::new(4));
+    }
+}

@@ -169,20 +169,51 @@ impl ThermalPredictor {
         let rises = match model {
             PredictorModel::ResponseMatrix => {
                 let network = crate::rc_model::RcNetwork::new(floorplan, config);
-                // One injection buffer and one solution buffer serve all `n`
-                // unit-power solves: after the first source the learning loop
-                // never touches the allocator except to store the rise rows.
-                let mut injection = vec![0.0; network.node_count()];
-                let mut temps = Vec::new();
                 let ambient = config.ambient.value();
-                (0..n)
-                    .map(|src| {
-                        injection[src] = 1.0;
-                        network.solve_steady_into(&injection, &mut temps);
-                        injection[src] = 0.0;
-                        temps[..n].iter().map(|&t| t - ambient).collect()
-                    })
-                    .collect()
+                if network.steady_factor_is_banded() {
+                    // Large meshes: gang the unit-power solves so each pass
+                    // over the banded factor serves a block of source cores
+                    // — the difference between minutes and seconds for a
+                    // 64×64 response matrix. Each lane is bit-identical to
+                    // its scalar solve, so the cut-over changes nothing but
+                    // time.
+                    let nn = network.node_count();
+                    const LEARN_BATCH: usize = 32;
+                    let mut injections = Vec::new();
+                    let mut temps = Vec::new();
+                    let mut rises: Vec<Vec<f64>> = Vec::with_capacity(n);
+                    for start in (0..n).step_by(LEARN_BATCH) {
+                        let width = LEARN_BATCH.min(n - start);
+                        injections.clear();
+                        injections.resize(nn * width, 0.0);
+                        for lane in 0..width {
+                            injections[lane * nn + start + lane] = 1.0;
+                        }
+                        network.solve_steady_many_into(&injections, width, &mut temps);
+                        rises.extend((0..width).map(|lane| {
+                            temps[lane * nn..][..n]
+                                .iter()
+                                .map(|&t| t - ambient)
+                                .collect()
+                        }));
+                    }
+                    rises
+                } else {
+                    // One injection buffer and one solution buffer serve all
+                    // `n` unit-power solves: after the first source the
+                    // learning loop never touches the allocator except to
+                    // store the rise rows.
+                    let mut injection = vec![0.0; network.node_count()];
+                    let mut temps = Vec::new();
+                    (0..n)
+                        .map(|src| {
+                            injection[src] = 1.0;
+                            network.solve_steady_into(&injection, &mut temps);
+                            injection[src] = 0.0;
+                            temps[..n].iter().map(|&t| t - ambient).collect()
+                        })
+                        .collect()
+                }
             }
             PredictorModel::Isotropic => {
                 let footprint = ThreadFootprint::learn(floorplan, config);
@@ -521,6 +552,35 @@ mod tests {
             pred.predict(&fp, &crowded).core(c) > pred.predict(&fp, &lone).core(c),
             "neighbour heating must raise the core's prediction"
         );
+    }
+
+    #[test]
+    fn batched_learning_on_a_banded_mesh_matches_scalar_solves_bitwise() {
+        // Past the dense steady cutoff the response matrix is learned in
+        // ganged blocks; every rise row must still equal the one its scalar
+        // unit-power solve produces.
+        let fp = Floorplan::grid(17, 16);
+        let cfg = ThermalConfig::paper();
+        let pred = ThermalPredictor::learn(&fp, &cfg);
+        let network = crate::rc_model::RcNetwork::new(&fp, &cfg);
+        assert!(network.steady_factor_is_banded());
+        let n = fp.core_count();
+        let mut injection = vec![0.0; network.node_count()];
+        let mut temps = Vec::new();
+        for src in [0, 7, 135, n - 1] {
+            injection[src] = 1.0;
+            network.solve_steady_into(&injection, &mut temps);
+            injection[src] = 0.0;
+            let expected: Vec<f64> = temps[..n]
+                .iter()
+                .map(|&t| t - cfg.ambient.value())
+                .collect();
+            assert_eq!(
+                pred.rise_row(hayat_floorplan::CoreId::new(src)),
+                &expected[..],
+                "rise row {src} drifted"
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::config::ThermalConfig;
 use hayat_floorplan::Floorplan;
-use hayat_linalg::{cholesky, BandedSpdMatrix, SquareMatrix};
+use hayat_linalg::{cholesky, BandedCholeskyFactor, BandedSpdMatrix, SquareMatrix};
 use hayat_units::{Kelvin, Watts};
 
 /// One edge of the conductance graph.
@@ -12,6 +12,26 @@ struct Edge {
     other: usize,
     /// Thermal conductance of the edge, W/K.
     g: f64,
+}
+
+/// Largest core count whose steady-state conductance system is factorized
+/// densely. At or below it (every historical mesh up to 16×16) the dense
+/// Cholesky is kept so existing outputs stay bit-identical; above it the
+/// dense factor becomes untenable — a 64×64 die has 12 288 RC nodes, i.e. a
+/// ~1.2 GB dense factor and an `O(n³)` factorization — while the same
+/// system in banded layer-interleaved ordering factors without fill in
+/// `O(n·b²)` and a few tens of megabytes.
+const DENSE_STEADY_MAX_CORES: usize = 256;
+
+/// The cached factorization of the steady-state conductance system, in
+/// whichever form [`DENSE_STEADY_MAX_CORES`] selects.
+#[derive(Debug, Clone)]
+enum SteadyFactor {
+    /// Dense lower Cholesky factor, natural node ordering.
+    Dense(SquareMatrix),
+    /// Banded Cholesky factor in the layer-interleaved (banded) node
+    /// ordering; right-hand sides are permuted in and out per solve.
+    Banded(BandedCholeskyFactor),
 }
 
 /// The RC thermal network of one chip.
@@ -54,8 +74,8 @@ pub struct RcNetwork {
     /// Heat capacity per node, J/K.
     capacitance: Vec<f64>,
     ambient: Kelvin,
-    /// Lower Cholesky factor of the conductance matrix.
-    factor: SquareMatrix,
+    /// Cached factorization of the conductance matrix.
+    factor: SteadyFactor,
 }
 
 impl RcNetwork {
@@ -102,17 +122,50 @@ impl RcNetwork {
         capacitance.extend(std::iter::repeat_n(config.c_sink / n as f64, n));
 
         // Assemble and factorize the conductance (weighted-Laplacian +
-        // ambient tie) matrix.
-        let mut g = SquareMatrix::zeros(node_count);
-        for (i, node_edges) in edges.iter().enumerate() {
-            let mut diag = g_ambient[i];
-            for e in node_edges {
-                diag += e.g;
-                g.set(i, e.other, -e.g);
+        // ambient tie) matrix. Small meshes keep the historical dense
+        // factor (bit-identical outputs); large ones use the same banded
+        // layer-interleaved ordering the implicit stepper relies on, minus
+        // the `C/h` diagonal term.
+        let factor = if n <= DENSE_STEADY_MAX_CORES {
+            let mut g = SquareMatrix::zeros(node_count);
+            for (i, node_edges) in edges.iter().enumerate() {
+                let mut diag = g_ambient[i];
+                for e in node_edges {
+                    diag += e.g;
+                    g.set(i, e.other, -e.g);
+                }
+                g.set(i, i, diag);
             }
-            g.set(i, i, diag);
-        }
-        let factor = cholesky(&g).expect("conductance matrix is positive definite");
+            SteadyFactor::Dense(cholesky(&g).expect("conductance matrix is positive definite"))
+        } else {
+            let banded_index = |node: usize| (node % n) * 3 + node / n;
+            let hb = edges
+                .iter()
+                .enumerate()
+                .flat_map(|(i, es)| {
+                    es.iter()
+                        .map(move |e| banded_index(i).abs_diff(banded_index(e.other)))
+                })
+                .max()
+                .unwrap_or(0);
+            let mut m = BandedSpdMatrix::zeros(node_count, hb);
+            for (i, node_edges) in edges.iter().enumerate() {
+                let bi = banded_index(i);
+                let mut diag = g_ambient[i];
+                for e in node_edges {
+                    diag += e.g;
+                    let bj = banded_index(e.other);
+                    if bj < bi {
+                        m.set(bi, bj, -e.g);
+                    }
+                }
+                m.set(bi, bi, diag);
+            }
+            SteadyFactor::Banded(
+                BandedCholeskyFactor::factorize(&m)
+                    .expect("conductance matrix is positive definite"),
+            )
+        };
 
         RcNetwork {
             cores: n,
@@ -192,7 +245,88 @@ impl RcNetwork {
                 .zip(&self.g_ambient)
                 .map(|(&p, &ga)| p + ga * self.ambient.value()),
         );
-        hayat_linalg::cholesky_solve_in_place(&self.factor, out);
+        match &self.factor {
+            SteadyFactor::Dense(l) => hayat_linalg::cholesky_solve_in_place(l, out),
+            SteadyFactor::Banded(f) => {
+                // Permute into banded order, solve, permute back. The
+                // scratch allocation is deliberate: the banded factor only
+                // exists on >DENSE_STEADY_MAX_CORES networks, whose steady
+                // solves all sit on the offline learning path, never inside
+                // the allocation-free decision loop.
+                let nn = self.node_count();
+                let mut x = vec![0.0; nn];
+                for node in 0..nn {
+                    x[self.banded_index(node)] = out[node];
+                }
+                f.solve_in_place(&mut x);
+                for node in 0..nn {
+                    out[node] = x[self.banded_index(node)];
+                }
+            }
+        }
+    }
+
+    /// Steady-state solve for `batch` independent injection vectors in one
+    /// call: `injections` holds the per-node vectors concatenated
+    /// (`injections[lane * node_count() + node]`), and `out` comes back in
+    /// the same layout. Each lane's solution is bit-identical to a scalar
+    /// [`solve_steady_into`](Self::solve_steady_into) call on that lane —
+    /// the banded path interleaves the lanes and streams the factor once
+    /// across all of them, which is what makes response-matrix learning on
+    /// a 64×64 die tractable; the dense path simply loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or `injections.len() != node_count() * batch`.
+    pub fn solve_steady_many_into(&self, injections: &[f64], batch: usize, out: &mut Vec<f64>) {
+        assert!(batch > 0, "batch must be non-empty");
+        let nn = self.node_count();
+        assert_eq!(
+            injections.len(),
+            nn * batch,
+            "injections must cover every RC node of every lane"
+        );
+        match &self.factor {
+            SteadyFactor::Dense(l) => {
+                out.clear();
+                out.extend(injections.chunks_exact(nn).flat_map(|lane| {
+                    lane.iter()
+                        .zip(&self.g_ambient)
+                        .map(|(&p, &ga)| p + ga * self.ambient.value())
+                }));
+                for lane in out.chunks_exact_mut(nn) {
+                    hayat_linalg::cholesky_solve_in_place(l, lane);
+                }
+            }
+            SteadyFactor::Banded(f) => {
+                // Interleaved structure-of-arrays right-hand sides in banded
+                // node order: x[banded_index(node) * batch + lane].
+                let mut x = vec![0.0; nn * batch];
+                for (lane, inj) in injections.chunks_exact(nn).enumerate() {
+                    for node in 0..nn {
+                        x[self.banded_index(node) * batch + lane] =
+                            inj[node] + self.g_ambient[node] * self.ambient.value();
+                    }
+                }
+                f.solve_many_in_place(&mut x, batch);
+                out.clear();
+                out.resize(nn * batch, 0.0);
+                for lane in 0..batch {
+                    for node in 0..nn {
+                        out[lane * nn + node] = x[self.banded_index(node) * batch + lane];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the steady-state factor is banded (true above
+    /// `DENSE_STEADY_MAX_CORES` = 256 cores) rather than dense. Callers use
+    /// this to decide when batching steady solves is worth the staging
+    /// buffers.
+    #[must_use]
+    pub fn steady_factor_is_banded(&self) -> bool {
+        matches!(self.factor, SteadyFactor::Banded(_))
     }
 
     /// Conductance to ambient of node `i`, W/K (non-zero only for sink
@@ -385,6 +519,59 @@ mod tests {
         let idle = n.injection(&vec![Watts::new(0.0); 64]);
         n.solve_steady_into(&idle, &mut buf);
         assert_eq!(buf, n.solve_steady(&idle));
+    }
+
+    #[test]
+    fn large_meshes_get_a_banded_steady_factor_that_satisfies_the_physics() {
+        // 18×18 = 324 cores sits just past the dense cutoff. The banded
+        // steady factor must construct (the dense one is the thing this
+        // exists to avoid) and its solution must carry zero net flow at
+        // every node — the defining property of the steady state.
+        let fp = Floorplan::grid(18, 18);
+        let n = RcNetwork::new(&fp, &ThermalConfig::paper());
+        assert!(n.steady_factor_is_banded());
+        assert!(!net().steady_factor_is_banded(), "8×8 must stay dense");
+        let mut power = vec![Watts::new(0.019); 324];
+        power[40] = Watts::new(7.0);
+        power[200] = Watts::new(5.5);
+        let injection = n.injection(&power);
+        let temps = n.solve_steady(&injection);
+        for i in 0..n.node_count() {
+            assert!(
+                n.net_flow(i, &temps, &injection).abs() < 1e-7,
+                "node {i} flow {}",
+                n.net_flow(i, &temps, &injection)
+            );
+        }
+    }
+
+    #[test]
+    fn solve_steady_many_matches_scalar_lanes_bitwise() {
+        // Both factor forms: each lane of the batched solve must reproduce
+        // the scalar solve exactly.
+        for fp in [Floorplan::paper_8x8(), Floorplan::grid(17, 16)] {
+            let n = RcNetwork::new(&fp, &ThermalConfig::paper());
+            let cores = n.core_count();
+            let batch = 3;
+            let mut injections = Vec::new();
+            for lane in 0..batch {
+                let mut power = vec![Watts::new(0.019); cores];
+                power[7 * (lane + 1)] = Watts::new(4.0 + lane as f64);
+                injections.extend(n.injection(&power));
+            }
+            let mut many = Vec::new();
+            n.solve_steady_many_into(&injections, batch, &mut many);
+            let mut scalar = Vec::new();
+            for lane in 0..batch {
+                let nn = n.node_count();
+                n.solve_steady_into(&injections[lane * nn..(lane + 1) * nn], &mut scalar);
+                assert_eq!(
+                    &many[lane * nn..(lane + 1) * nn],
+                    &scalar[..],
+                    "lane {lane} drifted on {cores} cores"
+                );
+            }
+        }
     }
 
     #[test]

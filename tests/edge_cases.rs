@@ -142,6 +142,28 @@ fn sixteen_by_sixteen_mesh_scales_through_the_whole_stack() {
 }
 
 #[test]
+fn thirty_two_by_thirty_two_mesh_smokes_through_an_epoch() {
+    // One decision + transient window on a 1024-core chip: exercises the
+    // tiled candidate index and the banded steady-state factor on the
+    // largest mesh the default test suite touches (64×64 stays in the
+    // bench's --full mode; its covariance factoring alone takes tens of
+    // seconds).
+    let mut config = SimulationConfig::quick_demo();
+    config.mesh = (32, 32);
+    config.years = 0.25;
+    config.epoch_years = 0.25;
+    config.transient_window_seconds = 0.05;
+    let system = ChipSystem::paper_chip(0, &config).expect("1024-core system builds");
+    assert_eq!(system.floorplan().core_count(), 1024);
+    assert_eq!(system.budget().max_on(), 512);
+    let mut engine = SimulationEngine::new(system, Box::<HayatPolicy>::default(), &config);
+    let metrics = engine.run();
+    assert_eq!(metrics.epochs.len(), 1);
+    assert!(metrics.final_health_mean() <= 1.0);
+    assert!(metrics.mean_throughput_fraction() > 0.0);
+}
+
+#[test]
 fn non_square_floorplan_campaign_metrics_are_sane() {
     let system = system_on(2, 6, 0.5);
     let mut config = SimulationConfig::quick_demo();

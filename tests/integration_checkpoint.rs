@@ -4,7 +4,7 @@
 //! repeated crash/resume cycles.
 
 use hayat::sim::campaign::PolicyKind;
-use hayat::{Campaign, Jobs, Schedule, SimulationConfig, SimulationEngine};
+use hayat::{Campaign, Jobs, Schedule, SearchPath, SimulationConfig, SimulationEngine};
 use hayat_checkpoint::{
     CampaignCheckpointExt, CheckpointError, Checkpointer, FailMode, FailPoint, FAILPOINT_CHIP,
     FAILPOINT_EPOCH,
@@ -276,10 +276,6 @@ fn completed_checkpoint_resumes_instantly_without_rerunning() {
 /// and reproduce the pre-refactor export byte for byte.
 #[test]
 fn pre_refactor_fixture_resumes_byte_identical_on_the_fast_path() {
-    let path = scratch("pre_pr5_fixture");
-    // Resume rewrites the checkpoint in place, so work on a copy.
-    std::fs::write(&path, include_bytes!("fixtures/pre_pr5.ckpt")).unwrap();
-
     // The exact flags the fixture was generated with:
     // --chips 2 --years 10 --epoch 0.5 --window 0.1 --mesh 4.
     let mut config = SimulationConfig::paper(0.5);
@@ -288,21 +284,37 @@ fn pre_refactor_fixture_resumes_byte_identical_on_the_fast_path() {
     config.epoch_years = 0.5;
     config.transient_window_seconds = 0.1;
     config.mesh = (4, 4);
-    let campaign = Campaign::new(config).unwrap();
-
-    let result = Checkpointer::new(&path)
-        .jobs(Jobs::serial())
-        .resume(&campaign)
-        .expect("the committed fixture must stay resumable");
-
     let reference = include_str!("fixtures/pre_pr5_reference.json");
-    let json = serde_json::to_string_pretty(&result).unwrap();
-    assert_eq!(
-        json.trim_end(),
-        reference.trim_end(),
-        "the fast decision path changed the campaign the oracle-era code produced"
-    );
-    std::fs::remove_file(&path).ok();
+
+    // Resume under both search paths: the tiled candidate index (today's
+    // default) and the exhaustive scan the fixture era actually ran. The
+    // search path is a runtime knob outside the checkpoint hash, so both
+    // must complete the half-finished campaign and reproduce the
+    // oracle-era export byte for byte.
+    for (name, path_kind) in [
+        ("tiled", SearchPath::Tiled),
+        ("exhaustive", SearchPath::Exhaustive),
+    ] {
+        let path = scratch(&format!("pre_pr5_fixture_{name}"));
+        // Resume rewrites the checkpoint in place, so work on a copy.
+        std::fs::write(&path, include_bytes!("fixtures/pre_pr5.ckpt")).unwrap();
+        let campaign = Campaign::new(config.clone())
+            .unwrap()
+            .with_search_path(path_kind);
+
+        let result = Checkpointer::new(&path)
+            .jobs(Jobs::serial())
+            .resume(&campaign)
+            .expect("the committed fixture must stay resumable");
+
+        let json = serde_json::to_string_pretty(&result).unwrap();
+        assert_eq!(
+            json.trim_end(),
+            reference.trim_end(),
+            "the {name} decision path changed the campaign the oracle-era code produced"
+        );
+        std::fs::remove_file(&path).ok();
+    }
 }
 
 /// The engine-level property behind all of the above: snapshotting at an

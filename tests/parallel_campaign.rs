@@ -262,7 +262,7 @@ fn forced_steal_is_counted_and_byte_identical_to_static() {
         "worker 1 must have stolen chip 1 while worker 0 was parked"
     );
     // The per-worker busy gauge is diagnostic-only but must be present —
-    // the BENCH_8 utilization table divides it by pool wall time.
+    // the BENCH_9 utilization table divides it by pool wall time.
     assert!(
         summary.gauge("campaign.worker_busy_seconds").is_some(),
         "worker busy gauge missing"

@@ -3,7 +3,8 @@
 //! thermal sanity under arbitrary (bounded) inputs.
 
 use hayat::{
-    ChipSystem, DarkCoreMap, HayatPolicy, SimulationConfig, SimulationEngine, ThreadMapping,
+    ChipSystem, DarkCoreMap, HayatPolicy, SearchPath, SimulationConfig, SimulationEngine,
+    ThreadMapping,
 };
 use hayat_aging::{AgingModel, AgingTable, Health, TableAxes};
 use hayat_floorplan::{CoreId, Floorplan, FloorplanBuilder};
@@ -203,6 +204,40 @@ proptest! {
         }
         resumed.finalize_metrics(&mut metrics);
         prop_assert_eq!(metrics, reference);
+    }
+}
+
+// The tiled-search contract: the tiled candidate index is a pure pruning
+// overlay over the exhaustive mapping scan, so two engines differing only
+// in search path must produce bit-identical runs — every decision, every
+// temperature, every health trajectory — across random meshes, chips,
+// dark fractions, and workload seeds. Few cases: each one simulates two
+// full multi-epoch runs.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn tiled_and_exhaustive_search_paths_run_identically(
+        wide in 0usize..2,
+        chip in 0usize..32,
+        dark in 0.25f64..0.75,
+        seed in 0u64..1_000,
+    ) {
+        let mut config = SimulationConfig::quick_demo();
+        config.mesh = if wide == 1 { (16, 16) } else { (8, 8) };
+        config.transient_window_seconds = 0.1;
+        config.dark_fraction = dark;
+        config.workload_seed = seed;
+        // quick_demo's population is 2 chips; widen it so every sampled
+        // chip index picks a distinct variation map.
+        config.chip_count = 32;
+        let run = |path| {
+            let system = ChipSystem::paper_chip(chip, &config)
+                .expect("chip builds")
+                .with_search_path(path);
+            SimulationEngine::new(system, Box::new(HayatPolicy::default()), &config).run()
+        };
+        prop_assert_eq!(run(SearchPath::Tiled), run(SearchPath::Exhaustive));
     }
 }
 
